@@ -1,0 +1,90 @@
+"""Ablation: Lemma 1 (half replication) and Lemma 2 (query-during-build).
+
+Isolates the paper's two join optimisations on the clustering path:
+replication factor and emitted-duplicate counts come from the join stats,
+latency from the timed runs.  Expected: Lemma 1 roughly halves the
+replication factor; Lemma 2 removes the duplicate-emission overhead; both
+lemmas together give the best latency.
+"""
+
+import pytest
+
+from benchmarks.conftest import MIN_PTS
+from repro.bench.report import format_table, write_report
+from repro.cluster.dbscan import dbscan_from_pairs
+from repro.join.range_join import GRRangeJoin, RangeJoinConfig
+
+_results: list[dict] = []
+
+VARIANTS = [
+    ("RJC (both lemmas)", True, True),
+    ("no Lemma 1", False, True),
+    ("no Lemma 2", True, False),
+    ("neither (SRJ)", False, False),
+]
+
+# A fine grid relative to epsilon, so range regions span several cells and
+# the replication choice matters (with the default lg of 1.6% the region
+# almost always stays inside one cell and the lemma has nothing to cut).
+ABLATION_EPS_PCT = 0.12
+ABLATION_GRID_PCT = 0.2
+
+
+@pytest.mark.parametrize("label,lemma1,lemma2", VARIANTS)
+def test_lemma_ablation(benchmark, brinkhoff, label, lemma1, lemma2):
+    epsilon = brinkhoff.resolve_percentage(ABLATION_EPS_PCT)
+    cell_width = brinkhoff.resolve_percentage(ABLATION_GRID_PCT)
+    snapshots = brinkhoff.snapshots()
+    join = GRRangeJoin(
+        RangeJoinConfig(
+            cell_width=cell_width, epsilon=epsilon, lemma1=lemma1, lemma2=lemma2
+        )
+    )
+
+    def run():
+        replication = 0.0
+        duplicates = 0
+        results = 0
+        for snapshot in snapshots:
+            points = snapshot.points()
+            pairs = join.join(points)
+            dbscan_from_pairs((o for o, _, _ in points), pairs, MIN_PTS)
+            stats = join.last_stats
+            replication += stats.replication_factor
+            duplicates += stats.emitted_pairs - stats.result_pairs
+            results += stats.result_pairs
+        return replication / len(snapshots), duplicates, results
+
+    replication, duplicates, results = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _results.append(
+        {
+            "variant": label,
+            "replication_factor": replication,
+            "duplicate_pairs": duplicates,
+            "result_pairs": results,
+        }
+    )
+
+
+def test_lemma_ablation_report(benchmark):
+    def build():
+        return format_table(
+            _results, title="Ablation: Lemma 1 / Lemma 2 on the range join"
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("ablation_lemmas", text)
+    print("\n" + text)
+    rows = {r["variant"]: r for r in _results}
+    # Identical join results across variants.
+    assert len({r["result_pairs"] for r in _results}) == 1
+    # Lemma 1 halves replication (approximately).
+    assert (
+        rows["RJC (both lemmas)"]["replication_factor"]
+        < rows["no Lemma 1"]["replication_factor"] * 0.8
+    )
+    # Both lemmas: zero duplicates; dropping either introduces them.
+    assert rows["RJC (both lemmas)"]["duplicate_pairs"] == 0
+    assert rows["neither (SRJ)"]["duplicate_pairs"] > 0

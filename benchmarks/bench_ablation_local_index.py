@@ -1,0 +1,65 @@
+"""Ablation: the GR-index's local R-tree layer vs a linear cell scan.
+
+The second layer of the GR-index only pays off when cells hold enough
+points for log-structured search to beat a scan; this ablation measures
+both local index kinds at the default and at a coarse grid (bigger cells
+-> more points per cell -> the R-tree's advantage grows).
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_EPS_PCT, MIN_PTS
+from repro.bench.report import format_table, write_report
+from repro.cluster.dbscan import dbscan_from_pairs
+from repro.join.range_join import GRRangeJoin, RangeJoinConfig
+
+_results: list[dict] = []
+
+
+@pytest.mark.parametrize("grid_pct", [1.6, 12.8])
+@pytest.mark.parametrize("local_index", ["rtree", "quadtree", "linear"])
+def test_local_index_ablation(benchmark, brinkhoff, grid_pct, local_index):
+    epsilon = brinkhoff.resolve_percentage(DEFAULT_EPS_PCT)
+    cell_width = brinkhoff.resolve_percentage(grid_pct)
+    snapshots = brinkhoff.snapshots()
+    join = GRRangeJoin(
+        RangeJoinConfig(
+            cell_width=cell_width, epsilon=epsilon, local_index=local_index
+        )
+    )
+
+    def run():
+        total_pairs = 0
+        for snapshot in snapshots:
+            points = snapshot.points()
+            pairs = join.join(points)
+            dbscan_from_pairs((o for o, _, _ in points), pairs, MIN_PTS)
+            total_pairs += len(pairs)
+        return total_pairs
+
+    total_pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results.append(
+        {
+            "grid_pct": grid_pct,
+            "local_index": local_index,
+            "result_pairs": total_pairs,
+        }
+    )
+
+
+def test_local_index_report(benchmark):
+    def build():
+        return format_table(
+            sorted(_results, key=lambda r: (r["grid_pct"], r["local_index"])),
+            title="Ablation: local R-tree vs linear scan inside grid cells",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("ablation_local_index", text)
+    print("\n" + text)
+    # Same results regardless of the local index implementation.
+    by_grid = {}
+    for r in _results:
+        by_grid.setdefault(r["grid_pct"], set()).add(r["result_pairs"])
+    for grid_pct, counts in by_grid.items():
+        assert len(counts) == 1, grid_pct

@@ -1,0 +1,83 @@
+"""Fig. 10: clustering latency / throughput vs distance threshold epsilon.
+
+Paper shape: RJC beats SRJ (Lemmas 1-2 halve replication and remove the
+dedup pass) and beats GDC (epsilon-sized cells create too many
+partitions); latency rises and throughput falls as epsilon grows for all
+methods, on all three datasets.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_GRID_PCT, DEFAULTS, MIN_PTS
+from repro.bench.harness import CLUSTERING_METHODS, run_clustering_point
+from repro.bench.report import format_table, write_report
+
+EPSILONS = DEFAULTS.epsilon_pct.values
+_results: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset_name", ["GeoLife", "Taxi", "Brinkhoff"])
+@pytest.mark.parametrize("method", CLUSTERING_METHODS)
+@pytest.mark.parametrize("eps_pct", EPSILONS)
+def test_clustering_vs_epsilon(
+    benchmark, datasets, dataset_name, method, eps_pct
+):
+    dataset = datasets[dataset_name]
+    point = benchmark.pedantic(
+        lambda: run_clustering_point(
+            dataset, method, eps_pct, DEFAULT_GRID_PCT, MIN_PTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _results.append(
+        {
+            "dataset": dataset_name,
+            "method": method,
+            "eps_pct": eps_pct,
+            "latency_ms": point.avg_latency_ms,
+            "throughput_tps": point.throughput_tps,
+            "clusters": point.clusters,
+        }
+    )
+    assert point.throughput_tps > 0
+
+
+def test_fig10_report(benchmark):
+    def build():
+        return format_table(
+            sorted(
+                _results,
+                key=lambda r: (r["dataset"], r["method"], r["eps_pct"]),
+            ),
+            title=(
+                "Fig. 10: clustering performance vs eps "
+                "(latency down / throughput up is better)"
+            ),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.bench.sparkline import series_block
+    text += "\n\n" + series_block(
+        _results, ["dataset", "method"], x="eps_pct", y="latency_ms",
+        title="latency_ms vs eps_pct (per dataset/method)",
+    ) + "\n\n" + series_block(
+        _results, ["dataset", "method"], x="eps_pct", y="throughput_tps",
+        title="throughput_tps vs eps_pct (per dataset/method)",
+    )
+    write_report("fig10_clustering_epsilon", text)
+    print("\n" + text)
+    # Shape assertion (paper's headline): averaged over the sweep, RJC's
+    # throughput is at least SRJ's (single points are noisy at one round).
+    def sweep_mean(dataset, method):
+        values = [
+            r["throughput_tps"]
+            for r in _results
+            if r["dataset"] == dataset and r["method"] == method
+        ]
+        return sum(values) / len(values)
+
+    for dataset in ("GeoLife", "Taxi", "Brinkhoff"):
+        assert sweep_mean(dataset, "RJC") >= sweep_mean(dataset, "SRJ") * 0.9, (
+            dataset
+        )

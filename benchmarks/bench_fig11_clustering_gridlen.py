@@ -1,0 +1,72 @@
+"""Fig. 11: clustering latency / throughput vs grid cell width lg.
+
+Paper shape: RJC/SRJ performance first improves then drops as lg grows
+(partition-management overhead vs pruning loss — a U-shaped latency
+curve); GDC is flat because its cells are tied to epsilon, not lg.
+"""
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_EPS_PCT, DEFAULTS, MIN_PTS
+from repro.bench.harness import CLUSTERING_METHODS, run_clustering_point
+from repro.bench.report import format_table, write_report
+
+GRIDS = DEFAULTS.grid_pct.values
+_results: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset_name", ["GeoLife", "Taxi", "Brinkhoff"])
+@pytest.mark.parametrize("method", CLUSTERING_METHODS)
+@pytest.mark.parametrize("grid_pct", GRIDS)
+def test_clustering_vs_gridlen(
+    benchmark, datasets, dataset_name, method, grid_pct
+):
+    dataset = datasets[dataset_name]
+    point = benchmark.pedantic(
+        lambda: run_clustering_point(
+            dataset, method, DEFAULT_EPS_PCT, grid_pct, MIN_PTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _results.append(
+        {
+            "dataset": dataset_name,
+            "method": method,
+            "grid_pct": grid_pct,
+            "latency_ms": point.avg_latency_ms,
+            "throughput_tps": point.throughput_tps,
+            "clusters": point.clusters,
+        }
+    )
+
+
+def test_fig11_report(benchmark):
+    def build():
+        return format_table(
+            sorted(
+                _results,
+                key=lambda r: (r["dataset"], r["method"], r["grid_pct"]),
+            ),
+            title="Fig. 11: clustering performance vs lg",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.bench.sparkline import series_block
+    text += "\n\n" + series_block(
+        _results, ["dataset", "method"], x="grid_pct", y="latency_ms",
+        title="latency_ms vs grid_pct (per dataset/method)",
+    ) + "\n\n" + series_block(
+        _results, ["dataset", "method"], x="grid_pct", y="throughput_tps",
+        title="throughput_tps vs grid_pct (per dataset/method)",
+    )
+    write_report("fig11_clustering_gridlen", text)
+    print("\n" + text)
+    # GDC is lg-insensitive: its cluster count must not vary with lg.
+    for dataset in ("GeoLife", "Taxi", "Brinkhoff"):
+        gdc_counts = {
+            r["clusters"]
+            for r in _results
+            if r["dataset"] == dataset and r["method"] == "GDC"
+        }
+        assert len(gdc_counts) == 1, dataset

@@ -1,0 +1,118 @@
+"""Fig. 12: pattern detection performance vs object ratio Or.
+
+Paper shape: B (baseline enumeration) is exponential in cluster size and
+only completes on small object ratios; F (FBA) achieves the best latency,
+V (VBA) the best throughput; all methods degrade as Or grows; the average
+cluster size grows with Or.  Taxi and Brinkhoff are used, as in the paper.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_EPS_PCT,
+    DEFAULT_GRID_PCT,
+    DEFAULTS,
+    MIN_PTS,
+)
+from repro.bench.harness import detection_config, run_detection_point
+from repro.bench.report import format_table, write_report
+
+RATIOS = DEFAULTS.object_ratio.values
+_results: list[dict] = []
+
+# The paper caps B by memory; we cap by partition size so the explosion is
+# reported as "cannot run" instead of hanging the suite.
+BA_CAP = 17
+
+
+@pytest.mark.parametrize("dataset_name", ["Taxi", "Brinkhoff"])
+@pytest.mark.parametrize("method", ["B", "F", "V"])
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_detection_vs_or(
+    benchmark, datasets_dense, dataset_name, method, ratio
+):
+    from dataclasses import replace
+
+    dataset = datasets_dense[dataset_name].restrict_objects(ratio)
+    config = detection_config(
+        dataset,
+        DEFAULT_CONSTRAINTS,
+        method,
+        DEFAULT_EPS_PCT,
+        DEFAULT_GRID_PCT,
+        MIN_PTS,
+    )
+    if method == "B":
+        config = replace(config, ba_max_partition_size=BA_CAP)
+
+    def run():
+        return run_detection_point(dataset, config, method, "Or", ratio)
+
+    point, _pipeline = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results.append(
+        {
+            "dataset": dataset_name,
+            "method": method,
+            "Or": ratio,
+            "latency_ms": point.avg_latency_ms,
+            "throughput_tps": point.throughput_tps,
+            "delay_snapshots": point.avg_delay_snapshots,
+            "avg_cluster_size": point.avg_cluster_size,
+            "patterns": point.patterns,
+            "completed": point.completed,
+        }
+    )
+
+
+def test_fig12_report(benchmark):
+    def build():
+        return format_table(
+            sorted(
+                _results, key=lambda r: (r["dataset"], r["method"], r["Or"])
+            ),
+            title="Fig. 12: detection performance vs Or (n/a = cannot run)",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.bench.sparkline import series_block
+    text += "\n\n" + series_block(
+        _results, ["dataset", "method"], x="Or", y="latency_ms",
+        title="latency_ms vs Or (per dataset/method)",
+    ) + "\n\n" + series_block(
+        _results, ["dataset", "method"], x="Or", y="throughput_tps",
+        title="throughput_tps vs Or (per dataset/method)",
+    )
+    write_report("fig12_detection_or", text)
+    print("\n" + text)
+    # Average cluster size grows with Or (the paper's secondary curve):
+    # compare the smallest and largest completed ratios.
+    for dataset in ("Taxi", "Brinkhoff"):
+        sizes = [
+            (r["Or"], r["avg_cluster_size"])
+            for r in _results
+            if r["dataset"] == dataset and r["method"] == "F"
+        ]
+        sizes.sort()
+        assert sizes[0][1] <= sizes[-1][1] + 1e-9
+    # F and V always complete; their pattern sets agree; F's detection
+    # response time beats V's (VBA trades latency for throughput).
+    for dataset in ("Taxi", "Brinkhoff"):
+        for ratio in RATIOS:
+            rows = {
+                r["method"]: r
+                for r in _results
+                if r["dataset"] == dataset and r["Or"] == ratio
+            }
+            assert rows["F"]["completed"] and rows["V"]["completed"]
+            assert rows["F"]["patterns"] == rows["V"]["patterns"]
+            if rows["B"]["completed"]:
+                assert rows["B"]["patterns"] == rows["F"]["patterns"]
+            assert not math.isnan(rows["F"]["latency_ms"])
+            if rows["F"]["patterns"]:
+                assert (
+                    rows["F"]["delay_snapshots"]
+                    <= rows["V"]["delay_snapshots"] + 1e-9
+                )

@@ -1,0 +1,92 @@
+"""Fig. 13: pattern detection performance vs distance threshold epsilon.
+
+Paper shape: performance of both F and V drops as epsilon grows (larger
+join search space and larger clusters to enumerate); the average cluster
+size grows with epsilon.  B is omitted, as in the paper.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_GRID_PCT,
+    DEFAULTS,
+    MIN_PTS,
+)
+from repro.bench.harness import detection_config, run_detection_point
+from repro.bench.report import format_table, write_report
+
+EPSILONS = DEFAULTS.epsilon_pct.values
+_results: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset_name", ["Taxi", "Brinkhoff"])
+@pytest.mark.parametrize("method", ["F", "V"])
+@pytest.mark.parametrize("eps_pct", EPSILONS)
+def test_detection_vs_epsilon(
+    benchmark, datasets, dataset_name, method, eps_pct
+):
+    dataset = datasets[dataset_name]
+    config = detection_config(
+        dataset,
+        DEFAULT_CONSTRAINTS,
+        method,
+        eps_pct,
+        DEFAULT_GRID_PCT,
+        MIN_PTS,
+    )
+
+    def run():
+        return run_detection_point(dataset, config, method, "eps", eps_pct)
+
+    point, _pipeline = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results.append(
+        {
+            "dataset": dataset_name,
+            "method": method,
+            "eps_pct": eps_pct,
+            "latency_ms": point.avg_latency_ms,
+            "throughput_tps": point.throughput_tps,
+            "delay_snapshots": point.avg_delay_snapshots,
+            "avg_cluster_size": point.avg_cluster_size,
+            "patterns": point.patterns,
+        }
+    )
+
+
+def test_fig13_report(benchmark):
+    def build():
+        return format_table(
+            sorted(
+                _results,
+                key=lambda r: (r["dataset"], r["method"], r["eps_pct"]),
+            ),
+            title="Fig. 13: detection performance vs eps",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.bench.sparkline import series_block
+    text += "\n\n" + series_block(
+        _results, ["dataset", "method"], x="eps_pct", y="latency_ms",
+        title="latency_ms vs eps_pct (per dataset/method)",
+    ) + "\n\n" + series_block(
+        _results, ["dataset", "method"], x="eps_pct", y="throughput_tps",
+        title="throughput_tps vs eps_pct (per dataset/method)",
+    )
+    write_report("fig13_detection_epsilon", text)
+    print("\n" + text)
+    # Cluster size grows with epsilon; F and V agree on results.
+    for dataset in ("Taxi", "Brinkhoff"):
+        sizes = [
+            r["avg_cluster_size"]
+            for r in sorted(_results, key=lambda r: r["eps_pct"])
+            if r["dataset"] == dataset and r["method"] == "F"
+        ]
+        assert sizes[0] <= sizes[-1]
+        for eps in EPSILONS:
+            rows = {
+                r["method"]: r
+                for r in _results
+                if r["dataset"] == dataset and r["eps_pct"] == eps
+            }
+            assert rows["F"]["patterns"] == rows["V"]["patterns"]

@@ -1,0 +1,84 @@
+"""Fig. 14: pattern detection performance vs number of cluster nodes N.
+
+Paper shape: average latency drops and throughput rises as nodes are
+added, flattening once the dominant subtask can no longer be split.  One
+pipeline execution per method is re-scored under every N via the cluster
+cost model (per-subtask busy times are N-independent).
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_EPS_PCT,
+    DEFAULT_GRID_PCT,
+    DEFAULTS,
+    MIN_PTS,
+)
+from repro.bench.harness import detection_config, run_node_sweep
+from repro.bench.report import format_table, write_report
+
+NODES = DEFAULTS.nodes.values
+_results: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset_name", ["Taxi", "Brinkhoff"])
+@pytest.mark.parametrize("method", ["F", "V"])
+def test_detection_vs_nodes(benchmark, datasets, dataset_name, method):
+    dataset = datasets[dataset_name]
+    config = detection_config(
+        dataset,
+        DEFAULT_CONSTRAINTS,
+        method,
+        DEFAULT_EPS_PCT,
+        DEFAULT_GRID_PCT,
+        MIN_PTS,
+        n_nodes=DEFAULTS.nodes.default,
+        # Few slots per node so that one node is contended and ten are not
+        # (the paper's per-subtask work is orders of magnitude heavier, so
+        # its 24-core nodes sit in the same contended-to-spread regime).
+        slots_per_node=2,
+    )
+
+    def run():
+        return run_node_sweep(dataset, config, method, NODES)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for point in points:
+        _results.append(
+            {
+                "dataset": dataset_name,
+                "method": method,
+                "N": int(point.value),
+                "latency_ms": point.avg_latency_ms,
+                "throughput_tps": point.throughput_tps,
+            }
+        )
+    # Monotone within a 2% tolerance: round-robin placement can co-locate
+    # two heavy subtasks at some N and produce a hair-width wiggle.
+    latencies = [p.avg_latency_ms for p in points]
+    throughputs = [p.throughput_tps for p in points]
+    for earlier, later in zip(latencies, latencies[1:]):
+        assert later <= earlier * 1.02, latencies
+    for earlier, later in zip(throughputs, throughputs[1:]):
+        assert later >= earlier * 0.98, throughputs
+
+
+def test_fig14_report(benchmark):
+    def build():
+        return format_table(
+            sorted(_results, key=lambda r: (r["dataset"], r["method"], r["N"])),
+            title="Fig. 14: detection performance vs number of nodes N",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.bench.sparkline import series_block
+    text += "\n\n" + series_block(
+        _results, ["dataset", "method"], x="N", y="latency_ms",
+        title="latency_ms vs N (per dataset/method)",
+    ) + "\n\n" + series_block(
+        _results, ["dataset", "method"], x="N", y="throughput_tps",
+        title="throughput_tps vs N (per dataset/method)",
+    )
+    write_report("fig14_scalability_nodes", text)
+    print("\n" + text)

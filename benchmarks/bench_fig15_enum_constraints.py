@@ -1,0 +1,130 @@
+"""Fig. 15: enumeration performance vs the M, K, L, G constraints.
+
+Paper shape (Brinkhoff, enumeration only — clustering is unaffected by
+the constraints): VBA has the better throughput, FBA the better latency;
+latency falls (throughput rises) as M, K or L grow, because fewer
+candidates survive and pruning strengthens; the trend *reverses* for G,
+because larger gaps admit more valid patterns.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_EPS_PCT,
+    DEFAULT_GRID_PCT,
+    DEFAULTS,
+    MIN_PTS,
+)
+from repro.bench.harness import precluster, run_enumeration_point
+from repro.bench.report import format_table, write_report
+from repro.model.constraints import PatternConstraints
+
+_results: list[dict] = []
+
+SWEEPS = {
+    "M": DEFAULTS.m.values,
+    "K": DEFAULTS.k.values,
+    "L": DEFAULTS.l.values,
+    "G": DEFAULTS.g.values,
+}
+
+
+@pytest.fixture(scope="module")
+def cluster_stream(brinkhoff):
+    return precluster(brinkhoff, DEFAULT_EPS_PCT, DEFAULT_GRID_PCT, MIN_PTS)
+
+
+def constraints_with(parameter: str, value: int) -> PatternConstraints:
+    base = {
+        "m": DEFAULT_CONSTRAINTS.m,
+        "k": DEFAULT_CONSTRAINTS.k,
+        "l": DEFAULT_CONSTRAINTS.l,
+        "g": DEFAULT_CONSTRAINTS.g,
+    }
+    base[parameter.lower()] = value
+    if base["k"] < base["l"]:
+        base["k"] = base["l"]
+    return PatternConstraints(**base)
+
+
+@pytest.mark.parametrize("method", ["F", "V"])
+@pytest.mark.parametrize(
+    "parameter,value",
+    [(p, v) for p, values in SWEEPS.items() for v in values],
+)
+def test_enumeration_vs_constraint(
+    benchmark, cluster_stream, method, parameter, value
+):
+    constraints = constraints_with(parameter, value)
+
+    def run():
+        return run_enumeration_point(
+            cluster_stream, constraints, method, parameter, value
+        )
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results.append(
+        {
+            "method": "FBA" if method == "F" else "VBA",
+            "parameter": parameter,
+            "value": value,
+            "latency_ms": point.avg_latency_ms,
+            "throughput_tps": point.throughput_tps,
+            "delay_snapshots": point.avg_delay_snapshots,
+            "patterns": point.patterns,
+        }
+    )
+
+
+def test_fig15_report(benchmark):
+    def build():
+        return format_table(
+            sorted(
+                _results,
+                key=lambda r: (r["parameter"], r["value"], r["method"]),
+            ),
+            title="Fig. 15: enumeration performance vs M, K, L, G (Brinkhoff)",
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.bench.sparkline import series_block
+    for parameter in SWEEPS:
+        subset = [r for r in _results if r["parameter"] == parameter]
+        text += "\n\n" + series_block(
+            subset, ["method"], x="value", y="latency_ms",
+            title=f"latency_ms vs {parameter}",
+        )
+    write_report("fig15_enum_constraints", text)
+    print("\n" + text)
+    # FBA and VBA must agree on pattern counts at every sweep point.
+    by_point: dict[tuple, dict[str, int]] = {}
+    for r in _results:
+        by_point.setdefault((r["parameter"], r["value"]), {})[r["method"]] = r[
+            "patterns"
+        ]
+    for (parameter, value), counts in by_point.items():
+        assert counts["FBA"] == counts["VBA"], (parameter, value)
+    # FBA responds faster than VBA (which waits for string closure) at
+    # every sweep point with patterns: the paper's latency/throughput trade.
+    by_delay: dict[tuple, dict[str, float]] = {}
+    for r in _results:
+        by_delay.setdefault((r["parameter"], r["value"]), {})[r["method"]] = r[
+            "delay_snapshots"
+        ]
+    for (parameter, value), delays in by_delay.items():
+        if by_point[(parameter, value)]["FBA"]:
+            assert delays["FBA"] <= delays["VBA"] + 1e-9, (parameter, value)
+    # Larger M admits fewer patterns; larger G admits at least as many.
+    m_counts = [
+        counts["FBA"]
+        for (p, v), counts in sorted(by_point.items())
+        if p == "M"
+    ]
+    assert m_counts == sorted(m_counts, reverse=True)
+    g_counts = [
+        counts["FBA"]
+        for (p, v), counts in sorted(by_point.items())
+        if p == "G"
+    ]
+    assert g_counts == sorted(g_counts)

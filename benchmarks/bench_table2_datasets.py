@@ -1,0 +1,46 @@
+"""Table 2: dataset statistics (scaled synthetic stand-ins).
+
+Regenerates the paper's dataset summary for the three generated
+workloads and benchmarks generation itself.
+"""
+
+import pytest
+
+from repro.bench.report import format_table, write_report
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+from repro.data.geolife import GeoLifeConfig, generate_geolife
+from repro.data.taxi import TaxiConfig, generate_taxi
+
+
+@pytest.mark.parametrize(
+    "name,generate,config",
+    [
+        ("GeoLife", generate_geolife, GeoLifeConfig(n_objects=140, horizon=40)),
+        ("Taxi", generate_taxi, TaxiConfig(n_objects=140, horizon=40)),
+        (
+            "Brinkhoff",
+            generate_brinkhoff,
+            BrinkhoffConfig(n_objects=140, horizon=40),
+        ),
+    ],
+)
+def test_generate_dataset(benchmark, name, generate, config):
+    dataset = benchmark.pedantic(
+        lambda: generate(config), rounds=1, iterations=1
+    )
+    stats = dataset.statistics()
+    assert stats.trajectories > 0
+    assert stats.snapshots == 40
+
+
+def test_table2_report(benchmark, datasets):
+    def build():
+        return [ds.statistics().as_row() for ds in datasets.values()]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        title="Table 2: Datasets used in our experiments (scaled synthetic)",
+    )
+    write_report("table2_datasets", text)
+    print("\n" + text)

@@ -1,0 +1,19 @@
+"""Table 3: parameter ranges and default values (paper-true and scaled)."""
+
+from repro.bench.params import PAPER_TABLE3, SCALED_TABLE3, table3_text
+from repro.bench.report import write_report
+
+
+def test_table3_report(benchmark):
+    def build():
+        paper = table3_text(
+            PAPER_TABLE3, "Table 3 (paper): parameter ranges, defaults in []"
+        )
+        scaled = table3_text(
+            SCALED_TABLE3, "Table 3 (scaled): values used by these benchmarks"
+        )
+        return paper + "\n\n" + scaled
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("table3_params", text)
+    print("\n" + text)

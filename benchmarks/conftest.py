@@ -1,0 +1,84 @@
+"""Shared benchmark fixtures: the three scaled datasets and parameters.
+
+The paper's datasets (Table 2) are millions of points; these scaled
+versions keep the same structure (co-moving groups with dropouts over
+background traffic) at a size where the whole benchmark suite runs in
+minutes.  ``EXPERIMENTS.md`` documents the scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.params import SCALED_TABLE3
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+from repro.data.geolife import GeoLifeConfig, generate_geolife
+from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.model.constraints import PatternConstraints
+
+N_OBJECTS = 140
+HORIZON = 40
+
+DEFAULTS = SCALED_TABLE3
+DEFAULT_CONSTRAINTS = PatternConstraints(
+    m=DEFAULTS.m.default,
+    k=DEFAULTS.k.default,
+    l=DEFAULTS.l.default,
+    g=DEFAULTS.g.default,
+)
+MIN_PTS = DEFAULTS.min_pts
+DEFAULT_EPS_PCT = DEFAULTS.epsilon_pct.default
+DEFAULT_GRID_PCT = DEFAULTS.grid_pct.default
+
+
+@pytest.fixture(scope="session")
+def geolife():
+    return generate_geolife(
+        GeoLifeConfig(n_objects=N_OBJECTS, horizon=HORIZON, seed=23)
+    )
+
+
+@pytest.fixture(scope="session")
+def taxi():
+    return generate_taxi(
+        TaxiConfig(n_objects=N_OBJECTS, horizon=HORIZON, seed=37)
+    )
+
+
+@pytest.fixture(scope="session")
+def brinkhoff():
+    return generate_brinkhoff(
+        BrinkhoffConfig(n_objects=N_OBJECTS, horizon=HORIZON, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def datasets(geolife, taxi, brinkhoff):
+    return {"GeoLife": geolife, "Taxi": taxi, "Brinkhoff": brinkhoff}
+
+
+# Denser group structure for the Or sweep (Fig. 12): bigger groups so that
+# cluster sizes genuinely grow with the object ratio and the baseline
+# enumerator's subset explosion can trigger at high Or, as in the paper.
+@pytest.fixture(scope="session")
+def datasets_dense():
+    return {
+        "Taxi": generate_taxi(
+            TaxiConfig(
+                n_objects=N_OBJECTS,
+                horizon=HORIZON,
+                seed=41,
+                group_fraction=0.6,
+                group_size=(10, 20),
+            )
+        ),
+        "Brinkhoff": generate_brinkhoff(
+            BrinkhoffConfig(
+                n_objects=N_OBJECTS,
+                horizon=HORIZON,
+                seed=43,
+                group_fraction=0.6,
+                group_size=(10, 20),
+            )
+        ),
+    }

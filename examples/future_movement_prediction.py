@@ -1,0 +1,138 @@
+"""Future-movement prediction from co-movement patterns (the paper's Fig. 1).
+
+Seven objects travel between city landmarks.  Detected co-movement
+patterns reveal three travel groups; when a new object o8 appears and
+follows the same prefix as one group ("Home -> Countryside"), its next
+landmark is predicted from that group's historical route.
+
+Run:  python examples/future_movement_prediction.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    CoMovementDetector,
+    ICPEConfig,
+    PatternConstraints,
+    StreamRecord,
+)
+
+# Landmarks of Fig. 1.
+PLACES = {
+    "Home": (0.0, 0.0),
+    "City center": (60.0, 10.0),
+    "Shopping mall": (120.0, 0.0),
+    "Kommune": (110.0, 60.0),
+    "Countryside": (40.0, 80.0),
+    "University": (100.0, 120.0),
+}
+
+# The three groups' itineraries (object ids per group as in Fig. 1).
+ROUTES = {
+    (1, 2): ["Home", "City center", "Shopping mall"],
+    (3, 5): ["Home", "City center", "Kommune"],
+    (4, 6): ["Home", "Countryside", "University"],
+}
+
+TICKS_PER_LEG = 6
+
+
+def leg_positions(a: str, b: str) -> list[tuple[float, float]]:
+    ax, ay = PLACES[a]
+    bx, by = PLACES[b]
+    return [
+        (ax + (bx - ax) * i / TICKS_PER_LEG, ay + (by - ay) * i / TICKS_PER_LEG)
+        for i in range(TICKS_PER_LEG)
+    ]
+
+
+def route_positions(route: list[str]) -> list[tuple[float, float]]:
+    positions: list[tuple[float, float]] = []
+    for a, b in zip(route, route[1:]):
+        positions.extend(leg_positions(a, b))
+    positions.append(PLACES[route[-1]])
+    return positions
+
+
+def build_history(seed: int = 3) -> list[StreamRecord]:
+    rng = random.Random(seed)
+    records: list[StreamRecord] = []
+    last: dict[int, int] = {}
+    for members, route in ROUTES.items():
+        for t, (x, y) in enumerate(route_positions(route), start=1):
+            for oid in members:
+                records.append(
+                    StreamRecord(
+                        oid,
+                        x + rng.uniform(-0.8, 0.8),
+                        y + rng.uniform(-0.8, 0.8),
+                        t,
+                        last.get(oid),
+                    )
+                )
+                last[oid] = t
+    records.sort(key=lambda r: (r.time, r.oid))
+    return records
+
+
+def nearest_place(x: float, y: float) -> str:
+    return min(
+        PLACES, key=lambda p: abs(PLACES[p][0] - x) + abs(PLACES[p][1] - y)
+    )
+
+
+def main() -> None:
+    # K = 10 exceeds the shared "Home -> City center" prefix (6 ticks), so
+    # only objects sharing a *full* itinerary form patterns — the three
+    # groups of Fig. 1.
+    constraints = PatternConstraints(m=2, k=10, l=3, g=2)
+    config = ICPEConfig(
+        epsilon=4.0, cell_width=16.0, min_pts=2, constraints=constraints
+    )
+    detector = CoMovementDetector(config)
+    history = build_history()
+    detector.feed_many(history)
+    detector.finish()
+
+    # Keep the maximal patterns (largest object sets).
+    patterns = [p for p in detector.patterns if p.size >= 2]
+    maximal = [
+        p
+        for p in patterns
+        if not any(set(p.objects) < set(q.objects) for q in patterns)
+    ]
+    print("Detected travel groups (maximal co-movement patterns):")
+    history_by_oid: dict[int, list[StreamRecord]] = {}
+    for r in history:
+        history_by_oid.setdefault(r.oid, []).append(r)
+    group_routes: dict[tuple[int, ...], list[str]] = {}
+    for pattern in maximal:
+        probe = history_by_oid[pattern.objects[0]]
+        visited: list[str] = []
+        for r in probe:
+            place = nearest_place(r.x, r.y)
+            if not visited or visited[-1] != place:
+                visited.append(place)
+        group_routes[pattern.objects] = visited
+        print(f"  {pattern}  route: {' -> '.join(visited)}")
+
+    # A new object o8 follows "Home -> Countryside".
+    o8_route = ["Home", "Countryside"]
+    o8_places = o8_route[:]
+    print(f"\nNew object o8 observed on: {' -> '.join(o8_places)}")
+    for objects, visited in group_routes.items():
+        if visited[: len(o8_places)] == o8_places and len(visited) > len(o8_places):
+            prediction = visited[len(o8_places)]
+            print(
+                f"Prediction: o8 moves with the pattern of {objects}; next "
+                f"destination -> {prediction}"
+            )
+            break
+    else:
+        print("No matching pattern prefix; cannot predict.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Live convoy monitoring: the real-time view of current travel groups.
+
+BA/FBA/VBA confirm patterns after verification windows close; a traffic
+operator also wants to see "who is travelling together RIGHT NOW".  The
+online convoy tracker maintains the maximal strictly-consecutive groups
+(CP(M, K, K, 1)) incrementally and exposes them at every snapshot.
+
+Run:  python examples/live_convoy_monitor.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.rjc import ClusteringConfig, RJCClusterer
+from repro.core.live import ConvoyTracker
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+
+M, K = 3, 6
+CHECKPOINTS = (5, 10, 15, 20, 25, 30)
+
+
+def main() -> None:
+    dataset = generate_brinkhoff(
+        BrinkhoffConfig(
+            n_objects=80,
+            horizon=30,
+            seed=29,
+            group_fraction=0.6,
+            dropout_probability=0.0,  # convoys need strict consecutiveness
+        )
+    )
+    epsilon = max(dataset.resolve_percentage(0.08), 12.0)
+    clusterer = RJCClusterer(
+        ClusteringConfig(epsilon=epsilon, min_pts=3, cell_width=4 * epsilon)
+    )
+    tracker = ConvoyTracker(m=M, k=K)
+
+    finished_total = 0
+    for snapshot in dataset.snapshots():
+        cluster_snapshot = clusterer.cluster(snapshot)
+        finished = tracker.on_snapshot(cluster_snapshot)
+        finished_total += len(finished)
+        for convoy in finished:
+            print(f"t={snapshot.time:>3}  convoy ENDED: {convoy}")
+        if snapshot.time in CHECKPOINTS:
+            active = tracker.active(min_duration=K)
+            print(
+                f"t={snapshot.time:>3}  live view: {len(active)} active "
+                f"convoys (>= {K} ticks)"
+            )
+            for candidate in active[:3]:
+                ids = ", ".join(f"o{oid}" for oid in sorted(candidate.members))
+                print(
+                    f"          {{{ids}}} travelling since t={candidate.start}"
+                    f" ({candidate.duration} ticks)"
+                )
+    for convoy in tracker.finish():
+        finished_total += 1
+        print(f"flush  convoy ended with the stream: {convoy}")
+    print(f"\n{finished_total} maximal convoys in total")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Out-of-order streaming and the "last time" synchronisation (Section 4).
+
+Flink does not deliver records in event-time order; ICPE attaches each
+trajectory's previous report time so snapshots can be completed exactly.
+This example scrambles a taxi stream within a bounded delay, feeds it to
+the detector, and verifies the results match in-order processing, while
+reporting the per-snapshot latency/throughput metrics.
+
+Run:  python examples/out_of_order_streaming.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import CoMovementDetector, ICPEConfig, PatternConstraints
+from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.streaming.shuffle import bounded_shuffle
+
+MAX_DELAY = 3  # discretized time units of allowed lateness
+
+
+def main() -> None:
+    dataset = generate_taxi(
+        TaxiConfig(n_objects=80, horizon=30, seed=17, group_fraction=0.5)
+    )
+    epsilon = max(dataset.resolve_percentage(0.08), 15.0)
+    config = ICPEConfig(
+        epsilon=epsilon,
+        cell_width=4 * epsilon,
+        min_pts=3,
+        constraints=PatternConstraints(m=3, k=6, l=2, g=2),
+        enumerator="vba",
+        max_delay=MAX_DELAY,
+    )
+
+    print("1) In-order run (reference)...")
+    reference = CoMovementDetector(config)
+    reference.feed_many(dataset.records)
+    reference.finish()
+    print(f"   {len(reference.patterns)} patterns")
+
+    print(f"2) Scrambled run (records displaced up to {MAX_DELAY} ticks)...")
+    scrambled = CoMovementDetector(config)
+    shuffled = list(
+        bounded_shuffle(dataset.records, MAX_DELAY, random.Random(99))
+    )
+    moved = sum(
+        1 for a, b in zip(dataset.records, shuffled) if a is not b
+    )
+    print(f"   {moved}/{len(shuffled)} records arrive out of place")
+    scrambled.feed_many(shuffled)
+    scrambled.finish()
+    print(f"   {len(scrambled.patterns)} patterns")
+
+    same = {p.objects for p in reference.patterns} == {
+        p.objects for p in scrambled.patterns
+    }
+    print(f"\nPattern sets identical: {same}")
+    meter = scrambled.meter
+    print(
+        f"Snapshots: {meter.snapshots}; avg latency "
+        f"{meter.average_latency_ms():.2f} ms; throughput "
+        f"{meter.throughput_tps():.0f} snapshots/s"
+    )
+    if not same:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517/660 editable installs cannot build. Keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to ``setup.py develop``, which works with the stock setuptools here.
+All metadata lives in pyproject.toml's ``[project]`` table.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""ICPE: real-time co-movement pattern detection on streaming trajectories.
+
+A from-scratch Python reproduction of Chen et al., "Real-time Distributed
+Co-Movement Pattern Detection on Streaming Trajectories", PVLDB 12(10),
+2019 (DOI 10.14778/3339490.3339502).
+
+Quickstart::
+
+    from repro import CoMovementDetector, ICPEConfig, PatternConstraints
+
+    config = ICPEConfig(
+        epsilon=10.0, cell_width=30.0, min_pts=3,
+        constraints=PatternConstraints(m=3, k=4, l=2, g=2),
+    )
+    detector = CoMovementDetector(config)
+    for record in stream:          # StreamRecord items
+        for pattern in detector.feed(record):
+            print(pattern)
+    for pattern in detector.finish():
+        print(pattern)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduced tables and figures.
+"""
+
+from repro.model import (
+    ClusterSnapshot,
+    CoMovementPattern,
+    GPSRecord,
+    Location,
+    PatternConstraints,
+    Snapshot,
+    StreamRecord,
+    TimeDiscretizer,
+    TimeSequence,
+    Trajectory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSnapshot",
+    "CoMovementDetector",
+    "CoMovementPattern",
+    "GPSRecord",
+    "ICPEConfig",
+    "ICPEPipeline",
+    "Location",
+    "PatternConstraints",
+    "Snapshot",
+    "StreamRecord",
+    "TimeDiscretizer",
+    "TimeSequence",
+    "Trajectory",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily import the heavyweight core API to keep import costs low."""
+    if name in ("CoMovementDetector", "ICPEConfig", "ICPEPipeline"):
+        from repro.core.config import ICPEConfig
+        from repro.core.detector import CoMovementDetector
+        from repro.core.icpe import ICPEPipeline
+
+        value = {
+            "CoMovementDetector": CoMovementDetector,
+            "ICPEConfig": ICPEConfig,
+            "ICPEPipeline": ICPEPipeline,
+        }[name]
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,447 @@
+"""Sweep runners for the paper's experiments.
+
+Three measurement modes, matching what each figure isolates:
+
+* clustering-only (Figs. 10-11): the clustering phase of the dataflow
+  (GridAllocate -> GridQuery -> GridSync/DBSCAN) per method, scored by the
+  distributed cost model.  SRJ is the GR-index join without Lemmas 1-2;
+  GDC is grid DBSCAN "extended to Flink": epsilon-width cells, full 3x3
+  replication, linear in-cell scan — which is why its partition count
+  explodes, exactly the behaviour the paper attributes to it;
+* full detection (Figs. 12-14): the ICPE pipeline with per-subtask busy
+  accounting scored by the cluster cost model.  The *latency* the paper
+  reports for B/F/V is the detection response time — how long after a
+  pattern becomes confirmable the system reports it — which is the
+  quantity VBA trades away for throughput; we measure it in snapshot
+  units via :func:`detection_delay_snapshots`;
+* enumeration-only (Fig. 15): BA/FBA/VBA over a pre-clustered stream
+  ("clustering omitted as its performance is not affected by the
+  constraints" — Section 7.3).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, replace
+
+from repro.cluster.rjc import ClusteringConfig, RJCClusterer
+from repro.core.config import ICPEConfig
+from repro.core.icpe import ICPEPipeline
+from repro.core.operators import (
+    AllocateOperator,
+    ClusterOperator,
+    QueryOperator,
+)
+from repro.data.dataset import TrajectoryDataset
+from repro.enumeration.base import PatternCollector
+from repro.enumeration.baseline import BAEnumerator, PartitionTooLargeError
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.partition import PartitionRouter
+from repro.enumeration.vba import VBAEnumerator
+from repro.geometry.distance import l1_distance
+from repro.join.query import CellJoiner
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+from repro.model.snapshot import ClusterSnapshot
+from repro.model.timeseq import TimeSequence
+from repro.streaming.cluster import ClusterModel, ClusterRun
+from repro.streaming.dataflow import KeyedStage, Topology, run_unit
+
+CLUSTERING_METHODS = ("RJC", "SRJ", "GDC")
+ENUMERATORS = ("B", "F", "V")
+
+_ENUM_NAME = {"B": "baseline", "F": "fba", "V": "vba"}
+
+
+# --------------------------------------------------------------------- points
+
+
+@dataclass(frozen=True, slots=True)
+class ClusteringPoint:
+    """One (method, parameter) sample of Figs. 10-11."""
+
+    method: str
+    epsilon_pct: float
+    grid_pct: float
+    avg_latency_ms: float
+    throughput_tps: float
+    clusters: int
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionPoint:
+    """One (method, parameter) sample of Figs. 12-14.
+
+    ``avg_latency_ms`` is the cost-model per-snapshot processing latency;
+    ``avg_delay_snapshots`` is the detection response time in snapshot
+    units (how long after a pattern became confirmable it was reported) —
+    the paper's F-vs-V latency story.
+    """
+
+    method: str
+    parameter: str
+    value: float
+    avg_latency_ms: float
+    throughput_tps: float
+    avg_cluster_size: float
+    patterns: int
+    avg_delay_snapshots: float = 0.0
+    completed: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class EnumerationPoint:
+    """One (algorithm, constraint) sample of Fig. 15."""
+
+    method: str
+    parameter: str
+    value: int
+    avg_latency_ms: float
+    throughput_tps: float
+    patterns: int
+    avg_delay_snapshots: float = 0.0
+    completed: bool = True
+
+
+# ------------------------------------------------------------ response time
+
+
+def earliest_confirmable(
+    pattern: CoMovementPattern, constraints: PatternConstraints
+) -> int:
+    """First stream time at which the pattern's witness became valid.
+
+    The shortest prefix of the witness sequence satisfying (K, L, G) marks
+    the moment an ideal online detector could have reported the pattern.
+    """
+    times = pattern.times.times
+    for index in range(len(times)):
+        prefix = TimeSequence(times[: index + 1])
+        if constraints.sequence_valid(prefix):
+            return times[index]
+    return times[-1]
+
+
+def average_detection_delay(
+    detections: list[tuple[int, CoMovementPattern]],
+    constraints: PatternConstraints,
+) -> float:
+    """Mean (emission time - earliest confirmable time) in snapshot units."""
+    if not detections:
+        return 0.0
+    total = sum(
+        emit_time - earliest_confirmable(pattern, constraints)
+        for emit_time, pattern in detections
+    )
+    return total / len(detections)
+
+
+# ---------------------------------------------------------------- clustering
+
+
+def clustering_join_settings(
+    method: str, epsilon: float, cell_width: float
+) -> dict:
+    """Join-stage settings realising each Fig. 10 method on the dataflow.
+
+    * RJC — the paper's method: lg cells, both lemmas, local R-trees.
+    * SRJ — full-region replication, build-then-query, post-hoc dedup.
+    * GDC — grid DBSCAN on Flink: epsilon-width cells (hence the partition
+      explosion), full 3x3-block replication, linear in-cell scan.
+    """
+    if method == "RJC":
+        return dict(
+            cell_width=cell_width, lemma1=True, lemma2=True,
+            local_index="rtree", dedup=False,
+        )
+    if method == "SRJ":
+        return dict(
+            cell_width=cell_width, lemma1=False, lemma2=False,
+            local_index="rtree", dedup=True,
+        )
+    if method == "GDC":
+        return dict(
+            cell_width=epsilon, lemma1=False, lemma2=False,
+            local_index="linear", dedup=True,
+        )
+    raise ValueError(f"unknown clustering method {method!r}")
+
+
+def build_clustering_runtimes(
+    method: str,
+    epsilon: float,
+    cell_width: float,
+    min_pts: int,
+    allocate_parallelism: int = 8,
+    query_parallelism: int = 16,
+):
+    """The clustering phase of the job graph for one method."""
+    settings = clustering_join_settings(method, epsilon, cell_width)
+    joiner = lambda: QueryOperator(
+        CellJoiner(
+            epsilon=epsilon,
+            metric=l1_distance,
+            lemma2=settings["lemma2"],
+            local_index=settings["local_index"],
+            lemma1=settings["lemma1"],
+        )
+    )
+    topology = (
+        Topology()
+        .add(
+            KeyedStage(
+                name="allocate",
+                operator_factory=lambda: AllocateOperator(
+                    settings["cell_width"], epsilon, lemma1=settings["lemma1"]
+                ),
+                parallelism=allocate_parallelism,
+                key_fn=lambda element: element[0],
+            )
+        )
+        .add(
+            KeyedStage(
+                name="query",
+                operator_factory=joiner,
+                parallelism=query_parallelism,
+                key_fn=lambda go: go.key,
+            )
+        )
+        .add(
+            KeyedStage(
+                name="cluster",
+                operator_factory=lambda: ClusterOperator(
+                    min_pts=min_pts, significance=2, dedup=settings["dedup"]
+                ),
+                parallelism=1,
+                key_fn=None,
+            )
+        )
+    )
+    return topology.build()
+
+
+def run_clustering_point(
+    dataset: TrajectoryDataset,
+    method: str,
+    epsilon_pct: float,
+    grid_pct: float,
+    min_pts: int,
+    n_nodes: int = 10,
+) -> ClusteringPoint:
+    """Measure one clustering configuration over the whole dataset.
+
+    Latency/throughput come from the distributed cost model over the
+    measured per-subtask busy times — the setting the paper's Fig. 10-11
+    numbers describe (an 11-node Flink cluster).
+    """
+    epsilon = dataset.resolve_percentage(epsilon_pct)
+    cell_width = dataset.resolve_percentage(grid_pct)
+    runtimes = build_clustering_runtimes(method, epsilon, cell_width, min_pts)
+    run = ClusterRun(model=ClusterModel(n_nodes=n_nodes))
+    for snapshot in dataset.snapshots():
+        _outputs, works = run_unit(runtimes, snapshot.points(), ctx=snapshot.time)
+        run.record(works)
+    cluster_operator = runtimes[-1].subtasks[0]
+    return ClusteringPoint(
+        method=method,
+        epsilon_pct=epsilon_pct,
+        grid_pct=grid_pct,
+        avg_latency_ms=run.average_latency_ms(),
+        throughput_tps=run.throughput_tps(),
+        clusters=len(cluster_operator.cluster_sizes),
+    )
+
+
+# ----------------------------------------------------------------- detection
+
+
+def detection_config(
+    dataset: TrajectoryDataset,
+    constraints: PatternConstraints,
+    enumerator: str,
+    epsilon_pct: float,
+    grid_pct: float,
+    min_pts: int,
+    n_nodes: int = 10,
+    slots_per_node: int = 24,
+) -> ICPEConfig:
+    """ICPE configuration resolved against a dataset's extent.
+
+    ``slots_per_node`` is the per-node parallel capacity of the simulated
+    cluster.  The node-scalability sweep (Fig. 14) uses a small value so
+    that subtasks contend on few nodes and spread with many — the regime
+    the paper's (much heavier per-subtask) workloads are in.
+    """
+    return ICPEConfig(
+        epsilon=dataset.resolve_percentage(epsilon_pct),
+        cell_width=dataset.resolve_percentage(grid_pct),
+        min_pts=min_pts,
+        constraints=constraints,
+        enumerator=_ENUM_NAME[enumerator],
+        cluster=ClusterModel(n_nodes=n_nodes, cores_per_node=slots_per_node),
+    )
+
+
+def run_detection_point(
+    dataset: TrajectoryDataset,
+    config: ICPEConfig,
+    method: str,
+    parameter: str,
+    value: float,
+    keep_works: bool = False,
+) -> tuple[DetectionPoint, ICPEPipeline | None]:
+    """Run the full pipeline once; returns the sample and the pipeline.
+
+    BA configurations that exceed the subset cap return a ``completed=
+    False`` sample — the paper's "B cannot run" outcome in Fig. 12.
+    """
+    pipeline = ICPEPipeline(config, keep_works=keep_works)
+    try:
+        for snapshot in dataset.snapshots():
+            pipeline.process_snapshot(snapshot)
+        pipeline.finish()
+    except PartitionTooLargeError:
+        return (
+            DetectionPoint(
+                method=method,
+                parameter=parameter,
+                value=value,
+                avg_latency_ms=float("nan"),
+                throughput_tps=float("nan"),
+                avg_cluster_size=pipeline.average_cluster_size(),
+                patterns=0,
+                completed=False,
+            ),
+            None,
+        )
+    meter = pipeline.meter
+    return (
+        DetectionPoint(
+            method=method,
+            parameter=parameter,
+            value=value,
+            avg_latency_ms=meter.average_latency_ms(),
+            throughput_tps=meter.throughput_tps(),
+            avg_cluster_size=pipeline.average_cluster_size(),
+            patterns=len(pipeline.collector),
+            avg_delay_snapshots=average_detection_delay(
+                pipeline.collector.detections, config.constraints
+            ),
+            completed=True,
+        ),
+        pipeline,
+    )
+
+
+def run_node_sweep(
+    dataset: TrajectoryDataset,
+    config: ICPEConfig,
+    method: str,
+    nodes: tuple[int, ...],
+) -> list[DetectionPoint]:
+    """Fig. 14: one execution re-scored under every cluster size N."""
+    point, pipeline = run_detection_point(
+        dataset, config, method, "N", float(config.cluster.n_nodes),
+        keep_works=True,
+    )
+    if pipeline is None:
+        return [replace(point, parameter="N", value=float(n)) for n in nodes]
+    delay = average_detection_delay(
+        pipeline.collector.detections, config.constraints
+    )
+    out: list[DetectionPoint] = []
+    for n in nodes:
+        meter = pipeline.rescore(replace(config.cluster, n_nodes=n))
+        out.append(
+            DetectionPoint(
+                method=method,
+                parameter="N",
+                value=float(n),
+                avg_latency_ms=meter.average_latency_ms(),
+                throughput_tps=meter.throughput_tps(),
+                avg_cluster_size=pipeline.average_cluster_size(),
+                patterns=len(pipeline.collector),
+                avg_delay_snapshots=delay,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------- enumeration
+
+
+def precluster(
+    dataset: TrajectoryDataset,
+    epsilon_pct: float,
+    grid_pct: float,
+    min_pts: int,
+) -> list[ClusterSnapshot]:
+    """Cluster a dataset once (input for enumeration-only sweeps)."""
+    epsilon = dataset.resolve_percentage(epsilon_pct)
+    cell_width = dataset.resolve_percentage(grid_pct)
+    clusterer = RJCClusterer(
+        ClusteringConfig(epsilon=epsilon, min_pts=min_pts, cell_width=cell_width)
+    )
+    return [clusterer.cluster(snapshot) for snapshot in dataset.snapshots()]
+
+
+def run_enumeration_point(
+    cluster_snapshots: list[ClusterSnapshot],
+    constraints: PatternConstraints,
+    method: str,
+    parameter: str,
+    value: int,
+    ba_max_partition_size: int = 18,
+) -> EnumerationPoint:
+    """Measure one enumerator over a pre-clustered stream (Fig. 15)."""
+    factories = {
+        "B": lambda a: BAEnumerator(
+            a, constraints, max_partition_size=ba_max_partition_size
+        ),
+        "F": lambda a: FBAEnumerator(a, constraints),
+        "V": lambda a: VBAEnumerator(a, constraints),
+    }
+    factory = factories[method]
+    router = PartitionRouter(constraints.m)
+    enumerators: dict[int, object] = {}
+    collector = PatternCollector()
+    per_snapshot: list[float] = []
+    try:
+        for snapshot in cluster_snapshots:
+            t0 = _time.perf_counter()
+            for anchor, members in router.route(snapshot):
+                enumerator = enumerators.get(anchor)
+                if enumerator is None:
+                    enumerator = enumerators[anchor] = factory(anchor)
+                collector.offer(
+                    snapshot.time, enumerator.on_partition(snapshot.time, members)
+                )
+            per_snapshot.append(_time.perf_counter() - t0)
+        t0 = _time.perf_counter()
+        final_time = cluster_snapshots[-1].time if cluster_snapshots else 0
+        for anchor in sorted(enumerators):
+            collector.offer(final_time, enumerators[anchor].finish())
+        per_snapshot.append(_time.perf_counter() - t0)
+    except PartitionTooLargeError:
+        return EnumerationPoint(
+            method=method,
+            parameter=parameter,
+            value=value,
+            avg_latency_ms=float("nan"),
+            throughput_tps=float("nan"),
+            patterns=0,
+            completed=False,
+        )
+    total = sum(per_snapshot)
+    count = max(1, len(cluster_snapshots))
+    return EnumerationPoint(
+        method=method,
+        parameter=parameter,
+        value=value,
+        avg_latency_ms=1000.0 * total / count,
+        throughput_tps=count / total if total > 0 else 0.0,
+        patterns=len(collector),
+        avg_delay_snapshots=average_detection_delay(
+            collector.detections, constraints
+        ),
+    )

@@ -1,0 +1,63 @@
+"""Fixed-width report rendering for benchmark sweeps.
+
+Each ``benchmarks/bench_figXX_*.py`` module prints its figure's series
+through these helpers and appends them to ``benchmarks/results/`` so that
+``EXPERIMENTS.md`` can reference concrete measured numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n(no data)") if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {col: _format_cell(row.get(col, "")) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(row[col]) for row in rendered))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{col:>{widths[col]}}" for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in rendered:
+        lines.append("  ".join(f"{row[col]:>{widths[col]}}" for col in columns))
+    return "\n".join(lines)
+
+
+def write_report(name: str, content: str) -> Path:
+    """Persist a figure's series under ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path

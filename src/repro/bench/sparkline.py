@@ -1,0 +1,65 @@
+"""Terminal sparklines: render benchmark series as inline curves.
+
+The paper's figures are line/bar charts; in a text-only environment the
+closest faithful artefact is a sparkline per (dataset, method) series,
+which makes trends (monotone growth, U-shapes, crossovers) visible in the
+``benchmarks/results`` files without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode block sparkline of a numeric series.
+
+    NaNs render as spaces; a constant series renders mid-height.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if math.isnan(value):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(BARS[len(BARS) // 2])
+        else:
+            index = int((value - lo) / span * (len(BARS) - 1))
+            chars.append(BARS[index])
+    return "".join(chars)
+
+
+def series_block(
+    rows: Iterable[Mapping[str, object]],
+    group_by: Sequence[str],
+    x: str,
+    y: str,
+    title: str | None = None,
+) -> str:
+    """Group rows, order each group by ``x`` and sparkline its ``y``.
+
+    Example output::
+
+        latency_ms vs eps_pct
+          Brinkhoff/GDC  ▁▃▂▄▃█
+          Brinkhoff/RJC  ▁▁▅▆▅▅
+    """
+    groups: dict[tuple, list[tuple[float, float]]] = {}
+    for row in rows:
+        key = tuple(str(row[field]) for field in group_by)
+        groups.setdefault(key, []).append(
+            (float(row[x]), float(row[y]))  # type: ignore[arg-type]
+        )
+    lines = [title or f"{y} vs {x}"]
+    width = max((len("/".join(key)) for key in groups), default=0)
+    for key in sorted(groups):
+        series = [value for _, value in sorted(groups[key])]
+        lines.append(f"  {'/'.join(key):<{width}}  {sparkline(series)}")
+    return "\n".join(lines)

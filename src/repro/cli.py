@@ -1,0 +1,162 @@
+"""Command-line interface: generate workloads, inspect them, run detection.
+
+Usage::
+
+    python -m repro.cli generate --kind brinkhoff --objects 200 --horizon 60 \
+        --seed 11 --out /tmp/brinkhoff.csv
+    python -m repro.cli stats --input /tmp/brinkhoff.csv
+    python -m repro.cli detect --input /tmp/brinkhoff.csv \
+        --epsilon-pct 0.06 --grid-pct 1.6 --min-pts 5 \
+        --m 5 --k 10 --l 2 --g 2 --enumerator fba --maximal-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.report import format_table
+from repro.core.config import ICPEConfig
+from repro.core.detector import CoMovementDetector
+from repro.core.store import PatternStore
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+from repro.data.dataset import TrajectoryDataset
+from repro.data.geolife import GeoLifeConfig, generate_geolife
+from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.model.constraints import PatternConstraints
+
+GENERATORS = {
+    "brinkhoff": (generate_brinkhoff, BrinkhoffConfig),
+    "geolife": (generate_geolife, GeoLifeConfig),
+    "taxi": (generate_taxi, TaxiConfig),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with the three subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICPE: co-movement pattern detection on streaming trajectories",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="generate a synthetic workload")
+    gen.add_argument("--kind", choices=sorted(GENERATORS), required=True)
+    gen.add_argument("--objects", type=int, default=200)
+    gen.add_argument("--horizon", type=int, default=60)
+    gen.add_argument("--seed", type=int, default=11)
+    gen.add_argument("--group-fraction", type=float, default=None)
+    gen.add_argument("--out", required=True, help="output CSV path")
+
+    stats = commands.add_parser("stats", help="print Table-2 style statistics")
+    stats.add_argument("--input", required=True, help="CSV from `generate`")
+
+    detect = commands.add_parser("detect", help="run pattern detection")
+    detect.add_argument("--input", required=True, help="CSV from `generate`")
+    detect.add_argument("--epsilon-pct", type=float, default=0.06,
+                        help="epsilon as %% of dataset max distance")
+    detect.add_argument("--grid-pct", type=float, default=1.6,
+                        help="grid cell width as %% of dataset max distance")
+    detect.add_argument("--min-pts", type=int, default=5)
+    detect.add_argument("--m", type=int, default=5)
+    detect.add_argument("--k", type=int, default=10)
+    detect.add_argument("--l", type=int, default=2)
+    detect.add_argument("--g", type=int, default=2)
+    detect.add_argument(
+        "--enumerator", choices=("baseline", "fba", "vba"), default="fba"
+    )
+    detect.add_argument("--max-delay", type=int, default=0)
+    detect.add_argument(
+        "--maximal-only", action="store_true",
+        help="report only maximal object sets",
+    )
+    detect.add_argument(
+        "--limit", type=int, default=20, help="max patterns to print"
+    )
+    detect.add_argument(
+        "--json-out", default=None,
+        help="also write the patterns as JSON to this path",
+    )
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``generate``: synthesize a workload and write it as CSV."""
+    generate, config_cls = GENERATORS[args.kind]
+    kwargs = dict(n_objects=args.objects, horizon=args.horizon, seed=args.seed)
+    if args.group_fraction is not None:
+        kwargs["group_fraction"] = args.group_fraction
+    dataset = generate(config_cls(**kwargs))
+    dataset.save_csv(args.out)
+    stats = dataset.statistics()
+    print(
+        f"wrote {args.out}: {stats.trajectories} trajectories, "
+        f"{stats.locations} locations, {stats.snapshots} snapshots"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``stats``: print Table-2 style statistics for a CSV workload."""
+    dataset = TrajectoryDataset.load_csv(args.input)
+    print(format_table([dataset.statistics().as_row()], title="Dataset"))
+    print(f"\nmax L1 extent: {dataset.max_distance():.1f}")
+    for pct in (0.02, 0.06, 0.12):
+        print(f"  epsilon at {pct}% -> {dataset.resolve_percentage(pct):.2f}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """``detect``: run ICPE over a CSV workload and print patterns."""
+    dataset = TrajectoryDataset.load_csv(args.input)
+    config = ICPEConfig(
+        epsilon=dataset.resolve_percentage(args.epsilon_pct),
+        cell_width=dataset.resolve_percentage(args.grid_pct),
+        min_pts=args.min_pts,
+        constraints=PatternConstraints(m=args.m, k=args.k, l=args.l, g=args.g),
+        enumerator=args.enumerator,
+        max_delay=args.max_delay,
+    )
+    detector = CoMovementDetector(config)
+    detector.feed_many(dataset.records)
+    detector.finish()
+
+    store = PatternStore()
+    store.add_all(detector.pipeline.collector.detections)
+    patterns = store.maximal() if args.maximal_only else list(store)
+    patterns.sort(key=lambda p: (-p.size, p.objects))
+    label = "maximal patterns" if args.maximal_only else "patterns"
+    print(f"{len(patterns)} {label} (showing up to {args.limit}):")
+    for stored in patterns[: args.limit]:
+        first, last = stored.span
+        ids = ", ".join(f"o{oid}" for oid in stored.objects)
+        print(f"  {{{ids}}}  witnessed over [{first}, {last}]")
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(
+                store.to_json(maximal_only=args.maximal_only, indent=2)
+            )
+        print(f"wrote JSON to {args.json_out}")
+    meter = detector.meter
+    print(
+        f"\n{meter.snapshots} snapshots; avg latency "
+        f"{meter.average_latency_ms():.2f} ms; throughput "
+        f"{meter.throughput_tps():.0f} snapshots/s"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "stats": cmd_stats,
+        "detect": cmd_detect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Density-based clustering phase (Section 5.3) and baselines.
+
+The clustering phase of ICPE applies DBSCAN to the output of the range
+join: core points and density-reachable points "can be easily retrieved
+from the result of range join".  ``dbscan_from_pairs`` does exactly that in
+O(pairs) with a union-find; :class:`RJCClusterer` composes it with the
+GR-index range join (the paper's RJC), and :class:`GDCClusterer` is the
+grid-based DBSCAN baseline GDC.
+"""
+
+from repro.cluster.dbscan import DBSCANResult, UnionFind, dbscan_from_pairs
+from repro.cluster.gdc import GDCClusterer
+from repro.cluster.reference import reference_dbscan
+from repro.cluster.rjc import ClusteringConfig, RJCClusterer
+
+__all__ = [
+    "ClusteringConfig",
+    "DBSCANResult",
+    "GDCClusterer",
+    "RJCClusterer",
+    "UnionFind",
+    "dbscan_from_pairs",
+    "reference_dbscan",
+]

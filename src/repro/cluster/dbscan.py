@@ -1,0 +1,158 @@
+"""DBSCAN over a precomputed neighbour-pair set.
+
+Definitions 8-9 of the paper: a location is a *core point* when at least
+``minPts`` locations lie within distance epsilon; clusters are the
+connected components of core points under the epsilon-neighbour relation,
+plus the density-reachable border points.  Given the range-join result, all
+of this is derivable without further distance computations, which is why
+the paper reports O(n) clustering cost after the join.
+
+Border points reachable from several clusters are ambiguous in textbook
+DBSCAN (assignment depends on scan order).  To make every implementation in
+this repository comparable bit-for-bit, we canonicalise: a border point
+joins the cluster of its smallest-id core neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.model.snapshot import ClusterSnapshot
+
+
+class UnionFind:
+    """Path-halving union-find over arbitrary hashable items."""
+
+    __slots__ = ("_parent", "_rank")
+
+    def __init__(self):
+        self._parent: dict = {}
+        self._rank: dict = {}
+
+    def add(self, item) -> None:
+        """Register an item as its own singleton set (idempotent)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item):
+        """Representative of the item's set (with path halving)."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a, b) -> None:
+        """Merge the two items' sets (union by rank)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def groups(self) -> dict:
+        """Mapping of representative -> members of its set."""
+        out: dict = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+
+@dataclass(slots=True)
+class DBSCANResult:
+    """Outcome of one snapshot clustering.
+
+    Attributes:
+        clusters: cluster id -> sorted member oids; ids are dense and
+            ordered by each cluster's smallest member for determinism.
+        core_points: the set of core oids.
+        noise: oids that are neither core nor density reachable.
+    """
+
+    clusters: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    core_points: set[int] = field(default_factory=set)
+    noise: set[int] = field(default_factory=set)
+
+    def to_snapshot(self, time: int) -> ClusterSnapshot:
+        """Package the clusters as a :class:`ClusterSnapshot` at ``time``."""
+        return ClusterSnapshot(time=time, clusters=dict(self.clusters))
+
+    def membership(self) -> dict[int, int]:
+        """Map each clustered oid to its cluster id."""
+        member_of: dict[int, int] = {}
+        for cluster_id, members in self.clusters.items():
+            for oid in members:
+                member_of[oid] = cluster_id
+        return member_of
+
+
+def dbscan_from_pairs(
+    oids: Iterable[int],
+    pairs: Iterable[tuple[int, int]],
+    min_pts: int,
+    count_self: bool = True,
+) -> DBSCANResult:
+    """Cluster a snapshot from its epsilon-neighbour pairs.
+
+    Args:
+        oids: every object present in the snapshot (isolated ones too).
+        pairs: normalised distinct-object pairs at distance <= epsilon
+            (the range-join output).
+        min_pts: DBSCAN density threshold (``minPts``).
+        count_self: whether a point counts itself in its neighbourhood
+            (standard DBSCAN does; the paper's Definition 8 is ambiguous,
+            so it is a switch with the standard behaviour as default).
+
+    Returns:
+        A :class:`DBSCANResult` with canonical border assignment.
+    """
+    if min_pts < 1:
+        raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+    all_oids = list(oids)
+    neighbor_count: dict[int, int] = {oid: 1 if count_self else 0 for oid in all_oids}
+    adjacency: dict[int, list[int]] = {}
+    pair_list = list(pairs)
+    for a, b in pair_list:
+        neighbor_count[a] = neighbor_count.get(a, int(count_self)) + 1
+        neighbor_count[b] = neighbor_count.get(b, int(count_self)) + 1
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+
+    core = {oid for oid, count in neighbor_count.items() if count >= min_pts}
+
+    # Connected components of the core-core graph.
+    components = UnionFind()
+    for oid in core:
+        components.add(oid)
+    for a, b in pair_list:
+        if a in core and b in core:
+            components.union(a, b)
+
+    root_members: dict[int, list[int]] = {}
+    for oid in core:
+        root_members.setdefault(components.find(oid), []).append(oid)
+
+    # Border points: density reachable = adjacent to some core point.
+    noise: set[int] = set()
+    for oid in all_oids:
+        if oid in core:
+            continue
+        core_neighbors = [nb for nb in adjacency.get(oid, ()) if nb in core]
+        if not core_neighbors:
+            noise.add(oid)
+            continue
+        anchor = min(core_neighbors)
+        root_members[components.find(anchor)].append(oid)
+
+    ordered = sorted(root_members.values(), key=min)
+    clusters = {
+        cluster_id: tuple(sorted(members))
+        for cluster_id, members in enumerate(ordered)
+    }
+    return DBSCANResult(clusters=clusters, core_points=core, noise=noise)

@@ -1,0 +1,85 @@
+"""Textbook DBSCAN (Ester et al. 1996) as an independent test oracle.
+
+Structurally different from :func:`repro.cluster.dbscan.dbscan_from_pairs`:
+it expands clusters with a seed queue over brute-force neighbourhoods
+instead of union-find over join pairs.  Border assignment is canonicalised
+the same way (smallest-id core neighbour) so results are comparable
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.cluster.dbscan import DBSCANResult
+from repro.geometry.distance import Metric, l1_distance
+
+
+def reference_dbscan(
+    points: Iterable[tuple[int, float, float]],
+    epsilon: float,
+    min_pts: int,
+    metric: Metric = l1_distance,
+    count_self: bool = True,
+) -> DBSCANResult:
+    """O(n^2) DBSCAN over raw points; the clustering test oracle."""
+    items = sorted(points)
+    positions = {oid: (x, y) for oid, x, y in items}
+    oid_list = [oid for oid, _, _ in items]
+
+    def neighbors(oid: int) -> list[int]:
+        x, y = positions[oid]
+        found = []
+        for other in oid_list:
+            if other == oid:
+                continue
+            ox, oy = positions[other]
+            if metric(x, y, ox, oy) <= epsilon:
+                found.append(other)
+        return found
+
+    neighborhoods = {oid: neighbors(oid) for oid in oid_list}
+    core = {
+        oid
+        for oid in oid_list
+        if len(neighborhoods[oid]) + (1 if count_self else 0) >= min_pts
+    }
+
+    # Classic seed-queue expansion over core points.
+    assignment: dict[int, int] = {}
+    next_cluster = 0
+    for oid in oid_list:
+        if oid not in core or oid in assignment:
+            continue
+        cluster_id = next_cluster
+        next_cluster += 1
+        queue = deque([oid])
+        assignment[oid] = cluster_id
+        while queue:
+            current = queue.popleft()
+            for nb in neighborhoods[current]:
+                if nb in core and nb not in assignment:
+                    assignment[nb] = cluster_id
+                    queue.append(nb)
+
+    # Canonical border assignment: smallest-id core neighbour's cluster.
+    noise: set[int] = set()
+    for oid in oid_list:
+        if oid in core:
+            continue
+        core_neighbors = [nb for nb in neighborhoods[oid] if nb in core]
+        if not core_neighbors:
+            noise.add(oid)
+            continue
+        assignment[oid] = assignment[min(core_neighbors)]
+
+    by_cluster: dict[int, list[int]] = {}
+    for oid, cluster_id in assignment.items():
+        by_cluster.setdefault(cluster_id, []).append(oid)
+    ordered = sorted(by_cluster.values(), key=min)
+    clusters = {
+        cluster_id: tuple(sorted(members))
+        for cluster_id, members in enumerate(ordered)
+    }
+    return DBSCANResult(clusters=clusters, core_points=core, noise=noise)

@@ -1,0 +1,28 @@
+"""The ICPE framework (Fig. 3): the paper's primary contribution assembled.
+
+``ICPEPipeline`` wires discretized snapshots through indexed clustering
+(GridAllocate -> GridQuery -> GridSync/DBSCAN) into id-partitioned pattern
+enumeration (BA / FBA / VBA) on the streaming substrate, with per-stage
+cost accounting.  ``CoMovementDetector`` is the user-facing API that also
+performs "last time" synchronisation of raw records.
+"""
+
+from repro.core.config import ICPEConfig
+from repro.core.detector import CoMovementDetector
+from repro.core.icpe import ICPEPipeline
+from repro.core.live import ConvoyTracker
+from repro.core.presets import convoy, flock, group_pattern, platoon, swarm
+from repro.core.store import PatternStore
+
+__all__ = [
+    "CoMovementDetector",
+    "ConvoyTracker",
+    "ICPEConfig",
+    "ICPEPipeline",
+    "PatternStore",
+    "convoy",
+    "flock",
+    "group_pattern",
+    "platoon",
+    "swarm",
+]

@@ -1,0 +1,104 @@
+"""Configuration of the ICPE framework.
+
+Bundles every knob of Table 3 (grid cell width, distance threshold, the
+four pattern constraints), the DBSCAN density, the enumerator selection
+(B / F / V of Figs. 12-14), ablation switches, and the simulated cluster
+shape (N nodes of Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.rjc import ClusteringConfig
+from repro.model.constraints import PatternConstraints
+from repro.streaming.cluster import ClusterModel
+
+ENUMERATORS = ("baseline", "fba", "vba")
+
+
+@dataclass(frozen=True, slots=True)
+class ICPEConfig:
+    """Full configuration of a pattern-detection run.
+
+    Attributes:
+        epsilon: DBSCAN / range-join distance threshold.
+        cell_width: GR-index grid cell width (``lg``).
+        min_pts: DBSCAN density threshold (the paper fixes 10).
+        constraints: the CP(M, K, L, G) pattern constraints.
+        enumerator: ``"baseline"``, ``"fba"`` or ``"vba"``.
+        metric_name: distance metric (paper: L1).
+        allocate_parallelism: subtasks of the GridAllocate stage.
+        query_parallelism: subtasks of the GridQuery stage (cells are
+            hashed onto these, Flink key-group style).
+        enumerate_parallelism: subtasks of the enumeration stage (anchor
+            trajectories hashed onto these).
+        rtree_fanout: local R-tree node capacity.
+        lemma1 / lemma2 / local_index: ablation switches (paper: on/rtree).
+        max_delay: bounded-delay guarantee for time synchronisation.
+        cluster: the simulated cluster (nodes, cores, exchange cost).
+        ba_max_partition_size: BA's subset-materialisation cap.
+        vba_candidate_retention: optional eviction horizon for VBA's
+            global candidate list (None = paper semantics, keep all).
+    """
+
+    epsilon: float
+    cell_width: float
+    min_pts: int
+    constraints: PatternConstraints
+    enumerator: str = "fba"
+    metric_name: str = "l1"
+    allocate_parallelism: int = 8
+    query_parallelism: int = 16
+    enumerate_parallelism: int = 16
+    rtree_fanout: int = 16
+    lemma1: bool = True
+    lemma2: bool = True
+    local_index: str = "rtree"
+    max_delay: int = 0
+    cluster: ClusterModel = field(default_factory=ClusterModel)
+    ba_max_partition_size: int = 20
+    vba_candidate_retention: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive: {self.epsilon}")
+        if self.cell_width <= 0:
+            raise ValueError(f"cell_width must be positive: {self.cell_width}")
+        if self.min_pts < 1:
+            raise ValueError(f"min_pts must be >= 1: {self.min_pts}")
+        if self.enumerator not in ENUMERATORS:
+            raise ValueError(
+                f"enumerator must be one of {ENUMERATORS}: {self.enumerator!r}"
+            )
+        for name in (
+            "allocate_parallelism",
+            "query_parallelism",
+            "enumerate_parallelism",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    def clustering_config(self) -> ClusteringConfig:
+        """The clustering-phase view of this configuration."""
+        return ClusteringConfig(
+            epsilon=self.epsilon,
+            min_pts=self.min_pts,
+            cell_width=self.cell_width,
+            metric_name=self.metric_name,
+            rtree_fanout=self.rtree_fanout,
+            lemma1=self.lemma1,
+            lemma2=self.lemma2,
+            local_index=self.local_index,
+        )
+
+    def with_nodes(self, n_nodes: int) -> "ICPEConfig":
+        """Copy with a different simulated cluster size (Fig. 14 sweeps)."""
+        return replace(
+            self,
+            cluster=replace(self.cluster, n_nodes=n_nodes),
+        )
+
+    def with_enumerator(self, enumerator: str) -> "ICPEConfig":
+        """Copy with a different enumeration engine."""
+        return replace(self, enumerator=enumerator)

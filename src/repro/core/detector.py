@@ -1,0 +1,77 @@
+"""High-level streaming detector: raw records in, patterns out.
+
+``CoMovementDetector`` composes the "last time" synchronisation operator
+(Section 4) with the ICPE pipeline, so callers feed possibly out-of-order
+:class:`~repro.model.records.StreamRecord` items and receive newly
+confirmed co-movement patterns as they are detected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.config import ICPEConfig
+from repro.core.icpe import ICPEPipeline
+from repro.model.pattern import CoMovementPattern
+from repro.model.records import StreamRecord
+from repro.streaming.metrics import LatencyThroughputMeter
+from repro.streaming.sync import TimeSyncOperator
+
+
+class CoMovementDetector:
+    """Real-time co-movement pattern detection over a trajectory stream."""
+
+    def __init__(self, config: ICPEConfig):
+        self.config = config
+        self.pipeline = ICPEPipeline(config)
+        self.sync = TimeSyncOperator(max_delay=config.max_delay)
+
+    def feed(self, record: StreamRecord) -> list[CoMovementPattern]:
+        """Accept one record; returns patterns confirmed by its arrival.
+
+        Records may arrive out of event-time order within the configured
+        ``max_delay``; the synchronisation operator assembles complete
+        snapshots before any clustering happens (Definition 7's semantics
+        require complete snapshots in ascending order).
+        """
+        fresh: list[CoMovementPattern] = []
+        for snapshot in self.sync.feed(record):
+            fresh.extend(self.pipeline.process_snapshot(snapshot))
+        return fresh
+
+    def feed_many(
+        self, records: Iterable[StreamRecord]
+    ) -> list[CoMovementPattern]:
+        """Feed an iterable of records; returns all freshly confirmed patterns."""
+        fresh: list[CoMovementPattern] = []
+        for record in records:
+            fresh.extend(self.feed(record))
+        return fresh
+
+    def finish(self) -> list[CoMovementPattern]:
+        """Flush the stream end: remaining snapshots, windows, bit strings."""
+        fresh: list[CoMovementPattern] = []
+        for snapshot in self.sync.flush():
+            fresh.extend(self.pipeline.process_snapshot(snapshot))
+        fresh.extend(self.pipeline.finish())
+        return fresh
+
+    @property
+    def patterns(self) -> list[CoMovementPattern]:
+        """Every distinct pattern detected so far."""
+        return self.pipeline.patterns
+
+    @property
+    def meter(self) -> LatencyThroughputMeter:
+        """Per-snapshot latency / throughput metrics."""
+        return self.pipeline.meter
+
+    def store(self):
+        """Build a queryable :class:`~repro.core.store.PatternStore` from
+        everything detected so far (containment / time / maximality
+        queries for downstream applications)."""
+        from repro.core.store import PatternStore
+
+        store = PatternStore()
+        store.add_all(self.pipeline.collector.detections)
+        return store

@@ -1,0 +1,200 @@
+"""The ICPE pipeline: Indexed Clustering and Pattern Enumeration (Fig. 3).
+
+``ICPEPipeline`` executes the four-stage topology per snapshot, collecting
+per-stage busy times, the simulated distributed latency/throughput (via
+the cluster cost model) and the deduplicated pattern results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.config import ICPEConfig
+from repro.core.operators import (
+    AllocateOperator,
+    ClusterOperator,
+    EnumerateOperator,
+    QueryOperator,
+    make_enumerator_factory,
+)
+from repro.enumeration.base import PatternCollector
+from repro.join.query import CellJoiner
+from repro.model.pattern import CoMovementPattern
+from repro.model.snapshot import Snapshot
+from repro.streaming.cluster import ClusterModel
+from repro.streaming.dataflow import (
+    KeyedStage,
+    StageWork,
+    Topology,
+    finish_all,
+    run_unit,
+)
+from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+
+
+class ICPEPipeline:
+    """Snapshot-in, patterns-out execution of the ICPE job graph."""
+
+    def __init__(self, config: ICPEConfig, keep_works: bool = False):
+        """``keep_works``: retain every snapshot's per-stage busy times so
+        the run can be re-scored under different cluster models (the Fig. 14
+        node sweep re-uses one execution for all N)."""
+        self.config = config
+        self.collector = PatternCollector()
+        self.meter = LatencyThroughputMeter()
+        self.keep_works = keep_works
+        self.works_history: list[list[StageWork]] = []
+        self._cluster_model: ClusterModel = config.cluster
+        self._runtimes = self._build_topology().build()
+        self._finished = False
+        self._last_time: int | None = None
+        # Exposed for the harness: average cluster size (Figs. 12-13).
+        self._cluster_operator: ClusterOperator | None = None
+        for runtime in self._runtimes:
+            for subtask in runtime.subtasks:
+                if isinstance(subtask, ClusterOperator):
+                    self._cluster_operator = subtask
+
+    def _build_topology(self) -> Topology:
+        cfg = self.config
+        joiner_factory = lambda: QueryOperator(
+            CellJoiner(
+                epsilon=cfg.epsilon,
+                metric=cfg.clustering_config().join_config().metric,
+                lemma2=cfg.lemma2,
+                local_index=cfg.local_index,
+                lemma1=cfg.lemma1,
+                rtree_fanout=cfg.rtree_fanout,
+            )
+        )
+        enumerator_factory = make_enumerator_factory(cfg)
+        topology = Topology()
+        topology.add(
+            KeyedStage(
+                name="allocate",
+                operator_factory=lambda: AllocateOperator(
+                    cfg.cell_width, cfg.epsilon, lemma1=cfg.lemma1
+                ),
+                parallelism=cfg.allocate_parallelism,
+                key_fn=lambda element: element[0],  # trajectory id
+            )
+        )
+        topology.add(
+            KeyedStage(
+                name="query",
+                operator_factory=joiner_factory,
+                parallelism=cfg.query_parallelism,
+                key_fn=lambda go: go.key,  # grid cell
+            )
+        )
+        topology.add(
+            KeyedStage(
+                name="cluster",
+                operator_factory=lambda: ClusterOperator(
+                    min_pts=cfg.min_pts,
+                    significance=cfg.constraints.m,
+                    dedup=not (cfg.lemma1 and cfg.lemma2),
+                ),
+                parallelism=1,
+                key_fn=None,
+            )
+        )
+        topology.add(
+            KeyedStage(
+                name="enumerate",
+                operator_factory=lambda: EnumerateOperator(enumerator_factory),
+                parallelism=cfg.enumerate_parallelism,
+                key_fn=lambda record: record[1],  # anchor id
+            )
+        )
+        return topology
+
+    # ------------------------------------------------------------------ drive
+
+    def process_snapshot(self, snapshot: Snapshot) -> list[CoMovementPattern]:
+        """Run one snapshot through the pipeline; returns *new* patterns."""
+        if self._finished:
+            raise RuntimeError("pipeline already finished")
+        if self._last_time is not None and snapshot.time <= self._last_time:
+            raise ValueError(
+                f"snapshots must arrive in ascending time order: "
+                f"{snapshot.time} after {self._last_time}"
+            )
+        self._last_time = snapshot.time
+        outputs, works = run_unit(
+            self._runtimes, snapshot.points(), ctx=snapshot.time
+        )
+        patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
+        fresh_count = self.collector.offer(snapshot.time, patterns)
+        self._record_timing(snapshot, works, fresh_count)
+        return self.collector.patterns()[-fresh_count:] if fresh_count else []
+
+    def finish(self) -> list[CoMovementPattern]:
+        """End of stream: flush windows and open bit strings."""
+        if self._finished:
+            return []
+        self._finished = True
+        outputs, _works = finish_all(self._runtimes)
+        patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
+        time = self._last_time if self._last_time is not None else 0
+        fresh_count = self.collector.offer(time, patterns)
+        return self.collector.patterns()[-fresh_count:] if fresh_count else []
+
+    def run(self, snapshots: Iterable[Snapshot]) -> PatternCollector:
+        """Convenience: process a bounded snapshot stream to completion."""
+        for snapshot in snapshots:
+            self.process_snapshot(snapshot)
+        self.finish()
+        return self.collector
+
+    # ------------------------------------------------------------------ stats
+
+    def _record_timing(
+        self, snapshot: Snapshot, works: list[StageWork], fresh: int
+    ) -> None:
+        model = self._cluster_model
+        if self.keep_works:
+            self.works_history.append(works)
+        self.meter.record(
+            SnapshotTiming(
+                time=snapshot.time,
+                latency_seconds=model.snapshot_latency_seconds(works),
+                bottleneck_seconds=model.bottleneck_seconds(works),
+                locations=len(snapshot),
+                patterns_emitted=fresh,
+            )
+        )
+
+    def rescore(self, model: ClusterModel) -> LatencyThroughputMeter:
+        """Re-derive metrics under a different cluster model.
+
+        Requires ``keep_works=True``; used by the Fig. 14 node sweep so a
+        single execution yields the whole N series.
+        """
+        if not self.keep_works:
+            raise RuntimeError("pipeline was not constructed with keep_works")
+        meter = LatencyThroughputMeter()
+        for index, works in enumerate(self.works_history):
+            original = self.meter.timings[index]
+            meter.record(
+                SnapshotTiming(
+                    time=original.time,
+                    latency_seconds=model.snapshot_latency_seconds(works),
+                    bottleneck_seconds=model.bottleneck_seconds(works),
+                    locations=original.locations,
+                    patterns_emitted=original.patterns_emitted,
+                )
+            )
+        return meter
+
+    def average_cluster_size(self) -> float:
+        """Mean size of the clusters formed so far (Figs. 12-13 curves)."""
+        operator = self._cluster_operator
+        if operator is None or not operator.cluster_sizes:
+            return 0.0
+        return sum(operator.cluster_sizes) / len(operator.cluster_sizes)
+
+    @property
+    def patterns(self) -> list[CoMovementPattern]:
+        """Every distinct pattern detected so far."""
+        return self.collector.patterns()

@@ -1,0 +1,170 @@
+"""Online convoy tracking: a live view of currently co-travelling groups.
+
+BA/FBA/VBA report CP(M, K, L, G) patterns after windows complete or bit
+strings close.  Applications such as accident-response (the paper's
+real-time motivation) also want the *current* groups.  For the strictly
+consecutive case (convoy: L = K, G = 1) the intersection-based CMC scheme
+of Jeung et al. [17] — the paper's reference for density-based convoys —
+maintains exactly the maximal groups alive at each time:
+
+* every cluster of the new snapshot opens a fresh candidate;
+* every existing candidate extends by intersecting with each cluster
+  (keeping intersections of at least M members);
+* dominated candidates (member subset with no longer history) are pruned;
+* a candidate that fails to extend expires, and is reported if its
+  lifetime reached K.
+
+``ConvoyTracker.active(min_duration)`` exposes the live view; expired and
+flushed convoys are emitted as :class:`~repro.model.pattern.CoMovementPattern`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.pattern import CoMovementPattern
+from repro.model.snapshot import ClusterSnapshot
+from repro.model.timeseq import TimeSequence
+
+
+@dataclass(frozen=True, slots=True)
+class ConvoyCandidate:
+    """A group seen in every snapshot of ``[start, end]``."""
+
+    members: frozenset[int]
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        """Number of consecutive snapshots the group has survived."""
+        return self.end - self.start + 1
+
+    def to_pattern(self) -> CoMovementPattern:
+        """The candidate as a :class:`CoMovementPattern` over its interval."""
+        return CoMovementPattern.of(
+            self.members, TimeSequence(range(self.start, self.end + 1))
+        )
+
+
+class ConvoyTracker:
+    """Exact online tracking of maximal convoys (CP(M, K, K, 1))."""
+
+    def __init__(self, m: int, k: int):
+        if m < 2:
+            raise ValueError(f"M must be >= 2, got {m}")
+        if k < 1:
+            raise ValueError(f"K must be >= 1, got {k}")
+        self.m = m
+        self.k = k
+        self._candidates: list[ConvoyCandidate] = []
+        self._last_time: int | None = None
+
+    def on_snapshot(self, snapshot: ClusterSnapshot) -> list[CoMovementPattern]:
+        """Consume one cluster snapshot; returns convoys that just ended."""
+        if self._last_time is not None and snapshot.time <= self._last_time:
+            raise ValueError(
+                f"snapshots must be ascending: {snapshot.time} after "
+                f"{self._last_time}"
+            )
+        consecutive = (
+            self._last_time is None or snapshot.time == self._last_time + 1
+        )
+        expired: list[ConvoyCandidate] = []
+        if not consecutive:
+            # A time jump breaks every open candidate (G = 1).
+            expired.extend(self._candidates)
+            self._candidates = []
+        self._last_time = snapshot.time
+
+        clusters = [
+            frozenset(members) for members in snapshot.clusters.values()
+        ]
+        fresh: list[ConvoyCandidate] = []
+        for candidate in self._candidates:
+            extended = False
+            for cluster in clusters:
+                joint = candidate.members & cluster
+                if len(joint) >= self.m:
+                    fresh.append(
+                        ConvoyCandidate(joint, candidate.start, snapshot.time)
+                    )
+                    if joint == candidate.members:
+                        extended = True
+            if not extended:
+                expired.append(candidate)
+        for cluster in clusters:
+            if len(cluster) >= self.m:
+                fresh.append(
+                    ConvoyCandidate(cluster, snapshot.time, snapshot.time)
+                )
+        self._candidates = _prune_dominated(fresh)
+        return self._report(expired)
+
+    def finish(self) -> list[CoMovementPattern]:
+        """End of stream: report all qualifying open candidates."""
+        out = self._report(self._candidates)
+        self._candidates = []
+        return out
+
+    def active(self, min_duration: int = 1) -> list[ConvoyCandidate]:
+        """The live view: open groups with at least ``min_duration`` ticks."""
+        return sorted(
+            (c for c in self._candidates if c.duration >= min_duration),
+            key=lambda c: (-c.duration, sorted(c.members)),
+        )
+
+    def _report(self, expired: list[ConvoyCandidate]) -> list[CoMovementPattern]:
+        qualifying = [c for c in expired if c.duration >= self.k]
+        return [c.to_pattern() for c in _prune_dominated(qualifying)]
+
+
+def _prune_dominated(candidates: list[ConvoyCandidate]) -> list[ConvoyCandidate]:
+    """Drop candidates whose members and lifetime another candidate covers."""
+    kept: list[ConvoyCandidate] = []
+    ordered = sorted(
+        candidates, key=lambda c: (-len(c.members), c.start, -c.end)
+    )
+    for candidate in ordered:
+        dominated = any(
+            candidate.members <= other.members
+            and other.start <= candidate.start
+            and candidate.end <= other.end
+            and (
+                candidate.members != other.members
+                or (other.start, other.end) != (candidate.start, candidate.end)
+            )
+            for other in kept
+        )
+        if not dominated:
+            kept.append(candidate)
+    return kept
+
+
+def maximal_convoys_offline(
+    snapshots: list[ClusterSnapshot], m: int, k: int
+) -> set[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Reference: maximal convoys by exhaustive enumeration (test oracle).
+
+    A convoy (O, T) is maximal when no other convoy has a superset of
+    members over a superset interval.
+    """
+    from repro.enumeration.oracle import enumerate_all_patterns
+    from repro.model.constraints import convoy as convoy_constraints
+
+    raw = enumerate_all_patterns(snapshots, convoy_constraints(m, k))
+    entries: list[tuple[frozenset[int], tuple[int, ...]]] = []
+    for objects, sequences in raw.items():
+        for sequence in sequences:
+            entries.append((objects, sequence.times))
+    maximal = set()
+    for objects, times in entries:
+        dominated = any(
+            objects <= other_objects
+            and set(times) <= set(other_times)
+            and (objects, times) != (other_objects, other_times)
+            for other_objects, other_times in entries
+        )
+        if not dominated:
+            maximal.add((tuple(sorted(objects)), times))
+    return maximal

@@ -1,0 +1,172 @@
+"""ICPE's dataflow operators (the boxes of Fig. 3 and Fig. 5).
+
+Four stages, mirroring the paper's Flink job:
+
+1. **AllocateOperator** — GridAllocate: each location becomes one data
+   object plus Lemma-1 query objects (keyed by trajectory id upstream).
+2. **QueryOperator** — GridQuery: keyed by grid cell; per snapshot, each
+   cell runs the Lemma-2 query-during-build join and emits neighbour pairs.
+3. **ClusterOperator** — GridSync + DBSCAN + id-based partitioning: single
+   subtask collects the neighbour stream, forms the cluster snapshot, and
+   emits ``(time, anchor, members)`` partition records (Lemma 3 applied).
+4. **EnumerateOperator** — keyed by anchor id; hosts one BA/FBA/VBA state
+   machine per anchor and emits co-movement patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.enumeration.base import AnchorEnumerator
+from repro.enumeration.baseline import BAEnumerator
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.partition import id_partitions
+from repro.enumeration.vba import VBAEnumerator
+from repro.cluster.dbscan import dbscan_from_pairs
+from repro.index.grid import GridKey
+from repro.index.gridobject import GridObject
+from repro.join.allocate import allocate_location
+from repro.join.query import CellJoiner
+from repro.model.snapshot import ClusterSnapshot
+from repro.streaming.dataflow import Operator
+
+PartitionRecord = tuple[int, int, frozenset[int]]  # (time, anchor, members)
+
+
+class AllocateOperator(Operator):
+    """GridAllocate (Algorithm 1) over ``(oid, x, y)`` location elements."""
+
+    def __init__(self, cell_width: float, epsilon: float, lemma1: bool = True):
+        self.cell_width = cell_width
+        self.epsilon = epsilon
+        self.lemma1 = lemma1
+
+    def process(self, element: tuple[int, float, float]) -> Iterable[GridObject]:
+        """Replicate one location into its grid objects (Algorithm 1)."""
+        oid, x, y = element
+        yield from allocate_location(
+            oid, x, y, self.cell_width, self.epsilon, lemma1=self.lemma1
+        )
+
+
+class QueryOperator(Operator):
+    """GridQuery (Algorithm 2): per-cell join inside one keyed subtask.
+
+    One subtask hosts many cells (hash routing); GridObjects are buffered
+    per cell during the snapshot and joined at the end-of-batch trigger,
+    at which point the per-snapshot GR-index fragments are discarded —
+    matching the paper's build-per-snapshot, no-maintenance design.
+    """
+
+    def __init__(self, joiner: CellJoiner):
+        self.joiner = joiner
+        self._cells: dict[GridKey, list[GridObject]] = {}
+
+    def process(self, element: GridObject) -> Iterable[Any]:
+        """Buffer a grid object under its cell until the snapshot trigger."""
+        self._cells.setdefault(element.key, []).append(element)
+        return ()
+
+    def end_batch(self, ctx: Any) -> Iterable[tuple[int, int]]:
+        """Join every buffered cell (Algorithm 2) and emit neighbour pairs."""
+        pairs: list[tuple[int, int]] = []
+        for key in sorted(self._cells):
+            pairs.extend(self.joiner.join(self._cells[key]))
+        self._cells.clear()
+        return pairs
+
+
+class ClusterOperator(Operator):
+    """GridSync + DBSCAN + id-based partitioning (single collecting subtask)."""
+
+    def __init__(self, min_pts: int, significance: int, dedup: bool = False):
+        self.min_pts = min_pts
+        self.significance = significance
+        self.dedup = dedup
+        self._pairs: list[tuple[int, int]] = []
+        self.last_cluster_snapshot: ClusterSnapshot | None = None
+        self.cluster_sizes: list[int] = []
+
+    def process(self, element: tuple[int, int]) -> Iterable[Any]:
+        """Collect one neighbour pair (the GridSync role)."""
+        self._pairs.append(element)
+        return ()
+
+    def end_batch(self, ctx: Any) -> Iterable[PartitionRecord]:
+        """DBSCAN the collected pairs and emit id-based partition records."""
+        time = int(ctx)
+        pairs = set(self._pairs) if self.dedup else self._pairs
+        oids = {oid for pair in pairs for oid in pair}
+        result = dbscan_from_pairs(oids, pairs, self.min_pts)
+        self._pairs.clear()
+        snapshot = result.to_snapshot(time)
+        self.last_cluster_snapshot = snapshot
+        self.cluster_sizes.extend(
+            len(members) for members in snapshot.clusters.values()
+        )
+        return [
+            (time, anchor, members)
+            for anchor, members in sorted(
+                id_partitions(snapshot, self.significance).items()
+            )
+        ]
+
+
+class EnumerateOperator(Operator):
+    """Hosts per-anchor enumerators; emits co-movement patterns."""
+
+    def __init__(self, factory: Callable[[int], AnchorEnumerator]):
+        self.factory = factory
+        self._enumerators: dict[int, AnchorEnumerator] = {}
+        self._received: set[int] = set()
+
+    def process(self, element: PartitionRecord) -> Iterable[Any]:
+        """Route one partition record to its anchor's enumerator."""
+        time, anchor, members = element
+        enumerator = self._enumerators.get(anchor)
+        if enumerator is None:
+            enumerator = self._enumerators[anchor] = self.factory(anchor)
+        self._received.add(anchor)
+        return enumerator.on_partition(time, members)
+
+    def end_batch(self, ctx: Any) -> Iterable[Any]:
+        """Absence tick: anchors with open state but no partition this time."""
+        if ctx is None:
+            self._received.clear()
+            return ()
+        time = int(ctx)
+        out: list[Any] = []
+        for anchor, enumerator in self._enumerators.items():
+            if anchor in self._received or enumerator.is_idle():
+                continue
+            out.extend(enumerator.on_partition(time, frozenset()))
+        self._received.clear()
+        return out
+
+    def finish(self) -> Iterable[Any]:
+        """Flush every hosted enumerator at end of stream."""
+        out: list[Any] = []
+        for anchor in sorted(self._enumerators):
+            out.extend(self._enumerators[anchor].finish())
+        return out
+
+
+def make_enumerator_factory(
+    config,
+) -> Callable[[int], AnchorEnumerator]:
+    """Build the per-anchor enumerator factory from an :class:`ICPEConfig`."""
+    kind = config.enumerator
+    constraints = config.constraints
+    if kind == "baseline":
+        return lambda anchor: BAEnumerator(
+            anchor, constraints, max_partition_size=config.ba_max_partition_size
+        )
+    if kind == "fba":
+        return lambda anchor: FBAEnumerator(anchor, constraints)
+    if kind == "vba":
+        return lambda anchor: VBAEnumerator(
+            anchor,
+            constraints,
+            candidate_retention=config.vba_candidate_retention,
+        )
+    raise ValueError(f"unknown enumerator kind: {kind!r}")

@@ -1,0 +1,16 @@
+"""Classic co-movement pattern variants as CP(M, K, L, G) presets.
+
+Re-exported from :mod:`repro.model.constraints`; see that module for the
+mapping rationale (Section 1/2 of the paper unifies flock, convoy, group,
+swarm and platoon under the single CP definition).
+"""
+
+from repro.model.constraints import (
+    convoy,
+    flock,
+    group_pattern,
+    platoon,
+    swarm,
+)
+
+__all__ = ["convoy", "flock", "group_pattern", "platoon", "swarm"]

@@ -1,0 +1,161 @@
+"""Queryable store of detected patterns.
+
+Downstream applications (future-movement prediction, trajectory
+compression, LBS — the paper's Section 1 motivations) need more than an
+emission stream: they ask "which groups contain object o?", "which
+patterns were active at time t?", "give me only the maximal groups".
+``PatternStore`` indexes detections for those queries and merges repeated
+witnesses of the same object set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.model.pattern import CoMovementPattern
+from repro.model.timeseq import TimeSequence
+
+
+@dataclass(slots=True)
+class StoredPattern:
+    """One object set with every witness sequence seen so far."""
+
+    objects: tuple[int, ...]
+    witnesses: list[TimeSequence] = field(default_factory=list)
+    first_detected_at: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of objects in the stored pattern."""
+        return len(self.objects)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """Earliest and latest witnessed co-travel times."""
+        first = min(w[0] for w in self.witnesses)
+        last = max(w.last for w in self.witnesses)
+        return (first, last)
+
+    def covers_time(self, time: int) -> bool:
+        """Whether any witness sequence contains ``time``."""
+        return any(time in w.times for w in self.witnesses)
+
+
+class PatternStore:
+    """Indexed collection of detected co-movement patterns."""
+
+    def __init__(self):
+        self._by_objects: dict[tuple[int, ...], StoredPattern] = {}
+        self._member_index: dict[int, set[tuple[int, ...]]] = {}
+
+    def add(self, detection_time: int, pattern: CoMovementPattern) -> bool:
+        """Record one emission; returns True when the object set is new."""
+        stored = self._by_objects.get(pattern.objects)
+        if stored is None:
+            stored = StoredPattern(
+                objects=pattern.objects, first_detected_at=detection_time
+            )
+            self._by_objects[pattern.objects] = stored
+            for oid in pattern.objects:
+                self._member_index.setdefault(oid, set()).add(pattern.objects)
+            fresh = True
+        else:
+            fresh = False
+        if pattern.times not in stored.witnesses:
+            stored.witnesses.append(pattern.times)
+        return fresh
+
+    def add_all(
+        self, detections: Iterable[tuple[int, CoMovementPattern]]
+    ) -> int:
+        """Bulk insert (e.g. from ``PatternCollector.detections``)."""
+        return sum(self.add(t, p) for t, p in detections)
+
+    def __len__(self) -> int:
+        return len(self._by_objects)
+
+    def __contains__(self, objects) -> bool:
+        return tuple(sorted(objects)) in self._by_objects
+
+    def __iter__(self) -> Iterator[StoredPattern]:
+        return iter(self._by_objects.values())
+
+    def get(self, objects) -> StoredPattern | None:
+        """The stored pattern for an object set, or ``None``."""
+        return self._by_objects.get(tuple(sorted(objects)))
+
+    # ----------------------------------------------------------------- queries
+
+    def containing(self, oid: int) -> list[StoredPattern]:
+        """Patterns whose object set includes ``oid``."""
+        return [
+            self._by_objects[key]
+            for key in sorted(self._member_index.get(oid, ()))
+        ]
+
+    def active_at(self, time: int) -> list[StoredPattern]:
+        """Patterns with a witness covering the given time."""
+        return [p for p in self._by_objects.values() if p.covers_time(time)]
+
+    def with_min_size(self, min_size: int) -> list[StoredPattern]:
+        """Stored patterns with at least ``min_size`` members."""
+        return [p for p in self._by_objects.values() if p.size >= min_size]
+
+    def maximal(self) -> list[StoredPattern]:
+        """Object sets not strictly contained in another stored set.
+
+        The enumeration phase reports every valid subset (as the paper's
+        algorithms do); applications usually want only the maximal groups.
+        """
+        keys = sorted(self._by_objects, key=len, reverse=True)
+        maximal: list[tuple[int, ...]] = []
+        kept: list[set[int]] = []
+        for key in keys:
+            candidate = set(key)
+            if not any(candidate < other for other in kept):
+                maximal.append(key)
+                kept.append(candidate)
+        return [self._by_objects[key] for key in sorted(maximal)]
+
+    def companions(self, oid: int) -> dict[int, int]:
+        """Co-travellers of ``oid`` with how many stored patterns they share."""
+        counts: dict[int, int] = {}
+        for pattern in self.containing(oid):
+            for other in pattern.objects:
+                if other != oid:
+                    counts[other] = counts.get(other, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------- export
+
+    def to_json(self, maximal_only: bool = False, indent: int | None = None) -> str:
+        """Serialise patterns as JSON (objects, witnesses, detection time)."""
+        import json
+
+        patterns = self.maximal() if maximal_only else list(self)
+        payload = [
+            {
+                "objects": list(stored.objects),
+                "witnesses": [list(w.times) for w in stored.witnesses],
+                "first_detected_at": stored.first_detected_at,
+            }
+            for stored in sorted(patterns, key=lambda p: p.objects)
+        ]
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PatternStore":
+        """Rebuild a store from :meth:`to_json` output."""
+        import json
+
+        from repro.model.pattern import CoMovementPattern
+
+        store = cls()
+        for entry in json.loads(text):
+            for witness in entry["witnesses"]:
+                store.add(
+                    entry["first_detected_at"],
+                    CoMovementPattern.of(entry["objects"], witness),
+                )
+        return store

@@ -1,0 +1,46 @@
+"""Datasets: synthetic stand-ins for the paper's three workloads.
+
+Table 2 of the paper uses GeoLife (real), a proprietary Hangzhou taxi
+dataset, and trajectories from the Brinkhoff network-based generator.  The
+real datasets are unavailable (GeoLife's download, the proprietary taxi
+data) and the original Brinkhoff tool is a Java application, so this
+package provides seeded generators that reproduce the *properties* the
+experiments depend on: positioning noise, sampling rate, co-moving group
+structure with dropouts (so patterns exist at every constraint setting),
+and background traffic (so clustering has pruning work to do).
+
+All generators return a :class:`~repro.data.dataset.TrajectoryDataset`
+and are deterministic given their seed.
+"""
+
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+from repro.data.corruption import (
+    drop_in_transit,
+    drop_records,
+    duplicate_records,
+    jitter_positions,
+)
+from repro.data.dataset import DatasetStats, TrajectoryDataset
+from repro.data.geolife import GeoLifeConfig, generate_geolife
+from repro.data.groups import GroupPlan, plan_groups
+from repro.data.roadnet import RoadNetwork, build_road_network
+from repro.data.taxi import TaxiConfig, generate_taxi
+
+__all__ = [
+    "BrinkhoffConfig",
+    "DatasetStats",
+    "GeoLifeConfig",
+    "GroupPlan",
+    "RoadNetwork",
+    "TaxiConfig",
+    "TrajectoryDataset",
+    "build_road_network",
+    "drop_in_transit",
+    "drop_records",
+    "duplicate_records",
+    "generate_brinkhoff",
+    "generate_geolife",
+    "generate_taxi",
+    "jitter_positions",
+    "plan_groups",
+]

@@ -1,0 +1,88 @@
+"""Stream corruption utilities for failure-injection testing.
+
+Real GPS feeds lose fixes, duplicate transmissions, and jitter positions.
+These helpers inject such faults into a record stream deterministically so
+tests (and users evaluating robustness) can observe the system's defined
+behaviour: lost records shrink snapshots, duplicates are idempotent,
+jitter degrades clustering gracefully, and chain-consistent relabelling
+keeps the synchronisation operator sound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.data.dataset import link_last_times
+from repro.model.records import StreamRecord
+
+
+def drop_records(
+    records: Sequence[StreamRecord],
+    fraction: float,
+    rng: random.Random,
+) -> list[StreamRecord]:
+    """Lose a fraction of reports uniformly at random.
+
+    The survivors' ``last_time`` chains are re-linked so they remain
+    consistent — modelling loss at the *source* (fix never taken).  Loss in
+    *transit* (chain gap visible to the sync operator) is modelled by
+    :func:`drop_in_transit`.
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    kept = [r for r in records if rng.random() >= fraction]
+    return link_last_times(kept)
+
+
+def drop_in_transit(
+    records: Sequence[StreamRecord],
+    fraction: float,
+    rng: random.Random,
+) -> list[StreamRecord]:
+    """Lose records *after* chaining: survivors still reference them.
+
+    The synchronisation operator will block on the missing predecessors
+    until its watermark passes or flush is called — the behaviour under
+    genuine network loss.
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    return [r for r in records if rng.random() >= fraction]
+
+
+def duplicate_records(
+    records: Sequence[StreamRecord],
+    fraction: float,
+    rng: random.Random,
+) -> list[StreamRecord]:
+    """Retransmit a fraction of records (duplicates arrive immediately
+    after the original, as with at-least-once delivery)."""
+    if not 0 <= fraction < 1:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    out: list[StreamRecord] = []
+    for record in records:
+        out.append(record)
+        if rng.random() < fraction:
+            out.append(record)
+    return out
+
+
+def jitter_positions(
+    records: Sequence[StreamRecord],
+    magnitude: float,
+    rng: random.Random,
+) -> list[StreamRecord]:
+    """Add uniform positional noise of the given magnitude per axis."""
+    if magnitude < 0:
+        raise ValueError(f"magnitude must be >= 0, got {magnitude}")
+    return [
+        StreamRecord(
+            oid=r.oid,
+            x=r.x + rng.uniform(-magnitude, magnitude),
+            y=r.y + rng.uniform(-magnitude, magnitude),
+            time=r.time,
+            last_time=r.last_time,
+        )
+        for r in records
+    ]

@@ -1,0 +1,153 @@
+"""GeoLife-like workload: anchor-based personal movement.
+
+GeoLife records multi-year personal GPS traces sampled every 1-5 seconds.
+The generator models each person as trips between personal *anchor*
+locations (home, work, leisure) drawn around shared city hotspots, sampled
+once per discretized second, plus implanted co-travelling groups
+(commuter carpools) that exercise pattern detection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.dataset import TrajectoryDataset, link_last_times
+from repro.data.groups import DropoutModel, plan_groups
+from repro.data.roadnet import RouteWalker
+from repro.model.records import StreamRecord
+
+
+@dataclass(frozen=True, slots=True)
+class GeoLifeConfig:
+    """Workload shape for :func:`generate_geolife`.
+
+    Attributes mirror :class:`~repro.data.brinkhoff.BrinkhoffConfig` where
+    applicable; hotspots model the shared city structure of GeoLife.
+    """
+
+    n_objects: int = 200
+    horizon: int = 60
+    group_fraction: float = 0.45
+    group_size: tuple[int, int] = (5, 12)
+    group_jitter: float = 3.0
+    dropout_probability: float = 0.05
+    max_gap: int = 2
+    n_hotspots: int = 8
+    city_extent: float = 9000.0
+    anchor_spread: float = 350.0
+    speed: float = 140.0
+    pause_probability: float = 0.15
+    seed: int = 23
+
+
+def generate_geolife(config: GeoLifeConfig = GeoLifeConfig()) -> TrajectoryDataset:
+    """Generate the GeoLife-like dataset (Table 2's first row, scaled)."""
+    rng = random.Random(config.seed)
+    hotspots = [
+        (
+            rng.uniform(0, config.city_extent),
+            rng.uniform(0, config.city_extent),
+        )
+        for _ in range(config.n_hotspots)
+    ]
+
+    def personal_anchor() -> tuple[float, float]:
+        hx, hy = hotspots[rng.randrange(len(hotspots))]
+        return (
+            hx + rng.gauss(0, config.anchor_spread),
+            hy + rng.gauss(0, config.anchor_spread),
+        )
+
+    records: list[StreamRecord] = []
+    plans, first_background = plan_groups(
+        config.n_objects,
+        config.group_fraction,
+        config.group_size[0],
+        config.group_size[1],
+        config.horizon,
+        rng,
+    )
+    dropout = DropoutModel(
+        dropout_probability=config.dropout_probability,
+        max_gap=config.max_gap,
+        rng=rng,
+    )
+
+    # Carpool groups: shared multi-anchor itinerary.
+    for plan in plans:
+        itinerary = [personal_anchor() for _ in range(rng.randint(3, 5))]
+        positions = _itinerary_positions(
+            itinerary,
+            plan.start_time,
+            plan.end_time,
+            config.speed * rng.uniform(0.85, 1.15),
+            config.pause_probability,
+            rng,
+        )
+        for oid in plan.member_ids:
+            presence = dropout.presence(plan.start_time, plan.end_time)
+            for offset, present in enumerate(presence):
+                if not present:
+                    continue
+                x, y = positions[offset]
+                records.append(
+                    StreamRecord(
+                        oid=oid,
+                        x=x + rng.uniform(-config.group_jitter, config.group_jitter),
+                        y=y + rng.uniform(-config.group_jitter, config.group_jitter),
+                        time=plan.start_time + offset,
+                    )
+                )
+
+    # Background: independent people with their own anchors.
+    for oid in range(first_background, config.n_objects):
+        itinerary = [personal_anchor() for _ in range(rng.randint(2, 4))]
+        start = rng.randint(1, max(1, config.horizon // 5))
+        positions = _itinerary_positions(
+            itinerary,
+            start,
+            config.horizon,
+            config.speed * rng.uniform(0.6, 1.4),
+            config.pause_probability,
+            rng,
+        )
+        for offset, (x, y) in enumerate(positions):
+            records.append(
+                StreamRecord(oid=oid, x=x, y=y, time=start + offset)
+            )
+    return TrajectoryDataset(name="GeoLife", records=link_last_times(records))
+
+
+def _itinerary_positions(
+    anchors: list[tuple[float, float]],
+    start: int,
+    end: int,
+    speed: float,
+    pause_probability: float,
+    rng: random.Random,
+) -> list[tuple[float, float]]:
+    """Positions per tick while cycling through the anchor itinerary.
+
+    At each anchor the person may pause (dwell) for a few ticks, which
+    creates the stationary clusters typical of personal traces.
+    """
+    positions: list[tuple[float, float]] = []
+    leg = 0
+    walker = RouteWalker([anchors[0], anchors[1 % len(anchors)]], speed)
+    pause_left = 0
+    for _ in range(start, end + 1):
+        if pause_left > 0:
+            pause_left -= 1
+            positions.append(positions[-1] if positions else anchors[0])
+            continue
+        position = walker.step()
+        positions.append(position)
+        if walker.finished:
+            if rng.random() < pause_probability:
+                pause_left = rng.randint(1, 3)
+            leg += 1
+            source = anchors[leg % len(anchors)]
+            target = anchors[(leg + 1) % len(anchors)]
+            walker = RouteWalker([source, target], speed)
+    return positions

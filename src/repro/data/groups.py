@@ -1,0 +1,91 @@
+"""Co-moving group planning shared by all generators.
+
+Patterns only exist if some objects genuinely travel together; every
+generator therefore implants *groups*: blocks of consecutive trajectory
+ids that follow one shared route with small positional jitter.  Members
+drop out for bounded stretches (creating the segment/gap structure that
+the L and G constraints discriminate on) and the remainder of the object
+population is independent background traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class GroupPlan:
+    """One implanted group: ids ``[first_id, first_id + size)``."""
+
+    first_id: int
+    size: int
+    start_time: int
+    end_time: int
+
+    @property
+    def member_ids(self) -> range:
+        """The contiguous id range of the group's members."""
+        return range(self.first_id, self.first_id + self.size)
+
+
+def plan_groups(
+    n_objects: int,
+    group_fraction: float,
+    min_size: int,
+    max_size: int,
+    horizon: int,
+    rng: random.Random,
+) -> tuple[list[GroupPlan], int]:
+    """Carve the id space ``[0, n_objects)`` into groups + background.
+
+    Returns the group plans and the first background (ungrouped) id.
+    Group lifetimes span most of the horizon so that duration constraints
+    in the paper's ranges are satisfiable.
+    """
+    if not 0 <= group_fraction <= 1:
+        raise ValueError(f"group_fraction must be in [0, 1]: {group_fraction}")
+    if min_size < 2 or max_size < min_size:
+        raise ValueError(f"bad group size range [{min_size}, {max_size}]")
+    target = int(n_objects * group_fraction)
+    plans: list[GroupPlan] = []
+    next_id = 0
+    while next_id + min_size <= target:
+        size = rng.randint(min_size, min(max_size, target - next_id))
+        start = rng.randint(1, max(1, horizon // 8))
+        end = horizon - rng.randint(0, max(0, horizon // 8))
+        plans.append(
+            GroupPlan(first_id=next_id, size=size, start_time=start, end_time=end)
+        )
+        next_id += size
+    return plans, next_id
+
+
+@dataclass(slots=True)
+class DropoutModel:
+    """Markov on/off presence model for group members.
+
+    A member is present (reports a position and stays with the group) or
+    absent; absences last ``1..max_gap`` time units.  The model yields the
+    gap structure exercised by the L-consecutive and G-connected
+    constraints without breaking the group's overall cohesion.
+    """
+
+    dropout_probability: float
+    max_gap: int
+    rng: random.Random
+
+    def presence(self, start: int, end: int) -> list[bool]:
+        """Presence flags for times ``start..end`` inclusive."""
+        flags: list[bool] = []
+        t = start
+        while t <= end:
+            if self.rng.random() < self.dropout_probability:
+                gap = self.rng.randint(1, self.max_gap)
+                for _ in range(min(gap, end - t + 1)):
+                    flags.append(False)
+                    t += 1
+            else:
+                flags.append(True)
+                t += 1
+        return flags

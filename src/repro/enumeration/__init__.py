@@ -1,0 +1,46 @@
+"""Pattern enumeration phase (Section 6 of the paper).
+
+The cluster-snapshot stream is split by *id-based partitioning*: a subtask
+exists per trajectory ``o`` and receives, at every time ``t``, the set
+``P_t(o)`` of larger-id trajectories sharing ``o``'s cluster (Lemma 3 drops
+clusters below the significance threshold).  Three enumerators then find
+the CP(M, K, L, G) patterns anchored at ``o``:
+
+* **BA** (Algorithm 3) — materialises every subset of ``P_t(o)`` and
+  verifies each over the eta-snapshot window; exponential storage.
+* **FBA** (Algorithm 4) — fixed-length bit compression (Definition 13) and
+  candidate-based apriori enumeration; linear storage per window.
+* **VBA** (Algorithm 5) — variable-length bit strings over all times
+  (Definition 14), maximal pattern time sequences (Definition 15,
+  Lemma 7), and Lemma 8 pruning; each snapshot verified once, trading
+  latency for throughput.
+
+``repro.enumeration.oracle`` provides the exhaustive reference enumerator
+used by the test-suite to prove all three agree.
+"""
+
+from repro.enumeration.base import AnchorEnumerator, PatternCollector
+from repro.enumeration.baseline import BAEnumerator
+from repro.enumeration.bitstring import (
+    FixedBitString,
+    VariableBitString,
+    valid_sequences_of_bits,
+)
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.oracle import enumerate_all_patterns
+from repro.enumeration.partition import PartitionRouter, id_partitions
+from repro.enumeration.vba import VBAEnumerator
+
+__all__ = [
+    "AnchorEnumerator",
+    "BAEnumerator",
+    "FBAEnumerator",
+    "FixedBitString",
+    "PartitionRouter",
+    "PatternCollector",
+    "VBAEnumerator",
+    "VariableBitString",
+    "enumerate_all_patterns",
+    "id_partitions",
+    "valid_sequences_of_bits",
+]

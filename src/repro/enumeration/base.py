@@ -1,0 +1,80 @@
+"""Shared enumerator interface and result collection.
+
+An :class:`AnchorEnumerator` is the per-subtask state machine: it consumes
+the anchor's partition at each successive time and emits co-movement
+patterns (anchor included).  :class:`PatternCollector` is the sink that
+deduplicates emissions across subtasks and windows.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+
+
+class AnchorEnumerator(ABC):
+    """Per-anchor pattern enumeration state machine."""
+
+    def __init__(self, anchor: int, constraints: PatternConstraints):
+        self.anchor = anchor
+        self.constraints = constraints
+
+    @abstractmethod
+    def on_partition(
+        self, time: int, members: frozenset[int]
+    ) -> list[CoMovementPattern]:
+        """Consume ``P_time(anchor)`` and return any patterns confirmed now.
+
+        ``members`` excludes the anchor itself; an empty set means the
+        anchor was not in any significant cluster at ``time``.  Times must
+        arrive in strictly increasing order.
+        """
+
+    @abstractmethod
+    def finish(self) -> list[CoMovementPattern]:
+        """Flush end-of-stream state (bounded evaluation only)."""
+
+    def is_idle(self) -> bool:
+        """True when an empty partition would be a no-op for this anchor.
+
+        The enumeration stage uses this to skip the per-snapshot absence
+        tick for anchors whose windows/bit strings hold no open state.
+        """
+        return False
+
+
+class PatternCollector:
+    """Deduplicating sink for detected patterns.
+
+    Patterns are tracked by object set; the first emission wins (its time
+    sequence is the earliest witness).  ``detections`` preserves emission
+    order for latency accounting.
+    """
+
+    def __init__(self):
+        self._seen: dict[tuple[int, ...], CoMovementPattern] = {}
+        self.detections: list[tuple[int, CoMovementPattern]] = []
+
+    def offer(self, time: int, patterns: Iterable[CoMovementPattern]) -> int:
+        """Add patterns detected at ``time``; returns how many were new."""
+        fresh = 0
+        for pattern in patterns:
+            if pattern.objects not in self._seen:
+                self._seen[pattern.objects] = pattern
+                self.detections.append((time, pattern))
+                fresh += 1
+        return fresh
+
+    def object_sets(self) -> set[tuple[int, ...]]:
+        """The distinct detected object sets (tuple form)."""
+        return set(self._seen)
+
+    def patterns(self) -> list[CoMovementPattern]:
+        """First-emission pattern per object set, in detection order."""
+        return [pattern for _, pattern in self.detections]
+
+    def __len__(self) -> int:
+        return len(self._seen)

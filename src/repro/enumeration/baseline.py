@@ -1,0 +1,175 @@
+"""BA — the baseline enumeration algorithm (Section 6.1, Algorithm 3).
+
+For every window of eta consecutive times starting at ``t`` (Lemma 4), BA
+materialises *every* subset ``O`` of ``P_t(o)`` with ``|O| >= M - 1`` and
+verifies each against the following partitions, applying the pruning of
+Lemmas 5 (stranded short segment) and 6 (gap exceeded).  Storage and time
+are O(2^|P|) — the exponential cost the paper's FBA/VBA remove.
+
+Fidelity note: Algorithm 3's literal greedy extension (always absorb the
+next co-clustered time when Lemmas 5-6 permit) can strand a short segment
+and miss a valid sequence that *skips* a time, e.g. available times
+``{1, 2, 3, 4, 6, 8, 9}`` with (K=6, L=2, G=4): greedy absorbs 6, gets
+stuck, and discards the pattern although ``<1, 2, 3, 4, 8, 9>`` is valid.
+The default mode therefore verifies subsets with the exact maximal-valid-
+sequence decomposition (same cost class); ``literal_greedy=True`` keeps the
+paper's pseudocode behaviour for comparison, and the unit tests pin the
+counterexample.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.enumeration.base import AnchorEnumerator
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+from repro.model.timeseq import (
+    TimeSequence,
+    maximal_valid_sequences,
+    segments_of,
+)
+
+
+class PartitionTooLargeError(RuntimeError):
+    """Raised when a partition exceeds BA's subset-materialisation cap.
+
+    This is the programmatic counterpart of the paper's observation that
+    "B can only run on small datasets" (Fig. 12).
+    """
+
+
+class BAEnumerator(AnchorEnumerator):
+    """Exhaustive subset enumeration over sliding eta-windows."""
+
+    def __init__(
+        self,
+        anchor: int,
+        constraints: PatternConstraints,
+        max_partition_size: int = 20,
+        literal_greedy: bool = False,
+    ):
+        super().__init__(anchor, constraints)
+        self.max_partition_size = max_partition_size
+        self.literal_greedy = literal_greedy
+        self._window: dict[int, frozenset[int]] = {}
+        self._pending_starts: list[int] = []
+        self._last_time: int | None = None
+        # Counters consumed by the benchmark harness.
+        self.subsets_materialised = 0
+
+    def on_partition(
+        self, time: int, members: frozenset[int]
+    ) -> list[CoMovementPattern]:
+        """Consume ``P_time(anchor)``; run windows that completed (Algorithm 3)."""
+        if self._last_time is not None and time <= self._last_time:
+            raise ValueError(
+                f"times must increase: got {time} after {self._last_time}"
+            )
+        self._last_time = time
+        if members:
+            self._window[time] = members
+            self._pending_starts.append(time)
+        eta = self.constraints.eta
+        emitted: list[CoMovementPattern] = []
+        # A window starting at ts is complete once time reaches ts + eta - 1.
+        while self._pending_starts and self._pending_starts[0] + eta - 1 <= time:
+            start = self._pending_starts.pop(0)
+            emitted.extend(self._run_window(start))
+        self._evict(time)
+        return emitted
+
+    def finish(self) -> list[CoMovementPattern]:
+        """Flush pending windows at end of stream."""
+        emitted: list[CoMovementPattern] = []
+        while self._pending_starts:
+            emitted.extend(self._run_window(self._pending_starts.pop(0)))
+        self._window.clear()
+        return emitted
+
+    def is_idle(self) -> bool:
+        """True when no window is pending."""
+        return not self._pending_starts
+
+    def _evict(self, now: int) -> None:
+        """Drop partitions no pending window can reference."""
+        if not self._pending_starts:
+            horizon = now - self.constraints.eta + 1
+        else:
+            horizon = self._pending_starts[0]
+        for t in [t for t in self._window if t < horizon]:
+            del self._window[t]
+
+    def _run_window(self, start: int) -> list[CoMovementPattern]:
+        base = self._window.get(start)
+        if not base:
+            return []
+        if len(base) > self.max_partition_size:
+            raise PartitionTooLargeError(
+                f"BA: partition of size {len(base)} at t={start} exceeds cap "
+                f"{self.max_partition_size} (2^n subsets would be materialised)"
+            )
+        constraints = self.constraints
+        eta = constraints.eta
+        window_times = range(start, start + eta)
+        emitted: list[CoMovementPattern] = []
+        min_size = constraints.m - 1
+        members = sorted(base)
+        for size in range(min_size, len(members) + 1):
+            for subset in combinations(members, size):
+                self.subsets_materialised += 1
+                subset_set = frozenset(subset)
+                available = [
+                    t
+                    for t in window_times
+                    if subset_set <= self._window.get(t, frozenset())
+                ]
+                sequence = self._verify(available)
+                if sequence is not None:
+                    emitted.append(
+                        CoMovementPattern.of((self.anchor, *subset), sequence)
+                    )
+        return emitted
+
+    def _verify(self, available: list[int]) -> TimeSequence | None:
+        """Find a valid time sequence over the subset's available times."""
+        if not available:
+            return None
+        c = self.constraints
+        if self.literal_greedy:
+            return _greedy_sequence(available, c)
+        sequences = maximal_valid_sequences(available, c.k, c.l, c.g)
+        return sequences[0] if sequences else None
+
+
+def _greedy_sequence(
+    available: list[int], c: PatternConstraints
+) -> TimeSequence | None:
+    """Algorithm 3 lines 4-12 verbatim: greedy extension with Lemmas 5-6.
+
+    ``T`` starts at the window's first available time and absorbs each later
+    available time when it is adjacent, or when the last segment is complete
+    and the gap fits; the pattern is discarded the moment Lemma 5 or 6
+    strikes.  Returns the first prefix that satisfies (K, L) or ``None``.
+    """
+    times = [available[0]]
+    for t in available[1:]:
+        last = times[-1]
+        last_segment = segments_of(times)[-1]
+        last_len = last_segment[1] - last_segment[0] + 1
+        if t - last == 1:
+            times.append(t)
+        elif last_len >= c.l and t - last <= c.g:
+            times.append(t)
+        else:
+            # Lemma 5 (short stranded segment) or Lemma 6 (gap > G).
+            return None
+        kept = segments_of(times)
+        tail_len = kept[-1][1] - kept[-1][0] + 1
+        if len(times) >= c.k and tail_len >= c.l:
+            return TimeSequence(times)
+    kept = segments_of(times)
+    tail_len = kept[-1][1] - kept[-1][0] + 1
+    if len(times) >= c.k and tail_len >= c.l:
+        return TimeSequence(times)
+    return None

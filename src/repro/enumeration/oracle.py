@@ -1,0 +1,93 @@
+"""Exhaustive reference enumerator (test oracle).
+
+Enumerates *every* subset of objects that ever co-clusters, intersects its
+co-clustering times with the (K, L, G) maximal-valid-sequence
+decomposition, and reports all valid patterns.  Exponential in the largest
+cluster size — usable only on the small streams of the test-suite, which
+is exactly its job: BA, FBA and VBA must all agree with it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+from repro.model.snapshot import ClusterSnapshot
+from repro.model.timeseq import TimeSequence, maximal_valid_sequences
+
+
+def enumerate_all_patterns(
+    snapshots: Iterable[ClusterSnapshot],
+    constraints: PatternConstraints,
+    max_cluster_size: int = 14,
+) -> dict[frozenset[int], list[TimeSequence]]:
+    """All CP(M, K, L, G) patterns of a bounded cluster-snapshot stream.
+
+    Returns a mapping ``object set -> maximal valid time sequences``.
+
+    Raises:
+        ValueError: when a cluster exceeds ``max_cluster_size`` (the
+            powerset would be unreasonably large for a reference run).
+    """
+    co_times: dict[frozenset[int], list[int]] = {}
+    for snapshot in snapshots:
+        for members in snapshot.clusters.values():
+            if len(members) > max_cluster_size:
+                raise ValueError(
+                    f"cluster of size {len(members)} at t={snapshot.time} "
+                    f"exceeds the oracle cap {max_cluster_size}"
+                )
+            if len(members) < constraints.m:
+                continue
+            for size in range(constraints.m, len(members) + 1):
+                for subset in combinations(sorted(members), size):
+                    co_times.setdefault(frozenset(subset), []).append(
+                        snapshot.time
+                    )
+    results: dict[frozenset[int], list[TimeSequence]] = {}
+    for subset, times in co_times.items():
+        sequences = maximal_valid_sequences(
+            sorted(set(times)), constraints.k, constraints.l, constraints.g
+        )
+        if sequences:
+            results[subset] = sequences
+    return results
+
+
+def oracle_object_sets(
+    snapshots: Sequence[ClusterSnapshot], constraints: PatternConstraints
+) -> set[tuple[int, ...]]:
+    """Just the detected object sets, in the collector's tuple form."""
+    return {
+        tuple(sorted(subset))
+        for subset in enumerate_all_patterns(snapshots, constraints)
+    }
+
+
+def patterns_are_sound(
+    emitted: Iterable[CoMovementPattern],
+    snapshots: Sequence[ClusterSnapshot],
+    constraints: PatternConstraints,
+) -> bool:
+    """Soundness check: every emitted pattern's witness really holds.
+
+    The object set must satisfy M; the time sequence must satisfy
+    (K, L, G); and the objects must share a cluster at every witness time.
+    """
+    by_time = {snapshot.time: snapshot for snapshot in snapshots}
+    for pattern in emitted:
+        if not pattern.satisfies(constraints):
+            return False
+        needed = set(pattern.objects)
+        for t in pattern.times:
+            snapshot = by_time.get(t)
+            if snapshot is None:
+                return False
+            if not any(
+                needed <= set(members)
+                for members in snapshot.clusters.values()
+            ):
+                return False
+    return True

@@ -1,0 +1,70 @@
+"""Id-based partitioning (Section 6.1).
+
+Star partitioning of SPARE cannot work online (related trajectories are
+unknown in advance), so the paper keys the enumeration subtasks by
+trajectory id: subtask ``o`` receives ``P_t(o)``, the *larger-id* members
+of ``o``'s cluster at time ``t``.  Every pattern ``S`` is then found
+exactly once — at the subtask of ``min(S)``.  Lemma 3 discards clusters
+smaller than the significance constraint M up front.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.model.snapshot import ClusterSnapshot
+
+
+def id_partitions(
+    snapshot: ClusterSnapshot, significance: int
+) -> dict[int, frozenset[int]]:
+    """``P_t(o)`` for every anchor ``o`` in one cluster snapshot.
+
+    Args:
+        snapshot: the clusters at one time.
+        significance: the M constraint; clusters with fewer members are
+            dropped (Lemma 3).
+
+    Returns:
+        anchor oid -> frozenset of strictly larger co-cluster member ids.
+        Anchors whose partition would be empty (the cluster maximum) are
+        included with an empty set only if they appear in a valid cluster,
+        since their subtask state may need the "still clustered" signal.
+    """
+    partitions: dict[int, frozenset[int]] = {}
+    for members in snapshot.clusters.values():
+        if len(members) < significance:
+            continue
+        ordered = sorted(members)
+        for position, anchor in enumerate(ordered):
+            partitions[anchor] = frozenset(ordered[position + 1 :])
+    return partitions
+
+
+class PartitionRouter:
+    """Streams cluster snapshots into per-anchor partition sequences.
+
+    The router mirrors the keyed exchange in front of the enumeration
+    subtasks: :meth:`route` yields ``(anchor, members)`` for the current
+    time, including an *empty* partition for every anchor that has appeared
+    before but is absent now — enumerator state machines (VBA's appends,
+    FBA's windows) need the explicit absence signal.
+    """
+
+    def __init__(self, significance: int):
+        if significance < 2:
+            raise ValueError(f"significance must be >= 2, got {significance}")
+        self.significance = significance
+        self._known_anchors: set[int] = set()
+
+    def route(
+        self, snapshot: ClusterSnapshot
+    ) -> Iterator[tuple[int, frozenset[int]]]:
+        """Yield ``(anchor, members)`` for the snapshot, including empties for known anchors."""
+        current = id_partitions(snapshot, self.significance)
+        for anchor, members in current.items():
+            if members:
+                self._known_anchors.add(anchor)
+        empty = frozenset()
+        for anchor in sorted(self._known_anchors | set(current)):
+            yield anchor, current.get(anchor, empty)

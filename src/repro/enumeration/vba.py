@@ -1,0 +1,230 @@
+"""VBA — Variable-length Bit Compression based Algorithm (Section 6.3).
+
+One variable-length bit string per trajectory per subtask, over *all*
+times (Definition 14).  A string closes when G + 1 trailing zeros make any
+extension impossible (Lemma 7); closed strings containing a valid
+(K, L, G) sequence become candidates with maximal pattern time sequences
+(Definition 15).  Each new candidate is enumerated against the global
+candidate list, pruning combinations whose aligned window cannot hold K
+times (Lemma 8).  Every snapshot is verified exactly once — the
+latency-for-throughput trade the paper describes.
+
+Two documented deviations from the paper's pseudocode (Algorithm 5):
+
+* line 18 prunes when ``min(et) - max(st) < K``; the window *length* is
+  ``min(et) - max(st) + 1``, so the literal formula would discard patterns
+  whose valid sequence exactly fills a K-long window.  We prune on window
+  length, which is the sound variant.
+* candidates that close in the same round are merged into C one by one
+  while the round is processed; the literal pseudocode (merge after the
+  whole round, line 21) would never enumerate combinations of two
+  same-round candidates — e.g. a cluster dissolving at once would lose all
+  its patterns.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.enumeration.base import AnchorEnumerator
+from repro.enumeration.bitstring import (
+    CLOSED_INVALID,
+    CLOSED_VALID,
+    ClosedBitString,
+    VariableBitString,
+    and_closed_strings,
+    valid_sequences_of_bits,
+)
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+
+
+class VBAEnumerator(AnchorEnumerator):
+    """Stateful per-anchor enumeration over variable-length bit strings."""
+
+    def __init__(
+        self,
+        anchor: int,
+        constraints: PatternConstraints,
+        candidate_retention: int | None = None,
+    ):
+        """``candidate_retention``: drop global candidates whose end time is
+        more than this many time units in the past (None = keep forever,
+        the paper's semantics over the full snapshot history)."""
+        super().__init__(anchor, constraints)
+        self.candidate_retention = candidate_retention
+        self._open: dict[int, VariableBitString] = {}
+        self._candidates: list[ClosedBitString] = []
+        self._last_time: int | None = None
+        # Work counters for the harness.
+        self.candidates_created = 0
+        self.and_evaluations = 0
+
+    def on_partition(
+        self, time: int, members: frozenset[int]
+    ) -> list[CoMovementPattern]:
+        """Consume ``P_time(anchor)``: append bits, close strings, enumerate (Algorithm 5)."""
+        if self._last_time is not None and time <= self._last_time:
+            raise ValueError(
+                f"times must increase: got {time} after {self._last_time}"
+            )
+        # Bit strings are positional: absent intermediate times are zeros.
+        # Padding can itself close strings (Lemma 7 fires mid-gap), so the
+        # closures it produces feed the same candidate round.
+        closed: list = []
+        if self._last_time is not None:
+            for missing in range(self._last_time + 1, time):
+                closed.extend(self._append_all(missing, frozenset()))
+        self._last_time = time
+        closed.extend(self._append_all(time, members))
+        emitted = self._process_candidates(closed)
+        if self.candidate_retention is not None:
+            horizon = time - self.candidate_retention
+            self._candidates = [
+                c for c in self._candidates if c.end >= horizon
+            ]
+        return emitted
+
+    def finish(self) -> list[CoMovementPattern]:
+        """Force-close every open string and enumerate the late candidates."""
+        c = self.constraints
+        closed: list[ClosedBitString] = []
+        for oid in sorted(self._open):
+            string = self._open[oid]
+            if string.bits and valid_sequences_of_bits(
+                string.bits, string.start, c.k, c.l, c.g
+            ):
+                closed.append(string.trimmed().with_oid(oid))
+        self._open.clear()
+        return self._process_candidates(closed)
+
+    def is_idle(self) -> bool:
+        """No open strings: zero-appends (even across a gap) are no-ops.
+
+        ``on_partition`` pads skipped times with zeros for *open* strings
+        only, so an idle VBA subtask can safely miss absence ticks — the
+        global candidate list is inert until a new candidate closes.
+        """
+        return not self._open
+
+    # ------------------------------------------------------------------ state
+
+    def _append_all(
+        self, time: int, members: frozenset[int]
+    ) -> list[ClosedBitString]:
+        """Lines 2-14 of Algorithm 5 for one time step."""
+        c = self.constraints
+        closed: list[ClosedBitString] = []
+        leftover = set(members)
+        for oid in list(self._open):
+            string = self._open[oid]
+            present = oid in leftover
+            if present:
+                leftover.discard(oid)
+            string.append(present)
+            tag = string.status(c.k, c.l, c.g)
+            if tag == CLOSED_VALID:
+                closed.append(string.trimmed().with_oid(oid))
+                self.candidates_created += 1
+                del self._open[oid]
+            elif tag == CLOSED_INVALID:
+                del self._open[oid]
+        for oid in leftover:
+            self._open[oid] = VariableBitString.opened_at(time)
+        return closed
+
+    # ------------------------------------------------------------ enumeration
+
+    def _process_candidates(
+        self, fresh: list[ClosedBitString]
+    ) -> list[CoMovementPattern]:
+        """Lines 15-21: enumerate each fresh candidate against C, then merge.
+
+        Fresh candidates are merged one at a time so that same-round pairs
+        are still enumerated (see the module docstring).
+        """
+        emitted: list[CoMovementPattern] = []
+        for candidate in sorted(fresh, key=lambda s: (s.oid, s.start)):
+            emitted.extend(self._enumerate_with(candidate))
+            self._candidates.append(candidate)
+        return emitted
+
+    def _enumerate_with(
+        self, new: ClosedBitString
+    ) -> list[CoMovementPattern]:
+        c = self.constraints
+        # Lemma 8 (length-corrected): the aligned window of a combination
+        # must be able to hold K times.
+        pool = sorted(
+            (
+                other
+                for other in self._candidates
+                if other.oid != new.oid
+                and min(other.end, new.end) - max(other.start, new.start) + 1
+                >= c.k
+            ),
+            key=lambda s: (s.oid, s.start),
+        )
+        emitted: list[CoMovementPattern] = []
+        min_extra = c.m - 2  # members besides the new candidate (and anchor)
+        if min_extra > len(pool):
+            return emitted
+
+        frontier: list[tuple[tuple[ClosedBitString, ...], int]] = []
+        if min_extra == 0:
+            sequences = valid_sequences_of_bits(
+                new.bits, new.start, c.k, c.l, c.g
+            )
+            # A closed candidate is valid by construction; emit the pair
+            # pattern {anchor, new} and use it as the growth seed.
+            emitted.append(
+                CoMovementPattern.of((self.anchor, new.oid), sequences[0])
+            )
+            frontier.append(((), -1))
+        else:
+            for seed_indices in combinations(range(len(pool)), min_extra):
+                seed = tuple(pool[i] for i in seed_indices)
+                if len({s.oid for s in seed}) != len(seed):
+                    continue
+                result = and_closed_strings([new, *seed])
+                self.and_evaluations += 1
+                if result is None:
+                    continue
+                bits, window_start = result
+                sequences = valid_sequences_of_bits(
+                    bits, window_start, c.k, c.l, c.g
+                )
+                if sequences:
+                    oids = (self.anchor, new.oid, *(s.oid for s in seed))
+                    emitted.append(CoMovementPattern.of(oids, sequences[0]))
+                    frontier.append((seed, seed_indices[-1]))
+
+        while frontier:
+            grown: list[tuple[tuple[ClosedBitString, ...], int]] = []
+            for seed, last_index in frontier:
+                used_oids = {s.oid for s in seed} | {new.oid}
+                for index in range(last_index + 1, len(pool)):
+                    extra = pool[index]
+                    if extra.oid in used_oids:
+                        continue
+                    result = and_closed_strings([new, *seed, extra])
+                    self.and_evaluations += 1
+                    if result is None:
+                        continue
+                    bits, window_start = result
+                    sequences = valid_sequences_of_bits(
+                        bits, window_start, c.k, c.l, c.g
+                    )
+                    if sequences:
+                        extended = seed + (extra,)
+                        oids = (
+                            self.anchor,
+                            new.oid,
+                            *(s.oid for s in extended),
+                        )
+                        emitted.append(
+                            CoMovementPattern.of(oids, sequences[0])
+                        )
+                        grown.append((extended, index))
+            frontier = grown
+        return emitted

@@ -1,0 +1,27 @@
+"""Geometric primitives shared by the spatial indexes and range joins.
+
+The paper (Section 3.3) measures inter-object distance with the L1 norm,
+"although it is easy to also support other distance functions".  This package
+provides the L1 / L2 / Chebyshev metrics, axis-aligned rectangles, and the
+range-region construction used by range queries.
+"""
+
+from repro.geometry.distance import (
+    Metric,
+    chebyshev_distance,
+    euclidean_distance,
+    get_metric,
+    l1_distance,
+)
+from repro.geometry.rect import Rect, range_region, upper_range_region
+
+__all__ = [
+    "Metric",
+    "Rect",
+    "chebyshev_distance",
+    "euclidean_distance",
+    "get_metric",
+    "l1_distance",
+    "range_region",
+    "upper_range_region",
+]

@@ -1,0 +1,51 @@
+"""Distance metrics between planar locations.
+
+The paper uses the L1 norm (Section 3.3); DBSCAN and the range join are
+metric-agnostic, so the metric is injected wherever a distance is needed.
+A metric here is any callable ``(x1, y1, x2, y2) -> float``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+Metric = Callable[[float, float, float, float], float]
+
+
+def l1_distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Manhattan (L1) distance, the paper's default metric."""
+    return abs(x1 - x2) + abs(y1 - y2)
+
+
+def euclidean_distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean (L2) distance."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def chebyshev_distance(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Chebyshev (L-infinity) distance."""
+    return max(abs(x1 - x2), abs(y1 - y2))
+
+
+_METRICS: dict[str, Metric] = {
+    "l1": l1_distance,
+    "manhattan": l1_distance,
+    "l2": euclidean_distance,
+    "euclidean": euclidean_distance,
+    "linf": chebyshev_distance,
+    "chebyshev": chebyshev_distance,
+}
+
+
+def get_metric(name: str) -> Metric:
+    """Resolve a metric by name (``l1``, ``l2``, ``linf`` and aliases).
+
+    Raises:
+        KeyError: if the name is not a known metric.
+    """
+    key = name.strip().lower()
+    if key not in _METRICS:
+        known = ", ".join(sorted(_METRICS))
+        raise KeyError(f"unknown metric {name!r}; expected one of: {known}")
+    return _METRICS[key]

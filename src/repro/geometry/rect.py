@@ -1,0 +1,138 @@
+"""Axis-aligned rectangles and range regions.
+
+``Rect`` doubles as the minimum bounding rectangle (MBR) of R-tree nodes and
+as the square *range region* of a range query: for a query location ``u`` and
+threshold ``epsilon`` the region is ``[u.x - eps, u.x + eps] x [u.y - eps,
+u.y + eps]`` (the red square of Fig. 2 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        """Rectangle degenerated to a single point."""
+        return cls(x, y, x, y)
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Rectangle area (0 for degenerate rectangles)."""
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter; the R*-tree split heuristic minimises it."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point ``(x, y)``."""
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether the point lies inside (closed boundaries)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains(self, other: "Rect") -> bool:
+        """Whether ``other`` lies fully inside (closed)."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the rectangles share any point (closed)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def extend_point(self, x: float, y: float) -> "Rect":
+        """Smallest rectangle covering ``self`` and the point ``(x, y)``."""
+        return Rect(
+            min(self.min_x, x),
+            min(self.min_y, y),
+            max(self.max_x, x),
+            max(self.max_y, y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (R-tree ChooseSubtree)."""
+        return self.union(other).area - self.area
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap region (0 when disjoint)."""
+        if not self.intersects(other):
+            return 0.0
+        w = min(self.max_x, other.max_x) - max(self.min_x, other.min_x)
+        h = min(self.max_y, other.max_y) - max(self.min_y, other.min_y)
+        return w * h
+
+    def center_distance(self, other: "Rect") -> float:
+        """L1 distance between the two centres."""
+        cx1, cy1 = self.center
+        cx2, cy2 = other.center
+        return abs(cx1 - cx2) + abs(cy1 - cy2)
+
+
+def range_region(x: float, y: float, epsilon: float) -> Rect:
+    """Square range region of ``RQ((x, y), epsilon)`` (Definition 10).
+
+    With the L1 metric every location within distance ``epsilon`` lies inside
+    this square, so the square is a correct superset filter; candidates are
+    then verified with the exact metric.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    return Rect(x - epsilon, y - epsilon, x + epsilon, y + epsilon)
+
+
+def upper_range_region(x: float, y: float, epsilon: float) -> Rect:
+    """Upper half of the range region used by Lemma 1.
+
+    Lemma 1 proves the range join loses no result pair when each location
+    only probes the cells intersecting ``[x - eps, x + eps] x [y, y + eps]``
+    (Fig. 6 of the paper): a pair whose second point lies in the lower half
+    is discovered symmetrically from that second point's upper half.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    return Rect(x - epsilon, y, x + epsilon, y + epsilon)

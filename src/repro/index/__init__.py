@@ -1,0 +1,24 @@
+"""Spatial indexing substrate: grid, R*-tree, and the two-layer GR-index.
+
+Section 5.1 of the paper: the GR-index uses a uniform grid as the *global*
+index (each cell is a Flink partition keyed by ``<floor(x/lg), floor(y/lg)>``)
+and an R-tree as the *local* index inside each cell.  The index is a primary
+index rebuilt per snapshot, so no delete/maintenance path is required.
+"""
+
+from repro.index.grid import GridIndex, GridKey, cell_key, cells_overlapping
+from repro.index.gridobject import GridObject
+from repro.index.gr_index import GRIndex
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+__all__ = [
+    "GRIndex",
+    "GridIndex",
+    "GridKey",
+    "GridObject",
+    "QuadTree",
+    "RTree",
+    "cell_key",
+    "cells_overlapping",
+]

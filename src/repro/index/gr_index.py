@@ -1,0 +1,63 @@
+"""The two-layer GR-index (Section 5.1, Fig. 4).
+
+Global layer: a uniform grid partitioning space into cells (Flink partition
+keys).  Local layer: an R-tree per occupied cell over the data objects routed
+there.  The GR-index is a *primary* index built per snapshot and discarded
+after the join, so only build and query paths exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect
+from repro.index.grid import GridKey, cell_key
+from repro.index.rtree import RTree
+
+
+@dataclass(slots=True)
+class GRIndex:
+    """Grid of local R-trees over ``(oid, x, y)`` points.
+
+    ``rtree_fanout`` controls the local trees' node capacity; the default
+    matches :data:`repro.index.rtree.DEFAULT_MAX_ENTRIES`.
+    """
+
+    cell_width: float
+    rtree_fanout: int = 16
+    trees: dict[GridKey, RTree] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cell_width <= 0:
+            raise ValueError(
+                f"grid cell width must be positive, got {self.cell_width}"
+            )
+
+    def insert(self, oid: int, x: float, y: float) -> GridKey:
+        """Insert a location into the local R-tree of its home cell."""
+        key = cell_key(x, y, self.cell_width)
+        tree = self.trees.get(key)
+        if tree is None:
+            tree = RTree(max_entries=self.rtree_fanout)
+            self.trees[key] = tree
+        tree.insert(x, y, (oid, x, y))
+        return key
+
+    def tree_of(self, key: GridKey) -> RTree | None:
+        """The local R-tree of a cell, or ``None`` when unoccupied."""
+        return self.trees.get(key)
+
+    def search_cell(self, key: GridKey, region: Rect) -> list[tuple[int, float, float]]:
+        """Range search limited to one cell's local tree."""
+        tree = self.trees.get(key)
+        if tree is None:
+            return []
+        return tree.search(region)
+
+    def __len__(self) -> int:
+        return sum(len(tree) for tree in self.trees.values())
+
+    @property
+    def occupied_cells(self) -> int:
+        """Number of cells holding at least one point."""
+        return len(self.trees)

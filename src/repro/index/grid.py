@@ -1,0 +1,93 @@
+"""The global grid index of the GR-index (Section 5.1).
+
+Each grid cell is a partition key: a location ``(x, y)`` belongs to the cell
+``<floor(x / lg), floor(y / lg)>`` where ``lg`` is the grid cell width.  In
+the distributed runtime, locations with the same key are routed to the same
+subtask, exactly as in the paper's Flink job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.geometry.rect import Rect
+
+GridKey = tuple[int, int]
+
+
+def cell_key(x: float, y: float, cell_width: float) -> GridKey:
+    """Key of the grid cell containing ``(x, y)``: ``<x/lg, y/lg>`` floored."""
+    if cell_width <= 0:
+        raise ValueError(f"grid cell width must be positive, got {cell_width}")
+    return (math.floor(x / cell_width), math.floor(y / cell_width))
+
+
+def cells_overlapping(region: Rect, cell_width: float) -> Iterator[GridKey]:
+    """All grid-cell keys whose cell intersects ``region``.
+
+    Iterates row-major over the closed key ranges
+    ``floor(min/lg) .. floor(max/lg)`` on both axes.
+    """
+    if cell_width <= 0:
+        raise ValueError(f"grid cell width must be positive, got {cell_width}")
+    x_lo = math.floor(region.min_x / cell_width)
+    x_hi = math.floor(region.max_x / cell_width)
+    y_lo = math.floor(region.min_y / cell_width)
+    y_hi = math.floor(region.max_y / cell_width)
+    for gx in range(x_lo, x_hi + 1):
+        for gy in range(y_lo, y_hi + 1):
+            yield (gx, gy)
+
+
+def cell_bounds(key: GridKey, cell_width: float) -> Rect:
+    """The spatial extent of a grid cell."""
+    gx, gy = key
+    return Rect(
+        gx * cell_width,
+        gy * cell_width,
+        (gx + 1) * cell_width,
+        (gy + 1) * cell_width,
+    )
+
+
+@dataclass(slots=True)
+class GridIndex:
+    """A sparse uniform grid mapping cell keys to payload buckets.
+
+    Only cells that received at least one payload exist, so the grid covers
+    an unbounded plane at cost proportional to occupied cells.
+    """
+
+    cell_width: float
+    cells: dict[GridKey, list] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cell_width <= 0:
+            raise ValueError(
+                f"grid cell width must be positive, got {self.cell_width}"
+            )
+
+    def insert(self, x: float, y: float, payload) -> GridKey:
+        """Insert a payload at ``(x, y)``; returns the cell key used."""
+        key = cell_key(x, y, self.cell_width)
+        self.cells.setdefault(key, []).append(payload)
+        return key
+
+    def bucket(self, key: GridKey) -> list:
+        """Payloads of one cell (empty list when the cell is unoccupied)."""
+        return self.cells.get(key, [])
+
+    def payloads_in(self, region: Rect) -> Iterator:
+        """All payloads in cells overlapping ``region`` (superset filter)."""
+        for key in cells_overlapping(region, self.cell_width):
+            yield from self.cells.get(key, ())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self.cells.values())
+
+    @property
+    def occupied_cells(self) -> int:
+        """Number of cells holding at least one payload."""
+        return len(self.cells)

@@ -1,0 +1,38 @@
+"""GridObject (Definition 12): the replication unit of the range join.
+
+A ``GridObject`` is a triple ``(key, flag, location)``: ``key`` names the
+grid cell the object is routed to; ``flag`` distinguishes *data* objects
+(``False`` — to be inserted into the cell's local R-tree) from *query*
+objects (``True`` — the cell might contain range-query results for them).
+We additionally carry the trajectory id, which the paper keeps implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.grid import GridKey
+
+
+@dataclass(frozen=True, slots=True)
+class GridObject:
+    """A routed copy of one location, per Definition 12.
+
+    Attributes:
+        key: grid cell this copy is routed to.
+        is_query: the paper's ``flag`` — ``False`` for a data object,
+            ``True`` for a query object.
+        oid: trajectory id of the location's owner.
+        x, y: the actual position.
+    """
+
+    key: GridKey
+    is_query: bool
+    oid: int
+    x: float
+    y: float
+
+    @property
+    def is_data(self) -> bool:
+        """True for a data object (``flag`` false in the paper)."""
+        return not self.is_query

@@ -1,0 +1,153 @@
+"""A point-region quadtree: an alternative local index for the GR-index.
+
+The paper uses R-trees inside grid cells; a PR quadtree is the classic
+alternative with cheaper inserts (no split heuristics) at the cost of
+unbalanced depth under skew.  It implements the same ``insert`` /
+``search`` contract as :class:`repro.index.rtree.RTree`, so it plugs into
+:class:`repro.join.query.CellJoiner` via ``local_index="quadtree"`` and
+into the local-index ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.geometry.rect import Rect
+
+DEFAULT_NODE_CAPACITY = 16
+MAX_DEPTH = 24
+
+
+class _QuadNode:
+    __slots__ = ("bounds", "points", "children", "depth")
+
+    def __init__(self, bounds: Rect, depth: int):
+        self.bounds = bounds
+        self.points: list[tuple[float, float, Any]] | None = []
+        self.children: list["_QuadNode"] | None = None
+        self.depth = depth
+
+    def subdivide(self) -> None:
+        cx, cy = self.bounds.center
+        b = self.bounds
+        self.children = [
+            _QuadNode(Rect(b.min_x, b.min_y, cx, cy), self.depth + 1),
+            _QuadNode(Rect(cx, b.min_y, b.max_x, cy), self.depth + 1),
+            _QuadNode(Rect(b.min_x, cy, cx, b.max_y), self.depth + 1),
+            _QuadNode(Rect(cx, cy, b.max_x, b.max_y), self.depth + 1),
+        ]
+        points, self.points = self.points, None
+        for x, y, payload in points:
+            self._child_for(x, y).add(x, y, payload)
+
+    def _child_for(self, x: float, y: float) -> "_QuadNode":
+        cx, cy = self.bounds.center
+        index = (1 if x > cx else 0) + (2 if y > cy else 0)
+        return self.children[index]
+
+    def add(self, x: float, y: float, payload: Any) -> None:
+        if self.children is not None:
+            self._child_for(x, y).add(x, y, payload)
+            return
+        self.points.append((x, y, payload))
+        if (
+            len(self.points) > DEFAULT_NODE_CAPACITY
+            and self.depth < MAX_DEPTH
+        ):
+            self.subdivide()
+
+
+class QuadTree:
+    """PR quadtree over 2-D points with lazily expanding bounds.
+
+    The world rectangle doubles outward whenever a point falls outside,
+    so no a-priori extent is needed (grid cells are unbounded in theory).
+    """
+
+    def __init__(self, initial_extent: float = 1024.0):
+        if initial_extent <= 0:
+            raise ValueError(
+                f"initial_extent must be positive, got {initial_extent}"
+            )
+        self._root: _QuadNode | None = None
+        self._extent = initial_extent
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bounds(self) -> Rect | None:
+        """World rectangle currently covered (None when empty)."""
+        return self._root.bounds if self._root else None
+
+    def insert(self, x: float, y: float, payload: Any) -> None:
+        """Insert a point entry."""
+        if self._root is None:
+            half = self._extent / 2
+            self._root = _QuadNode(
+                Rect(x - half, y - half, x + half, y + half), 0
+            )
+        while not self._root.bounds.contains_point(x, y):
+            self._grow_towards(x, y)
+        self._root.add(x, y, payload)
+        self._size += 1
+
+    def _grow_towards(self, x: float, y: float) -> None:
+        """Double the world towards the outlier and rebuild.
+
+        Growth happens O(log(span / initial_extent)) times overall, so the
+        occasional O(n) rebuild amortises away; it also keeps node depths
+        consistent, unlike grafting the old root in as a quadrant.
+        """
+        old = self._root
+        b = old.bounds
+        width, height = b.width, b.height
+        west = x < b.min_x
+        south = y < b.min_y
+        new_bounds = Rect(
+            b.min_x - (width if west else 0),
+            b.min_y - (height if south else 0),
+            b.max_x + (0 if west else width),
+            b.max_y + (0 if south else height),
+        )
+        new_root = _QuadNode(new_bounds, 0)
+        for x0, y0, payload in _iter_points(old):
+            new_root.add(x0, y0, payload)
+        self._root = new_root
+
+    def search(self, region: Rect) -> list[Any]:
+        """Payloads of all points inside ``region`` (closed boundaries)."""
+        return list(self.iter_search(region))
+
+    def iter_search(self, region: Rect) -> Iterator[Any]:
+        """Lazily yield payloads of points inside ``region``."""
+        if self._root is None or not self._root.bounds.intersects(region):
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bounds.intersects(region):
+                continue
+            if node.children is not None:
+                stack.extend(node.children)
+                continue
+            for x, y, payload in node.points:
+                if region.contains_point(x, y):
+                    yield payload
+
+    def all_payloads(self) -> list[Any]:
+        """Every stored payload."""
+        if self._root is None:
+            return []
+        return [payload for _, _, payload in _iter_points(self._root)]
+
+
+def _iter_points(node: _QuadNode):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.children is not None:
+            stack.extend(current.children)
+        else:
+            yield from current.points

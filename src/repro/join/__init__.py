@@ -1,0 +1,34 @@
+"""GR-index based range join (Section 5.2) and baselines.
+
+The join of a snapshot with itself under distance threshold epsilon
+(Definition 11) is the first step of the clustering phase.  The paper's
+contribution is two verification-elimination lemmas:
+
+* **Lemma 1** — replicate each location as a query object only to the cells
+  of the *upper half* of its range region; symmetry recovers the rest.
+* **Lemma 2** — inside a cell, run each data object's range query against
+  the partially built R-tree *before* inserting it, so intra-cell pairs are
+  produced exactly once and querying overlaps index construction.
+
+``GRRangeJoin`` exposes both lemmas as switches, which also powers the
+ablation benchmarks; ``SRJRangeJoin`` is the paper's SRJ baseline (full
+replication, post-hoc deduplication).
+"""
+
+from repro.join.allocate import allocate_location, allocate_snapshot
+from repro.join.pairs import NeighborPairs, brute_force_join, normalize_pair
+from repro.join.query import CellJoiner
+from repro.join.range_join import GRRangeJoin, RangeJoinConfig
+from repro.join.srj import SRJRangeJoin
+
+__all__ = [
+    "CellJoiner",
+    "GRRangeJoin",
+    "NeighborPairs",
+    "RangeJoinConfig",
+    "SRJRangeJoin",
+    "allocate_location",
+    "allocate_snapshot",
+    "brute_force_join",
+    "normalize_pair",
+]

@@ -1,0 +1,38 @@
+"""Neighbour-pair primitives shared by all join implementations."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geometry.distance import Metric, l1_distance
+
+# A neighbour pair is an ordered (small oid, large oid) tuple; the range-join
+# output is a set of such pairs.
+NeighborPairs = set[tuple[int, int]]
+
+
+def normalize_pair(oid_a: int, oid_b: int) -> tuple[int, int]:
+    """Canonical (min, max) form of an unordered pair."""
+    return (oid_a, oid_b) if oid_a <= oid_b else (oid_b, oid_a)
+
+
+def brute_force_join(
+    points: Iterable[tuple[int, float, float]],
+    epsilon: float,
+    metric: Metric = l1_distance,
+) -> NeighborPairs:
+    """O(n^2) reference range join (Definition 11), used as the test oracle.
+
+    Returns all distinct-object pairs at distance <= epsilon, normalised.
+    Self pairs are excluded: DBSCAN counts a point in its own neighbourhood
+    separately (see :mod:`repro.cluster.dbscan`).
+    """
+    items = list(points)
+    result: NeighborPairs = set()
+    for i, (oid_a, xa, ya) in enumerate(items):
+        for oid_b, xb, yb in items[i + 1 :]:
+            if oid_a == oid_b:
+                continue
+            if metric(xa, ya, xb, yb) <= epsilon:
+                result.add(normalize_pair(oid_a, oid_b))
+    return result

@@ -1,0 +1,38 @@
+"""Core data model of the ICPE reproduction.
+
+Mirrors Section 3 of the paper: GPS records and (streaming) trajectories,
+discretized time sequences with the L-consecutive / G-connected machinery,
+snapshots, and the unified co-movement pattern definition CP(M, K, L, G).
+"""
+
+from repro.model.constraints import PatternConstraints
+from repro.model.discretize import TimeDiscretizer
+from repro.model.pattern import CoMovementPattern
+from repro.model.records import GPSRecord, Location, StreamRecord, Trajectory
+from repro.model.snapshot import ClusterSnapshot, Snapshot
+from repro.model.timeseq import (
+    TimeSequence,
+    eta_window,
+    is_g_connected,
+    is_l_consecutive,
+    maximal_valid_sequences,
+    segments_of,
+)
+
+__all__ = [
+    "ClusterSnapshot",
+    "CoMovementPattern",
+    "GPSRecord",
+    "Location",
+    "PatternConstraints",
+    "Snapshot",
+    "StreamRecord",
+    "TimeDiscretizer",
+    "TimeSequence",
+    "Trajectory",
+    "eta_window",
+    "is_g_connected",
+    "is_l_consecutive",
+    "maximal_valid_sequences",
+    "segments_of",
+]

@@ -1,0 +1,98 @@
+"""The CP(M, K, L, G) constraint bundle (Definition 4).
+
+A co-movement pattern is a set ``O`` of trajectories with a time sequence
+``T`` satisfying: closeness (same density cluster at every time of ``T``),
+significance ``|O| >= M``, duration ``|T| >= K``, L-consecutiveness, and
+G-connectedness.  ``PatternConstraints`` carries the four integers and the
+derived quantities used throughout the enumeration phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.timeseq import TimeSequence, eta_window
+
+
+@dataclass(frozen=True, slots=True)
+class PatternConstraints:
+    """The four constraints of the unified co-movement pattern definition.
+
+    Attributes:
+        m: significance — minimum number of objects travelling together.
+        k: duration — minimum total number of co-clustered times.
+        l: consecutiveness — minimum length of each consecutive segment.
+        g: connection — maximum gap between neighbouring times.
+    """
+
+    m: int
+    k: int
+    l: int
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ValueError(f"M must be >= 2 (a pattern needs company): {self.m}")
+        if self.l < 1:
+            raise ValueError(f"L must be >= 1: {self.l}")
+        if self.g < 1:
+            raise ValueError(f"G must be >= 1: {self.g}")
+        if self.k < self.l:
+            raise ValueError(
+                f"K must be >= L (a K-long sequence needs an L-long segment): "
+                f"K={self.k}, L={self.l}"
+            )
+
+    @property
+    def eta(self) -> int:
+        """Lemma 4's verification window length."""
+        return eta_window(self.k, self.l, self.g)
+
+    def sequence_valid(self, sequence: TimeSequence) -> bool:
+        """Check the (K, L, G) temporal constraints for a candidate T."""
+        return sequence.is_valid(self.k, self.l, self.g)
+
+    def size_valid(self, group_size: int) -> bool:
+        """Check the significance constraint for a candidate object set."""
+        return group_size >= self.m
+
+
+# Named presets for the classic pattern variants the paper unifies
+# (Section 1/2: flock, convoy, group, swarm, platoon).  Each is a function of
+# the variant's own parameters returning the equivalent CP(M, K, L, G).
+
+def convoy(m: int, k: int) -> PatternConstraints:
+    """Convoy [17]: density clusters, strictly consecutive lifetime.
+
+    Strict consecutiveness means one segment of length K: L = K and G = 1.
+    """
+    return PatternConstraints(m=m, k=k, l=k, g=1)
+
+
+def flock(m: int, k: int) -> PatternConstraints:
+    """Flock [13] has the same temporal shape as convoy.
+
+    The flock/convoy difference is the clustering (disc-based vs density);
+    under the unified definition with a pluggable clusterer the temporal
+    constraints coincide.
+    """
+    return convoy(m, k)
+
+
+def swarm(m: int, k: int, horizon: int) -> PatternConstraints:
+    """Swarm [20]: K total times, arbitrarily relaxed consecutiveness.
+
+    The unified definition bounds gaps by G; a swarm over a stream prefix of
+    length ``horizon`` is recovered with L = 1 and G = horizon.
+    """
+    return PatternConstraints(m=m, k=k, l=1, g=max(1, horizon))
+
+
+def platoon(m: int, k: int, l: int) -> PatternConstraints:
+    """Platoon [19]: segments of length >= L with (here bounded) gaps."""
+    return PatternConstraints(m=m, k=k, l=l, g=k)
+
+
+def group_pattern(m: int, k: int, l: int, g: int) -> PatternConstraints:
+    """Fully general CP(M, K, L, G) (alias with keyword-style clarity)."""
+    return PatternConstraints(m=m, k=k, l=l, g=g)

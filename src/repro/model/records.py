@@ -1,0 +1,123 @@
+"""GPS records, locations and trajectories (Section 3.1 of the paper).
+
+A GPS record is a pair ``r = (l, t)`` with location ``l = (x, y)`` and time
+``t``.  A trajectory is a time-ordered sequence of records; a *streaming*
+trajectory is unbounded, so the stream-facing type is the single
+``StreamRecord`` carrying its trajectory id and the "last time" field used by
+the time-synchronisation operator (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """A planar position ``(x, y)``."""
+
+    x: float
+    y: float
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The location as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class GPSRecord:
+    """A raw GPS fix ``(location, wall-clock time)``.
+
+    ``time`` is a real (undiscretized) clock time in seconds.
+    """
+
+    location: Location
+    time: float
+
+    @classmethod
+    def at(cls, x: float, y: float, time: float) -> "GPSRecord":
+        """Build a record from coordinates and a clock time."""
+        return cls(Location(x, y), time)
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRecord:
+    """One element of the trajectory stream after discretization.
+
+    Attributes:
+        oid: trajectory (object) identifier.
+        x, y: position at the discretized time.
+        time: discretized time index (Definition 1).
+        last_time: the discretized time of this trajectory's *previous*
+            report, or ``None`` when this is the first report.  Section 4 of
+            the paper attaches this field to restore per-trajectory time
+            order under out-of-order delivery.
+    """
+
+    oid: int
+    x: float
+    y: float
+    time: int
+    last_time: int | None = None
+
+    @property
+    def location(self) -> Location:
+        """The position as a :class:`Location`."""
+        return Location(self.x, self.y)
+
+
+@dataclass(slots=True)
+class Trajectory:
+    """A bounded, materialised trajectory: ordered GPS records of one object.
+
+    Streaming processing never materialises these (the stream is unbounded);
+    they exist for dataset generation, statistics and offline reference
+    computations in tests.
+    """
+
+    oid: int
+    records: list[GPSRecord] = field(default_factory=list)
+
+    def append(self, record: GPSRecord) -> None:
+        """Append a record, enforcing non-decreasing time."""
+        if self.records and record.time < self.records[-1].time:
+            raise ValueError(
+                f"trajectory {self.oid}: record at t={record.time} arrives "
+                f"after t={self.records[-1].time}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[GPSRecord]:
+        return iter(self.records)
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first record."""
+        if not self.records:
+            raise ValueError(f"trajectory {self.oid} is empty")
+        return self.records[0].time
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last record."""
+        if not self.records:
+            raise ValueError(f"trajectory {self.oid} is empty")
+        return self.records[-1].time
+
+    def locations(self) -> list[Location]:
+        """The positions of every record, in order."""
+        return [r.location for r in self.records]
+
+    @classmethod
+    def from_points(
+        cls, oid: int, points: Iterable[tuple[float, float, float]]
+    ) -> "Trajectory":
+        """Build from ``(x, y, time)`` triples (convenience for tests)."""
+        trajectory = cls(oid)
+        for x, y, t in points:
+            trajectory.append(GPSRecord.at(x, y, t))
+        return trajectory

@@ -1,0 +1,114 @@
+"""Snapshots and cluster snapshots (Definition 6 and Fig. 3).
+
+A snapshot ``S_t`` holds the location of every trajectory that reported at
+discretized time ``t``.  A cluster snapshot is the output of the indexed
+clustering phase: the density-based clusters of ``S_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.model.records import Location, StreamRecord
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """All object locations at one discretized time (Definition 6)."""
+
+    time: int
+    locations: dict[int, Location] = field(default_factory=dict)
+
+    def add(self, oid: int, location: Location) -> None:
+        """Register ``oid`` at ``location``; re-reports overwrite."""
+        self.locations[oid] = location
+
+    def add_record(self, record: StreamRecord) -> None:
+        """Register a stream record (must match the snapshot time)."""
+        if record.time != self.time:
+            raise ValueError(
+                f"record at t={record.time} added to snapshot t={self.time}"
+            )
+        self.locations[record.oid] = record.location
+
+    def __len__(self) -> int:
+        return len(self.locations)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.locations
+
+    def __iter__(self) -> Iterator[tuple[int, Location]]:
+        return iter(self.locations.items())
+
+    def oids(self) -> list[int]:
+        """The ids present in this snapshot."""
+        return list(self.locations)
+
+    def points(self) -> list[tuple[int, float, float]]:
+        """``(oid, x, y)`` triples, the input shape of the range join."""
+        return [(oid, loc.x, loc.y) for oid, loc in self.locations.items()]
+
+    @classmethod
+    def from_points(
+        cls, time: int, points: Iterable[tuple[int, float, float]]
+    ) -> "Snapshot":
+        """Build from ``(oid, x, y)`` triples."""
+        snapshot = cls(time)
+        for oid, x, y in points:
+            snapshot.add(oid, Location(x, y))
+        return snapshot
+
+
+@dataclass(slots=True)
+class ClusterSnapshot:
+    """Density-based clusters of one snapshot (the clustering phase output).
+
+    ``clusters`` maps a cluster id to the sorted tuple of member trajectory
+    ids.  Noise objects (non-core, not density reachable) appear in no
+    cluster, matching DBSCAN semantics.
+    """
+
+    time: int
+    clusters: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def from_groups(
+        cls, time: int, groups: Iterable[Iterable[int]]
+    ) -> "ClusterSnapshot":
+        """Build from member groups, assigning dense cluster ids 0, 1, ..."""
+        snapshot = cls(time)
+        for cluster_id, members in enumerate(groups):
+            ordered = tuple(sorted(members))
+            if ordered:
+                snapshot.clusters[cluster_id] = ordered
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        return iter(self.clusters.items())
+
+    def membership(self) -> Mapping[int, int]:
+        """Map each clustered oid to its cluster id."""
+        member_of: dict[int, int] = {}
+        for cluster_id, members in self.clusters.items():
+            for oid in members:
+                member_of[oid] = cluster_id
+        return member_of
+
+    def groups(self) -> list[tuple[int, ...]]:
+        """The clusters as a list of member tuples (ids discarded)."""
+        return list(self.clusters.values())
+
+    def average_cluster_size(self) -> float:
+        """Mean cluster cardinality; 0.0 when there are no clusters.
+
+        Figures 12-13 of the paper plot this alongside latency.
+        """
+        if not self.clusters:
+            return 0.0
+        return sum(len(members) for members in self.clusters.values()) / len(
+            self.clusters
+        )

@@ -1,0 +1,193 @@
+"""Discretized time sequences (Definitions 1-3) and their algebra.
+
+This module is the semantic core of the pattern definition: segments,
+L-consecutiveness, G-connectedness, the eta verification window (Lemma 4),
+and the decomposition of an arbitrary co-clustering time set into its
+*maximal valid* subsequences (Definition 15), which every enumeration
+algorithm and the test oracle share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TimeSequence:
+    """A strictly increasing sequence of discretized times.
+
+    Thin immutable wrapper around a tuple of ints with the paper's predicates
+    attached.  ``TimeSequence`` compares and hashes by value so pattern
+    results can be deduplicated with sets.
+    """
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: Iterable[int]):
+        times = tuple(int(t) for t in times)
+        for earlier, later in zip(times, times[1:]):
+            if later <= earlier:
+                raise ValueError(f"times must be strictly increasing: {times}")
+        self._times = times
+
+    @property
+    def times(self) -> tuple[int, ...]:
+        """The underlying tuple of times."""
+        return self._times
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(self._times)
+
+    def __getitem__(self, index: int) -> int:
+        return self._times[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TimeSequence):
+            return self._times == other._times
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._times)
+
+    def __repr__(self) -> str:
+        return f"TimeSequence{self._times}"
+
+    @property
+    def last(self) -> int:
+        """``max(T)``: the last (largest) time in the sequence."""
+        if not self._times:
+            raise ValueError("empty time sequence has no last element")
+        return self._times[-1]
+
+    def segments(self) -> list[tuple[int, int]]:
+        """Maximal consecutive runs as ``(start, end)`` inclusive pairs."""
+        return segments_of(self._times)
+
+    def last_segment_length(self) -> int:
+        """Length of the trailing consecutive run (``Tl`` in Lemmas 5-6)."""
+        if not self._times:
+            return 0
+        start, end = self.segments()[-1]
+        return end - start + 1
+
+    def is_consecutive(self) -> bool:
+        """True when the whole sequence is one segment."""
+        return len(self.segments()) <= 1
+
+    def is_l_consecutive(self, l_min: int) -> bool:
+        """Definition 2: every segment has length at least ``l_min``."""
+        return is_l_consecutive(self._times, l_min)
+
+    def is_g_connected(self, gap: int) -> bool:
+        """Definition 3: neighbouring times differ by at most ``gap``."""
+        return is_g_connected(self._times, gap)
+
+    def is_valid(self, duration: int, l_min: int, gap: int) -> bool:
+        """The (K, L, G) conjunction used by Definition 4 (iii)-(v)."""
+        return (
+            len(self._times) >= duration
+            and self.is_l_consecutive(l_min)
+            and self.is_g_connected(gap)
+        )
+
+    def extended(self, time: int) -> "TimeSequence":
+        """New sequence with ``time`` appended (must exceed the last time)."""
+        return TimeSequence(self._times + (time,))
+
+
+def segments_of(times: Sequence[int]) -> list[tuple[int, int]]:
+    """Split a strictly increasing time sequence into maximal segments.
+
+    Returns ``(start, end)`` inclusive pairs; e.g. ``(1, 2, 4, 5, 6)`` gives
+    ``[(1, 2), (4, 6)]``.
+    """
+    if not times:
+        return []
+    runs: list[tuple[int, int]] = []
+    run_start = prev = times[0]
+    for t in times[1:]:
+        if t == prev + 1:
+            prev = t
+            continue
+        runs.append((run_start, prev))
+        run_start = prev = t
+    runs.append((run_start, prev))
+    return runs
+
+
+def is_l_consecutive(times: Sequence[int], l_min: int) -> bool:
+    """Definition 2: every maximal segment has length >= ``l_min``."""
+    if l_min < 1:
+        raise ValueError(f"L must be >= 1, got {l_min}")
+    return all(end - start + 1 >= l_min for start, end in segments_of(times))
+
+
+def is_g_connected(times: Sequence[int], gap: int) -> bool:
+    """Definition 3: ``T[i+1] - T[i] <= gap`` for all neighbours."""
+    if gap < 1:
+        raise ValueError(f"G must be >= 1, got {gap}")
+    return all(later - earlier <= gap for earlier, later in zip(times, times[1:]))
+
+
+def eta_window(duration: int, l_min: int, gap: int) -> int:
+    """Lemma 4's verification window length.
+
+    ``eta = (ceil(K / L) - 1) * (G - 1) + K + L - 1`` guarantees that any
+    valid pattern contains a valid subsequence spanning at most ``eta``
+    consecutive discretized times, so enumerating per-time windows of length
+    ``eta`` misses no pattern.
+    """
+    if duration < 1 or l_min < 1 or gap < 1:
+        raise ValueError(
+            f"constraints must be positive: K={duration}, L={l_min}, G={gap}"
+        )
+    ceil_k_over_l = -(-duration // l_min)
+    return (ceil_k_over_l - 1) * (gap - 1) + duration + l_min - 1
+
+
+def maximal_valid_sequences(
+    times: Sequence[int], duration: int, l_min: int, gap: int
+) -> list[TimeSequence]:
+    """Decompose co-clustering times into maximal (K, L, G)-valid sequences.
+
+    Given the full set of times at which a candidate group co-clusters, a
+    valid time sequence may only use whole maximal segments of length at
+    least L (a shorter segment can never satisfy L-consecutiveness, and a
+    partial segment is never preferable to the whole one), chained while the
+    inter-segment gap is at most G.  Each chain with at least K total times
+    is a *maximal pattern time sequence* in the sense of Definition 15; the
+    decomposition is unique.
+
+    Returns the (possibly empty) list of maximal valid sequences in
+    chronological order.
+    """
+    long_segments = [
+        (start, end)
+        for start, end in segments_of(times)
+        if end - start + 1 >= l_min
+    ]
+    results: list[TimeSequence] = []
+    chain: list[tuple[int, int]] = []
+    for segment in long_segments:
+        if chain and segment[0] - chain[-1][1] > gap:
+            _flush_chain(chain, duration, results)
+            chain = []
+        chain.append(segment)
+    _flush_chain(chain, duration, results)
+    return results
+
+
+def _flush_chain(
+    chain: list[tuple[int, int]], duration: int, results: list[TimeSequence]
+) -> None:
+    """Emit a chained segment group if it meets the duration constraint."""
+    if not chain:
+        return
+    total = sum(end - start + 1 for start, end in chain)
+    if total >= duration:
+        flat: list[int] = []
+        for start, end in chain:
+            flat.extend(range(start, end + 1))
+        results.append(TimeSequence(flat))

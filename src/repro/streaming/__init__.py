@@ -1,0 +1,43 @@
+"""A Flink-like streaming substrate (Section 4 + the evaluation's cluster).
+
+The paper runs ICPE on Apache Flink across 11 nodes.  This package
+reproduces the pieces of that substrate the algorithms rely on:
+
+* :mod:`repro.streaming.sync` — the "last time" synchronisation operator:
+  restores per-trajectory time order under out-of-order delivery and emits
+  complete snapshots in ascending time order;
+* :mod:`repro.streaming.dataflow` — operators, keyed exchanges and a
+  driver that executes a staged topology while accounting per-subtask busy
+  time;
+* :mod:`repro.streaming.cluster` — the N-node cost model turning busy
+  times into the latency/throughput metrics of Section 7 (Figs. 10-15);
+* :mod:`repro.streaming.shuffle` — bounded out-of-order delivery
+  simulation used by tests and examples.
+"""
+
+from repro.streaming.cluster import ClusterModel, StageCost
+from repro.streaming.dataflow import (
+    KeyedStage,
+    Operator,
+    StageRuntime,
+    Topology,
+)
+from repro.streaming.environment import Job, StreamEnvironment
+from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+from repro.streaming.shuffle import bounded_shuffle
+from repro.streaming.sync import TimeSyncOperator
+
+__all__ = [
+    "ClusterModel",
+    "Job",
+    "KeyedStage",
+    "LatencyThroughputMeter",
+    "Operator",
+    "SnapshotTiming",
+    "StageCost",
+    "StageRuntime",
+    "StreamEnvironment",
+    "TimeSyncOperator",
+    "Topology",
+    "bounded_shuffle",
+]

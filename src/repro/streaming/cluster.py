@@ -1,0 +1,130 @@
+"""The N-node cluster cost model.
+
+The paper's experiments run on 1-10 slave nodes, each with two 12-core
+processors.  We execute every subtask in one Python process but account
+busy time per subtask; the cost model then *schedules* those subtasks onto
+``n_nodes`` simulated machines exactly as Flink's round-robin slot
+placement would, and derives:
+
+* **latency** of one snapshot — stages execute as a pipeline, so the
+  snapshot's latency is the sum over stages of the slowest node's stage
+  time, where a node's stage time is ``max(longest single subtask,
+  node_total / cores)`` (work-conserving multiprocessing bound), plus a
+  fixed per-exchange network cost;
+* **throughput** — the pipeline's bottleneck: the reciprocal of the
+  largest per-snapshot stage-node time.
+
+The model deliberately reproduces the *shape* of Fig. 14 (falling latency
+and rising throughput that saturate once the dominant subtask is alone on
+a node); absolute values depend on the Python substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.streaming.dataflow import StageWork
+
+
+@dataclass(frozen=True, slots=True)
+class StageCost:
+    """Distributed cost of one stage for one unit of work."""
+
+    name: str
+    slowest_node_seconds: float
+    total_seconds: float
+
+
+@dataclass(slots=True)
+class ClusterModel:
+    """Round-robin subtask placement over homogeneous nodes.
+
+    Attributes:
+        n_nodes: number of worker nodes (the paper's N, 1-10).
+        cores_per_node: parallel capacity per node (paper hardware: 24).
+        exchange_cost_seconds: fixed cost of one keyed exchange hop,
+            modelling serialisation plus network transfer per stage.
+    """
+
+    n_nodes: int = 1
+    cores_per_node: int = 24
+    exchange_cost_seconds: float = 0.0002
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+
+    def stage_cost(self, work: StageWork) -> StageCost:
+        """Distributed execution time of one stage's unit of work."""
+        node_busy = [0.0] * self.n_nodes
+        node_peak = [0.0] * self.n_nodes
+        for index, busy in enumerate(work.busy_seconds):
+            node = index % self.n_nodes
+            node_busy[node] += busy
+            if busy > node_peak[node]:
+                node_peak[node] = busy
+        slowest = 0.0
+        for node in range(self.n_nodes):
+            # Work-conserving bound for parallel subtasks sharing cores.
+            elapsed = max(node_peak[node], node_busy[node] / self.cores_per_node)
+            if elapsed > slowest:
+                slowest = elapsed
+        return StageCost(
+            name=work.name,
+            slowest_node_seconds=slowest,
+            total_seconds=sum(work.busy_seconds),
+        )
+
+    def snapshot_latency_seconds(self, works: Sequence[StageWork]) -> float:
+        """Pipelined latency of one snapshot through all stages."""
+        latency = 0.0
+        for work in works:
+            latency += self.stage_cost(work).slowest_node_seconds
+            latency += self.exchange_cost_seconds
+        return latency
+
+    def bottleneck_seconds(self, works: Sequence[StageWork]) -> float:
+        """Per-snapshot time of the slowest pipeline stage (throughput cap)."""
+        worst = self.exchange_cost_seconds
+        for work in works:
+            cost = self.stage_cost(work).slowest_node_seconds
+            if cost + self.exchange_cost_seconds > worst:
+                worst = cost + self.exchange_cost_seconds
+        return worst
+
+
+@dataclass(slots=True)
+class ClusterRun:
+    """Accumulates per-snapshot stage works into run-level metrics."""
+
+    model: ClusterModel
+    latencies: list[float] = field(default_factory=list)
+    bottlenecks: list[float] = field(default_factory=list)
+
+    def record(self, works: Sequence[StageWork]) -> None:
+        """Score one snapshot's stage works under the model."""
+        self.latencies.append(self.model.snapshot_latency_seconds(works))
+        self.bottlenecks.append(self.model.bottleneck_seconds(works))
+
+    @property
+    def snapshots(self) -> int:
+        """Number of snapshots recorded."""
+        return len(self.latencies)
+
+    def average_latency_ms(self) -> float:
+        """Mean per-snapshot pipelined latency in ms."""
+        if not self.latencies:
+            return 0.0
+        return 1000.0 * sum(self.latencies) / len(self.latencies)
+
+    def throughput_tps(self) -> float:
+        """Snapshots per second under pipelined execution."""
+        if not self.bottlenecks:
+            return 0.0
+        total = sum(self.bottlenecks)
+        return len(self.bottlenecks) / total if total > 0 else float("inf")

@@ -1,0 +1,213 @@
+"""Operators, keyed stages and the staged topology driver.
+
+A miniature of Flink's programming model sufficient for ICPE's job graph
+(Fig. 3 / Fig. 5): a topology is a list of *stages*, each stage has a
+number of parallel *subtasks* hosting one operator instance each, and
+records travel between stages through *keyed exchanges* (hash of the key
+modulo the downstream parallelism — Flink's key-group routing).
+
+The driver executes one *unit of work* (for ICPE: one snapshot) at a time,
+measuring the busy time every subtask spends, which the cluster cost model
+(:mod:`repro.streaming.cluster`) turns into distributed latency and
+throughput figures.  Running the real algorithm code under measurement —
+rather than simulating costs — keeps the relative comparisons between
+methods meaningful.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+
+class Operator(ABC):
+    """One parallel operator instance (a subtask's logic)."""
+
+    def open(self, subtask_index: int, parallelism: int) -> None:
+        """Called once before any element is processed."""
+
+    @abstractmethod
+    def process(self, element: Any) -> Iterable[Any]:
+        """Handle one element; yield downstream elements."""
+
+    def end_batch(self, ctx: Any) -> Iterable[Any]:
+        """Per-unit-of-work trigger (ICPE: once per snapshot, ctx = time).
+
+        Called on *every* subtask after the batch's elements, including
+        subtasks that received none — operators with time-driven state
+        (windows, variable bit strings) rely on the tick.
+        """
+        return ()
+
+    def finish(self) -> Iterable[Any]:
+        """Flush state at end of stream; yield remaining elements."""
+        return ()
+
+
+class FnOperator(Operator):
+    """Adapter turning a plain function into a flat-map operator."""
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]]):
+        self._fn = fn
+
+    def process(self, element: Any) -> Iterable[Any]:
+        """Delegate to the wrapped function."""
+        return self._fn(element)
+
+
+@dataclass(slots=True)
+class KeyedStage:
+    """One stage of the topology.
+
+    Attributes:
+        name: stage name (appears in metrics).
+        operator_factory: builds one operator instance per subtask.
+        parallelism: number of subtasks.
+        key_fn: maps an incoming element to its routing key; ``None``
+            broadcasts every element to subtask 0 (a sink-like stage).
+    """
+
+    name: str
+    operator_factory: Callable[[], Operator]
+    parallelism: int
+    key_fn: Callable[[Any], Hashable] | None = None
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError(
+                f"stage {self.name!r}: parallelism must be >= 1, "
+                f"got {self.parallelism}"
+            )
+
+
+@dataclass(slots=True)
+class StageWork:
+    """Busy time of one stage during one unit of work, per subtask."""
+
+    name: str
+    busy_seconds: list[float]
+    elements_in: int
+    elements_out: int
+
+    @property
+    def parallelism(self) -> int:
+        """Number of subtasks measured."""
+        return len(self.busy_seconds)
+
+
+class StageRuntime:
+    """Instantiated subtasks of one stage plus routing."""
+
+    def __init__(self, stage: KeyedStage):
+        self.stage = stage
+        self.subtasks = [stage.operator_factory() for _ in range(stage.parallelism)]
+        for index, subtask in enumerate(self.subtasks):
+            subtask.open(index, stage.parallelism)
+
+    def route(self, element: Any) -> int:
+        """Subtask index an element is routed to."""
+        if self.stage.key_fn is None:
+            return 0
+        return hash(self.stage.key_fn(element)) % self.stage.parallelism
+
+    def run(
+        self, elements: Sequence[Any], ctx: Any = None
+    ) -> tuple[list[Any], StageWork]:
+        """Process one unit of work; returns outputs and busy times.
+
+        Every subtask's ``end_batch(ctx)`` runs after its elements, even
+        when it received none this batch.
+        """
+        buckets: list[list[Any]] = [[] for _ in self.subtasks]
+        for element in elements:
+            buckets[self.route(element)].append(element)
+        outputs: list[Any] = []
+        busy = [0.0] * len(self.subtasks)
+        for index, (subtask, bucket) in enumerate(zip(self.subtasks, buckets)):
+            started = _time.perf_counter()
+            for element in bucket:
+                outputs.extend(subtask.process(element))
+            outputs.extend(subtask.end_batch(ctx))
+            busy[index] += _time.perf_counter() - started
+        work = StageWork(
+            name=self.stage.name,
+            busy_seconds=busy,
+            elements_in=len(elements),
+            elements_out=len(outputs),
+        )
+        return outputs, work
+
+    def finish(self) -> tuple[list[Any], StageWork]:
+        """Flush every subtask's state; returns outputs and busy times."""
+        outputs: list[Any] = []
+        busy = [0.0] * len(self.subtasks)
+        for index, subtask in enumerate(self.subtasks):
+            started = _time.perf_counter()
+            outputs.extend(subtask.finish())
+            busy[index] += _time.perf_counter() - started
+        work = StageWork(
+            name=self.stage.name,
+            busy_seconds=busy,
+            elements_in=0,
+            elements_out=len(outputs),
+        )
+        return outputs, work
+
+
+@dataclass(slots=True)
+class Topology:
+    """A linear chain of keyed stages (ICPE's job graph shape)."""
+
+    stages: list[KeyedStage] = field(default_factory=list)
+
+    def add(self, stage: KeyedStage) -> "Topology":
+        """Append a stage and return the topology (chainable)."""
+        self.stages.append(stage)
+        return self
+
+    def build(self) -> list[StageRuntime]:
+        """Instantiate the runtimes of every stage."""
+        return [StageRuntime(stage) for stage in self.stages]
+
+
+def run_unit(
+    runtimes: Sequence[StageRuntime], elements: Sequence[Any], ctx: Any = None
+) -> tuple[list[Any], list[StageWork]]:
+    """Push one unit of work (e.g. one snapshot) through every stage."""
+    works: list[StageWork] = []
+    current: Sequence[Any] = elements
+    for runtime in runtimes:
+        current, work = runtime.run(current, ctx)
+        works.append(work)
+    return list(current), works
+
+
+def finish_all(
+    runtimes: Sequence[StageRuntime],
+) -> tuple[list[Any], list[StageWork]]:
+    """Flush stage state at end of stream, cascading outputs downstream."""
+    works: list[StageWork] = []
+    carried: list[Any] = []
+    for runtime in runtimes:
+        if carried:
+            carried, work_run = runtime.run(carried)
+            flushed, work_fin = runtime.finish()
+            carried = list(carried) + flushed
+            busy = [
+                a + b
+                for a, b in zip(work_run.busy_seconds, work_fin.busy_seconds)
+            ]
+            works.append(
+                StageWork(
+                    name=runtime.stage.name,
+                    busy_seconds=busy,
+                    elements_in=work_run.elements_in,
+                    elements_out=len(carried),
+                )
+            )
+        else:
+            carried, work = runtime.finish()
+            works.append(work)
+    return carried, works

@@ -1,0 +1,68 @@
+"""Latency / throughput metrics (Section 7's performance measures).
+
+The paper reports, per configuration, the *average response time per
+snapshot* (latency, ms) and the *number of snapshots processed per second*
+(throughput, tps).  :class:`LatencyThroughputMeter` collects per-snapshot
+timings — either raw wall-clock (single process) or the cluster cost
+model's distributed estimates — and produces those two numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotTiming:
+    """Timing of one processed snapshot."""
+
+    time: int
+    latency_seconds: float
+    bottleneck_seconds: float
+    locations: int = 0
+    patterns_emitted: int = 0
+
+
+@dataclass(slots=True)
+class LatencyThroughputMeter:
+    """Aggregates per-snapshot timings into the paper's two metrics."""
+
+    timings: list[SnapshotTiming] = field(default_factory=list)
+
+    def record(self, timing: SnapshotTiming) -> None:
+        """Append one snapshot's timing."""
+        self.timings.append(timing)
+
+    @property
+    def snapshots(self) -> int:
+        """Number of snapshots recorded."""
+        return len(self.timings)
+
+    def average_latency_ms(self) -> float:
+        """Mean per-snapshot response time in milliseconds."""
+        if not self.timings:
+            return 0.0
+        return 1000.0 * mean(t.latency_seconds for t in self.timings)
+
+    def throughput_tps(self) -> float:
+        """Snapshots per second sustained by the pipeline bottleneck."""
+        if not self.timings:
+            return 0.0
+        total = sum(t.bottleneck_seconds for t in self.timings)
+        if total <= 0:
+            return float("inf")
+        return len(self.timings) / total
+
+    def total_patterns(self) -> int:
+        """Total fresh patterns across all snapshots."""
+        return sum(t.patterns_emitted for t in self.timings)
+
+    def summary(self) -> dict[str, float]:
+        """The metrics as a flat dict (for reports)."""
+        return {
+            "snapshots": float(self.snapshots),
+            "avg_latency_ms": self.average_latency_ms(),
+            "throughput_tps": self.throughput_tps(),
+            "patterns": float(self.total_patterns()),
+        }

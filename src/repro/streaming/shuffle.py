@@ -1,0 +1,60 @@
+"""Bounded out-of-order delivery simulation.
+
+Used by tests and examples to exercise the time-synchronisation operator:
+takes an event-time-ordered record stream and produces a permutation in
+which a record with event time ``tau`` is always delivered before any
+record with event time greater than ``tau + max_delay`` — the delivery
+model of a Flink source with bounded lateness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.model.records import StreamRecord
+
+
+def bounded_shuffle(
+    records: Sequence[StreamRecord],
+    max_delay: int,
+    rng: random.Random,
+    hold_probability: float = 0.5,
+    max_pending: int = 256,
+) -> Iterator[StreamRecord]:
+    """Yield ``records`` out of order within the bounded-delay guarantee.
+
+    Args:
+        records: the stream in event-time order.
+        max_delay: displacement bound in discretized time units; 0 keeps
+            event times non-decreasing but still interleaves records that
+            share a time.
+        rng: randomness source (injected for reproducibility).
+        hold_probability: chance of holding the buffer back at each step —
+            higher values produce more reordering.
+        max_pending: buffer cap; prevents degenerate memory use.
+    """
+    if max_delay < 0:
+        raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+    if not 0.0 <= hold_probability < 1.0:
+        raise ValueError(
+            f"hold_probability must be in [0, 1), got {hold_probability}"
+        )
+
+    pending: list[StreamRecord] = []
+
+    def pop_eligible() -> StreamRecord:
+        oldest = min(r.time for r in pending)
+        eligible = [r for r in pending if r.time <= oldest + max_delay]
+        choice = rng.choice(eligible)
+        pending.remove(choice)
+        return choice
+
+    for record in records:
+        pending.append(record)
+        while pending and (
+            len(pending) > max_pending or rng.random() >= hold_probability
+        ):
+            yield pop_eligible()
+    while pending:
+        yield pop_eligible()

@@ -1,0 +1,153 @@
+"""Time synchronisation via "last time" chaining (Section 4).
+
+Flink does not guarantee that records are processed in event-time order,
+but pattern detection requires ascending snapshots.  The paper attaches to
+every record the *last time* — the discretized time of the trajectory's
+previous report — so the operator can (i) restore each trajectory's order
+exactly, and (ii) decide whether a snapshot still has to wait: a record
+whose ``last_time`` names an unreleased predecessor proves that snapshot
+``last_time`` is incomplete; conversely a chain that jumps from time 3 to
+time 5 proves the trajectory reported nothing at time 4.
+
+New trajectories (``last_time is None``) cannot be anticipated by chains
+alone, so the operator additionally assumes *bounded delay*: a record with
+event time ``tau`` arrives before any record with event time greater than
+``tau + max_delay`` is fed.  Snapshot ``t`` is emitted once
+
+* the discovery watermark has passed (``max_seen_time > t + max_delay``),
+  so no unseen record for time <= t can still arrive, and
+* no trajectory chain is blocked on a missing predecessor at a time <= t.
+
+``flush()`` emits every remaining snapshot at end of stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.model.records import StreamRecord
+from repro.model.snapshot import Snapshot
+
+
+@dataclass(slots=True)
+class _Chain:
+    """Per-trajectory reassembly state."""
+
+    released_up_to: int | None = None
+    pending: list[tuple[int, int, StreamRecord]] = field(default_factory=list)
+    _push_count: int = 0
+
+    def push(self, record: StreamRecord) -> None:
+        # The counter breaks heap ties; StreamRecord itself is unordered.
+        heapq.heappush(self.pending, (record.time, self._push_count, record))
+        self._push_count += 1
+
+    def releasable(self) -> StreamRecord | None:
+        """The next record if its predecessor has been released."""
+        if not self.pending:
+            return None
+        record = self.pending[0][2]
+        if record.last_time == self.released_up_to or (
+            record.last_time is None and self.released_up_to is None
+        ):
+            return record
+        return None
+
+    def blocked_at(self) -> int | None:
+        """Time of the missing predecessor, if the chain is blocked."""
+        if not self.pending:
+            return None
+        record = self.pending[0][2]
+        if record.last_time is None or record.last_time == self.released_up_to:
+            return None
+        return record.last_time
+
+    def pop(self) -> StreamRecord:
+        record = heapq.heappop(self.pending)[2]
+        self.released_up_to = record.time
+        return record
+
+
+class TimeSyncOperator:
+    """Reorders a trajectory stream into complete, ascending snapshots."""
+
+    def __init__(self, max_delay: int = 0):
+        """``max_delay``: bounded-delay guarantee of the source, in
+        discretized time units.  0 means the stream is already in
+        event-time order across trajectories (records of one snapshot may
+        still interleave arbitrarily)."""
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.max_delay = max_delay
+        self._chains: dict[int, _Chain] = {}
+        self._building: dict[int, Snapshot] = {}
+        self._max_seen: int | None = None
+        self._emitted_up_to: int | None = None
+
+    def feed(self, record: StreamRecord) -> list[Snapshot]:
+        """Accept one record; return any snapshots that became complete."""
+        if (
+            self._emitted_up_to is not None
+            and record.time <= self._emitted_up_to
+        ):
+            raise ValueError(
+                f"record for t={record.time} arrived after snapshot "
+                f"{self._emitted_up_to} was emitted; max_delay={self.max_delay} "
+                "is too small for this stream"
+            )
+        chain = self._chains.setdefault(record.oid, _Chain())
+        chain.push(record)
+        if self._max_seen is None or record.time > self._max_seen:
+            self._max_seen = record.time
+        self._release_chains()
+        return self._emit_ready()
+
+    def flush(self) -> list[Snapshot]:
+        """End of stream: release everything and emit remaining snapshots."""
+        # Chains blocked on a predecessor that never arrived indicate data
+        # loss; releasing in time order is the best-effort semantics.
+        for chain in self._chains.values():
+            while chain.pending:
+                record = chain.pop()
+                self._building.setdefault(
+                    record.time, Snapshot(record.time)
+                ).add_record(record)
+        snapshots = [self._building[t] for t in sorted(self._building)]
+        self._building.clear()
+        if snapshots:
+            self._emitted_up_to = snapshots[-1].time
+        return snapshots
+
+    # ------------------------------------------------------------------ internals
+
+    def _release_chains(self) -> None:
+        for chain in self._chains.values():
+            while True:
+                record = chain.releasable()
+                if record is None:
+                    break
+                chain.pop()
+                self._building.setdefault(
+                    record.time, Snapshot(record.time)
+                ).add_record(record)
+
+    def _emit_ready(self) -> list[Snapshot]:
+        if self._max_seen is None:
+            return []
+        watermark = self._max_seen - self.max_delay - 1
+        blocked = [
+            chain.blocked_at()
+            for chain in self._chains.values()
+            if chain.blocked_at() is not None
+        ]
+        if blocked:
+            watermark = min(watermark, min(blocked) - 1)
+        out: list[Snapshot] = []
+        for t in sorted(self._building):
+            if t > watermark:
+                break
+            out.append(self._building.pop(t))
+        if out:
+            self._emitted_up_to = out[-1].time
+        return out

@@ -1,0 +1,69 @@
+"""Sparkline rendering tests."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.sparkline import BARS, series_block, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_mid_height(self):
+        assert sparkline([5, 5, 5]) == BARS[len(BARS) // 2] * 3
+
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == BARS[0]
+        assert line[-1] == BARS[-1]
+        assert [BARS.index(c) for c in line] == sorted(
+            BARS.index(c) for c in line
+        )
+
+    def test_nan_renders_blank(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == " "
+        assert line[0] != " " and line[2] != " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=30))
+    def test_length_and_range(self, values):
+        line = sparkline(values)
+        assert len(line) == len(values)
+        assert all(c in BARS for c in line)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=20))
+    def test_extremes_hit_bounds(self, values):
+        if min(values) == max(values):
+            return
+        line = sparkline(values)
+        assert BARS[0] in line
+        assert BARS[-1] in line
+
+
+class TestSeriesBlock:
+    def test_grouping_and_order(self):
+        rows = [
+            {"method": "RJC", "eps": 0.04, "latency": 2.0},
+            {"method": "RJC", "eps": 0.02, "latency": 1.0},
+            {"method": "GDC", "eps": 0.02, "latency": 3.0},
+            {"method": "GDC", "eps": 0.04, "latency": 4.0},
+        ]
+        block = series_block(rows, ["method"], x="eps", y="latency")
+        lines = block.splitlines()
+        assert lines[0] == "latency vs eps"
+        assert lines[1].strip().startswith("GDC")
+        assert lines[2].strip().startswith("RJC")
+
+    def test_title_override(self):
+        block = series_block(
+            [{"m": "a", "x": 1, "y": 1}], ["m"], "x", "y", title="T"
+        )
+        assert block.startswith("T")

@@ -1,0 +1,108 @@
+"""Cross-implementation clustering equivalence (the paper's Section 5).
+
+RJC (GR-index range join + pair DBSCAN), GDC (epsilon-grid DBSCAN) and the
+textbook reference must produce identical clusters, core points and noise
+on arbitrary inputs — clustering is a deterministic function of the
+snapshot under the canonical border rule.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.gdc import GDCClusterer
+from repro.cluster.reference import reference_dbscan
+from repro.cluster.rjc import ClusteringConfig, RJCClusterer
+from repro.model.snapshot import Snapshot
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    max_size=50,
+).map(lambda pts: [(i, x, y) for i, (x, y) in enumerate(pts)])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    point_lists,
+    st.floats(min_value=0.5, max_value=20),
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=1, max_value=40),
+)
+def test_rjc_equals_reference_and_gdc(points, eps, min_pts, lg):
+    snapshot = Snapshot.from_points(1, points)
+    rjc = RJCClusterer(
+        ClusteringConfig(epsilon=eps, min_pts=min_pts, cell_width=lg)
+    ).cluster_result(snapshot)
+    ref = reference_dbscan(points, eps, min_pts)
+    gdc = GDCClusterer(eps, min_pts).cluster_result(snapshot)
+    assert rjc.clusters == ref.clusters == gdc.clusters
+    assert rjc.core_points == ref.core_points == gdc.core_points
+    assert rjc.noise == ref.noise == gdc.noise
+
+
+def test_dense_grid_of_points():
+    """A dense uniform blob must form a single cluster."""
+    points = [
+        (i * 10 + j, float(i), float(j)) for i in range(10) for j in range(10)
+    ]
+    snapshot = Snapshot.from_points(1, points)
+    result = RJCClusterer(
+        ClusteringConfig(epsilon=1.0, min_pts=3, cell_width=4.0)
+    ).cluster_result(snapshot)
+    assert len(result.clusters) == 1
+    assert len(result.clusters[0]) == 100
+
+
+def test_two_separated_blobs():
+    rng = random.Random(8)
+    points = []
+    for i in range(20):
+        points.append((i, rng.uniform(0, 5), rng.uniform(0, 5)))
+    for i in range(20, 40):
+        points.append((i, rng.uniform(100, 105), rng.uniform(100, 105)))
+    snapshot = Snapshot.from_points(1, points)
+    result = RJCClusterer(
+        ClusteringConfig(epsilon=6.0, min_pts=4, cell_width=10.0)
+    ).cluster_result(snapshot)
+    assert len(result.clusters) == 2
+    members = sorted(result.clusters.values(), key=min)
+    assert set(members[0]) <= set(range(20))
+    assert set(members[1]) <= set(range(20, 40))
+
+
+def test_paper_fig2_time3_cluster():
+    """Section 3.2: at time 3 (minPts = 3), o2..o8 form one cluster with
+    o3..o7 core and o2, o8 density reachable."""
+    # Chain geometry: o2 - o3 - o4 - o5 - o6 - o7 - o8, epsilon-adjacent
+    # neighbours only; o1 is far away.
+    points = [
+        (1, 100.0, 100.0),
+        (2, 0.0, 0.0),
+        (3, 1.0, 0.0),
+        (4, 2.0, 0.0),
+        (5, 3.0, 0.0),
+        (6, 4.0, 0.0),
+        (7, 5.0, 0.0),
+        (8, 6.0, 0.0),
+    ]
+    result = reference_dbscan(points, epsilon=1.0, min_pts=3)
+    assert result.clusters == {0: (2, 3, 4, 5, 6, 7, 8)}
+    assert result.core_points == {3, 4, 5, 6, 7}
+    assert result.noise == {1}
+
+
+def test_gdc_insensitive_to_grid_parameter():
+    """GDC has no lg knob: its cells are tied to epsilon (Fig. 11's flat
+    curve); the clusterer accordingly takes no cell width."""
+    clusterer = GDCClusterer(epsilon=2.0, min_pts=3)
+    assert not hasattr(clusterer, "cell_width")
+    stats_cells = []
+    points = [(i, float(i), 0.0) for i in range(30)]
+    snapshot = Snapshot.from_points(1, points)
+    clusterer.cluster(snapshot)
+    stats_cells.append(clusterer.last_stats.occupied_cells)
+    assert stats_cells[0] > 0

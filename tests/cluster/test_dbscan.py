@@ -1,0 +1,94 @@
+"""Pair-based DBSCAN unit tests."""
+
+import pytest
+
+from repro.cluster.dbscan import UnionFind, dbscan_from_pairs
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        for item in "abcd":
+            uf.add(item)
+        uf.union("a", "b")
+        uf.union("c", "d")
+        assert uf.find("a") == uf.find("b")
+        assert uf.find("c") == uf.find("d")
+        assert uf.find("a") != uf.find("c")
+
+    def test_groups(self):
+        uf = UnionFind()
+        for i in range(5):
+            uf.add(i)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        groups = {frozenset(g) for g in uf.groups().values()}
+        assert groups == {frozenset({0, 1, 2}), frozenset({3}), frozenset({4})}
+
+
+class TestDBSCANFromPairs:
+    def test_simple_chain_cluster(self):
+        # 1-2-3 chain; with min_pts=2 (self + one neighbour) all are core.
+        result = dbscan_from_pairs([1, 2, 3], [(1, 2), (2, 3)], min_pts=2)
+        assert result.clusters == {0: (1, 2, 3)}
+        assert result.core_points == {1, 2, 3}
+        assert result.noise == set()
+
+    def test_min_pts_excludes_sparse(self):
+        result = dbscan_from_pairs([1, 2, 3], [(1, 2)], min_pts=3)
+        assert result.clusters == {}
+        assert result.noise == {1, 2, 3}
+
+    def test_border_point_attached(self):
+        # 1,2,3 mutually adjacent (core at min_pts=3); 4 adjacent only to 3.
+        pairs = [(1, 2), (1, 3), (2, 3), (3, 4)]
+        result = dbscan_from_pairs([1, 2, 3, 4], pairs, min_pts=3)
+        assert result.clusters == {0: (1, 2, 3, 4)}
+        assert result.core_points == {1, 2, 3}
+        assert result.noise == set()
+
+    def test_border_between_two_clusters_canonical(self):
+        """A border point adjacent to two clusters joins the one of its
+        smallest-id core neighbour (min_pts=4 keeps point 5 non-core)."""
+        pairs = [
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),      # cluster A
+            (7, 8), (7, 9), (7, 10), (8, 9), (8, 10), (9, 10),   # cluster B
+            (3, 5), (7, 5),              # border 5 touches both
+        ]
+        result = dbscan_from_pairs(
+            [1, 2, 3, 4, 5, 7, 8, 9, 10], pairs, min_pts=4
+        )
+        # 5 has 2 neighbours + itself = 3 < 4 -> border; its smallest core
+        # neighbour is 3 -> cluster A.
+        assert result.clusters == {0: (1, 2, 3, 4, 5), 1: (7, 8, 9, 10)}
+        assert 5 not in result.core_points
+
+    def test_isolated_points_are_noise(self):
+        result = dbscan_from_pairs([1, 2, 3], [], min_pts=2)
+        assert result.clusters == {}
+        assert result.noise == {1, 2, 3}
+
+    def test_count_self_toggle(self):
+        # One pair: with count_self, both have neighbourhood size 2.
+        with_self = dbscan_from_pairs([1, 2], [(1, 2)], min_pts=2)
+        without = dbscan_from_pairs(
+            [1, 2], [(1, 2)], min_pts=2, count_self=False
+        )
+        assert with_self.clusters == {0: (1, 2)}
+        assert without.clusters == {}
+
+    def test_invalid_min_pts(self):
+        with pytest.raises(ValueError):
+            dbscan_from_pairs([1], [], min_pts=0)
+
+    def test_cluster_ids_ordered_by_min_member(self):
+        pairs = [(10, 11), (10, 12), (11, 12), (1, 2), (1, 3), (2, 3)]
+        result = dbscan_from_pairs([1, 2, 3, 10, 11, 12], pairs, min_pts=3)
+        assert result.clusters[0] == (1, 2, 3)
+        assert result.clusters[1] == (10, 11, 12)
+
+    def test_to_snapshot(self):
+        result = dbscan_from_pairs([1, 2], [(1, 2)], min_pts=2)
+        snapshot = result.to_snapshot(7)
+        assert snapshot.time == 7
+        assert snapshot.clusters == {0: (1, 2)}

@@ -1,0 +1,91 @@
+"""Shared test helpers: random streams, enumeration harness, paper example."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.enumeration.base import PatternCollector
+from repro.enumeration.baseline import BAEnumerator
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.partition import PartitionRouter
+from repro.enumeration.vba import VBAEnumerator
+from repro.model.constraints import PatternConstraints
+from repro.model.snapshot import ClusterSnapshot
+
+ENUMERATOR_FACTORIES = {
+    "BA": lambda anchor, constraints: BAEnumerator(anchor, constraints),
+    "FBA": lambda anchor, constraints: FBAEnumerator(anchor, constraints),
+    "VBA": lambda anchor, constraints: VBAEnumerator(anchor, constraints),
+}
+
+
+def run_enumerator(
+    snapshots: list[ClusterSnapshot],
+    constraints: PatternConstraints,
+    kind: str,
+) -> PatternCollector:
+    """Drive one enumeration algorithm over a bounded cluster stream."""
+    factory = ENUMERATOR_FACTORIES[kind]
+    router = PartitionRouter(constraints.m)
+    enumerators: dict[int, object] = {}
+    collector = PatternCollector()
+    for snapshot in snapshots:
+        for anchor, members in router.route(snapshot):
+            enumerator = enumerators.get(anchor)
+            if enumerator is None:
+                enumerator = enumerators[anchor] = factory(anchor, constraints)
+            collector.offer(
+                snapshot.time, enumerator.on_partition(snapshot.time, members)
+            )
+    final_time = snapshots[-1].time if snapshots else 0
+    for anchor in sorted(enumerators):
+        collector.offer(final_time, enumerators[anchor].finish())
+    return collector
+
+
+def random_cluster_stream(
+    rng: random.Random,
+    n_objects: int,
+    horizon: int,
+    drop_probability: float = 0.15,
+) -> list[ClusterSnapshot]:
+    """Random cluster snapshots: shuffled objects split into random groups."""
+    snapshots = []
+    for t in range(1, horizon + 1):
+        objects = list(range(n_objects))
+        rng.shuffle(objects)
+        groups, index = [], 0
+        while index < len(objects):
+            size = rng.randint(1, len(objects) - index)
+            groups.append(objects[index : index + size])
+            index += size
+        groups = [
+            [oid for oid in group if rng.random() > drop_probability]
+            for group in groups
+        ]
+        snapshots.append(
+            ClusterSnapshot.from_groups(t, [g for g in groups if g])
+        )
+    return snapshots
+
+
+@pytest.fixture
+def paper_cluster_stream() -> list[ClusterSnapshot]:
+    """The cluster snapshots of the paper's running example (Figs. 2, 7-9).
+
+    Reconstructed from the worked examples: Section 3.1's patterns at
+    times 5 and 7, the Lemma 5/6 walk-throughs, and the bit strings of
+    Figs. 8-9 for the subtask of o4 (objects renumbered 1-8 as in Fig. 2).
+    """
+    return [
+        ClusterSnapshot.from_groups(1, [[1, 2], [3, 4], [5, 6, 7]]),
+        ClusterSnapshot.from_groups(2, [[1, 2], [3, 4, 5], [6, 7]]),
+        ClusterSnapshot.from_groups(3, [[2, 3, 4, 5, 6, 7, 8]]),
+        ClusterSnapshot.from_groups(4, [[4, 5, 6, 7]]),
+        ClusterSnapshot.from_groups(5, [[1, 2], [4, 5], [6, 7]]),
+        ClusterSnapshot.from_groups(6, [[3, 4, 5, 6]]),
+        ClusterSnapshot.from_groups(7, [[1, 2], [4, 5, 6, 7]]),
+        ClusterSnapshot.from_groups(8, [[4, 5, 6, 7]]),
+    ]

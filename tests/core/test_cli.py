@@ -1,0 +1,117 @@
+"""CLI tests (generate / stats / detect subcommands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def workload_csv(tmp_path):
+    path = tmp_path / "workload.csv"
+    code = main(
+        [
+            "generate",
+            "--kind", "taxi",
+            "--objects", "50",
+            "--horizon", "16",
+            "--seed", "1",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--kind", "brinkhoff", "--out", "x.csv"]
+        )
+        assert args.kind == "brinkhoff"
+        assert args.objects == 200
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--kind", "mystery", "--out", "x.csv"]
+            )
+
+
+class TestGenerate:
+    def test_writes_csv(self, workload_csv):
+        header = workload_csv.read_text().splitlines()[0]
+        assert header == "oid,x,y,time,last_time"
+
+    def test_group_fraction_override(self, tmp_path, capsys):
+        out = tmp_path / "no_groups.csv"
+        main(
+            [
+                "generate", "--kind", "geolife", "--objects", "30",
+                "--horizon", "10", "--group-fraction", "0.0",
+                "--out", str(out),
+            ]
+        )
+        assert out.exists()
+
+
+class TestStats:
+    def test_prints_table(self, workload_csv, capsys):
+        assert main(["stats", "--input", str(workload_csv)]) == 0
+        output = capsys.readouterr().out
+        assert "# trajectories" in output
+        assert "epsilon at 0.06%" in output
+
+
+class TestDetect:
+    def test_detects_patterns(self, workload_csv, capsys):
+        code = main(
+            [
+                "detect",
+                "--input", str(workload_csv),
+                "--m", "3", "--k", "5", "--l", "2", "--g", "2",
+                "--min-pts", "3",
+                "--maximal-only",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "maximal patterns" in output
+        assert "snapshots; avg latency" in output
+
+    def test_enumerator_choice(self, workload_csv, capsys):
+        for enumerator in ("baseline", "fba", "vba"):
+            code = main(
+                [
+                    "detect",
+                    "--input", str(workload_csv),
+                    "--m", "3", "--k", "5",
+                    "--min-pts", "3",
+                    "--enumerator", enumerator,
+                    "--limit", "3",
+                ]
+            )
+            assert code == 0
+
+    def test_json_export(self, workload_csv, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "patterns.json"
+        code = main(
+            [
+                "detect",
+                "--input", str(workload_csv),
+                "--m", "3", "--k", "5", "--min-pts", "3",
+                "--json-out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert isinstance(payload, list)
+        if payload:
+            assert {"objects", "witnesses", "first_detected_at"} <= set(
+                payload[0]
+            )

@@ -1,0 +1,121 @@
+"""Online convoy tracker tests: live view + exactness vs offline oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.live import (
+    ConvoyCandidate,
+    ConvoyTracker,
+    maximal_convoys_offline,
+)
+from repro.model.snapshot import ClusterSnapshot
+from tests.conftest import random_cluster_stream
+
+
+def snapshots_of(groups_by_time: dict[int, list[list[int]]]):
+    return [
+        ClusterSnapshot.from_groups(t, groups_by_time.get(t, []))
+        for t in sorted(groups_by_time)
+    ]
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvoyTracker(m=1, k=2)
+        with pytest.raises(ValueError):
+            ConvoyTracker(m=2, k=0)
+
+    def test_simple_convoy_reported_on_expiry(self):
+        tracker = ConvoyTracker(m=2, k=3)
+        emitted = []
+        for t in (1, 2, 3):
+            emitted += tracker.on_snapshot(
+                ClusterSnapshot.from_groups(t, [[1, 2]])
+            )
+        emitted += tracker.on_snapshot(ClusterSnapshot.from_groups(4, []))
+        assert [p.objects for p in emitted] == [(1, 2)]
+        assert emitted[0].times.times == (1, 2, 3)
+
+    def test_short_group_not_reported(self):
+        tracker = ConvoyTracker(m=2, k=3)
+        tracker.on_snapshot(ClusterSnapshot.from_groups(1, [[1, 2]]))
+        tracker.on_snapshot(ClusterSnapshot.from_groups(2, [[1, 2]]))
+        emitted = tracker.on_snapshot(ClusterSnapshot.from_groups(3, []))
+        emitted += tracker.finish()
+        assert emitted == []
+
+    def test_finish_reports_open_candidates(self):
+        tracker = ConvoyTracker(m=2, k=2)
+        tracker.on_snapshot(ClusterSnapshot.from_groups(1, [[1, 2, 3]]))
+        tracker.on_snapshot(ClusterSnapshot.from_groups(2, [[1, 2, 3]]))
+        emitted = tracker.finish()
+        assert [p.objects for p in emitted] == [(1, 2, 3)]
+
+    def test_time_gap_breaks_candidates(self):
+        tracker = ConvoyTracker(m=2, k=2)
+        tracker.on_snapshot(ClusterSnapshot.from_groups(1, [[1, 2]]))
+        tracker.on_snapshot(ClusterSnapshot.from_groups(2, [[1, 2]]))
+        emitted = tracker.on_snapshot(ClusterSnapshot.from_groups(5, [[1, 2]]))
+        assert [p.objects for p in emitted] == [(1, 2)]
+        assert emitted[0].times.times == (1, 2)
+
+    def test_ascending_time_required(self):
+        tracker = ConvoyTracker(m=2, k=2)
+        tracker.on_snapshot(ClusterSnapshot.from_groups(3, [[1, 2]]))
+        with pytest.raises(ValueError):
+            tracker.on_snapshot(ClusterSnapshot.from_groups(3, [[1, 2]]))
+
+
+class TestShrinkingGroups:
+    def test_subgroup_keeps_earlier_start(self):
+        """{1,2,3} travels for two ticks, then only {1,2} continues: the
+        pair's convoy spans the full interval."""
+        tracker = ConvoyTracker(m=2, k=4)
+        groups = {1: [[1, 2, 3]], 2: [[1, 2, 3]], 3: [[1, 2]], 4: [[1, 2]]}
+        emitted = []
+        for snapshot in snapshots_of(groups):
+            emitted += tracker.on_snapshot(snapshot)
+        emitted += tracker.finish()
+        assert [(p.objects, p.times.times) for p in emitted] == [
+            ((1, 2), (1, 2, 3, 4))
+        ]
+
+    def test_active_view(self):
+        tracker = ConvoyTracker(m=2, k=5)
+        for t in (1, 2, 3):
+            tracker.on_snapshot(ClusterSnapshot.from_groups(t, [[1, 2, 3]]))
+        active = tracker.active(min_duration=3)
+        assert active[0].members == frozenset({1, 2, 3})
+        assert active[0].duration == 3
+        assert tracker.active(min_duration=4) == []
+
+
+class TestExactness:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 3), st.integers(2, 4))
+    def test_matches_offline_maximal_convoys(self, seed, m, k):
+        rng = random.Random(seed)
+        snapshots = random_cluster_stream(
+            rng, rng.randint(3, 6), rng.randint(3, 10)
+        )
+        tracker = ConvoyTracker(m=m, k=k)
+        emitted = []
+        for snapshot in snapshots:
+            emitted += tracker.on_snapshot(snapshot)
+        emitted += tracker.finish()
+        got = {(p.objects, p.times.times) for p in emitted}
+        expected = maximal_convoys_offline(snapshots, m, k)
+        assert got == expected
+
+
+class TestCandidate:
+    def test_duration_and_pattern(self):
+        candidate = ConvoyCandidate(frozenset({2, 1}), start=3, end=6)
+        assert candidate.duration == 4
+        pattern = candidate.to_pattern()
+        assert pattern.objects == (1, 2)
+        assert pattern.times.times == (3, 4, 5, 6)

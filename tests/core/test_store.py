@@ -1,0 +1,128 @@
+"""PatternStore query tests."""
+
+from repro.core.store import PatternStore
+from repro.model.pattern import CoMovementPattern
+
+
+def pattern(objects, times):
+    return CoMovementPattern.of(objects, times)
+
+
+class TestAdd:
+    def test_new_and_duplicate(self):
+        store = PatternStore()
+        assert store.add(5, pattern([1, 2], [1, 2, 3]))
+        assert not store.add(6, pattern([2, 1], [1, 2, 3]))
+        assert len(store) == 1
+        stored = store.get([1, 2])
+        assert stored.first_detected_at == 5
+        assert len(stored.witnesses) == 1
+
+    def test_second_witness_merged(self):
+        store = PatternStore()
+        store.add(5, pattern([1, 2], [1, 2, 3]))
+        store.add(20, pattern([1, 2], [10, 11, 12]))
+        stored = store.get([1, 2])
+        assert len(stored.witnesses) == 2
+        assert stored.span == (1, 12)
+
+    def test_add_all(self):
+        store = PatternStore()
+        fresh = store.add_all(
+            [(1, pattern([1, 2], [1, 2])), (2, pattern([3, 4], [1, 2]))]
+        )
+        assert fresh == 2
+
+
+class TestQueries:
+    def _loaded(self):
+        store = PatternStore()
+        store.add(1, pattern([1, 2], [1, 2, 3]))
+        store.add(1, pattern([1, 2, 3], [1, 2, 3]))
+        store.add(1, pattern([2, 3], [1, 2, 3]))
+        store.add(1, pattern([7, 8], [5, 6, 7]))
+        return store
+
+    def test_containing(self):
+        store = self._loaded()
+        assert [p.objects for p in store.containing(1)] == [(1, 2), (1, 2, 3)]
+        assert store.containing(99) == []
+
+    def test_active_at(self):
+        store = self._loaded()
+        assert {p.objects for p in store.active_at(6)} == {(7, 8)}
+        assert len(store.active_at(2)) == 3
+
+    def test_with_min_size(self):
+        store = self._loaded()
+        assert [p.objects for p in store.with_min_size(3)] == [(1, 2, 3)]
+
+    def test_maximal(self):
+        store = self._loaded()
+        assert {p.objects for p in store.maximal()} == {(1, 2, 3), (7, 8)}
+
+    def test_companions(self):
+        store = self._loaded()
+        assert store.companions(2) == {1: 2, 3: 2}
+
+    def test_contains_and_iter(self):
+        store = self._loaded()
+        assert [1, 2] in store
+        assert (9, 9) not in store
+        assert len(list(store)) == 4
+
+    def test_covers_time(self):
+        store = PatternStore()
+        store.add(1, pattern([1, 2], [1, 2, 5, 6]))
+        stored = store.get([1, 2])
+        assert stored.covers_time(5)
+        assert not stored.covers_time(4)  # gap inside the witness
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        store = PatternStore()
+        store.add(3, pattern([1, 2], [1, 2, 3]))
+        store.add(9, pattern([1, 2], [7, 8, 9]))
+        store.add(4, pattern([4, 5, 6], [2, 3, 4]))
+        rebuilt = PatternStore.from_json(store.to_json())
+        assert len(rebuilt) == len(store)
+        for stored in store:
+            copy = rebuilt.get(stored.objects)
+            assert copy is not None
+            assert copy.witnesses == stored.witnesses
+            assert copy.first_detected_at == stored.first_detected_at
+
+    def test_maximal_only_export(self):
+        import json
+
+        store = PatternStore()
+        store.add(1, pattern([1, 2], [1, 2]))
+        store.add(1, pattern([1, 2, 3], [1, 2]))
+        payload = json.loads(store.to_json(maximal_only=True))
+        assert [entry["objects"] for entry in payload] == [[1, 2, 3]]
+
+
+class TestIntegrationWithCollector:
+    def test_from_detector_detections(self):
+        from repro.core.config import ICPEConfig
+        from repro.core.icpe import ICPEPipeline
+        from repro.model.constraints import PatternConstraints
+        from repro.model.snapshot import Snapshot
+
+        config = ICPEConfig(
+            epsilon=2.0,
+            cell_width=6.0,
+            min_pts=2,
+            constraints=PatternConstraints(m=2, k=3, l=2, g=2),
+        )
+        pipeline = ICPEPipeline(config)
+        for t in range(1, 6):
+            pipeline.process_snapshot(
+                Snapshot.from_points(t, [(1, 0.0, 0.0), (2, 0.5, 0.0)])
+            )
+        pipeline.finish()
+        store = PatternStore()
+        store.add_all(pipeline.collector.detections)
+        assert (1, 2) in store
+        assert store.maximal()[0].objects == (1, 2)

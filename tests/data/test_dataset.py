@@ -1,0 +1,97 @@
+"""TrajectoryDataset container tests."""
+
+import pytest
+
+from repro.data.dataset import TrajectoryDataset, link_last_times
+from repro.model.records import StreamRecord
+
+
+def make_dataset():
+    records = [
+        StreamRecord(1, 0.0, 0.0, 1),
+        StreamRecord(2, 5.0, 5.0, 1),
+        StreamRecord(1, 1.0, 0.0, 2),
+        StreamRecord(3, 9.0, 9.0, 3),
+    ]
+    return TrajectoryDataset(name="toy", records=link_last_times(records))
+
+
+class TestBasics:
+    def test_sorted_by_time(self):
+        ds = make_dataset()
+        times = [r.time for r in ds.records]
+        assert times == sorted(times)
+
+    def test_ids_and_times(self):
+        ds = make_dataset()
+        assert ds.trajectory_ids == [1, 2, 3]
+        assert ds.times == [1, 2, 3]
+
+    def test_snapshots_grouping(self):
+        snapshots = make_dataset().snapshots()
+        assert [s.time for s in snapshots] == [1, 2, 3]
+        assert sorted(snapshots[0].oids()) == [1, 2]
+
+    def test_link_last_times(self):
+        ds = make_dataset()
+        mine = [r for r in ds.records if r.oid == 1]
+        assert [r.last_time for r in mine] == [None, 1]
+
+
+class TestRestrictObjects:
+    def test_ratio_samples_evenly(self):
+        ds = make_dataset()
+        # 2 of 3 ids, evenly spaced across the sorted id space: {1, 3}.
+        assert ds.restrict_objects(0.67).trajectory_ids == [1, 3]
+
+    def test_full_ratio_identity(self):
+        ds = make_dataset()
+        assert len(ds.restrict_objects(1.0)) == len(ds)
+
+    def test_contiguous_groups_shrink_proportionally(self):
+        from repro.data.dataset import link_last_times
+        from repro.model.records import StreamRecord
+
+        records = [StreamRecord(oid, float(oid), 0.0, 1) for oid in range(100)]
+        ds = TrajectoryDataset("u", link_last_times(records))
+        half = ds.restrict_objects(0.5)
+        kept = half.trajectory_ids
+        assert len(kept) == 50
+        # Any contiguous block of 10 ids keeps about half its members.
+        block = [oid for oid in kept if 40 <= oid < 50]
+        assert 3 <= len(block) <= 7
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            make_dataset().restrict_objects(0.0)
+
+
+class TestStatisticsAndPercentages:
+    def test_statistics(self):
+        stats = make_dataset().statistics()
+        assert stats.trajectories == 3
+        assert stats.locations == 4
+        assert stats.snapshots == 3
+        assert stats.storage_bytes > 0
+        row = stats.as_row()
+        assert row["dataset"] == "toy"
+
+    def test_max_distance_l1_bbox(self):
+        ds = make_dataset()
+        assert ds.max_distance() == pytest.approx((9 - 0) + (9 - 0))
+
+    def test_resolve_percentage(self):
+        ds = make_dataset()
+        assert ds.resolve_percentage(50) == pytest.approx(ds.max_distance() / 2)
+
+
+class TestCsvRoundTrip:
+    def test_save_load(self, tmp_path):
+        ds = make_dataset()
+        path = tmp_path / "toy.csv"
+        ds.save_csv(path)
+        loaded = TrajectoryDataset.load_csv(path)
+        assert [(r.oid, r.time, r.last_time) for r in loaded.records] == [
+            (r.oid, r.time, r.last_time) for r in ds.records
+        ]
+        assert loaded.records[0].x == pytest.approx(ds.records[0].x)

@@ -1,0 +1,125 @@
+"""Dataset generator tests: determinism, structure, pattern existence."""
+
+import pytest
+
+from repro.cluster.rjc import ClusteringConfig, RJCClusterer
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+from repro.data.geolife import GeoLifeConfig, generate_geolife
+from repro.data.groups import DropoutModel, plan_groups
+from repro.data.roadnet import RouteWalker, build_road_network
+from repro.data.taxi import TaxiConfig, generate_taxi
+
+GENERATORS = [
+    (generate_brinkhoff, BrinkhoffConfig(n_objects=60, horizon=24, seed=3)),
+    (generate_geolife, GeoLifeConfig(n_objects=60, horizon=24, seed=3)),
+    (generate_taxi, TaxiConfig(n_objects=60, horizon=24, seed=3)),
+]
+
+
+class TestGroupPlanning:
+    def test_plan_respects_fraction_and_sizes(self):
+        import random
+
+        plans, first_background = plan_groups(
+            100, 0.5, 4, 8, horizon=40, rng=random.Random(1)
+        )
+        assert first_background <= 50
+        for plan in plans:
+            assert 4 <= plan.size <= 8
+            assert 1 <= plan.start_time < plan.end_time <= 40
+
+    def test_dropout_presence_lengths(self):
+        import random
+
+        model = DropoutModel(
+            dropout_probability=0.3, max_gap=2, rng=random.Random(2)
+        )
+        flags = model.presence(1, 30)
+        assert len(flags) == 30
+
+    def test_zero_fraction_all_background(self):
+        import random
+
+        plans, first = plan_groups(50, 0.0, 4, 8, 10, random.Random(0))
+        assert plans == [] and first == 0
+
+
+class TestRoadNetwork:
+    def test_connected_and_positioned(self):
+        import networkx as nx
+
+        net = build_road_network(side=6, seed=1)
+        assert nx.is_connected(net.graph)
+        x, y = net.position((0, 0))
+        assert isinstance(x, float) and isinstance(y, float)
+
+    def test_shortest_path_endpoints(self):
+        net = build_road_network(side=5, seed=2)
+        path = net.shortest_path((0, 0), (4, 4))
+        assert path[0] == (0, 0) and path[-1] == (4, 4)
+
+    def test_route_walker_reaches_end(self):
+        walker = RouteWalker([(0, 0), (10, 0), (10, 10)], speed=3.0)
+        positions = [walker.step() for _ in range(20)]
+        assert positions[-1] == (10, 10)
+        assert walker.finished
+
+    def test_route_walker_speed(self):
+        walker = RouteWalker([(0, 0), (10, 0)], speed=2.0)
+        assert walker.step() == (2.0, 0.0)
+        assert walker.step() == (4.0, 0.0)
+
+    def test_route_walker_validation(self):
+        with pytest.raises(ValueError):
+            RouteWalker([], 1.0)
+        with pytest.raises(ValueError):
+            RouteWalker([(0, 0)], 0.0)
+
+
+@pytest.mark.parametrize("generate,config", GENERATORS)
+class TestGenerators:
+    def test_deterministic(self, generate, config):
+        a = generate(config)
+        b = generate(config)
+        assert [(r.oid, r.time, r.x, r.y) for r in a.records] == [
+            (r.oid, r.time, r.x, r.y) for r in b.records
+        ]
+
+    def test_shape(self, generate, config):
+        ds = generate(config)
+        assert len(ds.trajectory_ids) <= 60
+        assert max(ds.times) <= 24
+        assert min(ds.times) >= 1
+        # One report per object per time at most.
+        seen = set()
+        for r in ds.records:
+            assert (r.oid, r.time) not in seen
+            seen.add((r.oid, r.time))
+
+    def test_last_time_chains_consistent(self, generate, config):
+        ds = generate(config)
+        per_object: dict[int, list] = {}
+        for r in ds.records:
+            per_object.setdefault(r.oid, []).append(r)
+        for records in per_object.values():
+            previous = None
+            for r in records:
+                assert r.last_time == previous
+                previous = r.time
+
+    def test_groups_form_density_clusters(self, generate, config):
+        """Implanted groups must actually co-cluster at moderate epsilon,
+        otherwise no co-movement patterns would exist downstream."""
+        ds = generate(config)
+        epsilon = ds.resolve_percentage(0.1)
+        clusterer = RJCClusterer(
+            ClusteringConfig(
+                epsilon=max(epsilon, 15.0),
+                min_pts=3,
+                cell_width=max(4 * epsilon, 60.0),
+            )
+        )
+        cluster_counts = [
+            len(clusterer.cluster(s).clusters) for s in ds.snapshots()
+        ]
+        assert sum(cluster_counts) > 0

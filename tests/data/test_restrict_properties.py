@@ -1,0 +1,67 @@
+"""Dataset restriction (Or sweep) properties."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TrajectoryDataset, link_last_times
+from repro.model.records import StreamRecord
+
+
+def dataset_of(n_objects: int, horizon: int) -> TrajectoryDataset:
+    records = [
+        StreamRecord(oid, float(oid), float(t), t)
+        for oid in range(n_objects)
+        for t in range(1, horizon + 1)
+    ]
+    return TrajectoryDataset("d", link_last_times(records))
+
+
+class TestRestrictProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 120), st.integers(1, 10),
+           st.sampled_from([0.1, 0.2, 0.4, 0.6, 0.8, 1.0]))
+    def test_count_matches_ratio(self, n_objects, horizon, ratio):
+        dataset = dataset_of(n_objects, horizon)
+        restricted = dataset.restrict_objects(ratio)
+        expected = max(1, round(n_objects * ratio))
+        assert len(restricted.trajectory_ids) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(10, 120), st.sampled_from([0.2, 0.5, 0.8]))
+    def test_sampling_spans_id_space(self, n_objects, ratio):
+        dataset = dataset_of(n_objects, 2)
+        kept = dataset.restrict_objects(ratio).trajectory_ids
+        # The sampled ids reach both ends of the id range.
+        assert kept[0] == 0
+        assert kept[-1] == n_objects - 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(20, 100), st.sampled_from([0.25, 0.5, 0.75]))
+    def test_contiguous_blocks_shrink_uniformly(self, n_objects, ratio):
+        """Any id block of 20 keeps its proportional share (+-30%)."""
+        dataset = dataset_of(n_objects, 1)
+        kept = set(dataset.restrict_objects(ratio).trajectory_ids)
+        block = [oid for oid in range(20) if oid in kept]
+        expected = 20 * ratio
+        assert abs(len(block) - expected) <= max(3, expected * 0.3)
+
+    def test_records_filtered_consistently(self):
+        dataset = dataset_of(10, 5)
+        restricted = dataset.restrict_objects(0.5)
+        kept = set(restricted.trajectory_ids)
+        assert all(r.oid in kept for r in restricted.records)
+        # Each kept trajectory keeps its full record sequence.
+        for oid in kept:
+            assert sum(1 for r in restricted.records if r.oid == oid) == 5
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(5, 60))
+    def test_nested_ratios_monotone_in_size(self, n_objects):
+        dataset = dataset_of(n_objects, 1)
+        sizes = [
+            len(dataset.restrict_objects(r).trajectory_ids)
+            for r in (0.1, 0.4, 0.7, 1.0)
+        ]
+        assert sizes == sorted(sizes)

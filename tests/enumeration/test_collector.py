@@ -1,0 +1,44 @@
+"""PatternCollector semantics tests."""
+
+from repro.enumeration.base import PatternCollector
+from repro.model.pattern import CoMovementPattern
+
+
+def pat(objects, times):
+    return CoMovementPattern.of(objects, times)
+
+
+class TestOffer:
+    def test_first_emission_wins(self):
+        collector = PatternCollector()
+        assert collector.offer(5, [pat([1, 2], [1, 2, 3])]) == 1
+        assert collector.offer(9, [pat([1, 2], [7, 8, 9])]) == 0
+        [(time, pattern)] = collector.detections
+        assert time == 5
+        assert pattern.times.times == (1, 2, 3)
+
+    def test_distinct_object_sets_counted(self):
+        collector = PatternCollector()
+        fresh = collector.offer(
+            1, [pat([1, 2], [1, 2]), pat([1, 3], [1, 2]), pat([1, 2], [3, 4])]
+        )
+        assert fresh == 2
+        assert len(collector) == 2
+
+    def test_object_sets_and_patterns(self):
+        collector = PatternCollector()
+        collector.offer(1, [pat([3, 1], [1, 2])])
+        assert collector.object_sets() == {(1, 3)}
+        assert [p.objects for p in collector.patterns()] == [(1, 3)]
+
+    def test_detection_order_preserved(self):
+        collector = PatternCollector()
+        collector.offer(2, [pat([1, 2], [1, 2])])
+        collector.offer(1, [pat([3, 4], [1, 2])])  # later offer, earlier time
+        times = [t for t, _ in collector.detections]
+        assert times == [2, 1]  # insertion order, not time order
+
+    def test_empty_offer(self):
+        collector = PatternCollector()
+        assert collector.offer(1, []) == 0
+        assert len(collector) == 0

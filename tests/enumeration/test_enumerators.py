@@ -1,0 +1,209 @@
+"""Per-algorithm enumeration tests, anchored on the paper's running example."""
+
+import pytest
+
+from repro.enumeration.baseline import (
+    BAEnumerator,
+    PartitionTooLargeError,
+    _greedy_sequence,
+)
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.vba import VBAEnumerator
+from repro.model.constraints import PatternConstraints
+from repro.model.timeseq import TimeSequence
+from tests.conftest import run_enumerator
+
+CP242 = PatternConstraints(m=2, k=4, l=2, g=2)
+CP342 = PatternConstraints(m=3, k=4, l=2, g=2)
+
+
+class TestPaperExamplePatterns:
+    def test_cp_2_4_2_2(self, paper_cluster_stream):
+        """Section 3.1: {o4,o5} and {o6,o7} are CP(2,4,2,2) patterns."""
+        for kind in ("BA", "FBA", "VBA"):
+            collector = run_enumerator(paper_cluster_stream, CP242, kind)
+            objects = collector.object_sets()
+            assert (4, 5) in objects, kind
+            assert (6, 7) in objects, kind
+            # Lemma 5/6 walk-throughs: {o1,o2} (times 1,2,5,7) and {o3,o4}
+            # (times 1,2,3,6) are NOT valid patterns.
+            assert (1, 2) not in objects, kind
+            assert (3, 4) not in objects, kind
+
+    def test_cp_3_4_2_2(self, paper_cluster_stream):
+        """Section 3.1: {o4,o5,o6} qualifies at time 7 with T=<3,4,6,7>."""
+        for kind in ("BA", "FBA", "VBA"):
+            collector = run_enumerator(paper_cluster_stream, CP342, kind)
+            assert (4, 5, 6) in collector.object_sets(), kind
+            witness = next(
+                p for p in collector.patterns() if p.objects == (4, 5, 6)
+            )
+            assert set(TimeSequence([3, 4, 6, 7])) <= set(
+                range(witness.times[0], witness.times.last + 1)
+            )
+            assert witness.satisfies(CP342)
+
+    def test_prefix_patterns_detected_by_time_7(self, paper_cluster_stream):
+        """No CP(3,4,2,2) exists until time 7 (the paper's claim): running
+        only snapshots 1-6 must yield no {4,5,6}."""
+        for kind in ("BA", "FBA", "VBA"):
+            collector = run_enumerator(paper_cluster_stream[:6], CP342, kind)
+            assert (4, 5, 6) not in collector.object_sets(), kind
+
+
+class TestBAEnumerator:
+    def test_time_must_increase(self):
+        ba = BAEnumerator(1, CP242)
+        ba.on_partition(1, frozenset({2}))
+        with pytest.raises(ValueError):
+            ba.on_partition(1, frozenset({2}))
+
+    def test_partition_cap(self):
+        ba = BAEnumerator(1, CP242, max_partition_size=3)
+        ba.on_partition(1, frozenset(range(2, 10)))
+        with pytest.raises(PartitionTooLargeError):
+            for t in range(2, 12):
+                ba.on_partition(t, frozenset())
+
+    def test_subset_counter_is_exponential(self):
+        constraints = PatternConstraints(m=2, k=2, l=1, g=1)
+        ba = BAEnumerator(0, constraints)
+        members = frozenset(range(1, 9))  # 8 members -> 255 subsets
+        ba.on_partition(1, members)
+        for t in range(2, 2 + constraints.eta):
+            ba.on_partition(t, members)
+        assert ba.subsets_materialised >= 255
+
+    def test_is_idle(self):
+        ba = BAEnumerator(1, CP242)
+        assert ba.is_idle()
+        ba.on_partition(1, frozenset({2}))
+        assert not ba.is_idle()
+
+
+class TestLiteralGreedy:
+    def test_counterexample_documented_in_module(self):
+        """Available times {1,2,3,4,6,8,9} under (K=6, L=2, G=4): greedy
+        absorbs 6, strands it, and discards; the correct decomposition
+        finds <1,2,3,4,8,9>."""
+        constraints = PatternConstraints(m=2, k=6, l=2, g=4)
+        available = [1, 2, 3, 4, 6, 8, 9]
+        assert _greedy_sequence(available, constraints) is None
+        corrected = BAEnumerator(0, constraints)
+        window = {
+            t: frozenset({1}) if t in available else frozenset()
+            for t in range(1, 1 + constraints.eta)
+        }
+        corrected._window = {t: m for t, m in window.items() if m}
+        patterns = corrected._run_window(1)
+        assert [p.times for p in patterns] == [TimeSequence([1, 2, 3, 4, 8, 9])]
+
+    def test_greedy_agrees_on_simple_cases(self):
+        constraints = PatternConstraints(m=2, k=4, l=2, g=2)
+        assert _greedy_sequence([1, 2, 3, 4], constraints) == TimeSequence(
+            [1, 2, 3, 4]
+        )
+        assert _greedy_sequence([1, 2, 4, 5], constraints) == TimeSequence(
+            [1, 2, 4, 5]
+        )
+        assert _greedy_sequence([1, 3], constraints) is None
+
+
+class TestFBAEnumerator:
+    def test_candidate_filter_excludes_o8(self, paper_cluster_stream):
+        """Fig. 8: o8's bit string 100000 fails (K,L,G) and never appears
+        in any emitted pattern with anchor 4."""
+        collector = run_enumerator(paper_cluster_stream, CP242, "FBA")
+        for pattern in collector.patterns():
+            assert 8 not in pattern.objects or 4 not in pattern.objects
+
+    def test_work_counters(self):
+        fba = FBAEnumerator(1, CP242)
+        members = frozenset({2, 3})
+        for t in range(1, 10):
+            fba.on_partition(t, members)
+        fba.finish()
+        assert fba.bitstrings_built > 0
+        assert fba.and_evaluations > 0
+
+    def test_time_must_increase(self):
+        fba = FBAEnumerator(1, CP242)
+        fba.on_partition(3, frozenset({2}))
+        with pytest.raises(ValueError):
+            fba.on_partition(2, frozenset({2}))
+
+
+class TestVBAEnumerator:
+    def test_paper_fig9_candidates(self, paper_cluster_stream):
+        """After times 9-11 without co-clustering, the maximal candidate
+        strings of Fig. 9(b) exist at the subtask of o4.
+
+        Under Definition 3's gap semantics (see the Fig. 8 fidelity note in
+        test_bitstring.py), o5 <2,8> and o6 <3,8> are candidates; o7's
+        110011 fails G-connectivity with G=2 (it is a candidate under the
+        figure's relaxed reading, checked via G=3), and o8's one-bit string
+        is invalid either way.
+        """
+        memberships = {
+            5: [2, 3, 4, 5, 6, 7, 8],
+            6: [3, 4, 6, 7, 8],
+            7: [3, 4, 7, 8],
+            8: [3],
+        }
+
+        def run(constraints):
+            vba = VBAEnumerator(4, constraints)
+            # Run past time 8 long enough for G+1 trailing zeros to close
+            # every string under both gap settings.
+            for t in range(2, 14):
+                members = frozenset(
+                    oid for oid, times in memberships.items() if t in times
+                )
+                vba.on_partition(t, members)
+            return {(c.oid, c.start, c.end) for c in vba._candidates}
+
+        strict = run(CP242)
+        assert (5, 2, 8) in strict
+        assert (6, 3, 8) in strict
+        assert all(oid not in (7, 8) for oid, _, _ in strict)
+
+        relaxed = run(PatternConstraints(m=2, k=4, l=2, g=3))
+        assert {(5, 2, 8), (6, 3, 8), (7, 3, 8)} <= relaxed
+        assert all(oid != 8 for oid, _, _ in relaxed)
+
+    def test_gap_padding(self):
+        """Skipped times count as zeros for open strings."""
+        vba = VBAEnumerator(1, PatternConstraints(m=2, k=2, l=1, g=1))
+        vba.on_partition(1, frozenset({2}))
+        vba.on_partition(2, frozenset({2}))
+        # Jump to t=6: the gap 3..5 closes the string (G+1 = 2 zeros).
+        patterns = vba.on_partition(6, frozenset())
+        assert [p.objects for p in patterns] == [(1, 2)]
+
+    def test_same_round_candidates_combine(self):
+        """Two strings closing simultaneously must still pair up (the
+        documented deviation from Algorithm 5's literal merge order)."""
+        constraints = PatternConstraints(m=3, k=2, l=1, g=1)
+        vba = VBAEnumerator(1, constraints)
+        members = frozenset({2, 3})
+        vba.on_partition(1, members)
+        vba.on_partition(2, members)
+        emitted = []
+        for t in (3, 4):
+            emitted.extend(vba.on_partition(t, frozenset()))
+        assert any(p.objects == (1, 2, 3) for p in emitted)
+
+    def test_candidate_retention_evicts(self):
+        constraints = PatternConstraints(m=2, k=2, l=1, g=1)
+        vba = VBAEnumerator(1, constraints, candidate_retention=3)
+        vba.on_partition(1, frozenset({2}))
+        vba.on_partition(2, frozenset({2}))
+        for t in range(3, 12):
+            vba.on_partition(t, frozenset())
+        assert vba._candidates == []
+
+    def test_is_idle(self):
+        vba = VBAEnumerator(1, CP242)
+        assert vba.is_idle()
+        vba.on_partition(1, frozenset({2}))
+        assert not vba.is_idle()

@@ -1,0 +1,60 @@
+"""Id-based partitioning tests (Section 6.1, Lemma 3)."""
+
+import pytest
+
+from repro.enumeration.partition import PartitionRouter, id_partitions
+from repro.model.snapshot import ClusterSnapshot
+
+
+class TestIdPartitions:
+    def test_paper_fig7_time1(self):
+        """Cluster snapshot {(o1,o2), (o3,o4), (o5,o6,o7)} yields the
+        partitions listed in Section 6.1's walk-through (M=2)."""
+        snapshot = ClusterSnapshot.from_groups(1, [[1, 2], [3, 4], [5, 6, 7]])
+        partitions = id_partitions(snapshot, significance=2)
+        assert partitions == {
+            1: frozenset({2}),
+            2: frozenset(),
+            3: frozenset({4}),
+            4: frozenset(),
+            5: frozenset({6, 7}),
+            6: frozenset({7}),
+            7: frozenset(),
+        }
+
+    def test_lemma3_discards_small_clusters(self):
+        """With M=3 the clusters {o1,o2} and {o3,o4} are discarded."""
+        snapshot = ClusterSnapshot.from_groups(1, [[1, 2], [3, 4], [5, 6, 7]])
+        partitions = id_partitions(snapshot, significance=3)
+        assert set(partitions) == {5, 6, 7}
+
+    def test_members_strictly_larger(self):
+        snapshot = ClusterSnapshot.from_groups(1, [[4, 2, 9]])
+        partitions = id_partitions(snapshot, significance=2)
+        assert partitions[2] == frozenset({4, 9})
+        assert partitions[4] == frozenset({9})
+        assert partitions[9] == frozenset()
+
+
+class TestPartitionRouter:
+    def test_emits_empty_for_known_absent_anchors(self):
+        router = PartitionRouter(significance=2)
+        first = dict(
+            router.route(ClusterSnapshot.from_groups(1, [[1, 2, 3]]))
+        )
+        assert first[1] == frozenset({2, 3})
+        second = dict(router.route(ClusterSnapshot.from_groups(2, [[7, 8]])))
+        # anchor 1 was known; now absent -> explicit empty partition.
+        assert second[1] == frozenset()
+        assert second[7] == frozenset({8})
+
+    def test_rejects_bad_significance(self):
+        with pytest.raises(ValueError):
+            PartitionRouter(significance=1)
+
+    def test_route_is_sorted_by_anchor(self):
+        router = PartitionRouter(significance=2)
+        routed = list(router.route(ClusterSnapshot.from_groups(1, [[5, 3, 9]])))
+        assert [anchor for anchor, _ in routed] == sorted(
+            anchor for anchor, _ in routed
+        )

@@ -1,0 +1,77 @@
+"""VBA candidate retention: the documented memory/completeness trade-off.
+
+The paper's semantics keep every closed candidate forever (patterns range
+over the whole snapshot history).  ``candidate_retention`` bounds memory
+by evicting old candidates — and therefore can miss patterns whose
+members' valid windows are far apart.  These tests pin both sides.
+"""
+
+from repro.enumeration.vba import VBAEnumerator
+from repro.model.constraints import PatternConstraints
+
+# K=2, L=1, G=1: a pair of times suffices; strings close after 2 zeros.
+CONSTRAINTS = PatternConstraints(m=3, k=2, l=1, g=1)
+
+
+def drive(vba, timeline):
+    """timeline: {time: members}; feeds every time in order."""
+    emitted = []
+    for t in sorted(timeline):
+        emitted.extend(vba.on_partition(t, frozenset(timeline[t])))
+    emitted.extend(vba.finish())
+    return emitted
+
+
+def overlapping_timeline():
+    """Objects 2 and 3 co-travel with the anchor in the same era."""
+    return {
+        1: {2, 3},
+        2: {2, 3},
+        3: set(),
+        4: set(),
+        5: set(),
+    }
+
+
+def split_timeline():
+    """Objects 2 and 3 co-travel with the anchor in the same early era,
+    then object 4 appears much later."""
+    timeline = {t: set() for t in range(1, 30)}
+    timeline[1] = {2, 3}
+    timeline[2] = {2, 3}
+    timeline[25] = {2, 3}
+    timeline[26] = {2, 3}
+    return timeline
+
+
+class TestUnboundedRetention:
+    def test_same_era_triple_found(self):
+        vba = VBAEnumerator(1, CONSTRAINTS)
+        emitted = drive(vba, overlapping_timeline())
+        assert any(p.objects == (1, 2, 3) for p in emitted)
+
+    def test_recurring_era_found_without_eviction(self):
+        vba = VBAEnumerator(1, CONSTRAINTS)
+        emitted = drive(vba, split_timeline())
+        # Both eras produce the triple (each era's AND window is valid).
+        assert any(p.objects == (1, 2, 3) for p in emitted)
+
+
+class TestBoundedRetention:
+    def test_eviction_bounds_candidate_list(self):
+        vba = VBAEnumerator(1, CONSTRAINTS, candidate_retention=5)
+        drive(vba, split_timeline())
+        # After the run, only recent-era candidates survive.
+        assert all(c.end >= 20 for c in vba._candidates)
+
+    def test_current_era_patterns_still_found(self):
+        vba = VBAEnumerator(1, CONSTRAINTS, candidate_retention=5)
+        emitted = drive(vba, split_timeline())
+        # The late era (t=25, 26) still yields the triple even though the
+        # early era's candidates were evicted meanwhile.
+        late = [
+            p
+            for p in emitted
+            if p.objects == (1, 2, 3) and p.times[0] >= 20
+        ]
+        assert late

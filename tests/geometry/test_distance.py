@@ -1,0 +1,100 @@
+"""Distance metric unit and property tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    chebyshev_distance,
+    euclidean_distance,
+    get_metric,
+    l1_distance,
+)
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestL1Distance:
+    def test_axis_aligned(self):
+        assert l1_distance(0, 0, 3, 0) == 3
+        assert l1_distance(0, 0, 0, 4) == 4
+
+    def test_diagonal_sums_components(self):
+        assert l1_distance(1, 2, 4, 6) == 3 + 4
+
+    def test_zero_for_identical_points(self):
+        assert l1_distance(5.5, -2.5, 5.5, -2.5) == 0.0
+
+
+class TestEuclideanDistance:
+    def test_pythagorean_triple(self):
+        assert euclidean_distance(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_single_axis(self):
+        assert euclidean_distance(2, 0, 7, 0) == pytest.approx(5.0)
+
+
+class TestChebyshevDistance:
+    def test_takes_max_component(self):
+        assert chebyshev_distance(0, 0, 3, 7) == 7
+        assert chebyshev_distance(0, 0, 9, 2) == 9
+
+
+class TestGetMetric:
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("l1", l1_distance),
+            ("manhattan", l1_distance),
+            ("L2", euclidean_distance),
+            ("euclidean", euclidean_distance),
+            ("linf", chebyshev_distance),
+            ("Chebyshev", chebyshev_distance),
+        ],
+    )
+    def test_aliases(self, name, fn):
+        assert get_metric(name) is fn
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("cosine")
+
+
+class TestMetricProperties:
+    @given(coords, coords, coords, coords)
+    def test_symmetry(self, x1, y1, x2, y2):
+        for metric in (l1_distance, euclidean_distance, chebyshev_distance):
+            assert metric(x1, y1, x2, y2) == metric(x2, y2, x1, y1)
+
+    @given(coords, coords, coords, coords)
+    def test_non_negative(self, x1, y1, x2, y2):
+        for metric in (l1_distance, euclidean_distance, chebyshev_distance):
+            assert metric(x1, y1, x2, y2) >= 0
+
+    @given(coords, coords, coords, coords)
+    def test_metric_ordering(self, x1, y1, x2, y2):
+        """linf <= l2 <= l1 holds pointwise in the plane."""
+        linf = chebyshev_distance(x1, y1, x2, y2)
+        l2 = euclidean_distance(x1, y1, x2, y2)
+        l1 = l1_distance(x1, y1, x2, y2)
+        assert linf <= l2 * (1 + 1e-12) + 1e-9
+        assert l2 <= l1 * (1 + 1e-12) + 1e-9
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality_l1(self, x1, y1, x2, y2, x3, y3):
+        direct = l1_distance(x1, y1, x3, y3)
+        detour = l1_distance(x1, y1, x2, y2) + l1_distance(x2, y2, x3, y3)
+        assert direct <= detour * (1 + 1e-12) + 1e-9
+
+    @given(coords, coords)
+    def test_identity(self, x, y):
+        for metric in (l1_distance, euclidean_distance, chebyshev_distance):
+            assert metric(x, y, x, y) == 0
+
+
+def test_euclidean_matches_hypot_formula():
+    assert euclidean_distance(1, 1, 4, 5) == math.hypot(3, 4)

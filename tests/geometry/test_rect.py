@@ -1,0 +1,119 @@
+"""Rectangle and range-region tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect, range_region, upper_range_region
+
+coord = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+def rect_strategy():
+    return st.tuples(coord, coord, coord, coord).map(
+        lambda t: Rect(
+            min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3])
+        )
+    )
+
+
+class TestRectBasics:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Rect(1, 0, 0, 1)
+
+    def test_point_rect(self):
+        r = Rect.point(3, 4)
+        assert r.area == 0
+        assert r.contains_point(3, 4)
+        assert not r.contains_point(3.0001, 4)
+
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.margin == 7
+        assert r.center == (2.0, 1.5)
+
+    def test_contains_point_closed_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(1, 1)
+        assert r.contains_point(0, 1)
+        assert not r.contains_point(1.0000001, 1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 2, 8, 8))
+        assert outer.contains(outer)
+        assert not outer.contains(Rect(2, 2, 11, 8))
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+
+    def test_touching_edges_intersect(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 2, 2).intersection_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0.0
+
+    @given(rect_strategy(), rect_strategy())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rect_strategy(), rect_strategy())
+    def test_intersection_area_bounded(self, a, b):
+        area = a.intersection_area(b)
+        assert 0 <= area <= min(a.area, b.area) + 1e-6
+
+
+class TestUnion:
+    def test_union_covers_both(self):
+        a, b = Rect(0, 0, 1, 1), Rect(5, 5, 6, 7)
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(rect_strategy(), rect_strategy())
+    def test_union_is_smallest_cover(self, a, b):
+        u = a.union(b)
+        assert u.min_x == min(a.min_x, b.min_x)
+        assert u.max_y == max(a.max_y, b.max_y)
+
+    @given(rect_strategy(), rect_strategy())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+    def test_extend_point(self):
+        r = Rect(0, 0, 1, 1).extend_point(5, -3)
+        assert r == Rect(0, -3, 5, 1)
+
+
+class TestRangeRegion:
+    def test_square_of_side_two_epsilon(self):
+        r = range_region(10, 20, 3)
+        assert (r.min_x, r.min_y, r.max_x, r.max_y) == (7, 17, 13, 23)
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            range_region(0, 0, -1)
+
+    def test_upper_region_is_upper_half(self):
+        full = range_region(10, 20, 3)
+        upper = upper_range_region(10, 20, 3)
+        assert upper.min_x == full.min_x and upper.max_x == full.max_x
+        assert upper.min_y == 20 and upper.max_y == full.max_y
+
+    @given(coord, coord, st.floats(min_value=0, max_value=1e4))
+    def test_l1_ball_inside_range_region(self, x, y, eps):
+        """Every point within L1 distance eps lies inside the region."""
+        region = range_region(x, y, eps)
+        # Extremes of the L1 ball.
+        for dx, dy in ((eps, 0), (-eps, 0), (0, eps), (0, -eps)):
+            assert region.contains_point(x + dx, y + dy)

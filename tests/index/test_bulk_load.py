@@ -1,0 +1,70 @@
+"""STR bulk-loading tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+    ),
+    max_size=200,
+)
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.search(Rect(0, 0, 1, 1)) == []
+
+    def test_single(self):
+        tree = RTree.bulk_load([(1.0, 2.0, "a")])
+        assert tree.search(Rect(0, 0, 5, 5)) == ["a"]
+
+    def test_structure_valid(self):
+        rng = random.Random(3)
+        points = [
+            (rng.uniform(0, 100), rng.uniform(0, 100), i) for i in range(500)
+        ]
+        tree = RTree.bulk_load(points, max_entries=8)
+        tree.check_invariants()
+        assert len(tree) == 500
+        assert sorted(tree.all_payloads()) == list(range(500))
+
+    def test_packed_leaves_are_full(self):
+        """STR packs nearly every leaf to capacity."""
+        points = [(float(i % 10), float(i // 10), i) for i in range(100)]
+        tree = RTree.bulk_load(points, max_entries=10)
+        # 100 points at fanout 10 -> exactly 10 leaves, height 2.
+        assert tree.height == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy, st.integers(0, 5))
+    def test_queries_match_inserted_tree(self, raw_points, seed):
+        points = [(x, y, i) for i, (x, y) in enumerate(raw_points)]
+        bulk = RTree.bulk_load(points, max_entries=6)
+        incremental = RTree(max_entries=6)
+        for x, y, payload in points:
+            incremental.insert(x, y, payload)
+        rng = random.Random(seed)
+        for _ in range(5):
+            x1, x2 = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            y1, y2 = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            region = Rect(x1, y1, x2, y2)
+            assert sorted(bulk.search(region)) == sorted(
+                incremental.search(region)
+            )
+
+    def test_bulk_tree_supports_further_inserts(self):
+        points = [(float(i), 0.0, i) for i in range(50)]
+        tree = RTree.bulk_load(points, max_entries=8)
+        tree.insert(100.0, 100.0, "late")
+        tree.check_invariants()
+        assert "late" in tree.search(Rect(99, 99, 101, 101))
+        assert len(tree) == 51

@@ -1,0 +1,40 @@
+"""Two-layer GR-index tests."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.gr_index import GRIndex
+
+
+class TestGRIndex:
+    def test_insert_routes_to_home_cell(self):
+        index = GRIndex(cell_width=3.0)
+        key = index.insert(5, 4, 8)  # oid=5 at (4, 8)
+        assert key == (1, 2)  # the paper's Fig. 4 example
+        assert index.occupied_cells == 1
+        assert len(index) == 1
+
+    def test_search_cell_hits_local_tree_only(self):
+        index = GRIndex(cell_width=10.0)
+        index.insert(1, 1, 1)
+        index.insert(2, 15, 15)
+        region = Rect(0, 0, 20, 20)
+        assert index.search_cell((0, 0), region) == [(1, 1.0, 1.0)]
+        assert index.search_cell((1, 1), region) == [(2, 15.0, 15.0)]
+        assert index.search_cell((5, 5), region) == []
+
+    def test_many_points_per_cell_build_real_trees(self):
+        index = GRIndex(cell_width=100.0, rtree_fanout=4)
+        rng = random.Random(5)
+        for oid in range(100):
+            index.insert(oid, rng.uniform(0, 99), rng.uniform(0, 99))
+        tree = index.tree_of((0, 0))
+        assert tree is not None and len(tree) == 100
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            GRIndex(cell_width=0)

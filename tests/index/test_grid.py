@@ -1,0 +1,82 @@
+"""Grid index and key computation tests."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect, range_region
+from repro.index.grid import (
+    GridIndex,
+    cell_bounds,
+    cell_key,
+    cells_overlapping,
+)
+
+coord = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+width = st.floats(min_value=0.1, max_value=100)
+
+
+class TestCellKey:
+    def test_paper_example(self):
+        """Fig. 4: location o5 = (4, 8) with lg = 3 lives in cell <1, 2>."""
+        assert cell_key(4, 8, 3) == (1, 2)
+
+    def test_negative_coordinates_floor(self):
+        assert cell_key(-0.5, -3.5, 1.0) == (-1, -4)
+
+    def test_boundary(self):
+        assert cell_key(3.0, 0.0, 3.0) == (1, 0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            cell_key(0, 0, 0)
+
+    @given(coord, coord, width)
+    def test_point_inside_its_cell(self, x, y, lg):
+        key = cell_key(x, y, lg)
+        bounds = cell_bounds(key, lg)
+        # Tolerances absorb float rounding at cell boundaries (e.g. a
+        # subnormal x whose quotient rounds to -0.0).
+        assert bounds.min_x - 1e-9 <= x <= bounds.max_x + 1e-9
+        assert bounds.min_y - 1e-9 <= y <= bounds.max_y + 1e-9
+
+
+class TestCellsOverlapping:
+    def test_single_cell_region(self):
+        keys = list(cells_overlapping(Rect(0.5, 0.5, 0.9, 0.9), 1.0))
+        assert keys == [(0, 0)]
+
+    def test_cross_boundary(self):
+        keys = set(cells_overlapping(Rect(0.5, 0.5, 1.5, 1.5), 1.0))
+        assert keys == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    @settings(deadline=None)
+    @given(coord, coord, width, st.floats(min_value=0, max_value=50))
+    def test_home_cell_always_included(self, x, y, lg, eps):
+        assume(eps <= 30 * lg)  # bound the enumerated cell count
+        region = range_region(x, y, eps)
+        assert cell_key(x, y, lg) in set(cells_overlapping(region, lg))
+
+
+class TestGridIndex:
+    def test_insert_and_bucket(self):
+        grid = GridIndex(cell_width=2.0)
+        key = grid.insert(1.0, 1.0, "a")
+        grid.insert(1.5, 0.5, "b")
+        grid.insert(5.0, 5.0, "c")
+        assert key == (0, 0)
+        assert sorted(grid.bucket((0, 0))) == ["a", "b"]
+        assert grid.bucket((9, 9)) == []
+        assert len(grid) == 3
+        assert grid.occupied_cells == 2
+
+    def test_payloads_in_region(self):
+        grid = GridIndex(cell_width=1.0)
+        grid.insert(0.5, 0.5, "a")
+        grid.insert(3.5, 3.5, "far")
+        found = list(grid.payloads_in(Rect(0, 0, 1, 1)))
+        assert found == ["a"]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_width=-1)

@@ -1,0 +1,104 @@
+"""PR quadtree tests, including equivalence with the R*-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-5000, max_value=5000, allow_nan=False),
+        st.floats(min_value=-5000, max_value=5000, allow_nan=False),
+    ),
+    max_size=150,
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = QuadTree()
+        assert len(tree) == 0
+        assert tree.bounds is None
+        assert tree.search(Rect(0, 0, 1, 1)) == []
+
+    def test_single_point(self):
+        tree = QuadTree()
+        tree.insert(3, 4, "a")
+        assert tree.search(Rect(0, 0, 10, 10)) == ["a"]
+        assert tree.search(Rect(5, 5, 10, 10)) == []
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            QuadTree(initial_extent=0)
+
+    def test_duplicates_at_max_depth(self):
+        """Coincident points cannot be subdivided apart; the node keeps
+        accepting them at the depth cap."""
+        tree = QuadTree()
+        for i in range(100):
+            tree.insert(1.0, 1.0, i)
+        assert sorted(tree.search(Rect(1, 1, 1, 1))) == list(range(100))
+
+
+class TestGrowth:
+    def test_outlier_grows_world(self):
+        tree = QuadTree(initial_extent=2.0)
+        tree.insert(0, 0, "center")
+        tree.insert(1e6, -1e6, "far")
+        assert tree.bounds.contains_point(1e6, -1e6)
+        assert sorted(tree.search(Rect(-2e6, -2e6, 2e6, 2e6))) == [
+            "center", "far",
+        ]
+
+    def test_subdivision_occurs(self):
+        tree = QuadTree(initial_extent=100.0)
+        rng = random.Random(1)
+        for i in range(200):
+            tree.insert(rng.uniform(0, 50), rng.uniform(0, 50), i)
+        assert tree._root.children is not None
+        assert sorted(tree.all_payloads()) == list(range(200))
+
+
+class TestQueryEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, st.integers(0, 4))
+    def test_matches_rtree(self, raw_points, seed):
+        quadtree = QuadTree()
+        rtree = RTree()
+        for index, (x, y) in enumerate(raw_points):
+            quadtree.insert(x, y, index)
+            rtree.insert(x, y, index)
+        rng = random.Random(seed)
+        for _ in range(5):
+            x1, x2 = sorted((rng.uniform(-5000, 5000), rng.uniform(-5000, 5000)))
+            y1, y2 = sorted((rng.uniform(-5000, 5000), rng.uniform(-5000, 5000)))
+            region = Rect(x1, y1, x2, y2)
+            assert sorted(quadtree.search(region)) == sorted(
+                rtree.search(region)
+            )
+
+
+class TestJoinIntegration:
+    def test_quadtree_local_index_in_range_join(self):
+        from repro.join.pairs import brute_force_join
+        from repro.join.range_join import GRRangeJoin, RangeJoinConfig
+
+        rng = random.Random(9)
+        points = [
+            (i, rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(80)
+        ]
+        config = RangeJoinConfig(
+            cell_width=12.0, epsilon=6.0, local_index="quadtree"
+        )
+        assert GRRangeJoin(config).join(points) == brute_force_join(points, 6.0)
+
+    def test_unknown_index_still_rejected(self):
+        from repro.join.query import CellJoiner
+
+        with pytest.raises(ValueError):
+            CellJoiner(epsilon=1.0, local_index="octree")

@@ -1,0 +1,116 @@
+"""R*-tree structural and query-correctness tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+    ),
+    max_size=120,
+)
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.bounds is None
+        assert tree.search(Rect(0, 0, 10, 10)) == []
+        tree.check_invariants()
+
+    def test_single_insert(self):
+        tree = RTree()
+        tree.insert(5, 5, "a")
+        assert len(tree) == 1
+        assert tree.bounds == Rect.point(5, 5)
+        assert tree.search(Rect(0, 0, 10, 10)) == ["a"]
+        assert tree.search(Rect(6, 6, 10, 10)) == []
+
+    def test_boundary_inclusive(self):
+        tree = RTree()
+        tree.insert(1, 1, "edge")
+        assert tree.search(Rect(1, 1, 2, 2)) == ["edge"]
+        assert tree.search(Rect(0, 0, 1, 1)) == ["edge"]
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_duplicate_positions_allowed(self):
+        tree = RTree()
+        for i in range(10):
+            tree.insert(2, 2, i)
+        assert sorted(tree.search(Rect(2, 2, 2, 2))) == list(range(10))
+
+
+class TestGrowth:
+    def test_splits_keep_all_entries(self):
+        tree = RTree(max_entries=4)
+        rng = random.Random(1)
+        expected = []
+        for i in range(200):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            tree.insert(x, y, i)
+            expected.append(i)
+        assert sorted(tree.all_payloads()) == expected
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_clustered_insertion_order(self):
+        """Sorted insertion (worst case for naive trees) stays consistent."""
+        tree = RTree(max_entries=5)
+        for i in range(150):
+            tree.insert(float(i), float(i), i)
+        tree.check_invariants()
+        assert sorted(tree.search(Rect(10, 10, 20, 20))) == list(range(10, 21))
+
+    def test_forced_reinsert_toggle(self):
+        for forced in (True, False):
+            tree = RTree(max_entries=4, forced_reinsert=forced)
+            rng = random.Random(2)
+            for i in range(120):
+                tree.insert(rng.uniform(0, 50), rng.uniform(0, 50), i)
+            tree.check_invariants()
+            assert len(tree) == 120
+
+
+class TestQueryCorrectness:
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, st.integers(0, 3))
+    def test_matches_linear_scan(self, points, seed):
+        rng = random.Random(seed)
+        tree = RTree(max_entries=6)
+        for index, (x, y) in enumerate(points):
+            tree.insert(x, y, index)
+        tree.check_invariants()
+        for _ in range(5):
+            x1, x2 = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            y1, y2 = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            region = Rect(x1, y1, x2, y2)
+            expected = sorted(
+                index
+                for index, (x, y) in enumerate(points)
+                if region.contains_point(x, y)
+            )
+            assert sorted(tree.search(region)) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(points_strategy)
+    def test_bounds_cover_everything(self, points):
+        tree = RTree(max_entries=8)
+        for index, (x, y) in enumerate(points):
+            tree.insert(x, y, index)
+        if points:
+            bounds = tree.bounds
+            for x, y in points:
+                assert bounds.contains_point(x, y)

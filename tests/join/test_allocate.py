@@ -1,0 +1,95 @@
+"""GridAllocate (Algorithm 1 / Lemma 1) tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.grid import cell_key
+from repro.join.allocate import (
+    allocate_location,
+    allocate_snapshot,
+    replication_factor,
+)
+
+coord = st.floats(min_value=-500, max_value=500, allow_nan=False)
+
+
+class TestAllocateLocation:
+    def test_data_object_first_in_home_cell(self):
+        objects = list(allocate_location(1, 4, 8, cell_width=3, epsilon=1))
+        data = objects[0]
+        assert data.is_data and data.key == (1, 2)
+
+    def test_query_objects_exclude_home(self):
+        objects = list(allocate_location(1, 5, 5, cell_width=2, epsilon=3))
+        home = cell_key(5, 5, 2)
+        for go in objects[1:]:
+            assert go.is_query
+            assert go.key != home
+
+    def test_lemma1_upper_half_only(self):
+        """Query cells never lie strictly below the location's row."""
+        objects = list(allocate_location(1, 10, 10, cell_width=2, epsilon=5))
+        home_row = cell_key(10, 10, 2)[1]
+        for go in objects[1:]:
+            assert go.key[1] >= home_row
+
+    def test_without_lemma1_covers_full_ring(self):
+        full = list(allocate_location(1, 10, 10, 2, 5, lemma1=False))
+        half = list(allocate_location(1, 10, 10, 2, 5, lemma1=True))
+        assert len(full) > len(half)
+        full_keys = {go.key for go in full}
+        half_keys = {go.key for go in half}
+        assert half_keys <= full_keys
+
+    def test_paper_fig4_o9_full_replication(self):
+        """Fig. 4: o9's full range region touches cells g5, g6, g9, g10.
+
+        With lg = 3 and o9 near the centre of cell <1,1> with epsilon
+        reaching its upper-left neighbours, full replication (no Lemma 1)
+        produces one data object in <1,1> and query objects in the three
+        other intersected cells.
+        """
+        objects = list(allocate_location(9, 3.5, 5.5, 3.0, 1.0, lemma1=False))
+        keys = {go.key for go in objects}
+        assert keys == {(1, 1), (0, 1), (1, 2), (0, 2)}
+        data_keys = {go.key for go in objects if go.is_data}
+        assert data_keys == {(1, 1)}
+
+    @given(coord, coord, st.floats(min_value=0.1, max_value=20),
+           st.floats(min_value=0, max_value=20))
+    def test_replication_bounded(self, x, y, lg, eps):
+        objects = list(allocate_location(1, x, y, lg, eps))
+        expected_cols = int(2 * eps / lg) + 2
+        expected_rows = int(eps / lg) + 2
+        assert 1 <= len(objects) <= expected_cols * expected_rows + 1
+
+
+class TestAllocateSnapshot:
+    def test_partitions_grouped_by_key(self):
+        points = [(1, 0.5, 0.5), (2, 0.6, 0.6), (3, 10.0, 10.0)]
+        partitions = allocate_snapshot(points, cell_width=2.0, epsilon=0.1)
+        assert (0, 0) in partitions
+        assert (5, 5) in partitions
+        home_objects = [go for go in partitions[(0, 0)] if go.is_data]
+        assert {go.oid for go in home_objects} == {1, 2}
+
+    def test_empty_snapshot(self):
+        assert allocate_snapshot([], 1.0, 1.0) == {}
+
+
+class TestReplicationFactor:
+    def test_lemma1_halves_replication(self):
+        import random
+
+        rng = random.Random(0)
+        points = [
+            (i, rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(300)
+        ]
+        with_l1 = replication_factor(points, cell_width=4, epsilon=6)
+        without = replication_factor(points, cell_width=4, epsilon=6, lemma1=False)
+        # Upper half region is about half the cells of the full region.
+        assert with_l1 < without
+        assert with_l1 / without < 0.75
+
+    def test_empty(self):
+        assert replication_factor([], 1, 1) == 0.0

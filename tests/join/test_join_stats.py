@@ -1,0 +1,57 @@
+"""JoinStats invariant tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.join.range_join import GRRangeJoin, JoinStats, RangeJoinConfig
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    ),
+    max_size=40,
+).map(lambda pts: [(i, x, y) for i, (x, y) in enumerate(pts)])
+
+
+class TestJoinStatsInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(point_lists, st.floats(min_value=0.1, max_value=20),
+           st.floats(min_value=0.5, max_value=30), st.booleans(),
+           st.booleans())
+    def test_invariants(self, points, eps, lg, lemma1, lemma2):
+        join = GRRangeJoin(
+            RangeJoinConfig(
+                cell_width=lg, epsilon=eps, lemma1=lemma1, lemma2=lemma2
+            )
+        )
+        result = join.join(points)
+        stats = join.last_stats
+        assert stats.locations == len(points)
+        if points:
+            # Every location yields at least its data object.
+            assert stats.grid_objects >= stats.locations
+            assert stats.replication_factor >= 1.0
+        assert stats.result_pairs == len(result)
+        assert stats.emitted_pairs >= stats.result_pairs
+        assert 0.0 <= stats.duplicate_ratio < 1.0 or stats.emitted_pairs == 0
+
+    def test_empty_stats(self):
+        stats = JoinStats()
+        assert stats.replication_factor == 0.0
+        assert stats.duplicate_ratio == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists, st.floats(min_value=0.5, max_value=10))
+    def test_lemma1_reduces_grid_objects(self, points, eps):
+        """Upper-half replication never emits more copies than full."""
+        lg = eps  # fine grid relative to the range region
+        half = GRRangeJoin(RangeJoinConfig(cell_width=lg, epsilon=eps))
+        full = GRRangeJoin(
+            RangeJoinConfig(cell_width=lg, epsilon=eps, lemma1=False)
+        )
+        half.join(points)
+        full.join(list(points))
+        assert half.last_stats.grid_objects <= full.last_stats.grid_objects

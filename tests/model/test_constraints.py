@@ -1,0 +1,76 @@
+"""PatternConstraints and pattern-variant preset tests."""
+
+import pytest
+
+from repro.model.constraints import (
+    PatternConstraints,
+    convoy,
+    flock,
+    group_pattern,
+    platoon,
+    swarm,
+)
+from repro.model.timeseq import TimeSequence
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        c = PatternConstraints(m=3, k=4, l=2, g=2)
+        assert (c.m, c.k, c.l, c.g) == (3, 4, 2, 2)
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(m=1, k=4, l=2, g=2), "M must be >= 2"),
+            (dict(m=3, k=4, l=0, g=2), "L must be >= 1"),
+            (dict(m=3, k=4, l=2, g=0), "G must be >= 1"),
+            (dict(m=3, k=1, l=2, g=2), "K must be >= L"),
+        ],
+    )
+    def test_invalid_construction(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            PatternConstraints(**kwargs)
+
+
+class TestEta:
+    def test_paper_eta(self):
+        assert PatternConstraints(m=2, k=4, l=2, g=2).eta == 6
+
+    def test_paper_defaults_eta(self):
+        # Table 3 defaults: K=180, L=30, G=30 -> eta = 5*29 + 209 = 354.
+        c = PatternConstraints(m=15, k=180, l=30, g=30)
+        assert c.eta == (180 // 30 - 1) * 29 + 180 + 30 - 1
+
+
+class TestChecks:
+    def test_sequence_valid(self):
+        c = PatternConstraints(m=3, k=4, l=2, g=2)
+        assert c.sequence_valid(TimeSequence([3, 4, 6, 7]))
+        assert not c.sequence_valid(TimeSequence([3, 4, 7, 8]))  # gap 3
+
+    def test_size_valid(self):
+        c = PatternConstraints(m=3, k=4, l=2, g=2)
+        assert c.size_valid(3)
+        assert not c.size_valid(2)
+
+
+class TestPresets:
+    def test_convoy_is_strictly_consecutive(self):
+        c = convoy(m=5, k=10)
+        assert c.l == c.k == 10 and c.g == 1
+        assert c.sequence_valid(TimeSequence(range(1, 11)))
+        assert not c.sequence_valid(TimeSequence([1, 2, 3, 4, 6, 7, 8, 9, 10, 11]))
+
+    def test_flock_equals_convoy_temporally(self):
+        assert flock(4, 8) == convoy(4, 8)
+
+    def test_swarm_allows_arbitrary_gaps_within_horizon(self):
+        c = swarm(m=3, k=3, horizon=100)
+        assert c.sequence_valid(TimeSequence([1, 50, 100]))
+
+    def test_platoon_allows_bounded_gaps(self):
+        c = platoon(m=3, k=4, l=2)
+        assert c.sequence_valid(TimeSequence([1, 2, 5, 6]))
+
+    def test_group_pattern_passthrough(self):
+        assert group_pattern(3, 4, 2, 2) == PatternConstraints(3, 4, 2, 2)

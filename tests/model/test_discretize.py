@@ -1,0 +1,55 @@
+"""Timestamp discretization tests (Section 3.1)."""
+
+import pytest
+
+from repro.model.discretize import TimeDiscretizer
+from repro.model.records import Trajectory
+
+
+class TestIndexOf:
+    def test_paper_example(self):
+        """Interval 5 s from 13:00:20: the paper's worked discretization."""
+        base = 13 * 3600 + 20 * 60 + 20  # irrelevant absolute origin
+        disc = TimeDiscretizer(interval=5.0, origin=base)
+        clock = [base + 1, base + 4, base + 8, base + 12, base + 22]
+        assert [disc.index_of(t) for t in clock] == [0, 0, 1, 2, 4]
+
+    def test_boundary_belongs_to_next_interval(self):
+        disc = TimeDiscretizer(interval=5.0)
+        assert disc.index_of(4.999) == 0
+        assert disc.index_of(5.0) == 1
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TimeDiscretizer(interval=0)
+
+
+class TestDiscretizeTrajectory:
+    def test_collision_keeps_last_fix(self):
+        trajectory = Trajectory.from_points(
+            1, [(0, 0, 0.0), (9, 9, 4.0), (5, 5, 6.0)]
+        )
+        disc = TimeDiscretizer(interval=5.0)
+        records = disc.discretize_trajectory(trajectory)
+        assert [(r.time, r.x) for r in records] == [(0, 9.0), (1, 5.0)]
+
+    def test_last_time_chain(self):
+        trajectory = Trajectory.from_points(
+            2, [(0, 0, 0.0), (1, 1, 10.0), (2, 2, 20.0)]
+        )
+        disc = TimeDiscretizer(interval=5.0)
+        records = disc.discretize_trajectory(trajectory)
+        assert [r.time for r in records] == [0, 2, 4]
+        assert [r.last_time for r in records] == [None, 0, 2]
+
+    def test_collision_count(self):
+        trajectory = Trajectory.from_points(
+            3, [(0, 0, 0.0), (1, 1, 1.0), (2, 2, 2.0), (3, 3, 7.0)]
+        )
+        disc = TimeDiscretizer(interval=5.0)
+        assert disc.collisions(trajectory) == 2
+
+    def test_oid_propagated(self):
+        trajectory = Trajectory.from_points(42, [(0, 0, 0.0)])
+        records = TimeDiscretizer(1.0).discretize_trajectory(trajectory)
+        assert records[0].oid == 42

@@ -1,0 +1,82 @@
+"""Cross-cutting model properties (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.constraints import (
+    PatternConstraints,
+    convoy,
+    platoon,
+    swarm,
+)
+from repro.model.timeseq import TimeSequence, maximal_valid_sequences
+
+time_sets = st.sets(st.integers(min_value=1, max_value=30), min_size=1,
+                    max_size=15).map(sorted)
+
+
+class TestValiditySupersetMonotonicity:
+    """The property the apriori candidate filter rests on: a superset of a
+    valid time set still contains a valid sequence."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(time_sets, time_sets, st.integers(1, 5), st.integers(1, 3),
+           st.integers(1, 3))
+    def test_superset_stays_valid(self, base, extra, k, l, g):
+        if l > k:
+            return
+        if not maximal_valid_sequences(base, k, l, g):
+            return
+        merged = sorted(set(base) | set(extra))
+        assert maximal_valid_sequences(merged, k, l, g), (base, extra)
+
+
+class TestPresetAdmissionOrdering:
+    """convoy admits a subset of platoon's sequences, platoon of swarm's."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(time_sets, st.integers(2, 6))
+    def test_ordering(self, times, k):
+        sequence = TimeSequence(times)
+        horizon = max(times)
+        strict = convoy(m=2, k=k)
+        relaxed = platoon(m=2, k=k, l=min(2, k))
+        loose = swarm(m=2, k=k, horizon=horizon)
+        if strict.sequence_valid(sequence):
+            assert relaxed.sequence_valid(sequence)
+        if relaxed.sequence_valid(sequence):
+            assert loose.sequence_valid(sequence)
+
+
+class TestEtaCoversMinimalWitness:
+    """Lemma 4: every valid sequence contains a valid subsequence spanning
+    at most eta times — checked exhaustively on small inputs."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_minimal_witness_fits_window(self, seed):
+        rng = random.Random(seed)
+        l = rng.randint(1, 3)
+        k = l + rng.randint(0, 3)
+        g = rng.randint(1, 3)
+        constraints = PatternConstraints(m=2, k=k, l=l, g=g)
+        eta = constraints.eta
+        # Build a random valid sequence by chaining segments: the jump
+        # between a segment's end and the next start is at most G
+        # (Definition 3 bounds the difference, so the hole is <= G - 1).
+        times: list[int] = []
+        t = rng.randint(1, 4)
+        while len(times) < k:
+            seg_len = rng.randint(l, l + 2)
+            times.extend(range(t, t + seg_len))
+            t += seg_len + rng.randint(0, g - 1)
+        sequence = TimeSequence(times)
+        assert constraints.sequence_valid(sequence)
+        # A valid subsequence must fit inside some eta-window anchored at
+        # the sequence's first time.
+        window = [x for x in times if x < times[0] + eta]
+        assert maximal_valid_sequences(window, k, l, g), (
+            times, k, l, g, eta
+        )

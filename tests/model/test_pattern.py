@@ -1,0 +1,48 @@
+"""CoMovementPattern value-object tests."""
+
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+from repro.model.timeseq import TimeSequence
+
+
+class TestConstruction:
+    def test_of_sorts_and_dedups_objects(self):
+        pattern = CoMovementPattern.of([3, 1, 3, 2], [1, 2, 3, 4])
+        assert pattern.objects == (1, 2, 3)
+        assert pattern.times == TimeSequence([1, 2, 3, 4])
+
+    def test_size_and_duration(self):
+        pattern = CoMovementPattern.of([4, 5, 6], [3, 4, 6, 7])
+        assert pattern.size == 3
+        assert pattern.duration == 4
+
+
+class TestEqualityAndKeys:
+    def test_value_equality(self):
+        a = CoMovementPattern.of([1, 2], [1, 2, 3, 4])
+        b = CoMovementPattern.of([2, 1], (1, 2, 3, 4))
+        assert a == b
+        assert a.key() == b.key()
+        assert len({a, b}) == 1
+
+    def test_different_times_differ(self):
+        a = CoMovementPattern.of([1, 2], [1, 2, 3, 4])
+        b = CoMovementPattern.of([1, 2], [2, 3, 4, 5])
+        assert a != b
+
+
+class TestSatisfies:
+    def test_paper_example(self):
+        """{o4, o5, o6} with T=<3,4,6,7> satisfies CP(3, 4, 2, 2)."""
+        constraints = PatternConstraints(m=3, k=4, l=2, g=2)
+        pattern = CoMovementPattern.of([4, 5, 6], [3, 4, 6, 7])
+        assert pattern.satisfies(constraints)
+
+    def test_too_few_objects(self):
+        constraints = PatternConstraints(m=3, k=4, l=2, g=2)
+        pattern = CoMovementPattern.of([4, 5], [3, 4, 6, 7])
+        assert not pattern.satisfies(constraints)
+
+    def test_str_rendering(self):
+        pattern = CoMovementPattern.of([4, 5], [3, 4])
+        assert str(pattern) == "{o4, o5} @ T=[3, 4]"

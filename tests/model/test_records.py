@@ -1,0 +1,61 @@
+"""GPS record / trajectory model tests."""
+
+import pytest
+
+from repro.model.records import GPSRecord, Location, StreamRecord, Trajectory
+
+
+class TestLocation:
+    def test_as_tuple(self):
+        assert Location(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Location(0, 0).x = 1
+
+
+class TestGPSRecord:
+    def test_at_constructor(self):
+        record = GPSRecord.at(3, 4, 10.5)
+        assert record.location == Location(3, 4)
+        assert record.time == 10.5
+
+
+class TestStreamRecord:
+    def test_location_property(self):
+        record = StreamRecord(oid=7, x=1, y=2, time=3, last_time=None)
+        assert record.location == Location(1, 2)
+
+    def test_defaults(self):
+        record = StreamRecord(oid=1, x=0, y=0, time=5)
+        assert record.last_time is None
+
+
+class TestTrajectory:
+    def test_append_enforces_time_order(self):
+        trajectory = Trajectory(1)
+        trajectory.append(GPSRecord.at(0, 0, 5))
+        trajectory.append(GPSRecord.at(1, 1, 5))  # equal time allowed
+        with pytest.raises(ValueError, match="arrives after"):
+            trajectory.append(GPSRecord.at(2, 2, 4))
+
+    def test_start_end_time(self):
+        trajectory = Trajectory.from_points(2, [(0, 0, 1), (1, 0, 3), (2, 0, 9)])
+        assert trajectory.start_time == 1
+        assert trajectory.end_time == 9
+        assert len(trajectory) == 3
+
+    def test_empty_trajectory_times_raise(self):
+        with pytest.raises(ValueError, match="empty"):
+            Trajectory(1).start_time
+        with pytest.raises(ValueError, match="empty"):
+            Trajectory(1).end_time
+
+    def test_locations(self):
+        trajectory = Trajectory.from_points(3, [(0, 0, 1), (5, 6, 2)])
+        assert trajectory.locations() == [Location(0, 0), Location(5, 6)]
+
+    def test_iteration(self):
+        trajectory = Trajectory.from_points(4, [(0, 0, 1), (1, 1, 2)])
+        times = [record.time for record in trajectory]
+        assert times == [1, 2]

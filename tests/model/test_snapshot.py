@@ -1,0 +1,50 @@
+"""Snapshot / ClusterSnapshot tests."""
+
+import pytest
+
+from repro.model.records import Location, StreamRecord
+from repro.model.snapshot import ClusterSnapshot, Snapshot
+
+
+class TestSnapshot:
+    def test_add_and_lookup(self):
+        snapshot = Snapshot(3)
+        snapshot.add(1, Location(0, 0))
+        snapshot.add(2, Location(1, 1))
+        assert len(snapshot) == 2
+        assert 1 in snapshot and 3 not in snapshot
+
+    def test_re_report_overwrites(self):
+        snapshot = Snapshot(1)
+        snapshot.add(1, Location(0, 0))
+        snapshot.add(1, Location(9, 9))
+        assert snapshot.locations[1] == Location(9, 9)
+        assert len(snapshot) == 1
+
+    def test_add_record_time_mismatch(self):
+        snapshot = Snapshot(5)
+        with pytest.raises(ValueError, match="snapshot t=5"):
+            snapshot.add_record(StreamRecord(oid=1, x=0, y=0, time=4))
+
+    def test_points_roundtrip(self):
+        snapshot = Snapshot.from_points(2, [(1, 0.0, 0.0), (2, 3.0, 4.0)])
+        assert sorted(snapshot.points()) == [(1, 0.0, 0.0), (2, 3.0, 4.0)]
+
+
+class TestClusterSnapshot:
+    def test_from_groups_sorts_and_numbers(self):
+        cs = ClusterSnapshot.from_groups(1, [[3, 1], [5, 4, 6]])
+        assert cs.clusters == {0: (1, 3), 1: (4, 5, 6)}
+
+    def test_empty_groups_skipped(self):
+        cs = ClusterSnapshot.from_groups(1, [[], [2, 1]])
+        assert cs.clusters == {1: (1, 2)}
+
+    def test_membership(self):
+        cs = ClusterSnapshot.from_groups(1, [[1, 2], [3]])
+        assert cs.membership() == {1: 0, 2: 0, 3: 1}
+
+    def test_average_cluster_size(self):
+        cs = ClusterSnapshot.from_groups(1, [[1, 2], [3, 4, 5, 6]])
+        assert cs.average_cluster_size() == 3.0
+        assert ClusterSnapshot(1).average_cluster_size() == 0.0

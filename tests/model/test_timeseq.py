@@ -1,0 +1,194 @@
+"""Time-sequence semantics: the backbone of the pattern definition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.timeseq import (
+    TimeSequence,
+    eta_window,
+    is_g_connected,
+    is_l_consecutive,
+    maximal_valid_sequences,
+    segments_of,
+)
+
+time_sets = st.sets(st.integers(min_value=1, max_value=40), max_size=20).map(
+    sorted
+)
+
+
+class TestTimeSequence:
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            TimeSequence([1, 1])
+        with pytest.raises(ValueError):
+            TimeSequence([3, 2])
+
+    def test_value_equality_and_hash(self):
+        assert TimeSequence([1, 2, 4]) == TimeSequence((1, 2, 4))
+        assert hash(TimeSequence([1, 2])) == hash(TimeSequence([1, 2]))
+        assert TimeSequence([1, 2]) != TimeSequence([1, 3])
+
+    def test_last(self):
+        assert TimeSequence([1, 5, 9]).last == 9
+        with pytest.raises(ValueError):
+            TimeSequence([]).last
+
+    def test_extended(self):
+        assert TimeSequence([1, 2]).extended(4) == TimeSequence([1, 2, 4])
+        with pytest.raises(ValueError):
+            TimeSequence([1, 2]).extended(2)
+
+    def test_paper_example_definition_2_and_3(self):
+        """T = <1, 2, 4, 5, 6> is 2-consecutive and 2-connected."""
+        t = TimeSequence([1, 2, 4, 5, 6])
+        assert t.is_l_consecutive(2)
+        assert t.is_g_connected(2)
+        assert not t.is_l_consecutive(3)
+        assert not t.is_g_connected(1)
+
+    def test_last_segment_length(self):
+        assert TimeSequence([1, 2, 4, 5, 6]).last_segment_length() == 3
+        assert TimeSequence([1, 2, 5]).last_segment_length() == 1
+        assert TimeSequence([]).last_segment_length() == 0
+
+
+class TestSegments:
+    def test_empty(self):
+        assert segments_of([]) == []
+
+    def test_single(self):
+        assert segments_of([7]) == [(7, 7)]
+
+    def test_one_run(self):
+        assert segments_of([3, 4, 5]) == [(3, 5)]
+
+    def test_multiple_runs(self):
+        assert segments_of([1, 2, 4, 5, 6, 9]) == [(1, 2), (4, 6), (9, 9)]
+
+    @given(time_sets)
+    def test_segments_partition_the_times(self, times):
+        runs = segments_of(times)
+        covered = [
+            t for start, end in runs for t in range(start, end + 1)
+        ]
+        assert covered == list(times)
+
+    @given(time_sets)
+    def test_segments_are_maximal(self, times):
+        time_set = set(times)
+        for start, end in segments_of(times):
+            assert start - 1 not in time_set
+            assert end + 1 not in time_set
+
+
+class TestConstraintChecks:
+    def test_l_consecutive_paper_sequence(self):
+        assert is_l_consecutive([1, 2, 4, 5, 6], 2)
+
+    def test_g_connected_boundary(self):
+        assert is_g_connected([1, 4], 3)
+        assert not is_g_connected([1, 5], 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            is_l_consecutive([1], 0)
+        with pytest.raises(ValueError):
+            is_g_connected([1], 0)
+
+
+class TestEtaWindow:
+    def test_paper_example(self):
+        """K=4, G=L=2 gives eta = 6 (Section 6.1's worked example)."""
+        assert eta_window(4, 2, 2) == 6
+
+    def test_strictly_consecutive_case(self):
+        # L = K, G = 1 (convoy): eta = K + L - 1... with ceil(K/L) = 1 the
+        # gap term vanishes: eta = 2K - 1.
+        assert eta_window(4, 4, 1) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            eta_window(0, 1, 1)
+
+    @given(
+        st.integers(1, 20), st.integers(1, 20), st.integers(1, 10)
+    )
+    def test_eta_at_least_k(self, k, l, g):
+        if l > k:
+            return
+        assert eta_window(k, l, g) >= k
+
+
+class TestMaximalValidSequences:
+    def test_single_valid_block(self):
+        [seq] = maximal_valid_sequences([1, 2, 3, 4], 4, 2, 2)
+        assert seq == TimeSequence([1, 2, 3, 4])
+
+    def test_short_segments_dropped(self):
+        # {6} is a stranded singleton under L=2.
+        result = maximal_valid_sequences([1, 2, 3, 4, 6], 4, 2, 2)
+        assert result == [TimeSequence([1, 2, 3, 4])]
+
+    def test_chain_across_gap(self):
+        [seq] = maximal_valid_sequences([3, 4, 6, 7], 4, 2, 2)
+        assert seq == TimeSequence([3, 4, 6, 7])
+
+    def test_gap_too_large_splits_chains(self):
+        result = maximal_valid_sequences([1, 2, 3, 4, 8, 9, 10, 11], 4, 2, 2)
+        assert result == [
+            TimeSequence([1, 2, 3, 4]),
+            TimeSequence([8, 9, 10, 11]),
+        ]
+
+    def test_chain_below_duration_rejected(self):
+        assert maximal_valid_sequences([1, 2], 4, 2, 2) == []
+
+    def test_dropped_segment_widens_gap(self):
+        # {4} is dropped (short); the 2->6 gap is then 4 > G=2, so the two
+        # long segments cannot chain.
+        result = maximal_valid_sequences([1, 2, 4, 6, 7], 4, 2, 2)
+        assert result == []
+
+    def test_greedy_counterexample_from_ba_docstring(self):
+        """The case where Algorithm 3's literal greedy loses a pattern."""
+        [seq] = maximal_valid_sequences([1, 2, 3, 4, 6, 8, 9], 6, 2, 4)
+        assert seq == TimeSequence([1, 2, 3, 4, 8, 9])
+
+    @given(time_sets, st.integers(1, 6), st.integers(1, 4), st.integers(1, 4))
+    def test_every_result_is_valid(self, times, k, l, g):
+        if l > k:
+            return
+        for seq in maximal_valid_sequences(times, k, l, g):
+            assert seq.is_valid(k, l, g)
+            assert set(seq) <= set(times)
+
+    @given(time_sets, st.integers(1, 6), st.integers(1, 4), st.integers(1, 4))
+    def test_maximality_no_valid_sequence_outside(self, times, k, l, g):
+        """Any valid subsequence of `times` is contained in some result."""
+        if l > k:
+            return
+        results = maximal_valid_sequences(times, k, l, g)
+        covered = set()
+        for seq in results:
+            covered |= set(seq)
+        # Exhaustively check all subsets only for small inputs.
+        times = list(times)
+        if len(times) > 12:
+            return
+        from itertools import combinations
+
+        for size in range(k, len(times) + 1):
+            for subset in combinations(times, size):
+                candidate = TimeSequence(subset)
+                if candidate.is_valid(k, l, g):
+                    assert set(subset) <= covered
+
+    @given(time_sets, st.integers(1, 6), st.integers(1, 4), st.integers(1, 4))
+    def test_results_are_disjoint_and_ordered(self, times, k, l, g):
+        if l > k:
+            return
+        results = maximal_valid_sequences(times, k, l, g)
+        for earlier, later in zip(results, results[1:]):
+            assert earlier.last < later[0]

@@ -1,0 +1,85 @@
+"""Cluster cost model tests (the Fig. 14 substrate)."""
+
+import pytest
+
+from repro.streaming.cluster import ClusterModel, ClusterRun, StageCost
+from repro.streaming.dataflow import StageWork
+
+
+def work(name, busy):
+    return StageWork(
+        name=name, busy_seconds=busy, elements_in=0, elements_out=0
+    )
+
+
+class TestStageCost:
+    def test_single_node_sums_within_capacity(self):
+        model = ClusterModel(n_nodes=1, cores_per_node=2, exchange_cost_seconds=0)
+        cost = model.stage_cost(work("s", [0.4, 0.4, 0.4, 0.4]))
+        # 1.6s of work over 2 cores, longest subtask 0.4 -> 0.8s elapsed.
+        assert cost.slowest_node_seconds == pytest.approx(0.8)
+        assert cost.total_seconds == pytest.approx(1.6)
+
+    def test_peak_subtask_bounds_elapsed(self):
+        model = ClusterModel(n_nodes=1, cores_per_node=8, exchange_cost_seconds=0)
+        cost = model.stage_cost(work("s", [1.0, 0.1, 0.1]))
+        # One dominant subtask cannot be parallelised away.
+        assert cost.slowest_node_seconds == pytest.approx(1.0)
+
+    def test_more_nodes_reduce_latency(self):
+        busy = [0.1] * 16
+        latencies = []
+        for n in (1, 2, 4, 8):
+            model = ClusterModel(
+                n_nodes=n, cores_per_node=2, exchange_cost_seconds=0
+            )
+            latencies.append(model.stage_cost(work("s", busy)).slowest_node_seconds)
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[-1] < latencies[0]
+
+    def test_saturation_with_excess_nodes(self):
+        """Beyond one subtask per node, extra nodes cannot help."""
+        busy = [0.5, 0.5]
+        model_2 = ClusterModel(n_nodes=2, cores_per_node=4)
+        model_10 = ClusterModel(n_nodes=10, cores_per_node=4)
+        assert model_2.stage_cost(work("s", busy)).slowest_node_seconds == (
+            model_10.stage_cost(work("s", busy)).slowest_node_seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterModel(n_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterModel(cores_per_node=0)
+
+
+class TestPipelineMetrics:
+    def test_latency_sums_stages_plus_exchange(self):
+        model = ClusterModel(
+            n_nodes=1, cores_per_node=1, exchange_cost_seconds=0.001
+        )
+        works = [work("a", [0.01]), work("b", [0.02])]
+        assert model.snapshot_latency_seconds(works) == pytest.approx(0.032)
+
+    def test_bottleneck_is_max_stage(self):
+        model = ClusterModel(
+            n_nodes=1, cores_per_node=1, exchange_cost_seconds=0.0
+        )
+        works = [work("a", [0.01]), work("b", [0.05]), work("c", [0.02])]
+        assert model.bottleneck_seconds(works) == pytest.approx(0.05)
+
+    def test_cluster_run_aggregates(self):
+        model = ClusterModel(n_nodes=1, cores_per_node=1,
+                             exchange_cost_seconds=0.0)
+        run = ClusterRun(model=model)
+        run.record([work("a", [0.010])])
+        run.record([work("a", [0.030])])
+        assert run.snapshots == 2
+        assert run.average_latency_ms() == pytest.approx(20.0)
+        assert run.throughput_tps() == pytest.approx(2 / 0.04)
+
+    def test_stage_cost_type(self):
+        model = ClusterModel()
+        cost = model.stage_cost(work("x", [0.1]))
+        assert isinstance(cost, StageCost)
+        assert cost.name == "x"

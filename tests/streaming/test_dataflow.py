@@ -1,0 +1,103 @@
+"""Dataflow operators / topology driver tests."""
+
+import pytest
+
+from repro.streaming.dataflow import (
+    FnOperator,
+    KeyedStage,
+    Operator,
+    StageRuntime,
+    Topology,
+    finish_all,
+    run_unit,
+)
+
+
+class Doubler(Operator):
+    def process(self, element):
+        yield element * 2
+
+
+class Summer(Operator):
+    """Stateful sink with batch and finish flushes."""
+
+    def __init__(self):
+        self.total = 0
+
+    def process(self, element):
+        self.total += element
+        return ()
+
+    def end_batch(self, ctx):
+        yield ("batch", ctx, self.total)
+
+    def finish(self):
+        yield ("final", self.total)
+
+
+class TestStageRuntime:
+    def test_routing_by_key(self):
+        stage = KeyedStage(
+            "double", Doubler, parallelism=4, key_fn=lambda e: e
+        )
+        runtime = StageRuntime(stage)
+        outputs, work = runtime.run([1, 2, 3, 4], ctx=0)
+        assert sorted(outputs) == [2, 4, 6, 8]
+        assert work.parallelism == 4
+        assert work.elements_in == 4
+
+    def test_same_key_same_subtask(self):
+        seen: dict[int, list[int]] = {}
+
+        class Recorder(Operator):
+            def open(self, subtask_index, parallelism):
+                self.index = subtask_index
+
+            def process(self, element):
+                seen.setdefault(element, []).append(self.index)
+                return ()
+
+        stage = KeyedStage("rec", Recorder, parallelism=3, key_fn=lambda e: e)
+        runtime = StageRuntime(stage)
+        runtime.run([7, 7, 7, 9, 9], ctx=0)
+        assert len(set(seen[7])) == 1
+        assert len(set(seen[9])) == 1
+
+    def test_end_batch_runs_on_all_subtasks(self):
+        stage = KeyedStage("sum", Summer, parallelism=2, key_fn=lambda e: e)
+        runtime = StageRuntime(stage)
+        outputs, _ = runtime.run([1], ctx=42)
+        # Both subtasks flush, even the one that received nothing.
+        assert len([o for o in outputs if o[0] == "batch"]) == 2
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            KeyedStage("x", Doubler, parallelism=0)
+
+
+class TestTopology:
+    def test_run_unit_chains_stages(self):
+        topology = (
+            Topology()
+            .add(KeyedStage("a", Doubler, 2, key_fn=lambda e: e))
+            .add(KeyedStage("b", Doubler, 2, key_fn=lambda e: e))
+        )
+        runtimes = topology.build()
+        outputs, works = run_unit(runtimes, [1, 2], ctx=0)
+        assert sorted(outputs) == [4, 8]
+        assert [w.name for w in works] == ["a", "b"]
+
+    def test_finish_all_cascades(self):
+        topology = (
+            Topology()
+            .add(KeyedStage("double", Doubler, 1))
+            .add(KeyedStage("sum", Summer, 1))
+        )
+        runtimes = topology.build()
+        run_unit(runtimes, [1, 2, 3], ctx=0)
+        outputs, _ = finish_all(runtimes)
+        assert ("final", 12) in outputs
+
+    def test_fn_operator(self):
+        op = FnOperator(lambda x: [x + 1])
+        assert list(op.process(1)) == [2]

@@ -1,0 +1,110 @@
+"""StreamEnvironment fluent-API tests."""
+
+import pytest
+
+from repro.streaming.dataflow import Operator
+from repro.streaming.environment import StreamEnvironment
+
+
+class Tally(Operator):
+    def __init__(self):
+        self.count = 0
+
+    def process(self, element):
+        self.count += 1
+        yield element
+
+    def finish(self):
+        yield ("count", self.count)
+
+
+class TestBuilder:
+    def test_map_filter_chain(self):
+        env = StreamEnvironment()
+        env.source().map(lambda x: x * 2).filter(lambda x: x > 4)
+        job = env.compile()
+        outputs, works = job.run([1, 2, 3, 4])
+        assert sorted(outputs) == [6, 8]
+        assert len(works) == 2
+
+    def test_flat_map(self):
+        env = StreamEnvironment()
+        env.source().flat_map(lambda x: [x, x + 10])
+        outputs, _ = env.compile().run([1, 2])
+        assert sorted(outputs) == [1, 2, 11, 12]
+
+    def test_key_by_routes_next_stage(self):
+        routed: dict[int, set] = {}
+
+        class Recorder(Operator):
+            def open(self, subtask_index, parallelism):
+                self.index = subtask_index
+
+            def process(self, element):
+                routed.setdefault(element % 3, set()).add(self.index)
+                return ()
+
+        env = StreamEnvironment()
+        env.source().key_by(lambda x: x % 3).process(Recorder, parallelism=3)
+        env.compile().run(list(range(30)))
+        for subtasks in routed.values():
+            assert len(subtasks) == 1
+
+    def test_named_stages(self):
+        env = StreamEnvironment()
+        (
+            env.source()
+            .key_by(lambda x: x, name="shuffle")
+            .map(lambda x: x)
+        )
+        job = env.compile()
+        assert job.stage_names == ["shuffle"]
+
+    def test_finish_flushes_operators(self):
+        env = StreamEnvironment()
+        env.source().process(Tally)
+        job = env.compile()
+        job.run([1, 2, 3])
+        outputs, _ = job.finish()
+        assert ("count", 3) in outputs
+
+    def test_compile_twice_rejected(self):
+        env = StreamEnvironment()
+        env.source().map(lambda x: x)
+        env.compile()
+        with pytest.raises(RuntimeError):
+            env.compile()
+
+    def test_empty_environment_rejected(self):
+        with pytest.raises(ValueError):
+            StreamEnvironment().compile()
+
+    def test_sink_collects(self):
+        seen = []
+        env = StreamEnvironment()
+        env.source().map(lambda x: x + 1).sink(seen.append)
+        env.compile().run([1, 2, 3])
+        assert seen == [2, 3, 4]
+
+    def test_icpe_like_topology(self):
+        """A miniature of the ICPE job graph via the fluent API."""
+        from repro.core.operators import AllocateOperator, QueryOperator
+        from repro.join.query import CellJoiner
+
+        env = StreamEnvironment()
+        (
+            env.source()
+            .key_by(lambda p: p[0], name="allocate")
+            .flat_map(
+                lambda p: AllocateOperator(4.0, 2.0).process(p), parallelism=4
+            )
+            .key_by(lambda go: go.key, name="query")
+            .process(
+                lambda: QueryOperator(CellJoiner(epsilon=2.0)), parallelism=4
+            )
+        )
+        job = env.compile()
+        outputs, _ = job.run(
+            [(1, 0.0, 0.0), (2, 1.0, 0.0), (3, 50.0, 50.0)], ctx=1
+        )
+        assert (1, 2) in outputs

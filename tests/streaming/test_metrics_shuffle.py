@@ -1,0 +1,81 @@
+"""Metrics aggregation and bounded-shuffle invariant tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.records import StreamRecord
+from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+from repro.streaming.shuffle import bounded_shuffle
+
+
+class TestMeter:
+    def test_empty(self):
+        meter = LatencyThroughputMeter()
+        assert meter.average_latency_ms() == 0.0
+        assert meter.throughput_tps() == 0.0
+
+    def test_averages(self):
+        meter = LatencyThroughputMeter()
+        meter.record(SnapshotTiming(1, latency_seconds=0.010,
+                                    bottleneck_seconds=0.005))
+        meter.record(SnapshotTiming(2, latency_seconds=0.030,
+                                    bottleneck_seconds=0.015))
+        assert meter.average_latency_ms() == pytest.approx(20.0)
+        assert meter.throughput_tps() == pytest.approx(2 / 0.02)
+
+    def test_pattern_totals_and_summary(self):
+        meter = LatencyThroughputMeter()
+        meter.record(SnapshotTiming(1, 0.01, 0.01, locations=5,
+                                    patterns_emitted=3))
+        assert meter.total_patterns() == 3
+        summary = meter.summary()
+        assert summary["snapshots"] == 1.0
+        assert summary["patterns"] == 3.0
+
+
+class TestBoundedShuffle:
+    def _records(self, n):
+        return [StreamRecord(oid=0, x=0, y=0, time=t) for t in range(1, n + 1)]
+
+    def test_permutation_preserved(self):
+        records = self._records(50)
+        out = list(bounded_shuffle(records, 3, random.Random(1)))
+        assert sorted(r.time for r in out) == [r.time for r in records]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1000), st.integers(0, 5), st.integers(1, 60))
+    def test_delay_bound_invariant(self, seed, max_delay, n):
+        """A record at time tau is never delivered after one at
+        > tau + max_delay."""
+        records = self._records(n)
+        out = list(bounded_shuffle(records, max_delay, random.Random(seed)))
+        seen_max = 0
+        pending = {r.time for r in records}
+        for record in out:
+            assert record.time + max_delay >= max(
+                (t for t in pending if t <= record.time), default=record.time
+            )
+            # Stronger check: everything more than max_delay older must
+            # already be delivered.
+            for t in list(pending):
+                if t < record.time - max_delay:
+                    raise AssertionError(
+                        f"record t={record.time} delivered while t={t} pending"
+                    )
+            pending.discard(record.time)
+            seen_max = max(seen_max, record.time)
+
+    def test_zero_delay_keeps_time_order(self):
+        records = self._records(30)
+        out = list(bounded_shuffle(records, 0, random.Random(2)))
+        times = [r.time for r in out]
+        assert times == sorted(times)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(bounded_shuffle([], -1, random.Random(0)))
+        with pytest.raises(ValueError):
+            list(bounded_shuffle([], 1, random.Random(0), hold_probability=1.0))

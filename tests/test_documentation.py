@@ -1,0 +1,77 @@
+"""Documentation-coverage meta-test: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+EXEMPT_MODULES = set()
+
+
+def iter_repro_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in EXEMPT_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home module
+        yield name, member
+
+
+def test_every_module_has_docstring():
+    missing = [
+        module.__name__
+        for module in iter_repro_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_docstring():
+    missing = []
+    for module in iter_repro_modules():
+        for name, member in public_members(module):
+            if not (member.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_public_methods_have_docstrings():
+    """Public methods of public classes must be documented (dunder and
+    trivially inherited methods exempt)."""
+    missing = []
+    for module in iter_repro_modules():
+        for class_name, cls in public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for method_name, method in vars(cls).items():
+                if method_name.startswith("_"):
+                    continue
+                if not (
+                    inspect.isfunction(method)
+                    or isinstance(method, (classmethod, staticmethod, property))
+                ):
+                    continue
+                target = (
+                    method.__func__
+                    if isinstance(method, (classmethod, staticmethod))
+                    else method.fget if isinstance(method, property)
+                    else method
+                )
+                if target is None or not callable(target):
+                    continue
+                if not (target.__doc__ or "").strip():
+                    missing.append(
+                        f"{module.__name__}.{class_name}.{method_name}"
+                    )
+    assert not missing, f"undocumented public methods: {missing}"
