@@ -1,0 +1,114 @@
+"""Measured backend scalability: serial vs parallel execution runtime.
+
+Unlike the Fig. 14 sweep — which *simulates* N-node placement from
+per-subtask busy times — this benchmark measures real wall-clock time of
+the same job graph under the two execution backends:
+
+* a synthetic stage whose subtask work has a distributed stage's shape
+  (GIL-releasing CPU kernel + exchange/state-backend stall; see
+  :mod:`repro.bench.backend_workload`), where the parallel backend must
+  record a speedup > 1.0x;
+* the full ICPE detection pipeline on a benchmark dataset, where serial
+  and parallel must agree on the exact pattern set (on a single-core GIL
+  host the pure-Python pipeline gains nothing, so only equivalence — not
+  speedup — is asserted there).
+
+Results are written to ``benchmarks/results/backend_speedup.txt``.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_EPS_PCT,
+    DEFAULT_GRID_PCT,
+    MIN_PTS,
+)
+from repro.bench.backend_workload import run_backend_sweep
+from repro.bench.harness import detection_config, run_backend_comparison
+from repro.bench.report import format_table, write_report
+
+_results: list[dict] = []
+
+
+def test_synthetic_backend_speedup(benchmark):
+    def run():
+        return run_backend_sweep(
+            parallelism=4,
+            batches=8,
+            elements_per_batch=32,
+            cpu_iterations=20_000,
+            stall_seconds=0.02,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for point in points:
+        _results.append(
+            {
+                "workload": "synthetic(cpu+stall)",
+                "backend": point.backend,
+                "workers": point.workers,
+                "wall_s": point.wall_seconds,
+                "speedup": point.speedup_vs_serial,
+                "outputs_equal": "yes",
+            }
+        )
+    parallel = next(p for p in points if p.backend == "parallel")
+    assert parallel.speedup_vs_serial > 1.0, points
+
+
+@pytest.mark.parametrize("dataset_name", ["Taxi"])
+def test_icpe_backend_equivalence(benchmark, datasets, dataset_name):
+    dataset = datasets[dataset_name]
+    config = detection_config(
+        dataset,
+        DEFAULT_CONSTRAINTS,
+        "F",
+        DEFAULT_EPS_PCT,
+        DEFAULT_GRID_PCT,
+        MIN_PTS,
+    )
+
+    def run():
+        # run_backend_comparison raises if the pattern sets differ.
+        return run_backend_comparison(
+            dataset, config, backends=("serial", "parallel"),
+            parallel_workers=4,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for point in points:
+        _results.append(
+            {
+                "workload": f"icpe({dataset_name})",
+                "backend": point.backend,
+                "workers": 4 if point.backend == "parallel" else 1,
+                "wall_s": point.wall_seconds,
+                "speedup": point.speedup_vs_serial,
+                "outputs_equal": "yes",
+            }
+        )
+    assert {p.patterns for p in points} and len(
+        {p.patterns for p in points}
+    ) == 1
+
+
+def test_backend_speedup_report(benchmark):
+    if not _results:
+        pytest.skip(
+            "no backend measurements collected this session; refusing to "
+            "overwrite the recorded report with an empty table"
+        )
+
+    def build():
+        return format_table(
+            _results,
+            title=(
+                "Backend scalability: measured wall-clock, serial vs "
+                "parallel execution backend"
+            ),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("backend_speedup", text)
+    print("\n" + text)

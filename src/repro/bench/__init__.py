@@ -2,18 +2,28 @@
 
 Each figure/table of the paper's evaluation (Section 7) has a runner here
 and a regenerating module under ``benchmarks/``; ``EXPERIMENTS.md`` records
-paper-vs-measured outcomes.
+paper-vs-measured outcomes.  Beyond the paper's simulated-cluster sweeps,
+:mod:`repro.bench.backend_workload` and the backend-comparison runner
+measure *real* wall-clock scalability of the parallel execution backend.
 """
 
 from repro.bench.params import BenchParams, PAPER_TABLE3, SCALED_TABLE3
+from repro.bench.backend_workload import (
+    BackendSweepPoint,
+    build_workload_job,
+    run_backend_sweep,
+)
 from repro.bench.harness import (
+    BackendPoint,
     ClusteringPoint,
     DetectionPoint,
     EnumerationPoint,
     average_detection_delay,
+    build_clustering_job,
     build_clustering_runtimes,
     clustering_join_settings,
     earliest_confirmable,
+    run_backend_comparison,
     run_clustering_point,
     run_detection_point,
     run_enumeration_point,
@@ -23,6 +33,8 @@ from repro.bench.report import format_table, write_report
 from repro.bench.sparkline import series_block, sparkline
 
 __all__ = [
+    "BackendPoint",
+    "BackendSweepPoint",
     "BenchParams",
     "ClusteringPoint",
     "DetectionPoint",
@@ -30,10 +42,14 @@ __all__ = [
     "PAPER_TABLE3",
     "SCALED_TABLE3",
     "average_detection_delay",
+    "build_clustering_job",
     "build_clustering_runtimes",
+    "build_workload_job",
     "clustering_join_settings",
     "earliest_confirmable",
     "format_table",
+    "run_backend_comparison",
+    "run_backend_sweep",
     "run_clustering_point",
     "run_detection_point",
     "run_enumeration_point",

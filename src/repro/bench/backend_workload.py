@@ -1,0 +1,159 @@
+"""A synthetic workload isolating execution-backend scalability.
+
+The ICPE operators are pure Python, so on a stock (GIL) CPython build
+their work serialises across threads and the parallel backend can only
+match — not beat — the serial one on a single machine.  This module
+provides a workload whose per-subtask work has the *shape* that real
+distributed stages have and that a worker pool genuinely accelerates:
+
+* a **CPU kernel** (``hashlib.pbkdf2_hmac``) — C-level compute that
+  releases the GIL, so on a multi-core host the parallel backend runs
+  subtask kernels on different cores simultaneously;
+* a **stall** (``time.sleep``) — standing in for the exchange /
+  state-backend / sink waits every distributed stage has, which the
+  parallel backend overlaps across subtasks even on a single core.
+
+Both backends run the *identical* job over the identical elements; the
+sweep asserts output equality and reports measured wall-clock speedup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.streaming.dataflow import Operator
+from repro.streaming.environment import Job, StreamEnvironment
+from repro.streaming.runtime import ParallelBackend, SerialBackend
+
+
+class StallingHashOperator(Operator):
+    """Buffers its bucket, then burns CPU and stalls at the batch trigger.
+
+    Deterministic: the digest emitted for a batch depends only on the
+    subtask's bucket contents and the batch context, so serial and
+    parallel execution produce byte-identical outputs.
+    """
+
+    def __init__(self, cpu_iterations: int, stall_seconds: float):
+        self.cpu_iterations = cpu_iterations
+        self.stall_seconds = stall_seconds
+        self._buffer: list[Any] = []
+        self._index = 0
+
+    def open(self, subtask_index: int, parallelism: int) -> None:
+        """Remember the subtask index (part of the emitted record)."""
+        self._index = subtask_index
+
+    def process(self, element: Any) -> Iterable[Any]:
+        """Collect one element into the batch buffer."""
+        self._buffer.append(element)
+        return ()
+
+    def end_batch(self, ctx: Any) -> Iterable[tuple[int, int, str]]:
+        """Kernel + stall over the buffered batch; emit its digest."""
+        payload = repr((ctx, self._buffer)).encode("utf-8")
+        digest = hashlib.pbkdf2_hmac(
+            "sha256", payload, b"repro-backend-sweep", self.cpu_iterations
+        )
+        if self.stall_seconds > 0:
+            _time.sleep(self.stall_seconds)
+        count = len(self._buffer)
+        self._buffer.clear()
+        yield (self._index, count, digest.hex())
+
+
+def build_workload_job(
+    parallelism: int,
+    cpu_iterations: int,
+    stall_seconds: float,
+    backend=None,
+) -> Job:
+    """One keyed stage of :class:`StallingHashOperator` subtasks."""
+    env = StreamEnvironment()
+    (
+        env.source()
+        .key_by(lambda element: element, name="hash-stall")
+        .process(
+            lambda: StallingHashOperator(cpu_iterations, stall_seconds),
+            parallelism=parallelism,
+        )
+    )
+    return env.compile(backend=backend)
+
+
+@dataclass(frozen=True, slots=True)
+class BackendSweepPoint:
+    """One backend's measurement over the synthetic workload."""
+
+    backend: str
+    workers: int
+    wall_seconds: float
+    speedup_vs_serial: float
+    digest: str
+
+
+def _drive(job: Job, batches: int, elements_per_batch: int) -> tuple[float, str]:
+    combined = hashlib.sha256()
+    started = _time.perf_counter()
+    for batch in range(batches):
+        elements = [
+            batch * elements_per_batch + offset
+            for offset in range(elements_per_batch)
+        ]
+        outputs, _works = job.run(elements, ctx=batch)
+        combined.update(repr(outputs).encode("utf-8"))
+    wall = _time.perf_counter() - started
+    job.close()
+    return wall, combined.hexdigest()
+
+
+def run_backend_sweep(
+    parallelism: int = 4,
+    batches: int = 6,
+    elements_per_batch: int = 32,
+    cpu_iterations: int = 20_000,
+    stall_seconds: float = 0.02,
+    workers: int | None = None,
+) -> list[BackendSweepPoint]:
+    """Measure serial vs parallel wall clock on the synthetic workload.
+
+    Returns one point per backend (serial first); raises
+    :class:`RuntimeError` if the two backends' output streams differ —
+    equality is asserted over a digest of every emitted element in order.
+    """
+    pool_size = workers or parallelism
+    runs = [
+        ("serial", 1, SerialBackend()),
+        ("parallel", pool_size, ParallelBackend(max_workers=pool_size)),
+    ]
+    points: list[BackendSweepPoint] = []
+    serial_wall: float | None = None
+    digests: dict[str, str] = {}
+    for name, used_workers, backend in runs:
+        job = build_workload_job(
+            parallelism, cpu_iterations, stall_seconds, backend=backend
+        )
+        try:
+            wall, digest = _drive(job, batches, elements_per_batch)
+        finally:
+            backend.close()  # sweep-owned instance; job.close() borrows
+        digests[name] = digest
+        if serial_wall is None:
+            serial_wall = wall
+        points.append(
+            BackendSweepPoint(
+                backend=name,
+                workers=used_workers,
+                wall_seconds=wall,
+                speedup_vs_serial=serial_wall / wall if wall > 0 else 1.0,
+                digest=digest,
+            )
+        )
+    if digests["serial"] != digests["parallel"]:
+        raise RuntimeError(
+            "serial and parallel backends emitted different output streams"
+        )
+    return points

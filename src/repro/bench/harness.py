@@ -26,12 +26,7 @@ from dataclasses import dataclass, replace
 
 from repro.cluster.rjc import ClusteringConfig, RJCClusterer
 from repro.core.config import ICPEConfig
-from repro.core.icpe import ICPEPipeline
-from repro.core.operators import (
-    AllocateOperator,
-    ClusterOperator,
-    QueryOperator,
-)
+from repro.core.icpe import ICPEPipeline, describe_clustering_stages
 from repro.data.dataset import TrajectoryDataset
 from repro.enumeration.base import PatternCollector
 from repro.enumeration.baseline import BAEnumerator, PartitionTooLargeError
@@ -39,13 +34,13 @@ from repro.enumeration.fba import FBAEnumerator
 from repro.enumeration.partition import PartitionRouter
 from repro.enumeration.vba import VBAEnumerator
 from repro.geometry.distance import l1_distance
-from repro.join.query import CellJoiner
 from repro.model.constraints import PatternConstraints
 from repro.model.pattern import CoMovementPattern
 from repro.model.snapshot import ClusterSnapshot
 from repro.model.timeseq import TimeSequence
 from repro.streaming.cluster import ClusterModel, ClusterRun
-from repro.streaming.dataflow import KeyedStage, Topology, run_unit
+from repro.streaming.dataflow import StageRuntime
+from repro.streaming.environment import Job, StreamEnvironment
 
 CLUSTERING_METHODS = ("RJC", "SRJ", "GDC")
 ENUMERATORS = ("B", "F", "V")
@@ -167,6 +162,40 @@ def clustering_join_settings(
     raise ValueError(f"unknown clustering method {method!r}")
 
 
+def build_clustering_job(
+    method: str,
+    epsilon: float,
+    cell_width: float,
+    min_pts: int,
+    allocate_parallelism: int = 8,
+    query_parallelism: int = 16,
+    backend=None,
+) -> Job:
+    """The clustering phase of the job graph for one method.
+
+    Described through the same :func:`describe_clustering_stages` helper
+    the full ICPE pipeline uses — the bench provably measures the
+    pipeline's topology — and compiled onto ``backend`` (default serial).
+    """
+    settings = clustering_join_settings(method, epsilon, cell_width)
+    env = StreamEnvironment()
+    describe_clustering_stages(
+        env.source(),
+        epsilon=epsilon,
+        cell_width=settings["cell_width"],
+        min_pts=min_pts,
+        significance=2,
+        metric=l1_distance,
+        lemma1=settings["lemma1"],
+        lemma2=settings["lemma2"],
+        local_index=settings["local_index"],
+        dedup=settings["dedup"],
+        allocate_parallelism=allocate_parallelism,
+        query_parallelism=query_parallelism,
+    )
+    return env.compile(backend=backend)
+
+
 def build_clustering_runtimes(
     method: str,
     epsilon: float,
@@ -174,50 +203,16 @@ def build_clustering_runtimes(
     min_pts: int,
     allocate_parallelism: int = 8,
     query_parallelism: int = 16,
-):
-    """The clustering phase of the job graph for one method."""
-    settings = clustering_join_settings(method, epsilon, cell_width)
-    joiner = lambda: QueryOperator(
-        CellJoiner(
-            epsilon=epsilon,
-            metric=l1_distance,
-            lemma2=settings["lemma2"],
-            local_index=settings["local_index"],
-            lemma1=settings["lemma1"],
-        )
-    )
-    topology = (
-        Topology()
-        .add(
-            KeyedStage(
-                name="allocate",
-                operator_factory=lambda: AllocateOperator(
-                    settings["cell_width"], epsilon, lemma1=settings["lemma1"]
-                ),
-                parallelism=allocate_parallelism,
-                key_fn=lambda element: element[0],
-            )
-        )
-        .add(
-            KeyedStage(
-                name="query",
-                operator_factory=joiner,
-                parallelism=query_parallelism,
-                key_fn=lambda go: go.key,
-            )
-        )
-        .add(
-            KeyedStage(
-                name="cluster",
-                operator_factory=lambda: ClusterOperator(
-                    min_pts=min_pts, significance=2, dedup=settings["dedup"]
-                ),
-                parallelism=1,
-                key_fn=None,
-            )
-        )
-    )
-    return topology.build()
+) -> list[StageRuntime]:
+    """Legacy view: the instantiated runtimes of :func:`build_clustering_job`."""
+    return build_clustering_job(
+        method,
+        epsilon,
+        cell_width,
+        min_pts,
+        allocate_parallelism=allocate_parallelism,
+        query_parallelism=query_parallelism,
+    ).runtimes
 
 
 def run_clustering_point(
@@ -236,12 +231,12 @@ def run_clustering_point(
     """
     epsilon = dataset.resolve_percentage(epsilon_pct)
     cell_width = dataset.resolve_percentage(grid_pct)
-    runtimes = build_clustering_runtimes(method, epsilon, cell_width, min_pts)
+    job = build_clustering_job(method, epsilon, cell_width, min_pts)
     run = ClusterRun(model=ClusterModel(n_nodes=n_nodes))
     for snapshot in dataset.snapshots():
-        _outputs, works = run_unit(runtimes, snapshot.points(), ctx=snapshot.time)
+        _outputs, works = job.run(snapshot.points(), ctx=snapshot.time)
         run.record(works)
-    cluster_operator = runtimes[-1].subtasks[0]
+    cluster_operator = job.runtimes[-1].subtasks[0]
     return ClusteringPoint(
         method=method,
         epsilon_pct=epsilon_pct,
@@ -264,6 +259,8 @@ def detection_config(
     min_pts: int,
     n_nodes: int = 10,
     slots_per_node: int = 24,
+    backend: str = "serial",
+    parallel_workers: int | None = None,
 ) -> ICPEConfig:
     """ICPE configuration resolved against a dataset's extent.
 
@@ -271,6 +268,8 @@ def detection_config(
     cluster.  The node-scalability sweep (Fig. 14) uses a small value so
     that subtasks contend on few nodes and spread with many — the regime
     the paper's (much heavier per-subtask) workloads are in.
+    ``backend`` selects the execution backend actually running the job
+    graph (measured, not simulated, parallelism).
     """
     return ICPEConfig(
         epsilon=dataset.resolve_percentage(epsilon_pct),
@@ -279,6 +278,8 @@ def detection_config(
         constraints=constraints,
         enumerator=_ENUM_NAME[enumerator],
         cluster=ClusterModel(n_nodes=n_nodes, cores_per_node=slots_per_node),
+        backend=backend,
+        parallel_workers=parallel_workers,
     )
 
 
@@ -301,6 +302,7 @@ def run_detection_point(
             pipeline.process_snapshot(snapshot)
         pipeline.finish()
     except PartitionTooLargeError:
+        pipeline.close()
         return (
             DetectionPoint(
                 method=method,
@@ -365,6 +367,84 @@ def run_node_sweep(
             )
         )
     return out
+
+
+# ------------------------------------------------------------ backend sweep
+
+
+@dataclass(frozen=True, slots=True)
+class BackendPoint:
+    """One execution-backend sample of the measured wall-clock sweep.
+
+    Unlike :class:`DetectionPoint`, whose latency/throughput come from the
+    *simulated* cluster cost model, ``wall_seconds`` here is real measured
+    wall-clock time of the whole run under the named backend.
+    """
+
+    backend: str
+    wall_seconds: float
+    snapshots: int
+    patterns: int
+    speedup_vs_serial: float = 1.0
+
+
+def _pattern_signature(pipeline: ICPEPipeline) -> frozenset:
+    return frozenset(
+        (pattern.objects, tuple(pattern.times.times))
+        for pattern in pipeline.patterns
+    )
+
+
+def run_backend_comparison(
+    dataset: TrajectoryDataset,
+    config: ICPEConfig,
+    backends: tuple[str, ...] = ("serial", "parallel"),
+    parallel_workers: int | None = None,
+) -> list[BackendPoint]:
+    """Run the full ICPE pipeline under each backend; measure wall clock.
+
+    The first backend in ``backends`` is the speedup baseline.  Raises
+    :class:`RuntimeError` if any two backends disagree on the detected
+    pattern set — the serial/parallel equivalence guarantee is part of the
+    runtime contract, and a benchmark that silently compared different
+    answers would be meaningless.
+    """
+    points: list[BackendPoint] = []
+    signatures: dict[str, frozenset] = {}
+    baseline_wall: float | None = None
+    for name in backends:
+        cfg = replace(
+            config, backend=name, parallel_workers=parallel_workers
+        )
+        pipeline = ICPEPipeline(cfg)
+        started = _time.perf_counter()
+        try:
+            for snapshot in dataset.snapshots():
+                pipeline.process_snapshot(snapshot)
+            pipeline.finish()
+        finally:
+            pipeline.close()
+        wall = _time.perf_counter() - started
+        signatures[name] = _pattern_signature(pipeline)
+        if baseline_wall is None:
+            baseline_wall = wall
+        points.append(
+            BackendPoint(
+                backend=name,
+                wall_seconds=wall,
+                snapshots=pipeline.meter.snapshots,
+                patterns=len(pipeline.collector),
+                speedup_vs_serial=baseline_wall / wall if wall > 0 else 1.0,
+            )
+        )
+    first = signatures[backends[0]]
+    for name, signature in signatures.items():
+        if signature != first:
+            raise RuntimeError(
+                f"backend {name!r} produced a different pattern set than "
+                f"{backends[0]!r}: {len(signature)} vs {len(first)} patterns"
+            )
+    return points
 
 
 # --------------------------------------------------------------- enumeration

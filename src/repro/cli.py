@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--enumerator", choices=("baseline", "fba", "vba"), default="fba"
     )
+    detect.add_argument(
+        "--backend", choices=("serial", "parallel"), default="serial",
+        help="execution backend running the job graph",
+    )
+    detect.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for --backend parallel",
+    )
     detect.add_argument("--max-delay", type=int, default=0)
     detect.add_argument(
         "--maximal-only", action="store_true",
@@ -117,10 +125,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         constraints=PatternConstraints(m=args.m, k=args.k, l=args.l, g=args.g),
         enumerator=args.enumerator,
         max_delay=args.max_delay,
+        backend=args.backend,
+        parallel_workers=args.workers,
     )
     detector = CoMovementDetector(config)
     detector.feed_many(dataset.records)
     detector.finish()
+    print(f"backend: {detector.backend_name}")
 
     store = PatternStore()
     store.add_all(detector.pipeline.collector.detections)

@@ -15,6 +15,7 @@ from repro.model.constraints import PatternConstraints
 from repro.streaming.cluster import ClusterModel
 
 ENUMERATORS = ("baseline", "fba", "vba")
+BACKENDS = ("serial", "parallel")
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,6 +41,12 @@ class ICPEConfig:
         ba_max_partition_size: BA's subset-materialisation cap.
         vba_candidate_retention: optional eviction horizon for VBA's
             global candidate list (None = paper semantics, keep all).
+        backend: execution backend running the job graph — ``"serial"``
+            (sequential, deterministic, default) or ``"parallel"``
+            (worker-pool concurrency; identical results, measured
+            wall-clock busy times).
+        parallel_workers: worker-pool size for the parallel backend
+            (``None`` = one worker per core, at least 4).
     """
 
     epsilon: float
@@ -59,6 +66,8 @@ class ICPEConfig:
     cluster: ClusterModel = field(default_factory=ClusterModel)
     ba_max_partition_size: int = 20
     vba_candidate_retention: int | None = None
+    backend: str = "serial"
+    parallel_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -78,6 +87,14 @@ class ICPEConfig:
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}: {self.backend!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1: {self.parallel_workers}"
+            )
 
     def clustering_config(self) -> ClusteringConfig:
         """The clustering-phase view of this configuration."""
@@ -102,3 +119,11 @@ class ICPEConfig:
     def with_enumerator(self, enumerator: str) -> "ICPEConfig":
         """Copy with a different enumeration engine."""
         return replace(self, enumerator=enumerator)
+
+    def with_backend(
+        self, backend: str, parallel_workers: int | None = None
+    ) -> "ICPEConfig":
+        """Copy with a different execution backend (and pool size)."""
+        return replace(
+            self, backend=backend, parallel_workers=parallel_workers
+        )

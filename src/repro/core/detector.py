@@ -56,6 +56,15 @@ class CoMovementDetector:
         fresh.extend(self.pipeline.finish())
         return fresh
 
+    def close(self) -> None:
+        """Release execution-backend resources without flushing state."""
+        self.pipeline.close()
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the execution backend running the job graph."""
+        return self.pipeline.backend_name
+
     @property
     def patterns(self) -> list[CoMovementPattern]:
         """Every distinct pattern detected so far."""

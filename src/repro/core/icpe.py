@@ -1,6 +1,9 @@
 """The ICPE pipeline: Indexed Clustering and Pattern Enumeration (Fig. 3).
 
-``ICPEPipeline`` executes the four-stage topology per snapshot, collecting
+``ICPEPipeline`` describes the four-stage topology through the fluent
+:class:`~repro.streaming.environment.StreamEnvironment` builder — the same
+path any user dataflow takes — compiles it onto the configured execution
+backend (serial or parallel), and executes it per snapshot, collecting
 per-stage busy times, the simulated distributed latency/throughput (via
 the cluster cost model) and the deduplicated pattern results.
 """
@@ -22,14 +25,63 @@ from repro.join.query import CellJoiner
 from repro.model.pattern import CoMovementPattern
 from repro.model.snapshot import Snapshot
 from repro.streaming.cluster import ClusterModel
-from repro.streaming.dataflow import (
-    KeyedStage,
-    StageWork,
-    Topology,
-    finish_all,
-    run_unit,
-)
+from repro.streaming.dataflow import StageWork
+from repro.streaming.environment import DataStream, Job, StreamEnvironment
 from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+from repro.streaming.runtime import resolve_backend
+
+
+def describe_clustering_stages(
+    stream: DataStream,
+    *,
+    epsilon: float,
+    cell_width: float,
+    min_pts: int,
+    significance: int,
+    metric,
+    lemma1: bool,
+    lemma2: bool,
+    local_index: str,
+    dedup: bool,
+    allocate_parallelism: int,
+    query_parallelism: int,
+    rtree_fanout: int = 16,
+) -> DataStream:
+    """Append the clustering phase of the ICPE job graph to a stream.
+
+    The three stages — GridAllocate keyed by trajectory id, GridQuery
+    keyed by grid cell, and the single-subtask GridSync/DBSCAN collector —
+    are described here once, shared by :meth:`ICPEPipeline.
+    build_environment` and the bench harness's clustering-only sweeps
+    (Figs. 10-11), so both provably execute the same topology.
+    """
+    joiner_factory = lambda: QueryOperator(
+        CellJoiner(
+            epsilon=epsilon,
+            metric=metric,
+            lemma2=lemma2,
+            local_index=local_index,
+            lemma1=lemma1,
+            rtree_fanout=rtree_fanout,
+        )
+    )
+    return (
+        stream
+        .key_by(lambda element: element[0], name="allocate")  # trajectory id
+        .process(
+            lambda: AllocateOperator(cell_width, epsilon, lemma1=lemma1),
+            parallelism=allocate_parallelism,
+        )
+        .key_by(lambda go: go.key, name="query")  # grid cell
+        .process(joiner_factory, parallelism=query_parallelism)
+        .process(
+            lambda: ClusterOperator(
+                min_pts=min_pts, significance=significance, dedup=dedup
+            ),
+            parallelism=1,
+            name="cluster",
+        )
+    )
 
 
 class ICPEPipeline:
@@ -45,7 +97,13 @@ class ICPEPipeline:
         self.keep_works = keep_works
         self.works_history: list[list[StageWork]] = []
         self._cluster_model: ClusterModel = config.cluster
-        self._runtimes = self._build_topology().build()
+        self._backend = resolve_backend(
+            config.backend, max_workers=config.parallel_workers
+        )
+        self._job: Job = self.build_environment(config).compile(
+            backend=self._backend
+        )
+        self._runtimes = self._job.runtimes
         self._finished = False
         self._last_time: int | None = None
         # Exposed for the harness: average cluster size (Figs. 12-13).
@@ -55,59 +113,42 @@ class ICPEPipeline:
                 if isinstance(subtask, ClusterOperator):
                     self._cluster_operator = subtask
 
-    def _build_topology(self) -> Topology:
-        cfg = self.config
-        joiner_factory = lambda: QueryOperator(
-            CellJoiner(
+    @staticmethod
+    def build_environment(config: ICPEConfig) -> StreamEnvironment:
+        """Describe the ICPE job graph (Fig. 3) on a stream environment.
+
+        The four stages — GridAllocate keyed by trajectory id, GridQuery
+        keyed by grid cell, the single-subtask GridSync/DBSCAN collector,
+        and enumeration keyed by anchor id — are built through the same
+        fluent API any user topology uses, so the pipeline and ad-hoc
+        environments share one :class:`JobGraph` construction path.
+        """
+        cfg = config
+        enumerator_factory = make_enumerator_factory(cfg)
+        env = StreamEnvironment()
+        (
+            describe_clustering_stages(
+                env.source(),
                 epsilon=cfg.epsilon,
+                cell_width=cfg.cell_width,
+                min_pts=cfg.min_pts,
+                significance=cfg.constraints.m,
                 metric=cfg.clustering_config().join_config().metric,
+                lemma1=cfg.lemma1,
                 lemma2=cfg.lemma2,
                 local_index=cfg.local_index,
-                lemma1=cfg.lemma1,
+                dedup=not (cfg.lemma1 and cfg.lemma2),
+                allocate_parallelism=cfg.allocate_parallelism,
+                query_parallelism=cfg.query_parallelism,
                 rtree_fanout=cfg.rtree_fanout,
             )
-        )
-        enumerator_factory = make_enumerator_factory(cfg)
-        topology = Topology()
-        topology.add(
-            KeyedStage(
-                name="allocate",
-                operator_factory=lambda: AllocateOperator(
-                    cfg.cell_width, cfg.epsilon, lemma1=cfg.lemma1
-                ),
-                parallelism=cfg.allocate_parallelism,
-                key_fn=lambda element: element[0],  # trajectory id
-            )
-        )
-        topology.add(
-            KeyedStage(
-                name="query",
-                operator_factory=joiner_factory,
-                parallelism=cfg.query_parallelism,
-                key_fn=lambda go: go.key,  # grid cell
-            )
-        )
-        topology.add(
-            KeyedStage(
-                name="cluster",
-                operator_factory=lambda: ClusterOperator(
-                    min_pts=cfg.min_pts,
-                    significance=cfg.constraints.m,
-                    dedup=not (cfg.lemma1 and cfg.lemma2),
-                ),
-                parallelism=1,
-                key_fn=None,
-            )
-        )
-        topology.add(
-            KeyedStage(
-                name="enumerate",
-                operator_factory=lambda: EnumerateOperator(enumerator_factory),
+            .key_by(lambda record: record[1], name="enumerate")  # anchor id
+            .process(
+                lambda: EnumerateOperator(enumerator_factory),
                 parallelism=cfg.enumerate_parallelism,
-                key_fn=lambda record: record[1],  # anchor id
             )
         )
-        return topology
+        return env
 
     # ------------------------------------------------------------------ drive
 
@@ -121,9 +162,7 @@ class ICPEPipeline:
                 f"{snapshot.time} after {self._last_time}"
             )
         self._last_time = snapshot.time
-        outputs, works = run_unit(
-            self._runtimes, snapshot.points(), ctx=snapshot.time
-        )
+        outputs, works = self._job.run(snapshot.points(), ctx=snapshot.time)
         patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
         fresh_count = self.collector.offer(snapshot.time, patterns)
         self._record_timing(snapshot, works, fresh_count)
@@ -134,11 +173,21 @@ class ICPEPipeline:
         if self._finished:
             return []
         self._finished = True
-        outputs, _works = finish_all(self._runtimes)
+        outputs, _works = self._job.finish()
+        self.close()
         patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
         time = self._last_time if self._last_time is not None else 0
         fresh_count = self.collector.offer(time, patterns)
         return self.collector.patterns()[-fresh_count:] if fresh_count else []
+
+    def close(self) -> None:
+        """Release backend resources (the parallel worker pool).
+
+        The pipeline created its backend from the config, so it owns it
+        and closes it directly.  Idempotent; called automatically by
+        :meth:`finish`, and by the bench harness when a run aborts early.
+        """
+        self._backend.close()
 
     def run(self, snapshots: Iterable[Snapshot]) -> PatternCollector:
         """Convenience: process a bounded snapshot stream to completion."""
@@ -193,6 +242,16 @@ class ICPEPipeline:
         if operator is None or not operator.cluster_sizes:
             return 0.0
         return sum(operator.cluster_sizes) / len(operator.cluster_sizes)
+
+    @property
+    def job(self) -> Job:
+        """The compiled job (graph + backend + runtimes) executing ICPE."""
+        return self._job
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the execution backend running the job graph."""
+        return self._backend.name
 
     @property
     def patterns(self) -> list[CoMovementPattern]:

@@ -1,14 +1,32 @@
 """A Flink-like streaming substrate (Section 4 + the evaluation's cluster).
 
 The paper runs ICPE on Apache Flink across 11 nodes.  This package
-reproduces the pieces of that substrate the algorithms rely on:
+reproduces the pieces of that substrate the algorithms rely on, layered
+bottom-up:
 
 * :mod:`repro.streaming.sync` — the "last time" synchronisation operator:
   restores per-trajectory time order under out-of-order delivery and emits
   complete snapshots in ascending time order;
-* :mod:`repro.streaming.dataflow` — operators, keyed exchanges and a
-  driver that executes a staged topology while accounting per-subtask busy
-  time;
+* :mod:`repro.streaming.dataflow` — the dataflow primitives: operators,
+  keyed stages, and :class:`~repro.streaming.dataflow.StageRuntime`
+  (instantiated subtasks plus stable keyed routing and per-subtask
+  busy-time accounting);
+* :mod:`repro.streaming.hashing` — the salt-free CRC32 key hash that
+  makes keyed routing reproducible across interpreter runs and identical
+  between execution backends;
+* :mod:`repro.streaming.runtime` — the pluggable execution runtime: the
+  unified :class:`~repro.streaming.runtime.graph.JobGraph` topology
+  description, the :class:`~repro.streaming.runtime.base.ExecutionBackend`
+  contract, and the two shipped backends —
+  :class:`~repro.streaming.runtime.serial.SerialBackend` (sequential,
+  deterministic, default) and
+  :class:`~repro.streaming.runtime.parallel.ParallelBackend` (worker-pool
+  concurrency with batched keyed exchanges and measured wall-clock busy
+  times);
+* :mod:`repro.streaming.environment` — the fluent builder
+  (:class:`StreamEnvironment`) that describes a topology once and compiles
+  it onto any backend any number of times, yielding independent
+  :class:`Job` instances;
 * :mod:`repro.streaming.cluster` — the N-node cost model turning busy
   times into the latency/throughput metrics of Section 7 (Figs. 10-15);
 * :mod:`repro.streaming.shuffle` — bounded out-of-order delivery
@@ -23,16 +41,28 @@ from repro.streaming.dataflow import (
     Topology,
 )
 from repro.streaming.environment import Job, StreamEnvironment
+from repro.streaming.hashing import canonical_encode, stable_hash
 from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+from repro.streaming.runtime import (
+    ExecutionBackend,
+    JobGraph,
+    ParallelBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.streaming.shuffle import bounded_shuffle
 from repro.streaming.sync import TimeSyncOperator
 
 __all__ = [
     "ClusterModel",
+    "ExecutionBackend",
     "Job",
+    "JobGraph",
     "KeyedStage",
     "LatencyThroughputMeter",
     "Operator",
+    "ParallelBackend",
+    "SerialBackend",
     "SnapshotTiming",
     "StageCost",
     "StageRuntime",
@@ -40,4 +70,7 @@ __all__ = [
     "TimeSyncOperator",
     "Topology",
     "bounded_shuffle",
+    "canonical_encode",
+    "resolve_backend",
+    "stable_hash",
 ]

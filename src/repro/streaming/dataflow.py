@@ -1,12 +1,20 @@
-"""Operators, keyed stages and the staged topology driver.
+"""Operators, keyed stages and the staged-topology primitives.
 
 A miniature of Flink's programming model sufficient for ICPE's job graph
 (Fig. 3 / Fig. 5): a topology is a list of *stages*, each stage has a
 number of parallel *subtasks* hosting one operator instance each, and
-records travel between stages through *keyed exchanges* (hash of the key
-modulo the downstream parallelism — Flink's key-group routing).
+records travel between stages through *keyed exchanges* (a stable hash of
+the key modulo the downstream parallelism — Flink's key-group routing).
 
-The driver executes one *unit of work* (for ICPE: one snapshot) at a time,
+This module holds the primitives: :class:`Operator`, :class:`KeyedStage`
+and :class:`StageRuntime` (instantiated subtasks plus routing).  *How* a
+stage's subtasks execute — sequentially in the calling thread, or
+concurrently on a worker pool — is the province of the execution backends
+in :mod:`repro.streaming.runtime`; both backends consume the same
+``partition`` / ``run_subtask`` / ``finish_subtask`` operations defined
+here, so routing and per-subtask semantics are identical by construction.
+
+The drivers execute one *unit of work* (for ICPE: one snapshot) at a time,
 measuring the busy time every subtask spends, which the cluster cost model
 (:mod:`repro.streaming.cluster`) turns into distributed latency and
 throughput figures.  Running the real algorithm code under measurement —
@@ -20,6 +28,8 @@ import time as _time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.streaming.hashing import stable_hash
 
 
 class Operator(ABC):
@@ -84,12 +94,19 @@ class KeyedStage:
 
 @dataclass(slots=True)
 class StageWork:
-    """Busy time of one stage during one unit of work, per subtask."""
+    """Busy time of one stage during one unit of work, per subtask.
+
+    ``wall_seconds`` is the real elapsed time the stage took under the
+    executing backend — for the serial backend this approximates the sum
+    of the busy times, for the parallel backend it is the overlapped
+    elapsed time (the quantity backend-scalability benchmarks compare).
+    """
 
     name: str
     busy_seconds: list[float]
     elements_in: int
     elements_out: int
+    wall_seconds: float = 0.0
 
     @property
     def parallelism(self) -> int:
@@ -98,7 +115,13 @@ class StageWork:
 
 
 class StageRuntime:
-    """Instantiated subtasks of one stage plus routing."""
+    """Instantiated subtasks of one stage plus keyed routing.
+
+    Execution backends drive a runtime exclusively through
+    :meth:`partition`, :meth:`run_subtask` and :meth:`finish_subtask`;
+    the element-to-subtask assignment and the per-subtask processing
+    order are therefore backend-independent.
+    """
 
     def __init__(self, stage: KeyedStage):
         self.stage = stage
@@ -107,58 +130,102 @@ class StageRuntime:
             subtask.open(index, stage.parallelism)
 
     def route(self, element: Any) -> int:
-        """Subtask index an element is routed to."""
+        """Subtask index an element is routed to (stable across runs)."""
         if self.stage.key_fn is None:
             return 0
-        return hash(self.stage.key_fn(element)) % self.stage.parallelism
+        return stable_hash(self.stage.key_fn(element)) % self.stage.parallelism
 
-    def run(
-        self, elements: Sequence[Any], ctx: Any = None
-    ) -> tuple[list[Any], StageWork]:
-        """Process one unit of work; returns outputs and busy times.
+    def partition(self, elements: Sequence[Any]) -> list[list[Any]]:
+        """Bucket one batch of elements by routed subtask (keyed exchange).
 
-        Every subtask's ``end_batch(ctx)`` runs after its elements, even
-        when it received none this batch.
+        The whole batch is exchanged at once — one bucket handoff per
+        subtask per unit of work, not one per element — which is what lets
+        a parallel backend hand each worker its full bucket up front.
         """
         buckets: list[list[Any]] = [[] for _ in self.subtasks]
         for element in elements:
             buckets[self.route(element)].append(element)
+        return buckets
+
+    def run_subtask(
+        self, index: int, bucket: Sequence[Any], ctx: Any = None
+    ) -> tuple[list[Any], float]:
+        """Run one subtask over its bucket plus the batch trigger.
+
+        Returns the subtask's outputs (in emission order) and its busy
+        time in seconds.  Each subtask owns its operator instance, so
+        distinct subtasks may run concurrently; the *same* subtask must
+        never run twice at once.
+        """
+        subtask = self.subtasks[index]
+        outputs: list[Any] = []
+        started = _time.perf_counter()
+        for element in bucket:
+            outputs.extend(subtask.process(element))
+        outputs.extend(subtask.end_batch(ctx))
+        return outputs, _time.perf_counter() - started
+
+    def finish_subtask(self, index: int) -> tuple[list[Any], float]:
+        """Flush one subtask's state; returns outputs and busy seconds."""
+        outputs: list[Any] = []
+        started = _time.perf_counter()
+        outputs.extend(self.subtasks[index].finish())
+        return outputs, _time.perf_counter() - started
+
+    def run(
+        self, elements: Sequence[Any], ctx: Any = None
+    ) -> tuple[list[Any], StageWork]:
+        """Process one unit of work serially; returns outputs and busy times.
+
+        Every subtask's ``end_batch(ctx)`` runs after its elements, even
+        when it received none this batch.
+        """
+        started = _time.perf_counter()
+        buckets = self.partition(elements)
         outputs: list[Any] = []
         busy = [0.0] * len(self.subtasks)
-        for index, (subtask, bucket) in enumerate(zip(self.subtasks, buckets)):
-            started = _time.perf_counter()
-            for element in bucket:
-                outputs.extend(subtask.process(element))
-            outputs.extend(subtask.end_batch(ctx))
-            busy[index] += _time.perf_counter() - started
+        for index, bucket in enumerate(buckets):
+            out, seconds = self.run_subtask(index, bucket, ctx)
+            outputs.extend(out)
+            busy[index] += seconds
         work = StageWork(
             name=self.stage.name,
             busy_seconds=busy,
             elements_in=len(elements),
             elements_out=len(outputs),
+            wall_seconds=_time.perf_counter() - started,
         )
         return outputs, work
 
     def finish(self) -> tuple[list[Any], StageWork]:
-        """Flush every subtask's state; returns outputs and busy times."""
+        """Flush every subtask's state serially; returns outputs and times."""
+        started = _time.perf_counter()
         outputs: list[Any] = []
         busy = [0.0] * len(self.subtasks)
-        for index, subtask in enumerate(self.subtasks):
-            started = _time.perf_counter()
-            outputs.extend(subtask.finish())
-            busy[index] += _time.perf_counter() - started
+        for index in range(len(self.subtasks)):
+            out, seconds = self.finish_subtask(index)
+            outputs.extend(out)
+            busy[index] += seconds
         work = StageWork(
             name=self.stage.name,
             busy_seconds=busy,
             elements_in=0,
             elements_out=len(outputs),
+            wall_seconds=_time.perf_counter() - started,
         )
         return outputs, work
 
 
 @dataclass(slots=True)
 class Topology:
-    """A linear chain of keyed stages (ICPE's job graph shape)."""
+    """A linear chain of keyed stages (legacy builder).
+
+    Retained as a thin convenience over the unified
+    :class:`~repro.streaming.runtime.graph.JobGraph`; new code should
+    describe dataflows through
+    :class:`~repro.streaming.environment.StreamEnvironment` and compile
+    them onto an execution backend.
+    """
 
     stages: list[KeyedStage] = field(default_factory=list)
 
@@ -167,47 +234,38 @@ class Topology:
         self.stages.append(stage)
         return self
 
+    def to_graph(self):
+        """The equivalent :class:`~repro.streaming.runtime.graph.JobGraph`."""
+        from repro.streaming.runtime.graph import JobGraph
+
+        return JobGraph(list(self.stages))
+
     def build(self) -> list[StageRuntime]:
         """Instantiate the runtimes of every stage."""
         return [StageRuntime(stage) for stage in self.stages]
 
 
 def run_unit(
-    runtimes: Sequence[StageRuntime], elements: Sequence[Any], ctx: Any = None
+    runtimes: Sequence[StageRuntime],
+    elements: Sequence[Any],
+    ctx: Any = None,
+    backend: Any = None,
 ) -> tuple[list[Any], list[StageWork]]:
-    """Push one unit of work (e.g. one snapshot) through every stage."""
-    works: list[StageWork] = []
-    current: Sequence[Any] = elements
-    for runtime in runtimes:
-        current, work = runtime.run(current, ctx)
-        works.append(work)
-    return list(current), works
+    """Push one unit of work (e.g. one snapshot) through every stage.
+
+    ``backend`` selects the execution backend; ``None`` means the serial
+    backend (the historical semantics of this function).
+    """
+    from repro.streaming.runtime.base import execute_unit
+
+    return execute_unit(runtimes, elements, ctx=ctx, backend=backend)
 
 
 def finish_all(
     runtimes: Sequence[StageRuntime],
+    backend: Any = None,
 ) -> tuple[list[Any], list[StageWork]]:
     """Flush stage state at end of stream, cascading outputs downstream."""
-    works: list[StageWork] = []
-    carried: list[Any] = []
-    for runtime in runtimes:
-        if carried:
-            carried, work_run = runtime.run(carried)
-            flushed, work_fin = runtime.finish()
-            carried = list(carried) + flushed
-            busy = [
-                a + b
-                for a, b in zip(work_run.busy_seconds, work_fin.busy_seconds)
-            ]
-            works.append(
-                StageWork(
-                    name=runtime.stage.name,
-                    busy_seconds=busy,
-                    elements_in=work_run.elements_in,
-                    elements_out=len(carried),
-                )
-            )
-        else:
-            carried, work = runtime.finish()
-            works.append(work)
-    return carried, works
+    from repro.streaming.runtime.base import execute_finish
+
+    return execute_finish(runtimes, backend=backend)

@@ -1,8 +1,9 @@
-"""A fluent, Flink-flavoured builder over the staged topology.
+"""A fluent, Flink-flavoured builder over the unified job graph.
 
-The ICPE pipeline wires :class:`~repro.streaming.dataflow.KeyedStage`
-objects directly; this module offers the programming-model veneer the
-paper's implementation would use::
+The ICPE pipeline and ad-hoc dataflows alike describe their topology
+through this module; ``compile()`` lowers the description onto a shared
+:class:`~repro.streaming.runtime.graph.JobGraph` and binds it to an
+execution backend::
 
     env = StreamEnvironment()
     (env.source()
@@ -11,8 +12,14 @@ paper's implementation would use::
         .key_by(lambda go: go.key, name="by-cell")
         .process(JoinOperator, parallelism=16)
         .sink(collect))
-    job = env.compile()
+    job = env.compile()                       # serial (default)
+    par = env.compile(ParallelBackend(8))     # same graph, worker pool
     outputs, works = job.run(elements, ctx=time)
+
+One environment describes one topology but may be compiled any number of
+times; every :class:`Job` gets fresh, independent operator instances, and
+``Job.stage_names`` is stable across compiles (names are fixed when the
+stage is described, not when it is instantiated).
 
 Stages execute with per-subtask busy-time accounting, so a job built here
 plugs straight into the cluster cost model.
@@ -26,11 +33,15 @@ from repro.streaming.dataflow import (
     FnOperator,
     KeyedStage,
     Operator,
-    StageRuntime,
     StageWork,
-    finish_all,
-    run_unit,
 )
+from repro.streaming.runtime.base import (
+    ExecutionBackend,
+    execute_finish,
+    execute_unit,
+    resolve_backend,
+)
+from repro.streaming.runtime.graph import JobGraph
 
 
 class _MapOperator(Operator):
@@ -131,43 +142,72 @@ class DataStream:
 
 
 class Job:
-    """A compiled topology ready to execute units of work."""
+    """A compiled job: a graph's runtimes bound to an execution backend.
 
-    def __init__(self, runtimes: list[StageRuntime]):
-        self.runtimes = runtimes
+    A backend passed in as an *instance* is borrowed (backends are
+    reusable across jobs); one created here from a name or ``None`` is
+    owned.  :meth:`close` only shuts down owned backends — callers who
+    share one backend across jobs close it themselves.
+    """
+
+    def __init__(
+        self,
+        graph: JobGraph,
+        backend: ExecutionBackend | str | None = None,
+    ):
+        self.graph = graph
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(backend)
+        self.runtimes = graph.build_runtimes()
 
     def run(
         self, elements: Sequence[Any], ctx: Any = None
     ) -> tuple[list[Any], list[StageWork]]:
         """Push one unit of work (e.g. a snapshot) through the job."""
-        return run_unit(self.runtimes, elements, ctx)
+        return execute_unit(self.runtimes, elements, ctx, backend=self.backend)
 
     def finish(self) -> tuple[list[Any], list[StageWork]]:
         """Flush all operator state at end of stream."""
-        return finish_all(self.runtimes)
+        return execute_finish(self.runtimes, backend=self.backend)
+
+    def close(self) -> None:
+        """Release the backend's resources, if this job owns the backend.
+
+        No-op for a caller-supplied backend instance (which may be shared
+        with other jobs); close such backends directly.
+        """
+        if self._owns_backend:
+            self.backend.close()
 
     @property
     def stage_names(self) -> list[str]:
         """Stage names in pipeline order."""
-        return [runtime.stage.name for runtime in self.runtimes]
+        return self.graph.stage_names
 
 
 class StreamEnvironment:
-    """Builder entry point."""
+    """Builder entry point: describe once, compile many."""
 
     def __init__(self):
         self._stages: list[KeyedStage] = []
-        self._compiled = False
 
     def source(self) -> DataStream:
         """Start describing the dataflow from the (external) source."""
         return DataStream(self)
 
-    def compile(self) -> Job:
-        """Instantiate every stage's subtasks; may be called once."""
-        if self._compiled:
-            raise RuntimeError("environment already compiled")
+    def graph(self) -> JobGraph:
+        """The described topology as a shared :class:`JobGraph`."""
         if not self._stages:
             raise ValueError("no stages defined")
-        self._compiled = True
-        return Job([StageRuntime(stage) for stage in self._stages])
+        return JobGraph(list(self._stages))
+
+    def compile(
+        self, backend: ExecutionBackend | str | None = None
+    ) -> Job:
+        """Instantiate an independent job over the described topology.
+
+        May be called any number of times; each call yields a job with
+        fresh operator instances, optionally bound to a non-default
+        execution backend (an instance or a name, e.g. ``"parallel"``).
+        """
+        return Job(self.graph(), backend=backend)

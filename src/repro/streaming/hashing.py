@@ -1,0 +1,65 @@
+"""Stable hashing for keyed exchanges.
+
+Python's built-in ``hash()`` is salted per interpreter run (PYTHONHASHSEED),
+so routing a key through ``hash(key) % parallelism`` lands on a different
+subtask every run — fine for correctness, fatal for reproducing a run's
+busy-time distribution or comparing two execution backends subtask by
+subtask.  Real streaming systems (Flink's key groups, Kafka's default
+partitioner) use a salt-free hash for exactly this reason.
+
+:func:`stable_hash` is CRC32 over a canonical, unambiguous byte encoding of
+the key.  The same key maps to the same 32-bit value in every interpreter
+run, on every platform, under every backend — so keyed routing is a pure
+function of the key and the stage parallelism.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+
+def canonical_encode(key: Any) -> bytes:
+    """Encode a routing key as canonical, prefix-free bytes.
+
+    Supported natively: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, ``tuple``/``list`` (recursively) and ``frozenset``/``set``
+    (order-independent).  Every encoded item carries a type tag and a
+    length prefix, so distinct keys cannot collide by concatenation
+    (``("a,", "b")`` vs ``("a", ",b")``).  Anything else falls back to its
+    ``repr``, which is deterministic for the value types used as keys here
+    (dataclasses, named tuples).
+    """
+    if key is None:
+        return b"n:"
+    if isinstance(key, bool):
+        return b"b:1" if key else b"b:0"
+    if isinstance(key, int):
+        text = str(key).encode("ascii")
+        return b"i%d:%s" % (len(text), text)
+    if isinstance(key, float):
+        text = repr(key).encode("ascii")
+        return b"f%d:%s" % (len(text), text)
+    if isinstance(key, str):
+        text = key.encode("utf-8")
+        return b"s%d:%s" % (len(text), text)
+    if isinstance(key, (bytes, bytearray)):
+        data = bytes(key)
+        return b"y%d:%s" % (len(data), data)
+    if isinstance(key, (tuple, list)):
+        body = b"".join(canonical_encode(item) for item in key)
+        return b"t%d:%s" % (len(key), body)
+    if isinstance(key, (frozenset, set)):
+        body = b"".join(sorted(canonical_encode(item) for item in key))
+        return b"z%d:%s" % (len(key), body)
+    text = repr(key).encode("utf-8")
+    return b"r%d:%s" % (len(text), text)
+
+
+def stable_hash(key: Any) -> int:
+    """Salt-free 32-bit hash of a routing key (CRC32 of the canonical form).
+
+    Identical across interpreter runs, platforms and execution backends —
+    the property keyed routing needs for reproducibility.
+    """
+    return zlib.crc32(canonical_encode(key)) & 0xFFFFFFFF

@@ -1,0 +1,48 @@
+"""Pluggable execution runtime for the staged dataflow.
+
+The runtime package separates *what* a job computes (the
+:class:`~repro.streaming.runtime.graph.JobGraph` of keyed stages) from
+*how* its subtasks execute (an
+:class:`~repro.streaming.runtime.base.ExecutionBackend`):
+
+* :mod:`repro.streaming.runtime.graph` — the unified topology
+  description shared by ``ICPEPipeline`` and ``StreamEnvironment``;
+* :mod:`repro.streaming.runtime.base` — the backend contract plus the
+  backend-generic unit/finish drivers and :func:`resolve_backend`;
+* :mod:`repro.streaming.runtime.serial` — sequential reference
+  execution (default);
+* :mod:`repro.streaming.runtime.parallel` — concurrent subtask
+  execution on a worker pool with batched keyed exchanges and measured
+  wall-clock busy times.
+
+Both backends drive stages through the same partition/run-subtask
+operations and concatenate outputs in subtask-index order, so the emitted
+element sequence — and therefore every detected pattern — is identical
+across backends.
+"""
+
+from repro.streaming.hashing import canonical_encode, stable_hash
+from repro.streaming.runtime.base import (
+    BACKENDS,
+    ExecutionBackend,
+    execute_finish,
+    execute_unit,
+    resolve_backend,
+)
+from repro.streaming.runtime.graph import JobGraph
+from repro.streaming.runtime.parallel import ParallelBackend, default_worker_count
+from repro.streaming.runtime.serial import SerialBackend
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "JobGraph",
+    "ParallelBackend",
+    "SerialBackend",
+    "canonical_encode",
+    "default_worker_count",
+    "execute_finish",
+    "execute_unit",
+    "resolve_backend",
+    "stable_hash",
+]

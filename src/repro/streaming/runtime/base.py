@@ -1,0 +1,149 @@
+"""The execution-backend contract and the backend-generic drivers.
+
+An :class:`ExecutionBackend` decides *how* one stage's subtasks execute for
+one unit of work — the dataflow semantics (keyed routing, per-subtask
+state, batch triggers) are fixed by
+:class:`~repro.streaming.dataflow.StageRuntime` and shared by every
+backend.  Two implementations ship:
+
+* :class:`~repro.streaming.runtime.serial.SerialBackend` — subtasks run
+  sequentially in the calling thread (deterministic, zero overhead, the
+  default);
+* :class:`~repro.streaming.runtime.parallel.ParallelBackend` — subtasks of
+  a stage run concurrently on a worker pool with real wall-clock
+  measurement.
+
+The drivers :func:`execute_unit` and :func:`execute_finish` chain stages
+together and are what :class:`~repro.streaming.environment.Job` and the
+legacy :func:`~repro.streaming.dataflow.run_unit` /
+:func:`~repro.streaming.dataflow.finish_all` entry points delegate to.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.streaming.dataflow import StageRuntime, StageWork
+
+BACKENDS = ("serial", "parallel")
+
+
+class ExecutionBackend(ABC):
+    """Strategy deciding how one stage's subtasks execute.
+
+    Backends are reusable across units of work and across jobs; they may
+    own resources (worker pools) which :meth:`close` releases.  They also
+    work as context managers.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_stage(
+        self, runtime: StageRuntime, elements: Sequence[Any], ctx: Any = None
+    ) -> tuple[list[Any], StageWork]:
+        """Execute one stage over one unit of work.
+
+        Must behave exactly like the serial reference: elements are
+        bucketed with ``runtime.partition``, each subtask processes its
+        bucket in order followed by ``end_batch(ctx)``, and outputs are
+        concatenated in subtask-index order — so every backend produces
+        the identical output sequence.
+        """
+
+    @abstractmethod
+    def finish_stage(
+        self, runtime: StageRuntime
+    ) -> tuple[list[Any], StageWork]:
+        """Flush one stage's subtask state at end of stream."""
+
+    def close(self) -> None:
+        """Release any resources the backend holds (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        """Context-manager entry: the backend itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: release resources."""
+        self.close()
+
+
+def _default_backend() -> ExecutionBackend:
+    from repro.streaming.runtime.serial import SerialBackend
+
+    return SerialBackend()
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend | None,
+    max_workers: int | None = None,
+) -> ExecutionBackend:
+    """Turn a backend name (or instance, or ``None``) into a backend.
+
+    ``"serial"`` / ``None`` yield a :class:`SerialBackend`; ``"parallel"``
+    yields a :class:`ParallelBackend` with ``max_workers`` workers.  An
+    :class:`ExecutionBackend` instance passes through unchanged.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None or backend == "serial":
+        return _default_backend()
+    if backend == "parallel":
+        from repro.streaming.runtime.parallel import ParallelBackend
+
+        return ParallelBackend(max_workers=max_workers)
+    raise ValueError(
+        f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
+def execute_unit(
+    runtimes: Sequence[StageRuntime],
+    elements: Sequence[Any],
+    ctx: Any = None,
+    backend: ExecutionBackend | None = None,
+) -> tuple[list[Any], list[StageWork]]:
+    """Push one unit of work through every stage under a backend."""
+    if backend is None:
+        backend = _default_backend()
+    works: list[StageWork] = []
+    current: Sequence[Any] = elements
+    for runtime in runtimes:
+        current, work = backend.run_stage(runtime, current, ctx)
+        works.append(work)
+    return list(current), works
+
+
+def execute_finish(
+    runtimes: Sequence[StageRuntime],
+    backend: ExecutionBackend | None = None,
+) -> tuple[list[Any], list[StageWork]]:
+    """Flush stage state at end of stream, cascading outputs downstream."""
+    if backend is None:
+        backend = _default_backend()
+    works: list[StageWork] = []
+    carried: list[Any] = []
+    for runtime in runtimes:
+        if carried:
+            carried, work_run = backend.run_stage(runtime, carried, None)
+            flushed, work_fin = backend.finish_stage(runtime)
+            carried = list(carried) + flushed
+            busy = [
+                a + b
+                for a, b in zip(work_run.busy_seconds, work_fin.busy_seconds)
+            ]
+            works.append(
+                StageWork(
+                    name=runtime.stage.name,
+                    busy_seconds=busy,
+                    elements_in=work_run.elements_in,
+                    elements_out=len(carried),
+                    wall_seconds=work_run.wall_seconds + work_fin.wall_seconds,
+                )
+            )
+        else:
+            carried, work = backend.finish_stage(runtime)
+            works.append(work)
+    return carried, works

@@ -1,0 +1,54 @@
+"""The unified job graph: one declarative topology description.
+
+Historically the repository had two divergent topology-construction
+paths — ``ICPEPipeline`` wiring :class:`~repro.streaming.dataflow.
+KeyedStage` lists by hand and :class:`~repro.streaming.environment.
+StreamEnvironment` building its own.  Both now funnel into
+:class:`JobGraph`: an immutable-ish ordered description of keyed stages
+that can be instantiated into runtimes any number of times, each
+instantiation yielding fresh, independent operator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.streaming.dataflow import KeyedStage, StageRuntime
+
+
+@dataclass(slots=True)
+class JobGraph:
+    """A linear chain of keyed stages — the shared topology description.
+
+    The graph holds *descriptions* only (names, factories, parallelisms,
+    key functions); operator instances are created per
+    :meth:`build_runtimes` call, so one graph can back many independent
+    jobs.
+    """
+
+    stages: list[KeyedStage] = field(default_factory=list)
+
+    def add(self, stage: KeyedStage) -> "JobGraph":
+        """Append a stage and return the graph (chainable)."""
+        self.stages.append(stage)
+        return self
+
+    @property
+    def stage_names(self) -> list[str]:
+        """Stage names in pipeline order."""
+        return [stage.name for stage in self.stages]
+
+    @property
+    def parallelisms(self) -> list[int]:
+        """Per-stage subtask counts in pipeline order."""
+        return [stage.parallelism for stage in self.stages]
+
+    def build_runtimes(self) -> list[StageRuntime]:
+        """Instantiate fresh subtasks for every stage.
+
+        Each call produces an independent set of operator instances;
+        raises :class:`ValueError` on an empty graph.
+        """
+        if not self.stages:
+            raise ValueError("job graph has no stages")
+        return [StageRuntime(stage) for stage in self.stages]

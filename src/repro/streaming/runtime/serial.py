@@ -1,0 +1,32 @@
+"""The serial execution backend: the deterministic reference semantics.
+
+Runs every subtask of a stage sequentially in the calling thread, in
+subtask-index order — exactly the historical behaviour of the topology
+driver.  Per-subtask busy times are measured individually, which is what
+the cluster cost model consumes to *simulate* distributed placement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.streaming.dataflow import StageRuntime, StageWork
+from repro.streaming.runtime.base import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Sequential in-thread execution (default; reference semantics)."""
+
+    name = "serial"
+
+    def run_stage(
+        self, runtime: StageRuntime, elements: Sequence[Any], ctx: Any = None
+    ) -> tuple[list[Any], StageWork]:
+        """Run the stage's subtasks one after another in the caller."""
+        return runtime.run(elements, ctx)
+
+    def finish_stage(
+        self, runtime: StageRuntime
+    ) -> tuple[list[Any], StageWork]:
+        """Flush the stage's subtasks one after another in the caller."""
+        return runtime.finish()

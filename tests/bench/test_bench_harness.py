@@ -125,6 +125,44 @@ class TestDetectionRunner:
             assert later >= earlier * 0.98
 
 
+class TestBackendRunner:
+    def test_backend_comparison_equal_patterns(self, small_dataset):
+        from repro.bench.harness import run_backend_comparison
+
+        config = detection_config(
+            small_dataset, CONSTRAINTS, "F", 0.08, 1.6, 3
+        )
+        points = run_backend_comparison(
+            small_dataset, config, parallel_workers=2
+        )
+        assert [p.backend for p in points] == ["serial", "parallel"]
+        assert points[0].patterns == points[1].patterns
+        assert points[0].speedup_vs_serial == 1.0
+        assert all(p.wall_seconds > 0 for p in points)
+
+    def test_synthetic_sweep_identical_outputs(self):
+        from repro.bench.backend_workload import run_backend_sweep
+
+        points = run_backend_sweep(
+            parallelism=3,
+            batches=2,
+            elements_per_batch=8,
+            cpu_iterations=100,
+            stall_seconds=0.0,
+        )
+        assert points[0].digest == points[1].digest
+        assert points[0].backend == "serial"
+        assert points[1].workers == 3
+
+    def test_clustering_job_through_environment(self, small_dataset):
+        from repro.bench.harness import build_clustering_job
+
+        epsilon = small_dataset.resolve_percentage(0.08)
+        cell_width = small_dataset.resolve_percentage(1.6)
+        job = build_clustering_job("RJC", epsilon, cell_width, 3)
+        assert job.stage_names == ["allocate", "query", "cluster"]
+
+
 class TestEnumerationRunner:
     def test_enumeration_only(self, small_dataset):
         snapshots = precluster(small_dataset, 0.08, 1.6, 3)

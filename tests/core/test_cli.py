@@ -96,6 +96,46 @@ class TestDetect:
             )
             assert code == 0
 
+    def test_backend_choice(self, workload_csv, capsys):
+        for backend in ("serial", "parallel"):
+            code = main(
+                [
+                    "detect",
+                    "--input", str(workload_csv),
+                    "--m", "3", "--k", "5",
+                    "--min-pts", "3",
+                    "--backend", backend,
+                    "--limit", "3",
+                ]
+            )
+            assert code == 0
+            assert f"backend: {backend}" in capsys.readouterr().out
+
+    def test_backend_parallel_matches_serial(self, workload_csv, capsys):
+        outputs = {}
+        for backend in ("serial", "parallel"):
+            main(
+                [
+                    "detect",
+                    "--input", str(workload_csv),
+                    "--m", "3", "--k", "5", "--min-pts", "3",
+                    "--backend", backend, "--workers", "3",
+                    "--limit", "1000",
+                ]
+            )
+            out = capsys.readouterr().out
+            # Compare the pattern listing (lines before the backend note).
+            outputs[backend] = [
+                line for line in out.splitlines() if line.startswith("  {")
+            ]
+        assert outputs["serial"] == outputs["parallel"]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--input", "x.csv", "--backend", "quantum"]
+            )
+
     def test_json_export(self, workload_csv, tmp_path, capsys):
         import json
 

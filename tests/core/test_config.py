@@ -31,11 +31,18 @@ class TestValidation:
             dict(min_pts=0),
             dict(enumerator="magic"),
             dict(query_parallelism=0),
+            dict(backend="quantum"),
+            dict(parallel_workers=0),
         ],
     )
     def test_invalid(self, overrides):
         with pytest.raises(ValueError):
             make(**overrides)
+
+    def test_backend_defaults_serial(self):
+        config = make()
+        assert config.backend == "serial"
+        assert config.parallel_workers is None
 
 
 class TestDerivedConfigs:
@@ -55,3 +62,9 @@ class TestDerivedConfigs:
 
     def test_with_enumerator(self):
         assert make().with_enumerator("vba").enumerator == "vba"
+
+    def test_with_backend(self):
+        config = make().with_backend("parallel", parallel_workers=4)
+        assert config.backend == "parallel"
+        assert config.parallel_workers == 4
+        assert make().backend == "serial"  # original untouched

@@ -1,0 +1,113 @@
+"""Serial/parallel backend equivalence on end-to-end detection scenarios.
+
+The runtime contract: both execution backends route every element to the
+same subtask (stable hashing), process buckets in the same per-subtask
+order, and concatenate outputs in subtask-index order — so the full ICPE
+pipeline must detect the *identical* pattern set, with identical
+detection times, under either backend.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import ICPEConfig
+from repro.core.detector import CoMovementDetector
+from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
+from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.model.constraints import PatternConstraints
+from repro.streaming.shuffle import bounded_shuffle
+
+CONSTRAINTS = PatternConstraints(m=3, k=5, l=2, g=2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_taxi(TaxiConfig(n_objects=60, horizon=24, seed=17))
+
+
+def make_config(dataset, **overrides):
+    defaults = dict(
+        epsilon=dataset.resolve_percentage(0.08),
+        cell_width=dataset.resolve_percentage(1.6),
+        min_pts=3,
+        constraints=CONSTRAINTS,
+    )
+    defaults.update(overrides)
+    return ICPEConfig(**defaults)
+
+
+def detect(dataset, config, records=None):
+    detector = CoMovementDetector(config)
+    detector.feed_many(records if records is not None else dataset.records)
+    detector.finish()
+    detections = frozenset(
+        (pattern.objects, tuple(pattern.times.times))
+        for pattern in detector.patterns
+    )
+    return detector, detections
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("enumerator", ["fba", "vba"])
+    def test_identical_pattern_sets(self, dataset, enumerator):
+        serial_detector, serial_patterns = detect(
+            dataset, make_config(dataset, enumerator=enumerator)
+        )
+        parallel_detector, parallel_patterns = detect(
+            dataset,
+            make_config(
+                dataset,
+                enumerator=enumerator,
+                backend="parallel",
+                parallel_workers=4,
+            ),
+        )
+        assert serial_detector.backend_name == "serial"
+        assert parallel_detector.backend_name == "parallel"
+        assert serial_patterns == parallel_patterns
+        assert len(serial_patterns) > 0  # the scenario must be non-trivial
+
+    def test_identical_under_out_of_order_delivery(self, dataset):
+        records = list(
+            bounded_shuffle(dataset.records, max_delay=2, rng=random.Random(3))
+        )
+        _, serial_patterns = detect(
+            dataset, make_config(dataset, max_delay=2), records=records
+        )
+        _, parallel_patterns = detect(
+            dataset,
+            make_config(
+                dataset, max_delay=2, backend="parallel", parallel_workers=4
+            ),
+            records=records,
+        )
+        assert serial_patterns == parallel_patterns
+
+    def test_identical_routing_across_backends(self, dataset):
+        from repro.core.icpe import ICPEPipeline
+
+        serial = ICPEPipeline(make_config(dataset))
+        parallel = ICPEPipeline(
+            make_config(dataset, backend="parallel", parallel_workers=4)
+        )
+        points = next(iter(dataset.snapshots())).points()
+        for runtime_s, runtime_p in zip(serial.job.runtimes, parallel.job.runtimes):
+            if runtime_s.stage.name != "allocate":
+                continue
+            assert [runtime_s.route(p) for p in points] == [
+                runtime_p.route(p) for p in points
+            ]
+        serial.close()
+        parallel.close()
+
+    def test_second_dataset_generator(self):
+        dataset = generate_brinkhoff(
+            BrinkhoffConfig(n_objects=50, horizon=20, seed=9)
+        )
+        _, serial_patterns = detect(dataset, make_config(dataset))
+        _, parallel_patterns = detect(
+            dataset,
+            make_config(dataset, backend="parallel", parallel_workers=3),
+        )
+        assert serial_patterns == parallel_patterns

@@ -1,0 +1,184 @@
+"""Execution-runtime tests: stable hashing, backends, job graph."""
+
+import pytest
+
+from repro.streaming.dataflow import KeyedStage, Operator, StageRuntime
+from repro.streaming.hashing import canonical_encode, stable_hash
+from repro.streaming.runtime import (
+    JobGraph,
+    ParallelBackend,
+    SerialBackend,
+    execute_finish,
+    execute_unit,
+    resolve_backend,
+)
+
+
+class KeyCounter(Operator):
+    """Stateful per-subtask operator: counts elements per key."""
+
+    def open(self, subtask_index, parallelism):
+        self.index = subtask_index
+        self.counts = {}
+
+    def process(self, element):
+        self.counts[element] = self.counts.get(element, 0) + 1
+        return ()
+
+    def end_batch(self, ctx):
+        for key in sorted(self.counts):
+            yield (self.index, key, self.counts[key], ctx)
+
+    def finish(self):
+        yield ("final", self.index, sum(self.counts.values()))
+
+
+def counting_runtimes():
+    return [
+        StageRuntime(
+            KeyedStage("count", KeyCounter, parallelism=4, key_fn=lambda e: e)
+        )
+    ]
+
+
+class TestStableHash:
+    def test_known_values(self):
+        # CRC32 of the canonical encoding: fixed forever, salt-free.
+        # A regression here silently reshuffles every keyed exchange.
+        assert stable_hash(7) == 3755447108
+        assert stable_hash("cell") == 3730155690
+        assert stable_hash((3, 4)) == 388982493
+        assert stable_hash(None) == 2091617636
+        assert stable_hash(True) == 3227850783
+        assert stable_hash(2.5) == 1814260614
+
+    def test_set_order_independent(self):
+        assert stable_hash(frozenset({1, 2})) == stable_hash(frozenset({2, 1}))
+        assert stable_hash({1, 2}) == stable_hash(frozenset({1, 2}))
+
+    def test_type_tags_distinguish(self):
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(1) != stable_hash(1.0)
+        assert stable_hash(True) != stable_hash(1)
+        # Lists and tuples deliberately share the sequence tag.
+        assert stable_hash((1, 2)) == stable_hash([1, 2])
+
+    def test_length_prefix_prevents_concat_collisions(self):
+        assert canonical_encode(("a,", "b")) != canonical_encode(("a", ",b"))
+        assert stable_hash(("ab", "c")) != stable_hash(("a", "bc"))
+
+    def test_routing_is_stable_and_in_range(self):
+        stage = KeyedStage("s", KeyCounter, parallelism=5, key_fn=lambda e: e)
+        runtime = StageRuntime(stage)
+        for element in range(100):
+            index = runtime.route(element)
+            assert 0 <= index < 5
+            assert index == stable_hash(element) % 5
+
+
+class TestBackends:
+    def test_resolve(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        parallel = resolve_backend("parallel", max_workers=2)
+        assert isinstance(parallel, ParallelBackend)
+        assert parallel.workers == 2
+        parallel.close()
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("quantum")
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelBackend(max_workers=0)
+
+    def test_serial_parallel_identical_outputs(self):
+        elements = [i % 7 for i in range(200)]
+        serial_out, serial_works = execute_unit(
+            counting_runtimes(), elements, ctx=1, backend=SerialBackend()
+        )
+        with ParallelBackend(max_workers=4) as backend:
+            parallel_out, parallel_works = execute_unit(
+                counting_runtimes(), elements, ctx=1, backend=backend
+            )
+        # Element-for-element identical, not just set-identical.
+        assert serial_out == parallel_out
+        assert [w.elements_in for w in serial_works] == [
+            w.elements_in for w in parallel_works
+        ]
+        assert serial_works[0].parallelism == parallel_works[0].parallelism == 4
+
+    def test_serial_parallel_identical_finish(self):
+        runtimes_a, runtimes_b = counting_runtimes(), counting_runtimes()
+        elements = list(range(50))
+        execute_unit(runtimes_a, elements, ctx=0, backend=SerialBackend())
+        with ParallelBackend(max_workers=3) as backend:
+            execute_unit(runtimes_b, elements, ctx=0, backend=backend)
+            flushed_parallel, _ = execute_finish(runtimes_b, backend=backend)
+        flushed_serial, _ = execute_finish(runtimes_a, backend=SerialBackend())
+        assert flushed_serial == flushed_parallel
+
+    def test_parallel_measures_wall_clock(self):
+        elements = list(range(40))
+        with ParallelBackend(max_workers=4) as backend:
+            _, works = execute_unit(
+                counting_runtimes(), elements, ctx=0, backend=backend
+            )
+        work = works[0]
+        assert work.wall_seconds > 0
+        assert len(work.busy_seconds) == 4
+        assert all(b >= 0 for b in work.busy_seconds)
+
+    def test_parallel_close_idempotent_then_rejects_use(self):
+        backend = ParallelBackend(max_workers=2)
+        execute_unit(counting_runtimes(), [1, 2], ctx=0, backend=backend)
+        backend.close()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            execute_unit(counting_runtimes(), [1], ctx=0, backend=backend)
+
+    def test_worker_pool_error_propagates(self):
+        class Exploder(Operator):
+            def process(self, element):
+                raise RuntimeError("boom")
+
+        runtimes = [StageRuntime(KeyedStage("x", Exploder, parallelism=2))]
+        with ParallelBackend(max_workers=2) as backend:
+            with pytest.raises(RuntimeError, match="boom"):
+                execute_unit(runtimes, [1], ctx=0, backend=backend)
+
+
+class TestJobGraph:
+    def test_stage_names_and_parallelisms(self):
+        graph = (
+            JobGraph()
+            .add(KeyedStage("a", KeyCounter, 2, key_fn=lambda e: e))
+            .add(KeyedStage("b", KeyCounter, 3, key_fn=lambda e: e))
+        )
+        assert graph.stage_names == ["a", "b"]
+        assert graph.parallelisms == [2, 3]
+
+    def test_build_runtimes_fresh_each_call(self):
+        graph = JobGraph().add(
+            KeyedStage("a", KeyCounter, 1, key_fn=lambda e: e)
+        )
+        first = graph.build_runtimes()
+        second = graph.build_runtimes()
+        assert first[0].subtasks[0] is not second[0].subtasks[0]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no stages"):
+            JobGraph().build_runtimes()
+
+    def test_topology_to_graph(self):
+        from repro.streaming.dataflow import Topology
+
+        topology = Topology().add(
+            KeyedStage("only", KeyCounter, 2, key_fn=lambda e: e)
+        )
+        graph = topology.to_graph()
+        assert isinstance(graph, JobGraph)
+        assert graph.stage_names == ["only"]
