@@ -395,6 +395,39 @@ def _pattern_signature(pipeline: ICPEPipeline) -> frozenset:
     )
 
 
+def _timed_pipeline_run(
+    dataset: TrajectoryDataset, config: ICPEConfig
+) -> tuple[ICPEPipeline, float]:
+    """Run the full pipeline over a dataset; returns it and wall seconds."""
+    pipeline = ICPEPipeline(config)
+    started = _time.perf_counter()
+    try:
+        for snapshot in dataset.snapshots():
+            pipeline.process_snapshot(snapshot)
+        pipeline.finish()
+    finally:
+        pipeline.close()
+    return pipeline, _time.perf_counter() - started
+
+
+def _require_equal_signatures(
+    signatures: dict[str, frozenset], baseline: str, axis: str
+) -> None:
+    """Raise unless every variant produced the baseline's pattern set.
+
+    Output equality across strategy variants (backends, kernels) is part
+    of their contract; a benchmark that silently compared different
+    answers would be meaningless.
+    """
+    reference = signatures[baseline]
+    for name, signature in signatures.items():
+        if signature != reference:
+            raise RuntimeError(
+                f"{axis} {name!r} produced a different pattern set than "
+                f"{baseline!r}: {len(signature)} vs {len(reference)} patterns"
+            )
+
+
 def run_backend_comparison(
     dataset: TrajectoryDataset,
     config: ICPEConfig,
@@ -405,26 +438,16 @@ def run_backend_comparison(
 
     The first backend in ``backends`` is the speedup baseline.  Raises
     :class:`RuntimeError` if any two backends disagree on the detected
-    pattern set — the serial/parallel equivalence guarantee is part of the
-    runtime contract, and a benchmark that silently compared different
-    answers would be meaningless.
+    pattern set.
     """
     points: list[BackendPoint] = []
     signatures: dict[str, frozenset] = {}
     baseline_wall: float | None = None
     for name in backends:
-        cfg = replace(
-            config, backend=name, parallel_workers=parallel_workers
+        pipeline, wall = _timed_pipeline_run(
+            dataset,
+            replace(config, backend=name, parallel_workers=parallel_workers),
         )
-        pipeline = ICPEPipeline(cfg)
-        started = _time.perf_counter()
-        try:
-            for snapshot in dataset.snapshots():
-                pipeline.process_snapshot(snapshot)
-            pipeline.finish()
-        finally:
-            pipeline.close()
-        wall = _time.perf_counter() - started
         signatures[name] = _pattern_signature(pipeline)
         if baseline_wall is None:
             baseline_wall = wall
@@ -437,13 +460,123 @@ def run_backend_comparison(
                 speedup_vs_serial=baseline_wall / wall if wall > 0 else 1.0,
             )
         )
-    first = signatures[backends[0]]
-    for name, signature in signatures.items():
-        if signature != first:
-            raise RuntimeError(
-                f"backend {name!r} produced a different pattern set than "
-                f"{backends[0]!r}: {len(signature)} vs {len(first)} patterns"
+    _require_equal_signatures(signatures, backends[0], "backend")
+    return points
+
+
+# -------------------------------------------------------------- kernel sweep
+
+
+@dataclass(frozen=True, slots=True)
+class KernelPoint:
+    """One clustering-kernel sample of the measured wall-clock sweep.
+
+    ``wall_seconds`` is real measured wall-clock time (like
+    :class:`BackendPoint`, not the simulated cost model); the first kernel
+    in the sweep — conventionally ``python``, the reference — is the
+    speedup baseline.
+    """
+
+    kernel: str
+    workload: str
+    wall_seconds: float
+    snapshots: int
+    clusters: int
+    patterns: int
+    speedup_vs_python: float = 1.0
+
+
+def run_kernel_clustering_comparison(
+    dataset: TrajectoryDataset,
+    epsilon_pct: float,
+    grid_pct: float,
+    min_pts: int,
+    kernels: tuple[str, ...] = ("python", "numpy"),
+) -> list[KernelPoint]:
+    """Clustering-only kernel sweep over a Fig. 10-style workload.
+
+    Runs the RJC clustering phase snapshot by snapshot under each kernel
+    strategy and measures wall-clock time.  Raises :class:`RuntimeError`
+    if any two kernels disagree on any snapshot's cluster set — identical
+    clusters are part of the kernel contract, and a speedup over a
+    different answer would be meaningless.
+    """
+    epsilon = dataset.resolve_percentage(epsilon_pct)
+    cell_width = dataset.resolve_percentage(grid_pct)
+    snapshots = list(dataset.snapshots())
+    outcomes: dict[str, list] = {}
+    points: list[KernelPoint] = []
+    baseline_wall: float | None = None
+    for name in kernels:
+        clusterer = RJCClusterer(
+            ClusteringConfig(
+                epsilon=epsilon,
+                min_pts=min_pts,
+                cell_width=cell_width,
+                kernel=name,
             )
+        )
+        started = _time.perf_counter()
+        clustered = [clusterer.cluster(snapshot) for snapshot in snapshots]
+        wall = _time.perf_counter() - started
+        outcomes[name] = [
+            (snap.time, tuple(sorted(snap.clusters.items())))
+            for snap in clustered
+        ]
+        if baseline_wall is None:
+            baseline_wall = wall
+        points.append(
+            KernelPoint(
+                kernel=name,
+                workload="clustering",
+                wall_seconds=wall,
+                snapshots=len(snapshots),
+                clusters=sum(len(snap.clusters) for snap in clustered),
+                patterns=0,
+                speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
+            )
+        )
+    reference = outcomes[kernels[0]]
+    for name, outcome in outcomes.items():
+        if outcome != reference:
+            raise RuntimeError(
+                f"kernel {name!r} produced different cluster sets than "
+                f"{kernels[0]!r} on the same snapshots"
+            )
+    return points
+
+
+def run_kernel_comparison(
+    dataset: TrajectoryDataset,
+    config: ICPEConfig,
+    kernels: tuple[str, ...] = ("python", "numpy"),
+) -> list[KernelPoint]:
+    """Full-pipeline kernel sweep: measured wall clock + pattern equality.
+
+    Runs the complete ICPE detection pipeline (whatever backend ``config``
+    selects) once per kernel strategy.  Raises :class:`RuntimeError` if
+    any two kernels disagree on the detected pattern set.
+    """
+    points: list[KernelPoint] = []
+    signatures: dict[str, frozenset] = {}
+    baseline_wall: float | None = None
+    for name in kernels:
+        pipeline, wall = _timed_pipeline_run(dataset, config.with_kernel(name))
+        signatures[name] = _pattern_signature(pipeline)
+        if baseline_wall is None:
+            baseline_wall = wall
+        points.append(
+            KernelPoint(
+                kernel=name,
+                workload=f"icpe/{pipeline.backend_name}",
+                wall_seconds=wall,
+                snapshots=pipeline.meter.snapshots,
+                clusters=pipeline.clusters_formed,
+                patterns=len(pipeline.collector),
+                speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
+            )
+        )
+    _require_equal_signatures(signatures, kernels[0], "kernel")
     return points
 
 

@@ -56,8 +56,14 @@ def format_table(
 
 
 def write_report(name: str, content: str) -> Path:
-    """Persist a figure's series under ``benchmarks/results/<name>.txt``."""
+    """Persist a figure's series under ``benchmarks/results/<name>.txt``.
+
+    Prints the path it wrote, so every bench run states where its results
+    artifact landed (``benchmarks/results/`` is gitignored except for the
+    deliberately committed reports — see ``docs/BENCHMARKS.md``).
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(content + "\n")
+    print(f"[bench] report written to {path}")
     return path

@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker-pool size for --backend parallel",
     )
+    detect.add_argument(
+        "--kernel", choices=("python", "numpy"), default="python",
+        help="snapshot-clustering kernel: reference object path or "
+             "vectorized NumPy arrays (identical results)",
+    )
     detect.add_argument("--max-delay", type=int, default=0)
     detect.add_argument(
         "--maximal-only", action="store_true",
@@ -127,11 +132,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         max_delay=args.max_delay,
         backend=args.backend,
         parallel_workers=args.workers,
+        clustering_kernel=args.kernel,
     )
     detector = CoMovementDetector(config)
     detector.feed_many(dataset.records)
     detector.finish()
     print(f"backend: {detector.backend_name}")
+    print(f"kernel: {detector.kernel_name}")
 
     store = PatternStore()
     store.add_all(detector.pipeline.collector.detections)

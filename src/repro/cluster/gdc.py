@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.cluster.dbscan import DBSCANResult, dbscan_from_pairs
 from repro.geometry.distance import Metric, get_metric
+from repro.geometry.rect import pruning_epsilon
 from repro.index.grid import GridIndex
 from repro.join.pairs import NeighborPairs, normalize_pair
 from repro.model.snapshot import ClusterSnapshot, Snapshot
@@ -61,7 +62,11 @@ class GDCClusterer:
         lies within the 3x3 cell block around a point's home cell.  Each
         unordered pair is counted once by a lexicographic guard.
         """
-        grid = GridIndex(cell_width=self.epsilon)
+        # Pruning-margin width: a neighbour whose computed distance equals
+        # epsilon exactly can sit a few ulps past an epsilon-width cell
+        # boundary; the margin keeps it within the 3x3 block (the metric
+        # check below is the exact filter).
+        grid = GridIndex(cell_width=pruning_epsilon(self.epsilon))
         for oid, x, y in points:
             grid.insert(x, y, (oid, x, y))
         stats = GDCStats(locations=len(points), occupied_cells=grid.occupied_cells)

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.dbscan import DBSCANResult, dbscan_from_pairs
-from repro.join.range_join import GRRangeJoin, RangeJoinConfig
+from repro.cluster.dbscan import DBSCANResult
+from repro.join.range_join import RangeJoinConfig
 from repro.model.snapshot import ClusterSnapshot, Snapshot
 
 
@@ -25,6 +25,9 @@ class ClusteringConfig:
         metric_name: distance metric name.
         rtree_fanout: local R-tree capacity.
         lemma1, lemma2, local_index: ablation switches (paper defaults on).
+        kernel: snapshot-clustering kernel strategy — ``"python"`` (the
+            reference object path, default) or ``"numpy"`` (vectorized;
+            identical results, requires NumPy).
     """
 
     epsilon: float
@@ -35,6 +38,7 @@ class ClusteringConfig:
     lemma1: bool = True
     lemma2: bool = True
     local_index: str = "rtree"
+    kernel: str = "python"
 
     def join_config(self) -> RangeJoinConfig:
         """The equivalent range-join configuration."""
@@ -50,18 +54,45 @@ class ClusteringConfig:
 
 
 class RJCClusterer:
-    """Range-Join based Clustering (RJC)."""
+    """Range-Join based Clustering (RJC).
+
+    The snapshot-clustering work is delegated to the configured kernel
+    strategy (``config.kernel``); the default ``"python"`` kernel is the
+    GR-index object path this class has always run, ``"numpy"`` swaps in
+    the vectorized kernel with identical results.
+    """
 
     name = "RJC"
 
     def __init__(self, config: ClusteringConfig):
+        # Deferred import: repro.kernels builds on this package's DBSCAN
+        # primitives, while this clusterer dispatches *to* the kernels —
+        # importing at call time keeps the strategy selectable from the
+        # clustering layer without a hard import cycle.
+        from repro.kernels import make_kernel
+
         self.config = config
-        self._join = GRRangeJoin(config.join_config())
+        self._kernel = make_kernel(
+            config.kernel,
+            epsilon=config.epsilon,
+            min_pts=config.min_pts,
+            cell_width=config.cell_width,
+            metric_name=config.metric_name,
+            lemma1=config.lemma1,
+            lemma2=config.lemma2,
+            local_index=config.local_index,
+            rtree_fanout=config.rtree_fanout,
+        )
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the kernel strategy clustering the snapshots."""
+        return self._kernel.name
 
     @property
     def last_join_stats(self):
         """Work counters of the most recent snapshot join."""
-        return self._join.last_stats
+        return self._kernel.last_join_stats
 
     def cluster(self, snapshot: Snapshot) -> ClusterSnapshot:
         """Cluster one snapshot into a :class:`ClusterSnapshot`."""
@@ -70,8 +101,4 @@ class RJCClusterer:
 
     def cluster_result(self, snapshot: Snapshot) -> DBSCANResult:
         """Cluster one snapshot, returning the full :class:`DBSCANResult`."""
-        points = snapshot.points()
-        pairs = self._join.join(points)
-        return dbscan_from_pairs(
-            (oid for oid, _, _ in points), pairs, self.config.min_pts
-        )
+        return self._kernel.cluster(snapshot.points())

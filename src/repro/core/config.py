@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.rjc import ClusteringConfig
+from repro.kernels import KERNELS
 from repro.model.constraints import PatternConstraints
 from repro.streaming.cluster import ClusterModel
 
@@ -47,6 +48,11 @@ class ICPEConfig:
             wall-clock busy times).
         parallel_workers: worker-pool size for the parallel backend
             (``None`` = one worker per core, at least 4).
+        clustering_kernel: snapshot-clustering kernel strategy —
+            ``"python"`` (the reference object path, default) or
+            ``"numpy"`` (vectorized array kernel; identical cluster and
+            pattern sets, requires the optional NumPy dependency).
+            Composable with either execution backend.
     """
 
     epsilon: float
@@ -68,6 +74,7 @@ class ICPEConfig:
     vba_candidate_retention: int | None = None
     backend: str = "serial"
     parallel_workers: int | None = None
+    clustering_kernel: str = "python"
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -95,6 +102,11 @@ class ICPEConfig:
             raise ValueError(
                 f"parallel_workers must be >= 1: {self.parallel_workers}"
             )
+        if self.clustering_kernel not in KERNELS:
+            raise ValueError(
+                f"clustering_kernel must be one of {KERNELS}: "
+                f"{self.clustering_kernel!r}"
+            )
 
     def clustering_config(self) -> ClusteringConfig:
         """The clustering-phase view of this configuration."""
@@ -107,6 +119,7 @@ class ICPEConfig:
             lemma1=self.lemma1,
             lemma2=self.lemma2,
             local_index=self.local_index,
+            kernel=self.clustering_kernel,
         )
 
     def with_nodes(self, n_nodes: int) -> "ICPEConfig":
@@ -127,3 +140,7 @@ class ICPEConfig:
         return replace(
             self, backend=backend, parallel_workers=parallel_workers
         )
+
+    def with_kernel(self, clustering_kernel: str) -> "ICPEConfig":
+        """Copy with a different snapshot-clustering kernel strategy."""
+        return replace(self, clustering_kernel=clustering_kernel)

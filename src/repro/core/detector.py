@@ -66,6 +66,11 @@ class CoMovementDetector:
         return self.pipeline.backend_name
 
     @property
+    def kernel_name(self) -> str:
+        """Name of the snapshot-clustering kernel strategy in use."""
+        return self.pipeline.kernel_name
+
+    @property
     def patterns(self) -> list[CoMovementPattern]:
         """Every distinct pattern detected so far."""
         return self.pipeline.patterns

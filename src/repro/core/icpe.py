@@ -17,13 +17,15 @@ from repro.core.operators import (
     AllocateOperator,
     ClusterOperator,
     EnumerateOperator,
+    KernelClusterOperator,
     QueryOperator,
     make_enumerator_factory,
 )
 from repro.enumeration.base import PatternCollector
 from repro.join.query import CellJoiner
+from repro.kernels import make_kernel
 from repro.model.pattern import CoMovementPattern
-from repro.model.snapshot import Snapshot
+from repro.model.snapshot import ClusterSnapshot, Snapshot
 from repro.streaming.cluster import ClusterModel
 from repro.streaming.dataflow import StageWork
 from repro.streaming.environment import DataStream, Job, StreamEnvironment
@@ -46,15 +48,44 @@ def describe_clustering_stages(
     allocate_parallelism: int,
     query_parallelism: int,
     rtree_fanout: int = 16,
+    kernel: str = "python",
+    metric_name: str = "l1",
 ) -> DataStream:
     """Append the clustering phase of the ICPE job graph to a stream.
 
-    The three stages — GridAllocate keyed by trajectory id, GridQuery
-    keyed by grid cell, and the single-subtask GridSync/DBSCAN collector —
-    are described here once, shared by :meth:`ICPEPipeline.
-    build_environment` and the bench harness's clustering-only sweeps
-    (Figs. 10-11), so both provably execute the same topology.
+    With the default ``python`` kernel, the three reference stages —
+    GridAllocate keyed by trajectory id, GridQuery keyed by grid cell, and
+    the single-subtask GridSync/DBSCAN collector — are described here
+    once, shared by :meth:`ICPEPipeline.build_environment` and the bench
+    harness's clustering-only sweeps (Figs. 10-11), so both provably
+    execute the same topology.
+
+    With a vectorized kernel (``"numpy"``), the whole phase collapses
+    into one :class:`~repro.core.operators.KernelClusterOperator` stage
+    that clusters the packed snapshot inside the kernel and emits the
+    identical partition records — the strategy swap is invisible to
+    enumeration and composes with either execution backend.
     """
+    if kernel != "python":
+        kernel_name = kernel
+        return stream.process(
+            lambda: KernelClusterOperator(
+                make_kernel(
+                    kernel_name,
+                    epsilon=epsilon,
+                    min_pts=min_pts,
+                    cell_width=cell_width,
+                    metric_name=metric_name,
+                    lemma1=lemma1,
+                    lemma2=lemma2,
+                    local_index=local_index,
+                    rtree_fanout=rtree_fanout,
+                ),
+                significance=significance,
+            ),
+            parallelism=1,
+            name="cluster",
+        )
     joiner_factory = lambda: QueryOperator(
         CellJoiner(
             epsilon=epsilon,
@@ -107,10 +138,11 @@ class ICPEPipeline:
         self._finished = False
         self._last_time: int | None = None
         # Exposed for the harness: average cluster size (Figs. 12-13).
-        self._cluster_operator: ClusterOperator | None = None
+        self._cluster_operator: ClusterOperator | KernelClusterOperator | None
+        self._cluster_operator = None
         for runtime in self._runtimes:
             for subtask in runtime.subtasks:
-                if isinstance(subtask, ClusterOperator):
+                if isinstance(subtask, (ClusterOperator, KernelClusterOperator)):
                     self._cluster_operator = subtask
 
     @staticmethod
@@ -141,6 +173,8 @@ class ICPEPipeline:
                 allocate_parallelism=cfg.allocate_parallelism,
                 query_parallelism=cfg.query_parallelism,
                 rtree_fanout=cfg.rtree_fanout,
+                kernel=cfg.clustering_kernel,
+                metric_name=cfg.metric_name,
             )
             .key_by(lambda record: record[1], name="enumerate")  # anchor id
             .process(
@@ -244,6 +278,12 @@ class ICPEPipeline:
         return sum(operator.cluster_sizes) / len(operator.cluster_sizes)
 
     @property
+    def clusters_formed(self) -> int:
+        """Total number of clusters formed across processed snapshots."""
+        operator = self._cluster_operator
+        return len(operator.cluster_sizes) if operator else 0
+
+    @property
     def job(self) -> Job:
         """The compiled job (graph + backend + runtimes) executing ICPE."""
         return self._job
@@ -252,6 +292,17 @@ class ICPEPipeline:
     def backend_name(self) -> str:
         """Name of the execution backend running the job graph."""
         return self._backend.name
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the snapshot-clustering kernel strategy in use."""
+        return self.config.clustering_kernel
+
+    @property
+    def last_cluster_snapshot(self) -> ClusterSnapshot | None:
+        """Clusters of the most recently processed snapshot (any kernel)."""
+        operator = self._cluster_operator
+        return operator.last_cluster_snapshot if operator else None
 
     @property
     def patterns(self) -> list[CoMovementPattern]:

@@ -112,6 +112,64 @@ class ClusterOperator(Operator):
         ]
 
 
+class KernelClusterOperator(Operator):
+    """Whole-snapshot clustering through a vectorized kernel strategy.
+
+    Replaces the three-stage GridAllocate -> GridQuery -> GridSync/DBSCAN
+    chain when a vectorized kernel (e.g. ``numpy``) is selected: the single
+    subtask buffers the snapshot's raw ``(oid, x, y)`` locations and, at
+    the snapshot trigger, runs the kernel over packed arrays — grid
+    bucketing, the epsilon join and the DBSCAN labeling all happen inside
+    the kernel.  It emits exactly the same id-based partition records as
+    :class:`ClusterOperator`, so enumeration and every downstream consumer
+    are oblivious to the strategy swap.
+    """
+
+    def __init__(self, kernel, significance: int):
+        self.kernel = kernel
+        self.significance = significance
+        self._points: list[tuple[int, float, float]] = []
+        self.last_cluster_snapshot: ClusterSnapshot | None = None
+        self.cluster_sizes: list[int] = []
+
+    def process(
+        self, element: tuple[int, float, float]
+    ) -> Iterable[Any]:
+        """Buffer one raw location until the snapshot trigger."""
+        self._points.append(element)
+        return ()
+
+    def end_batch(self, ctx: Any) -> Iterable[PartitionRecord]:
+        """Cluster the buffered snapshot and emit id-based partitions.
+
+        At ``min_pts == 1`` singleton clusters are dropped to match
+        :class:`ClusterOperator` exactly: the reference stage derives its
+        oid set from the neighbour-pair stream, so an isolated point never
+        reaches it — while DBSCAN proper makes every isolated point a
+        singleton core at that density.  At ``min_pts >= 2`` singletons
+        are *kept*: they are always pair-connected there (a core point
+        whose border neighbours all attach to smaller-id cores elsewhere),
+        so the reference stage sees and emits them too.
+        """
+        time = int(ctx)
+        result = self.kernel.cluster(self._points)
+        self._points.clear()
+        groups = result.clusters.values()
+        if self.kernel.min_pts == 1:
+            groups = [members for members in groups if len(members) >= 2]
+        snapshot = ClusterSnapshot.from_groups(time, groups)
+        self.last_cluster_snapshot = snapshot
+        self.cluster_sizes.extend(
+            len(members) for members in snapshot.clusters.values()
+        )
+        return [
+            (time, anchor, members)
+            for anchor, members in sorted(
+                id_partitions(snapshot, self.significance).items()
+            )
+        ]
+
+
 class EnumerateOperator(Operator):
     """Hosts per-anchor enumerators; emits co-movement patterns."""
 

@@ -19,8 +19,18 @@ def l1_distance(x1: float, y1: float, x2: float, y2: float) -> float:
 
 
 def euclidean_distance(x1: float, y1: float, x2: float, y2: float) -> float:
-    """Euclidean (L2) distance."""
-    return math.hypot(x1 - x2, y1 - y2)
+    """Euclidean (L2) distance.
+
+    Computed as ``sqrt(dx*dx + dy*dy)`` from elementary IEEE operations,
+    which vectorized kernels reproduce bit-for-bit on arrays —
+    ``math.hypot`` and ``numpy.hypot`` use different algorithms and can
+    disagree by one ulp exactly at an epsilon threshold.  The overflow
+    protection ``hypot`` adds only matters beyond ~1e154, far outside any
+    coordinate domain here.
+    """
+    dx = x1 - x2
+    dy = y1 - y2
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def chebyshev_distance(x1: float, y1: float, x2: float, y2: float) -> float:
@@ -38,6 +48,13 @@ _METRICS: dict[str, Metric] = {
 }
 
 
+_CANONICAL_NAMES: dict[Metric, str] = {
+    l1_distance: "l1",
+    euclidean_distance: "l2",
+    chebyshev_distance: "linf",
+}
+
+
 def get_metric(name: str) -> Metric:
     """Resolve a metric by name (``l1``, ``l2``, ``linf`` and aliases).
 
@@ -49,3 +66,16 @@ def get_metric(name: str) -> Metric:
         known = ", ".join(sorted(_METRICS))
         raise KeyError(f"unknown metric {name!r}; expected one of: {known}")
     return _METRICS[key]
+
+
+def canonical_metric_name(name: str) -> str:
+    """Resolve a metric name or alias to its canonical name.
+
+    Vectorized kernels dispatch on the canonical name (``l1``, ``l2``,
+    ``linf``) rather than the callable; routing aliases through this
+    helper keeps this module the single owner of the alias table.
+
+    Raises:
+        KeyError: if the name is not a known metric.
+    """
+    return _CANONICAL_NAMES[get_metric(name)]

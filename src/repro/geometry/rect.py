@@ -113,6 +113,25 @@ class Rect:
         return abs(cx1 - cx2) + abs(cy1 - cy2)
 
 
+#: Relative margin applied to epsilon wherever it *prunes candidates*
+#: (grid cells, probe rectangles).  The pair filter itself runs the exact
+#: metric in float64, so a pair's true axis gap can exceed epsilon by a
+#: few ulps and still verify; pruning with the raw epsilon can then drop
+#: such a pair (coordinate a hair past a rect edge or cell boundary).
+#: 1e-9 dwarfs any accumulated rounding (~1e-16 relative) while enlarging
+#: candidate sets immeasurably.
+CANDIDATE_PRUNING_MARGIN = 1e-9
+
+
+def pruning_epsilon(epsilon: float) -> float:
+    """Epsilon widened by the candidate-pruning margin.
+
+    Use for building candidate-superset regions and grid widths — never
+    for the exact metric verification itself.
+    """
+    return epsilon * (1.0 + CANDIDATE_PRUNING_MARGIN)
+
+
 def range_region(x: float, y: float, epsilon: float) -> Rect:
     """Square range region of ``RQ((x, y), epsilon)`` (Definition 10).
 

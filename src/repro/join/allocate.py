@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.geometry.rect import range_region, upper_range_region
+from repro.geometry.rect import pruning_epsilon, range_region, upper_range_region
 from repro.index.grid import cell_key, cells_overlapping
 from repro.index.gridobject import GridObject
 
@@ -30,10 +30,14 @@ def allocate_location(
     """
     home = cell_key(x, y, cell_width)
     yield GridObject(key=home, is_query=False, oid=oid, x=x, y=y)
+    # Replication regions prune candidate *cells*; the margin keeps a
+    # partner a few ulps past the exact-epsilon boundary reachable (the
+    # probe verifies with the exact metric).
+    padded = pruning_epsilon(epsilon)
     if lemma1:
-        region = upper_range_region(x, y, epsilon)
+        region = upper_range_region(x, y, padded)
     else:
-        region = range_region(x, y, epsilon)
+        region = range_region(x, y, padded)
     for key in cells_overlapping(region, cell_width):
         if key != home:
             yield GridObject(key=key, is_query=True, oid=oid, x=x, y=y)

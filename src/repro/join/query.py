@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.geometry.distance import Metric, l1_distance
-from repro.geometry.rect import Rect, range_region, upper_range_region
+from repro.geometry.rect import (
+    Rect,
+    pruning_epsilon,
+    range_region,
+    upper_range_region,
+)
 from repro.index.gridobject import GridObject
 from repro.index.rtree import RTree
 from repro.join.pairs import normalize_pair
@@ -127,12 +132,16 @@ class CellJoiner:
     def _probe(
         self, index, go: GridObject, intra_cell: bool
     ) -> Iterator[tuple[int, int]]:
-        region = range_region(go.x, go.y, self.epsilon)
+        # Probe rects prune candidates; the margin keeps a partner a few
+        # ulps past the exact-epsilon edge inside the rect (the metric
+        # check below is the exact filter).
+        padded = pruning_epsilon(self.epsilon)
+        region = range_region(go.x, go.y, padded)
         if not intra_cell and self.lemma1:
             # The allocator only routed this query object to cells in the
             # upper half-region; restricting the probe region accordingly is
             # a no-op spatially but keeps the candidate set minimal.
-            region = upper_range_region(go.x, go.y, self.epsilon)
+            region = upper_range_region(go.x, go.y, padded)
         for oid, x, y in index.search(region):
             if oid == go.oid:
                 continue

@@ -1,0 +1,76 @@
+"""Selectable snapshot-clustering kernels.
+
+The clustering phase (grid bucketing + epsilon-range join + DBSCAN) has
+interchangeable implementation strategies behind one contract
+(:class:`~repro.kernels.base.ClusteringKernel`):
+
+* ``"python"`` — the reference object walk (GR-index join, honours every
+  ablation switch); the default.
+* ``"numpy"`` — contiguous-array bucketing, searchsorted cell matching and
+  vectorized DBSCAN labeling; requires the optional NumPy dependency.
+
+All kernels produce identical cluster sets by construction (exact pair
+verification + the canonical border rule), so the choice is purely a
+performance strategy — selectable via ``ICPEConfig(clustering_kernel=...)``
+or the CLI's ``--kernel`` flag, and composable with either execution
+backend.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import ClusteringKernel
+from repro.kernels.numpy_kernel import NumpyKernel, numpy_available
+from repro.kernels.python_ref import PythonKernel
+
+KERNELS = ("python", "numpy")
+
+__all__ = [
+    "KERNELS",
+    "ClusteringKernel",
+    "NumpyKernel",
+    "PythonKernel",
+    "make_kernel",
+    "numpy_available",
+]
+
+
+def make_kernel(
+    name: str,
+    *,
+    epsilon: float,
+    min_pts: int,
+    cell_width: float,
+    metric_name: str = "l1",
+    lemma1: bool = True,
+    lemma2: bool = True,
+    local_index: str = "rtree",
+    rtree_fanout: int = 16,
+) -> ClusteringKernel:
+    """Build the named kernel from the clustering-phase parameters.
+
+    The reference kernel consumes every parameter; vectorized kernels
+    ignore the object-path switches (they have no replication, no local
+    trees, and pick their own bucket width).
+
+    Raises:
+        ValueError: for an unknown kernel name.
+        RuntimeError: when the kernel's optional dependency is missing.
+    """
+    if name == "python":
+        return PythonKernel(
+            epsilon=epsilon,
+            min_pts=min_pts,
+            cell_width=cell_width,
+            metric_name=metric_name,
+            lemma1=lemma1,
+            lemma2=lemma2,
+            local_index=local_index,
+            rtree_fanout=rtree_fanout,
+        )
+    if name == "numpy":
+        return NumpyKernel(
+            epsilon=epsilon, min_pts=min_pts, metric_name=metric_name
+        )
+    raise ValueError(
+        f"unknown clustering kernel {name!r}; expected one of {KERNELS}"
+    )

@@ -1,0 +1,268 @@
+"""NumPy-vectorized snapshot clustering (the ``numpy`` kernel strategy).
+
+The whole clustering phase runs on contiguous arrays:
+
+1. **Pack** — the snapshot's ``(oid, x, y)`` triples are sorted by oid and
+   packed into int64 / float64 arrays, so array index order equals oid
+   order (every canonical "smallest id" rule becomes an argmin).
+2. **Grid bucketing** — cell coordinates ``floor(p / w)`` with bucket
+   width ``w = epsilon`` are hashed into a single int64 key per point; one
+   stable argsort groups points by occupied cell (no ``Rect`` /
+   ``GridObject`` materialisation).
+3. **Epsilon join** — for each of the five half-plane neighbour offsets
+   ``(0,0), (0,1), (1,-1), (1,0), (1,1)``, occupied cells are matched to
+   their neighbour cells with :func:`numpy.searchsorted` and the matched
+   cell blocks expand into candidate index pairs via cumulative-sum
+   arithmetic; a single broadcast distance evaluation filters the exact
+   pairs.  Every unordered pair is produced exactly once (the offset set
+   covers each unordered cell pair once; intra-cell candidates keep only
+   ``i < j``).
+4. **DBSCAN labeling** — neighbour counts via ``bincount`` give the core
+   mask; core components form by iterated min-label propagation with
+   pointer jumping (``minimum.at`` + ``labels[labels]``); border points
+   attach to their smallest-id core neighbour via one more ``minimum.at``.
+
+The result is bit-for-bit identical to the reference kernel: the pair set
+is exact (bucketing only generates candidates; the metric verifies), and
+the labeling reproduces the canonical border rule of
+:func:`repro.cluster.dbscan.dbscan_from_pairs`.
+
+NumPy is an *optional* dependency: this module imports without it, and
+constructing the kernel raises a clear error when it is missing.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.dbscan import DBSCANResult
+from repro.geometry.distance import canonical_metric_name
+from repro.geometry.rect import pruning_epsilon
+from repro.join.range_join import JoinStats
+from repro.kernels.base import ClusteringKernel, Points
+
+try:  # pragma: no cover - exercised only on numpy-less hosts
+    import numpy as np
+except ModuleNotFoundError:  # pragma: no cover
+    np = None
+
+#: Half-plane neighbour offsets: together with the symmetric roles of the
+#: two cells in a match, these cover every unordered pair of 3x3-adjacent
+#: cells exactly once.
+_OFFSETS = ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1))
+
+
+def numpy_available() -> bool:
+    """Whether the optional NumPy dependency is importable."""
+    return np is not None
+
+
+class NumpyKernel(ClusteringKernel):
+    """Array-native snapshot clustering (no per-object traversal)."""
+
+    name = "numpy"
+
+    def __init__(
+        self,
+        epsilon: float,
+        min_pts: int,
+        metric_name: str = "l1",
+        **_ignored,
+    ):
+        """``**_ignored`` absorbs reference-kernel-only switches (lemma1,
+        lemma2, local_index, cell_width, rtree_fanout): the vectorized join
+        has no object replication, no local trees, and picks its own bucket
+        width, so those knobs do not apply."""
+        if np is None:
+            raise RuntimeError(
+                "the 'numpy' clustering kernel requires NumPy, which is not "
+                "installed; use clustering_kernel='python' instead"
+            )
+        super().__init__(epsilon, min_pts)
+        self.metric_name = canonical_metric_name(metric_name)
+
+    # ------------------------------------------------------------------ pack
+
+    def _pack(self, points: Points):
+        """Sort by oid and split into (oids, xs, ys) contiguous arrays."""
+        triples = sorted(points)
+        oids = np.array([t[0] for t in triples], dtype=np.int64)
+        xs = np.array([t[1] for t in triples], dtype=np.float64)
+        ys = np.array([t[2] for t in triples], dtype=np.float64)
+        return oids, xs, ys
+
+    # ------------------------------------------------------------------ join
+
+    def _distances(self, xs, ys, left, right):
+        """Metric distances of the candidate index pairs, vectorized."""
+        dx = np.abs(xs[left] - xs[right])
+        dy = np.abs(ys[left] - ys[right])
+        if self.metric_name == "l1":
+            return dx + dy
+        if self.metric_name == "l2":
+            # sqrt(dx*dx + dy*dy), bit-for-bit the scalar metric's formula
+            # (np.hypot and math.hypot can differ by one ulp).
+            return np.sqrt(dx * dx + dy * dy)
+        return np.maximum(dx, dy)
+
+    def _pair_indices(self, xs, ys):
+        """Exact epsilon-pair index arrays ``(left, right)`` with left < right.
+
+        Index order equals oid order (points are packed sorted), so the
+        ``left < right`` canonicalisation is also ``oid_left < oid_right``.
+        """
+        n = xs.size
+        empty = np.empty(0, dtype=np.int64)
+        if n < 2:
+            self.last_join_stats = JoinStats(locations=int(n))
+            return empty, empty
+
+        # Bucket width: any pair at metric distance <= epsilon (all
+        # supported metrics bound L-infinity) must land in adjacent cells.
+        # The pair filter runs in float64, so a pair's true axis gap can
+        # exceed epsilon by a few ulps and still verify; the shared
+        # candidate-pruning margin keeps every such pair within the 3x3
+        # block.  Coordinates are shifted to the origin first so the float
+        # floor(x / width) itself cannot misplace a cell by more than the
+        # same margin absorbs.
+        width = pruning_epsilon(self.epsilon) if self.epsilon > 0 else 1.0
+        cx = np.floor((xs - xs.min()) / width).astype(np.int64)
+        cy = np.floor((ys - ys.min()) / width).astype(np.int64)
+        # stride leaves one spare row so y-neighbour offsets of boundary
+        # cells encode to keys no occupied cell can collide with.
+        stride = int(cy.max()) + 2
+        keys = cx * stride + cy
+
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+        occupied, starts, counts = np.unique(
+            keys[order], return_index=True, return_counts=True
+        )
+
+        lefts: list = []
+        rights: list = []
+        candidates = 0
+        for dx, dy in _OFFSETS:
+            delta = dx * stride + dy
+            if delta == 0:
+                cell_a = np.arange(occupied.size, dtype=np.int64)
+                cell_b = cell_a
+            else:
+                targets = occupied + delta
+                pos = np.searchsorted(occupied, targets)
+                found = pos < occupied.size
+                found[found] = occupied[pos[found]] == targets[found]
+                cell_a = np.flatnonzero(found).astype(np.int64)
+                cell_b = pos[cell_a]
+            if cell_a.size == 0:
+                continue
+
+            # Expand each matched (cell_a, cell_b) block pair into its
+            # full cross product of point indices with cumsum arithmetic.
+            sizes_b = counts[cell_b]
+            block = counts[cell_a] * sizes_b
+            bounds = np.concatenate(([0], np.cumsum(block)))
+            total = int(bounds[-1])
+            if total == 0:
+                continue
+            pair_id = np.arange(total, dtype=np.int64)
+            match = np.searchsorted(bounds, pair_id, side="right") - 1
+            within = pair_id - bounds[match]
+            a_local = within // sizes_b[match]
+            b_local = within % sizes_b[match]
+            left = order[starts[cell_a][match] + a_local]
+            right = order[starts[cell_b][match] + b_local]
+            if delta == 0:
+                keep = left < right
+                left, right = left[keep], right[keep]
+            else:
+                # Distinct cells: each unordered pair appears once; only
+                # normalise the orientation to (smaller, larger) index.
+                left, right = (
+                    np.minimum(left, right),
+                    np.maximum(left, right),
+                )
+            candidates += left.size
+            lefts.append(left)
+            rights.append(right)
+
+        if not lefts:
+            self.last_join_stats = JoinStats(
+                locations=int(n), occupied_cells=int(occupied.size)
+            )
+            return empty, empty
+        left = np.concatenate(lefts)
+        right = np.concatenate(rights)
+        keep = self._distances(xs, ys, left, right) <= self.epsilon
+        left, right = left[keep], right[keep]
+        self.last_join_stats = JoinStats(
+            locations=int(n),
+            grid_objects=int(n),
+            occupied_cells=int(occupied.size),
+            emitted_pairs=candidates,
+            result_pairs=int(left.size),
+        )
+        return left, right
+
+    # ---------------------------------------------------------------- public
+
+    def neighbor_pairs(self, points: Points) -> set[tuple[int, int]]:
+        """Exact epsilon-neighbour oid pairs, computed on arrays."""
+        oids, xs, ys = self._pack(points)
+        left, right = self._pair_indices(xs, ys)
+        return set(zip(oids[left].tolist(), oids[right].tolist()))
+
+    def cluster(self, points: Points) -> DBSCANResult:
+        """Full vectorized DBSCAN over the snapshot (arrays end to end)."""
+        oids, xs, ys = self._pack(points)
+        n = oids.size
+        left, right = self._pair_indices(xs, ys)
+
+        degree = (
+            np.bincount(left, minlength=n)
+            + np.bincount(right, minlength=n)
+            + 1  # count_self: standard DBSCAN, the repository default
+        )
+        core = degree >= self.min_pts
+
+        # Core components: iterated min-label propagation + pointer jumping.
+        labels = np.arange(n, dtype=np.int64)
+        cc = core[left] & core[right]
+        cc_left, cc_right = left[cc], right[cc]
+        while True:
+            before = labels.copy()
+            merged = np.minimum(labels[cc_left], labels[cc_right])
+            np.minimum.at(labels, cc_left, merged)
+            np.minimum.at(labels, cc_right, merged)
+            labels = np.minimum(labels, labels[labels])
+            if np.array_equal(labels, before):
+                break
+
+        # Border points: smallest-id core neighbour (canonical rule).
+        half = core[left] ^ core[right]
+        core_end = np.where(core[left[half]], left[half], right[half])
+        border_end = np.where(core[left[half]], right[half], left[half])
+        anchor = np.full(n, n, dtype=np.int64)
+        np.minimum.at(anchor, border_end, core_end)
+        border = ~core & (anchor < n)
+        noise = ~core & (anchor == n)
+
+        member_label = np.where(core, labels, np.int64(-1))
+        member_label[border] = labels[anchor[border]]
+
+        clustered = np.flatnonzero(member_label >= 0)
+        groups: list = []
+        if clustered.size:
+            by_label = np.argsort(member_label[clustered], kind="stable")
+            sorted_idx = clustered[by_label]
+            sorted_labels = member_label[clustered][by_label]
+            cuts = np.flatnonzero(np.diff(sorted_labels)) + 1
+            groups = np.split(sorted_idx, cuts)
+            groups.sort(key=lambda g: int(g[0]))  # order by smallest member
+
+        clusters = {
+            cluster_id: tuple(oids[members].tolist())
+            for cluster_id, members in enumerate(groups)
+        }
+        return DBSCANResult(
+            clusters=clusters,
+            core_points=set(oids[core].tolist()),
+            noise=set(oids[noise].tolist()),
+        )

@@ -130,6 +130,33 @@ class TestDetect:
             ]
         assert outputs["serial"] == outputs["parallel"]
 
+    def test_kernel_choice(self, workload_csv, capsys):
+        pytest.importorskip("numpy", reason="the numpy kernel needs NumPy")
+        outputs = {}
+        for kernel in ("python", "numpy"):
+            code = main(
+                [
+                    "detect",
+                    "--input", str(workload_csv),
+                    "--m", "3", "--k", "5", "--min-pts", "3",
+                    "--kernel", kernel,
+                    "--limit", "1000",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"kernel: {kernel}" in out
+            outputs[kernel] = [
+                line for line in out.splitlines() if line.startswith("  {")
+            ]
+        assert outputs["python"] == outputs["numpy"]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--input", "x.csv", "--kernel", "fortran"]
+            )
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(

@@ -1,0 +1,134 @@
+"""Deeper PatternStore coverage: query paths and witness merging.
+
+Complements ``test_store.py`` with the behaviours downstream applications
+lean on: repeated detections of the same object set merging into one
+stored pattern (without duplicating witnesses), containment / time-window
+queries over merged state, and maximal-only filtering edge cases.
+"""
+
+from repro.core.store import PatternStore, StoredPattern
+from repro.model.pattern import CoMovementPattern
+from repro.model.timeseq import TimeSequence
+
+
+def pattern(objects, times):
+    return CoMovementPattern.of(objects, times)
+
+
+class TestWitnessMerging:
+    def test_identical_witness_not_duplicated(self):
+        store = PatternStore()
+        store.add(5, pattern([1, 2], [1, 2, 3]))
+        store.add(9, pattern([1, 2], [1, 2, 3]))
+        stored = store.get([1, 2])
+        assert len(stored.witnesses) == 1
+        assert stored.first_detected_at == 5  # first detection wins
+
+    def test_object_order_does_not_split_patterns(self):
+        store = PatternStore()
+        store.add(1, pattern([3, 1, 2], [1, 2]))
+        store.add(2, pattern([2, 3, 1], [4, 5]))
+        assert len(store) == 1
+        assert len(store.get([1, 2, 3]).witnesses) == 2
+
+    def test_span_and_covers_across_merged_witnesses(self):
+        store = PatternStore()
+        store.add(3, pattern([1, 2], [1, 2, 3]))
+        store.add(12, pattern([1, 2], [10, 11, 12]))
+        stored = store.get([1, 2])
+        assert stored.span == (1, 12)
+        assert stored.covers_time(11)
+        assert not stored.covers_time(6)  # between the witnesses
+
+    def test_repeated_detection_is_not_fresh(self):
+        store = PatternStore()
+        assert store.add(1, pattern([4, 5], [1, 2])) is True
+        assert store.add(2, pattern([4, 5], [3, 4])) is False
+        assert store.add_all([(3, pattern([4, 5], [5, 6]))]) == 0
+
+    def test_active_at_sees_every_merged_witness(self):
+        store = PatternStore()
+        store.add(3, pattern([1, 2], [1, 2, 3]))
+        store.add(22, pattern([1, 2], [20, 21, 22]))
+        assert {p.objects for p in store.active_at(2)} == {(1, 2)}
+        assert {p.objects for p in store.active_at(21)} == {(1, 2)}
+        assert store.active_at(15) == []
+
+
+class TestContainmentQueries:
+    def _loaded(self):
+        store = PatternStore()
+        store.add(1, pattern([1, 2], [1, 2]))
+        store.add(2, pattern([1, 2, 3], [2, 3]))
+        store.add(3, pattern([1, 4], [5, 6]))
+        store.add(4, pattern([5, 6], [5, 6]))
+        return store
+
+    def test_containing_sorted_and_complete(self):
+        store = self._loaded()
+        assert [p.objects for p in store.containing(1)] == [
+            (1, 2),
+            (1, 2, 3),
+            (1, 4),
+        ]
+        assert [p.objects for p in store.containing(4)] == [(1, 4)]
+        assert store.containing(99) == []
+
+    def test_companions_counts_shared_patterns(self):
+        store = self._loaded()
+        assert store.companions(1) == {2: 2, 3: 1, 4: 1}
+        assert store.companions(6) == {5: 1}
+        assert store.companions(99) == {}
+
+    def test_membership_protocol(self):
+        store = self._loaded()
+        assert [2, 1] in store  # order-insensitive lookup
+        assert (4, 1) in store
+        assert [1, 5] not in store
+        assert store.get([9, 9]) is None
+
+
+class TestMaximalFiltering:
+    def test_strict_containment_only(self):
+        store = PatternStore()
+        store.add(1, pattern([1, 2], [1, 2]))
+        store.add(1, pattern([1, 2, 3], [1, 2]))
+        store.add(1, pattern([2, 3], [1, 2]))
+        store.add(1, pattern([4, 5], [1, 2]))
+        maximal = {p.objects for p in store.maximal()}
+        assert maximal == {(1, 2, 3), (4, 5)}
+
+    def test_overlapping_sets_both_maximal(self):
+        store = PatternStore()
+        store.add(1, pattern([1, 2, 3], [1, 2]))
+        store.add(1, pattern([2, 3, 4], [1, 2]))
+        maximal = {p.objects for p in store.maximal()}
+        assert maximal == {(1, 2, 3), (2, 3, 4)}
+
+    def test_maximal_preserved_through_json(self):
+        store = PatternStore()
+        store.add(1, pattern([1, 2], [1, 2]))
+        store.add(2, pattern([1, 2, 3], [3, 4]))
+        rebuilt = PatternStore.from_json(store.to_json())
+        assert {p.objects for p in rebuilt.maximal()} == {(1, 2, 3)}
+        assert [p.objects for p in rebuilt.containing(3)] == [(1, 2, 3)]
+
+    def test_empty_store_queries(self):
+        store = PatternStore()
+        assert store.maximal() == []
+        assert store.active_at(0) == []
+        assert store.with_min_size(1) == []
+        assert len(store) == 0
+
+
+class TestStoredPattern:
+    def test_size_and_span_single_witness(self):
+        stored = StoredPattern(
+            objects=(1, 2, 3),
+            witnesses=[TimeSequence((4, 5, 6))],
+            first_detected_at=6,
+        )
+        assert stored.size == 3
+        assert stored.span == (4, 6)
+        assert stored.covers_time(5)
+        assert not stored.covers_time(7)

@@ -1,0 +1,22 @@
+"""Documentation-link regression test: the CI docs job, runnable locally.
+
+Runs ``tools/check_markdown_links.py`` (the same script the CI docs job
+invokes) so broken relative links in README/ROADMAP/docs fail the tier-1
+suite before they reach CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_markdown_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_markdown_links.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "all markdown links resolve" in result.stdout

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links across the documentation resolve.
+
+Scans README.md, ROADMAP.md and every ``docs/*.md`` file for inline links
+``[text](target)``, skips external schemes (http/https/mailto) and pure
+in-page anchors, and verifies every remaining target exists relative to
+the file that links it.  Fenced code blocks are ignored (they contain
+example syntax, not navigation).
+
+Exit status 0 when every link resolves, 1 otherwise (with one line per
+broken link).  Run from anywhere::
+
+    python tools/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Files whose links are part of the documented contract.
+DOC_FILES = ("README.md", "ROADMAP.md")
+DOC_GLOBS = ("docs/*.md",)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[Path]:
+    """The Markdown files under the checker's contract, existing ones only."""
+    files = [REPO_ROOT / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return [path for path in files if path.is_file()]
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield line_number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file (empty = clean)."""
+    problems: list[str] = []
+    for line_number, target in iter_links(path.read_text()):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                f"broken link -> {target}"
+            )
+    return problems
+
+
+def main() -> int:
+    """Check every documentation file; print problems; return exit code."""
+    files = iter_doc_files()
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s) across: {checked}")
+        return 1
+    print(f"all markdown links resolve across: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
