@@ -472,9 +472,9 @@ class KernelPoint:
     """One clustering-kernel sample of the measured wall-clock sweep.
 
     ``wall_seconds`` is real measured wall-clock time (like
-    :class:`BackendPoint`, not the simulated cost model); the first kernel
-    in the sweep — conventionally ``python``, the reference — is the
-    speedup baseline.
+    :class:`BackendPoint`, not the simulated cost model);
+    ``speedup_vs_python`` is measured against the ``python`` reference
+    row, which every kernel sweep must therefore include.
     """
 
     kernel: str
@@ -484,6 +484,16 @@ class KernelPoint:
     clusters: int
     patterns: int
     speedup_vs_python: float = 1.0
+
+
+def _require_python_reference(kernels: tuple[str, ...]) -> None:
+    """Kernel sweeps report ``speedup_vs_python``, so the reference row
+    must be part of the sweep for the field to mean what it says."""
+    if "python" not in kernels:
+        raise ValueError(
+            "kernel sweeps measure speedup_vs_python and must include "
+            f"the 'python' reference kernel, got {kernels!r}"
+        )
 
 
 def run_kernel_clustering_comparison(
@@ -501,12 +511,12 @@ def run_kernel_clustering_comparison(
     clusters are part of the kernel contract, and a speedup over a
     different answer would be meaningless.
     """
+    _require_python_reference(kernels)
     epsilon = dataset.resolve_percentage(epsilon_pct)
     cell_width = dataset.resolve_percentage(grid_pct)
     snapshots = list(dataset.snapshots())
     outcomes: dict[str, list] = {}
-    points: list[KernelPoint] = []
-    baseline_wall: float | None = None
+    measured: list[tuple[str, float, int]] = []
     for name in kernels:
         clusterer = RJCClusterer(
             ClusteringConfig(
@@ -523,19 +533,22 @@ def run_kernel_clustering_comparison(
             (snap.time, tuple(sorted(snap.clusters.items())))
             for snap in clustered
         ]
-        if baseline_wall is None:
-            baseline_wall = wall
-        points.append(
-            KernelPoint(
-                kernel=name,
-                workload="clustering",
-                wall_seconds=wall,
-                snapshots=len(snapshots),
-                clusters=sum(len(snap.clusters) for snap in clustered),
-                patterns=0,
-                speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
-            )
+        measured.append(
+            (name, wall, sum(len(snap.clusters) for snap in clustered))
         )
+    baseline_wall = dict((name, wall) for name, wall, _ in measured)["python"]
+    points = [
+        KernelPoint(
+            kernel=name,
+            workload="clustering",
+            wall_seconds=wall,
+            snapshots=len(snapshots),
+            clusters=clusters,
+            patterns=0,
+            speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
+        )
+        for name, wall, clusters in measured
+    ]
     reference = outcomes[kernels[0]]
     for name, outcome in outcomes.items():
         if outcome != reference:
@@ -557,25 +570,26 @@ def run_kernel_comparison(
     selects) once per kernel strategy.  Raises :class:`RuntimeError` if
     any two kernels disagree on the detected pattern set.
     """
-    points: list[KernelPoint] = []
+    _require_python_reference(kernels)
     signatures: dict[str, frozenset] = {}
-    baseline_wall: float | None = None
+    runs: list[tuple[str, float, object]] = []
     for name in kernels:
         pipeline, wall = _timed_pipeline_run(dataset, config.with_kernel(name))
         signatures[name] = _pattern_signature(pipeline)
-        if baseline_wall is None:
-            baseline_wall = wall
-        points.append(
-            KernelPoint(
-                kernel=name,
-                workload=f"icpe/{pipeline.backend_name}",
-                wall_seconds=wall,
-                snapshots=pipeline.meter.snapshots,
-                clusters=pipeline.clusters_formed,
-                patterns=len(pipeline.collector),
-                speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
-            )
+        runs.append((name, wall, pipeline))
+    baseline_wall = dict((name, wall) for name, wall, _ in runs)["python"]
+    points = [
+        KernelPoint(
+            kernel=name,
+            workload=f"icpe/{pipeline.backend_name}",
+            wall_seconds=wall,
+            snapshots=pipeline.meter.snapshots,
+            clusters=pipeline.clusters_formed,
+            patterns=len(pipeline.collector),
+            speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
         )
+        for name, wall, pipeline in runs
+    ]
     _require_equal_signatures(signatures, kernels[0], "kernel")
     return points
 

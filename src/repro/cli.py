@@ -24,6 +24,7 @@ from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
 from repro.data.dataset import TrajectoryDataset
 from repro.data.geolife import GeoLifeConfig, generate_geolife
 from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.kernels import numpy_available
 from repro.model.constraints import PatternConstraints
 
 GENERATORS = {
@@ -122,6 +123,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     """``detect``: run ICPE over a CSV workload and print patterns."""
+    if args.kernel == "numpy" and not numpy_available():
+        print(
+            "error: --kernel numpy requires NumPy, which is not installed; "
+            "use --kernel python",
+            file=sys.stderr,
+        )
+        return 2
     dataset = TrajectoryDataset.load_csv(args.input)
     config = ICPEConfig(
         epsilon=dataset.resolve_percentage(args.epsilon_pct),

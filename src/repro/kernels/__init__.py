@@ -18,11 +18,23 @@ backend.
 
 from __future__ import annotations
 
+from dataclasses import fields as _dataclass_fields
+
+from repro.join.range_join import RangeJoinConfig
 from repro.kernels.base import ClusteringKernel
 from repro.kernels.numpy_kernel import NumpyKernel, numpy_available
 from repro.kernels.python_ref import PythonKernel
 
 KERNELS = ("python", "numpy")
+
+#: Ablation-switch defaults, read from their canonical declaration
+#: (:class:`~repro.join.range_join.RangeJoinConfig`) so the "is this a
+#: default?" check below cannot drift from the config dataclasses.
+_ABLATION_DEFAULTS = {
+    f.name: f.default
+    for f in _dataclass_fields(RangeJoinConfig)
+    if f.name in ("lemma1", "lemma2", "local_index", "rtree_fanout")
+}
 
 __all__ = [
     "KERNELS",
@@ -41,19 +53,26 @@ def make_kernel(
     min_pts: int,
     cell_width: float,
     metric_name: str = "l1",
-    lemma1: bool = True,
-    lemma2: bool = True,
-    local_index: str = "rtree",
-    rtree_fanout: int = 16,
+    lemma1: bool = _ABLATION_DEFAULTS["lemma1"],
+    lemma2: bool = _ABLATION_DEFAULTS["lemma2"],
+    local_index: str = _ABLATION_DEFAULTS["local_index"],
+    rtree_fanout: int = _ABLATION_DEFAULTS["rtree_fanout"],
 ) -> ClusteringKernel:
     """Build the named kernel from the clustering-phase parameters.
 
-    The reference kernel consumes every parameter; vectorized kernels
-    ignore the object-path switches (they have no replication, no local
-    trees, and pick their own bucket width).
+    The reference kernel consumes every parameter; vectorized kernels have
+    no object path (no replication, no local trees, their own bucket
+    width), so combining them with a non-default ablation switch is
+    rejected rather than silently ignored — an ablation sweep must run the
+    reference kernel to measure anything.  ``cell_width`` cannot be
+    rejected the same way (every caller passes it), but it likewise has no
+    effect on vectorized kernels: they derive their bucket width from
+    epsilon (see ``NumpyKernel.bucket_width``), so grid-width sweeps
+    (Fig. 11) only measure the reference kernel.
 
     Raises:
-        ValueError: for an unknown kernel name.
+        ValueError: for an unknown kernel name, or a vectorized kernel
+            combined with non-default ablation switches.
         RuntimeError: when the kernel's optional dependency is missing.
     """
     if name == "python":
@@ -68,6 +87,23 @@ def make_kernel(
             rtree_fanout=rtree_fanout,
         )
     if name == "numpy":
+        non_default = [
+            f"{switch}={value!r}"
+            for switch, value in (
+                ("lemma1", lemma1),
+                ("lemma2", lemma2),
+                ("local_index", local_index),
+                ("rtree_fanout", rtree_fanout),
+            )
+            if value != _ABLATION_DEFAULTS[switch]
+        ]
+        if non_default:
+            raise ValueError(
+                "ablation switches only affect the 'python' reference "
+                f"kernel; the {name!r} kernel would ignore "
+                f"{', '.join(non_default)} — run ablations with "
+                "clustering_kernel='python'"
+            )
         return NumpyKernel(
             epsilon=epsilon, min_pts=min_pts, metric_name=metric_name
         )

@@ -65,12 +65,12 @@ class NumpyKernel(ClusteringKernel):
         epsilon: float,
         min_pts: int,
         metric_name: str = "l1",
-        **_ignored,
     ):
-        """``**_ignored`` absorbs reference-kernel-only switches (lemma1,
-        lemma2, local_index, cell_width, rtree_fanout): the vectorized join
-        has no object replication, no local trees, and picks its own bucket
-        width, so those knobs do not apply."""
+        """Reference-kernel-only switches (lemma1, lemma2, local_index,
+        cell_width, rtree_fanout) are deliberately not accepted: the
+        vectorized join has no object replication, no local trees, and
+        picks its own bucket width.  :func:`repro.kernels.make_kernel`
+        rejects non-default switch combinations with a clear error."""
         if np is None:
             raise RuntimeError(
                 "the 'numpy' clustering kernel requires NumPy, which is not "
@@ -78,6 +78,14 @@ class NumpyKernel(ClusteringKernel):
             )
         super().__init__(epsilon, min_pts)
         self.metric_name = canonical_metric_name(metric_name)
+        # Bucket width: any pair at metric distance <= epsilon (all
+        # supported metrics bound L-infinity) must land in adjacent cells.
+        # Derived from epsilon alone — the configured grid ``cell_width``
+        # (the swept axis of Fig. 11) has no effect on this kernel, so
+        # grid-width sweeps must run the reference kernel.
+        self.bucket_width = (
+            pruning_epsilon(self.epsilon) if self.epsilon > 0 else 1.0
+        )
 
     # ------------------------------------------------------------------ pack
 
@@ -115,17 +123,28 @@ class NumpyKernel(ClusteringKernel):
             self.last_join_stats = JoinStats(locations=int(n))
             return empty, empty
 
-        # Bucket width: any pair at metric distance <= epsilon (all
-        # supported metrics bound L-infinity) must land in adjacent cells.
         # The pair filter runs in float64, so a pair's true axis gap can
         # exceed epsilon by a few ulps and still verify; the shared
-        # candidate-pruning margin keeps every such pair within the 3x3
-        # block.  Coordinates are shifted to the origin first so the float
-        # floor(x / width) itself cannot misplace a cell by more than the
-        # same margin absorbs.
-        width = pruning_epsilon(self.epsilon) if self.epsilon > 0 else 1.0
-        cx = np.floor((xs - xs.min()) / width).astype(np.int64)
-        cy = np.floor((ys - ys.min()) / width).astype(np.int64)
+        # candidate-pruning margin in the bucket width keeps every such
+        # pair within the 3x3 block.  Coordinates are shifted to the
+        # origin first so the float floor(x / width) itself cannot
+        # misplace a cell by more than the same margin absorbs.
+        width = self.bucket_width
+        cx_f = np.floor((xs - xs.min()) / width)
+        cy_f = np.floor((ys - ys.min()) / width)
+        # The composite key must hold up to (cx + 2) * stride in int64
+        # (neighbour probes add up to stride + 1 to a key); a pathological
+        # spread/epsilon ratio (~1e10 per axis) would wrap silently and
+        # drop neighbour pairs, so refuse it before casting.
+        stride_f = cy_f.max() + 2.0
+        if (cx_f.max() + 2.0) * stride_f >= float(np.iinfo(np.int64).max):
+            raise ValueError(
+                "coordinate spread / epsilon ratio too large for the "
+                "numpy kernel's int64 cell keys; use the 'python' kernel "
+                "for this workload"
+            )
+        cx = cx_f.astype(np.int64)
+        cy = cy_f.astype(np.int64)
         # stride leaves one spare row so y-neighbour offsets of boundary
         # cells encode to keys no occupied cell can collide with.
         stride = int(cy.max()) + 2
@@ -162,9 +181,10 @@ class NumpyKernel(ClusteringKernel):
             total = int(bounds[-1])
             if total == 0:
                 continue
-            pair_id = np.arange(total, dtype=np.int64)
-            match = np.searchsorted(bounds, pair_id, side="right") - 1
-            within = pair_id - bounds[match]
+            match = np.repeat(
+                np.arange(cell_a.size, dtype=np.int64), block
+            )
+            within = np.arange(total, dtype=np.int64) - bounds[match]
             a_local = within // sizes_b[match]
             b_local = within % sizes_b[match]
             left = order[starts[cell_a][match] + a_local]
@@ -201,19 +221,41 @@ class NumpyKernel(ClusteringKernel):
         )
         return left, right
 
+    def _collapse_duplicate_oids(self, oids, left, right):
+        """Collapse packed rows sharing an oid into one graph node.
+
+        The kernel contract speaks in *distinct objects*: pairs between
+        two rows of the same oid are dropped and repeated oid pairs
+        dedupe, matching the reference kernel's oid-level pair set.  With
+        unique oids (the normal case) this is a no-op.
+        """
+        uoids, inverse = np.unique(oids, return_inverse=True)
+        if uoids.size == oids.size:
+            return oids, left, right
+        inverse = inverse.astype(np.int64)
+        left, right = inverse[left], inverse[right]
+        keep = left != right
+        left, right = left[keep], right[keep]
+        key = np.unique(
+            np.minimum(left, right) * uoids.size + np.maximum(left, right)
+        )
+        return uoids, key // uoids.size, key % uoids.size
+
     # ---------------------------------------------------------------- public
 
     def neighbor_pairs(self, points: Points) -> set[tuple[int, int]]:
         """Exact epsilon-neighbour oid pairs, computed on arrays."""
         oids, xs, ys = self._pack(points)
         left, right = self._pair_indices(xs, ys)
+        oids, left, right = self._collapse_duplicate_oids(oids, left, right)
         return set(zip(oids[left].tolist(), oids[right].tolist()))
 
     def cluster(self, points: Points) -> DBSCANResult:
         """Full vectorized DBSCAN over the snapshot (arrays end to end)."""
         oids, xs, ys = self._pack(points)
-        n = oids.size
         left, right = self._pair_indices(xs, ys)
+        oids, left, right = self._collapse_duplicate_oids(oids, left, right)
+        n = oids.size
 
         degree = (
             np.bincount(left, minlength=n)

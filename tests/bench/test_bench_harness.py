@@ -140,6 +140,26 @@ class TestBackendRunner:
         assert points[0].speedup_vs_serial == 1.0
         assert all(p.wall_seconds > 0 for p in points)
 
+    def test_kernel_sweep_requires_python_reference(self, small_dataset):
+        """speedup_vs_python is measured against the 'python' row, so a
+        sweep without the reference kernel is rejected up front."""
+        import pytest
+
+        from repro.bench.harness import (
+            run_kernel_clustering_comparison,
+            run_kernel_comparison,
+        )
+
+        with pytest.raises(ValueError, match="'python' reference kernel"):
+            run_kernel_clustering_comparison(
+                small_dataset, 0.08, 1.6, 3, kernels=("numpy",)
+            )
+        config = detection_config(
+            small_dataset, CONSTRAINTS, "F", 0.08, 1.6, 3
+        )
+        with pytest.raises(ValueError, match="'python' reference kernel"):
+            run_kernel_comparison(small_dataset, config, kernels=("numpy",))
+
     def test_synthetic_sweep_identical_outputs(self):
         from repro.bench.backend_workload import run_backend_sweep
 

@@ -151,6 +151,22 @@ class TestDetect:
             ]
         assert outputs["python"] == outputs["numpy"]
 
+    def test_numpy_kernel_without_numpy_is_clean_error(
+        self, monkeypatch, capsys
+    ):
+        """`detect --kernel numpy` on a NumPy-less host exits with a
+        one-line error, not a RuntimeError traceback."""
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "numpy_available", lambda: False)
+        code = main(
+            ["detect", "--input", "does-not-matter.csv", "--kernel", "numpy"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "requires NumPy" in err
+        assert "--kernel python" in err
+
     def test_unknown_kernel_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(

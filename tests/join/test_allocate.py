@@ -3,6 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.geometry.rect import pruning_epsilon
 from repro.index.grid import cell_key
 from repro.join.allocate import (
     allocate_location,
@@ -59,8 +60,11 @@ class TestAllocateLocation:
            st.floats(min_value=0, max_value=20))
     def test_replication_bounded(self, x, y, lg, eps):
         objects = list(allocate_location(1, x, y, lg, eps))
-        expected_cols = int(2 * eps / lg) + 2
-        expected_rows = int(eps / lg) + 2
+        # Replication regions use the padded epsilon (candidate-pruning
+        # margin), so the bound is computed from the same padded value.
+        padded = pruning_epsilon(eps)
+        expected_cols = int(2 * padded / lg) + 2
+        expected_rows = int(padded / lg) + 2
         assert 1 <= len(objects) <= expected_cols * expected_rows + 1
 
 

@@ -187,6 +187,44 @@ class TestEdgeCases:
         assert numpy_k.neighbor_pairs(points) == python.neighbor_pairs(points)
         assert_same_result(numpy_k.cluster(points), python.cluster(points))
 
+    def test_duplicate_oid_rows_collapse_to_one_object(self):
+        """Contract: pairs cover *distinct* objects, so rows sharing an
+        oid collapse into one node — no self pairs, no inflated degrees
+        (the reference kernel's CellJoiner skips same-oid pairs)."""
+        points = [
+            (1, 0.0, 0.0),
+            (2, 0.4, 0.0),
+            (3, -5.0, -5.0),
+            (3, -5.0, -5.0),
+        ]
+        python, numpy_k = kernels(1.0, 2)
+        assert python.neighbor_pairs(points) == {(1, 2)}
+        assert numpy_k.neighbor_pairs(points) == {(1, 2)}
+        assert_same_result(numpy_k.cluster(points), python.cluster(points))
+        result = numpy_k.cluster(points)
+        assert result.clusters == {0: (1, 2)}
+        assert result.noise == {3}
+
+    def test_duplicate_oid_at_different_positions(self):
+        """Rows of one oid at different coordinates still form a single
+        object whose pair set is the union over its rows."""
+        points = [(1, 0.0, 0.0), (3, 0.5, 0.0), (3, 10.0, 10.0)]
+        python, numpy_k = kernels(1.0, 1)
+        assert python.neighbor_pairs(points) == {(1, 3)}
+        assert numpy_k.neighbor_pairs(points) == {(1, 3)}
+        assert_same_result(numpy_k.cluster(points), python.cluster(points))
+
+    def test_extreme_spread_over_epsilon_refused(self):
+        """Composite int64 cell keys would wrap (and silently drop
+        neighbour pairs) when spread/epsilon is ~1e10 per axis; the kernel
+        must refuse such inputs instead."""
+        points = [(1, 0.0, 0.0), (2, 1e9, 1e9)]
+        kernel = NumpyKernel(epsilon=1e-12, min_pts=2)
+        with pytest.raises(ValueError, match="int64 cell keys"):
+            kernel.neighbor_pairs(points)
+        with pytest.raises(ValueError, match="int64 cell keys"):
+            kernel.cluster(points)
+
     def test_join_stats_populated(self):
         points = [(i, float(i), 0.0) for i in range(10)]
         kernel = NumpyKernel(epsilon=1.5, min_pts=2)
@@ -201,6 +239,24 @@ class TestRegistry:
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValueError, match="unknown clustering kernel"):
             make_kernel("rust", epsilon=1.0, min_pts=2, cell_width=3.0)
+
+    def test_ablation_switches_rejected_for_numpy_kernel(self):
+        """An ablation sweep must not silently run a kernel that ignores
+        its switches (the vectorized join has no object path)."""
+        for switch in (
+            {"lemma1": False},
+            {"lemma2": False},
+            {"local_index": "scan"},
+            {"rtree_fanout": 8},
+        ):
+            with pytest.raises(ValueError, match="ablation switches"):
+                make_kernel(
+                    "numpy",
+                    epsilon=1.0,
+                    min_pts=2,
+                    cell_width=3.0,
+                    **switch,
+                )
 
     def test_unknown_metric_rejected(self):
         with pytest.raises(KeyError, match="unknown metric"):
