@@ -559,22 +559,27 @@ def run_kernel_clustering_comparison(
     return points
 
 
-def run_kernel_comparison(
+def _run_pipeline_kernel_sweep(
     dataset: TrajectoryDataset,
     config: ICPEConfig,
-    kernels: tuple[str, ...] = ("python", "numpy"),
+    kernels: tuple[str, ...],
+    select_kernel,
+    axis: str,
 ) -> list[KernelPoint]:
-    """Full-pipeline kernel sweep: measured wall clock + pattern equality.
+    """Shared full-pipeline sweep over one kernel strategy axis.
 
-    Runs the complete ICPE detection pipeline (whatever backend ``config``
-    selects) once per kernel strategy.  Raises :class:`RuntimeError` if
-    any two kernels disagree on the detected pattern set.
+    ``select_kernel(config, name)`` returns the config running under the
+    named strategy; ``axis`` labels the strategy in error messages.  The
+    ``python`` reference row is required (it anchors the speedups) and
+    every variant must reproduce the reference pattern set.
     """
     _require_python_reference(kernels)
     signatures: dict[str, frozenset] = {}
     runs: list[tuple[str, float, object]] = []
     for name in kernels:
-        pipeline, wall = _timed_pipeline_run(dataset, config.with_kernel(name))
+        pipeline, wall = _timed_pipeline_run(
+            dataset, select_kernel(config, name)
+        )
         signatures[name] = _pattern_signature(pipeline)
         runs.append((name, wall, pipeline))
     baseline_wall = dict((name, wall) for name, wall, _ in runs)["python"]
@@ -590,7 +595,108 @@ def run_kernel_comparison(
         )
         for name, wall, pipeline in runs
     ]
-    _require_equal_signatures(signatures, kernels[0], "kernel")
+    _require_equal_signatures(signatures, kernels[0], axis)
+    return points
+
+
+def run_kernel_comparison(
+    dataset: TrajectoryDataset,
+    config: ICPEConfig,
+    kernels: tuple[str, ...] = ("python", "numpy"),
+) -> list[KernelPoint]:
+    """Full-pipeline kernel sweep: measured wall clock + pattern equality.
+
+    Runs the complete ICPE detection pipeline (whatever backend ``config``
+    selects) once per kernel strategy.  Raises :class:`RuntimeError` if
+    any two kernels disagree on the detected pattern set.
+    """
+    return _run_pipeline_kernel_sweep(
+        dataset, config, kernels, ICPEConfig.with_kernel, "kernel"
+    )
+
+
+# ------------------------------------------------------- enum kernel sweep
+
+
+def run_enum_kernel_comparison(
+    dataset: TrajectoryDataset,
+    config: ICPEConfig,
+    kernels: tuple[str, ...] = ("python", "numpy"),
+) -> list[KernelPoint]:
+    """Full-pipeline enumeration-kernel sweep: wall clock + equality.
+
+    Runs the complete ICPE detection pipeline (whatever backend and
+    clustering kernel ``config`` selects) once per enumeration-kernel
+    strategy.  Raises :class:`RuntimeError` if any two kernels disagree
+    on the detected pattern set.
+    """
+    return _run_pipeline_kernel_sweep(
+        dataset,
+        config,
+        kernels,
+        ICPEConfig.with_enum_kernel,
+        "enumeration kernel",
+    )
+
+
+def run_enum_kernel_enumeration_comparison(
+    cluster_snapshots: list[ClusterSnapshot],
+    constraints: PatternConstraints,
+    enumerator: str,
+    kernels: tuple[str, ...] = ("python", "numpy"),
+    vba_candidate_retention: int | None = None,
+) -> list[KernelPoint]:
+    """Enumeration-only kernel sweep over a pre-clustered stream.
+
+    The enumeration-phase counterpart of
+    :func:`run_kernel_clustering_comparison`: clustering is taken out of
+    the measurement (Section 7.3's methodology) and each kernel strategy
+    hosts the whole anchor population in a single subtask — the regime a
+    batched kernel is built for.  Raises :class:`RuntimeError` if any two
+    kernels disagree on the detected pattern set.
+    """
+    from repro.enumeration.kernels import make_enumeration_kernel
+
+    _require_python_reference(kernels)
+    measured: list[tuple[str, float, int]] = []
+    signatures: dict[str, frozenset] = {}
+    for name in kernels:
+        kernel = make_enumeration_kernel(
+            name,
+            enumerator=enumerator,
+            constraints=constraints,
+            vba_candidate_retention=vba_candidate_retention,
+        )
+        router = PartitionRouter(constraints.m)
+        collector = PatternCollector()
+        started = _time.perf_counter()
+        for snapshot in cluster_snapshots:
+            collector.offer(
+                snapshot.time,
+                kernel.on_snapshot(snapshot.time, list(router.route(snapshot))),
+            )
+        final_time = cluster_snapshots[-1].time if cluster_snapshots else 0
+        collector.offer(final_time, kernel.finish())
+        wall = _time.perf_counter() - started
+        signatures[name] = frozenset(
+            (pattern.objects, tuple(pattern.times.times))
+            for pattern in collector.patterns()
+        )
+        measured.append((name, wall, len(collector)))
+    baseline_wall = dict((name, wall) for name, wall, _ in measured)["python"]
+    points = [
+        KernelPoint(
+            kernel=name,
+            workload=f"enum/{enumerator}",
+            wall_seconds=wall,
+            snapshots=len(cluster_snapshots),
+            clusters=sum(len(s.clusters) for s in cluster_snapshots),
+            patterns=patterns,
+            speedup_vs_python=baseline_wall / wall if wall > 0 else 1.0,
+        )
+        for name, wall, patterns in measured
+    ]
+    _require_equal_signatures(signatures, kernels[0], "enumeration kernel")
     return points
 
 

@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot-clustering kernel: reference object path or "
              "vectorized NumPy arrays (identical results)",
     )
+    detect.add_argument(
+        "--enum-kernel", choices=("python", "numpy"), default="python",
+        help="pattern-enumeration kernel: reference per-anchor state "
+             "machines or batched NumPy membership bitmaps (identical "
+             "results; requires --enumerator fba or vba)",
+    )
     detect.add_argument("--max-delay", type=int, default=0)
     detect.add_argument(
         "--maximal-only", action="store_true",
@@ -130,6 +136,21 @@ def cmd_detect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.enum_kernel == "numpy" and not numpy_available():
+        print(
+            "error: --enum-kernel numpy requires NumPy, which is not "
+            "installed; use --enum-kernel python",
+            file=sys.stderr,
+        )
+        return 2
+    if args.enum_kernel != "python" and args.enumerator == "baseline":
+        print(
+            "error: --enum-kernel numpy batches membership bit strings and "
+            "supports --enumerator fba or vba; the baseline enumerator has "
+            "no bitmap form",
+            file=sys.stderr,
+        )
+        return 2
     dataset = TrajectoryDataset.load_csv(args.input)
     config = ICPEConfig(
         epsilon=dataset.resolve_percentage(args.epsilon_pct),
@@ -141,12 +162,14 @@ def cmd_detect(args: argparse.Namespace) -> int:
         backend=args.backend,
         parallel_workers=args.workers,
         clustering_kernel=args.kernel,
+        enumeration_kernel=args.enum_kernel,
     )
     detector = CoMovementDetector(config)
     detector.feed_many(dataset.records)
     detector.finish()
     print(f"backend: {detector.backend_name}")
     print(f"kernel: {detector.kernel_name}")
+    print(f"enumeration kernel: {detector.enumeration_kernel_name}")
 
     store = PatternStore()
     store.add_all(detector.pipeline.collector.detections)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.rjc import ClusteringConfig
+from repro.enumeration.kernels import BITMAP_ENUMERATORS, ENUMERATION_KERNELS
 from repro.kernels import KERNELS
 from repro.model.constraints import PatternConstraints
 from repro.streaming.cluster import ClusterModel
@@ -53,6 +54,13 @@ class ICPEConfig:
             ``"numpy"`` (vectorized array kernel; identical cluster and
             pattern sets, requires the optional NumPy dependency).
             Composable with either execution backend.
+        enumeration_kernel: pattern-enumeration kernel strategy —
+            ``"python"`` (reference per-anchor state machines, default)
+            or ``"numpy"`` (batched membership bitmaps across every
+            anchor of a subtask; identical pattern sets, requires the
+            optional NumPy dependency and a bit-compression enumerator,
+            i.e. ``fba`` or ``vba``).  Composable with either execution
+            backend and either clustering kernel.
     """
 
     epsilon: float
@@ -75,6 +83,7 @@ class ICPEConfig:
     backend: str = "serial"
     parallel_workers: int | None = None
     clustering_kernel: str = "python"
+    enumeration_kernel: str = "python"
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -106,6 +115,21 @@ class ICPEConfig:
             raise ValueError(
                 f"clustering_kernel must be one of {KERNELS}: "
                 f"{self.clustering_kernel!r}"
+            )
+        if self.enumeration_kernel not in ENUMERATION_KERNELS:
+            raise ValueError(
+                f"enumeration_kernel must be one of {ENUMERATION_KERNELS}: "
+                f"{self.enumeration_kernel!r}"
+            )
+        if (
+            self.enumeration_kernel != "python"
+            and self.enumerator not in BITMAP_ENUMERATORS
+        ):
+            raise ValueError(
+                f"enumeration_kernel {self.enumeration_kernel!r} batches "
+                "membership bit strings and supports "
+                f"{BITMAP_ENUMERATORS}; enumerator {self.enumerator!r} "
+                "has no bitmap form — use enumeration_kernel='python'"
             )
 
     def clustering_config(self) -> ClusteringConfig:
@@ -144,3 +168,7 @@ class ICPEConfig:
     def with_kernel(self, clustering_kernel: str) -> "ICPEConfig":
         """Copy with a different snapshot-clustering kernel strategy."""
         return replace(self, clustering_kernel=clustering_kernel)
+
+    def with_enum_kernel(self, enumeration_kernel: str) -> "ICPEConfig":
+        """Copy with a different pattern-enumeration kernel strategy."""
+        return replace(self, enumeration_kernel=enumeration_kernel)

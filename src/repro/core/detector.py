@@ -71,6 +71,11 @@ class CoMovementDetector:
         return self.pipeline.kernel_name
 
     @property
+    def enumeration_kernel_name(self) -> str:
+        """Name of the pattern-enumeration kernel strategy in use."""
+        return self.pipeline.enumeration_kernel_name
+
+    @property
     def patterns(self) -> list[CoMovementPattern]:
         """Every distinct pattern detected so far."""
         return self.pipeline.patterns

@@ -15,6 +15,7 @@ from typing import Iterable
 from repro.core.config import ICPEConfig
 from repro.core.operators import (
     AllocateOperator,
+    BatchedEnumerateOperator,
     ClusterOperator,
     EnumerateOperator,
     KernelClusterOperator,
@@ -22,6 +23,7 @@ from repro.core.operators import (
     make_enumerator_factory,
 )
 from repro.enumeration.base import PatternCollector
+from repro.enumeration.kernels import make_enumeration_kernel
 from repro.join.query import CellJoiner
 from repro.kernels import make_kernel
 from repro.model.pattern import CoMovementPattern
@@ -115,6 +117,43 @@ def describe_clustering_stages(
     )
 
 
+def describe_enumeration_stage(
+    stream: DataStream, config: ICPEConfig
+) -> DataStream:
+    """Append the enumeration phase (PED) of the ICPE job graph.
+
+    With the default ``python`` enumeration kernel, the stage hosts one
+    BA / FBA / VBA state machine per anchor
+    (:class:`~repro.core.operators.EnumerateOperator`); with a vectorized
+    kernel (``"numpy"``), the whole subtask runs through one batched
+    :class:`~repro.core.operators.BatchedEnumerateOperator` that packs
+    every hosted anchor's membership bit strings into contiguous arrays —
+    emitting the identical per-anchor pattern stream either way.  The
+    keyed exchange (anchor id) and the stage parallelism are the same for
+    both strategies, so the kernel choice composes with either execution
+    backend and either clustering kernel.
+    """
+    keyed = stream.key_by(lambda record: record[1], name="enumerate")
+    if config.enumeration_kernel == "python":
+        enumerator_factory = make_enumerator_factory(config)
+        return keyed.process(
+            lambda: EnumerateOperator(enumerator_factory),
+            parallelism=config.enumerate_parallelism,
+        )
+    return keyed.process(
+        lambda: BatchedEnumerateOperator(
+            make_enumeration_kernel(
+                config.enumeration_kernel,
+                enumerator=config.enumerator,
+                constraints=config.constraints,
+                ba_max_partition_size=config.ba_max_partition_size,
+                vba_candidate_retention=config.vba_candidate_retention,
+            )
+        ),
+        parallelism=config.enumerate_parallelism,
+    )
+
+
 class ICPEPipeline:
     """Snapshot-in, patterns-out execution of the ICPE job graph."""
 
@@ -156,9 +195,8 @@ class ICPEPipeline:
         environments share one :class:`JobGraph` construction path.
         """
         cfg = config
-        enumerator_factory = make_enumerator_factory(cfg)
         env = StreamEnvironment()
-        (
+        describe_enumeration_stage(
             describe_clustering_stages(
                 env.source(),
                 epsilon=cfg.epsilon,
@@ -175,12 +213,8 @@ class ICPEPipeline:
                 rtree_fanout=cfg.rtree_fanout,
                 kernel=cfg.clustering_kernel,
                 metric_name=cfg.metric_name,
-            )
-            .key_by(lambda record: record[1], name="enumerate")  # anchor id
-            .process(
-                lambda: EnumerateOperator(enumerator_factory),
-                parallelism=cfg.enumerate_parallelism,
-            )
+            ),
+            cfg,
         )
         return env
 
@@ -297,6 +331,11 @@ class ICPEPipeline:
     def kernel_name(self) -> str:
         """Name of the snapshot-clustering kernel strategy in use."""
         return self.config.clustering_kernel
+
+    @property
+    def enumeration_kernel_name(self) -> str:
+        """Name of the pattern-enumeration kernel strategy in use."""
+        return self.config.enumeration_kernel
 
     @property
     def last_cluster_snapshot(self) -> ClusterSnapshot | None:

@@ -11,6 +11,11 @@ Four stages, mirroring the paper's Flink job:
    emits ``(time, anchor, members)`` partition records (Lemma 3 applied).
 4. **EnumerateOperator** — keyed by anchor id; hosts one BA/FBA/VBA state
    machine per anchor and emits co-movement patterns.
+
+Two stages have batched kernel variants selected by configuration:
+:class:`KernelClusterOperator` collapses allocate/query/cluster into one
+vectorized clustering stage, and :class:`BatchedEnumerateOperator` runs a
+whole enumerate subtask through a batched enumeration kernel.
 """
 
 from __future__ import annotations
@@ -18,10 +23,9 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.enumeration.base import AnchorEnumerator
-from repro.enumeration.baseline import BAEnumerator
-from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.kernels.base import EnumerationKernel
+from repro.enumeration.kernels.python_ref import anchor_enumerator_factory
 from repro.enumeration.partition import id_partitions
-from repro.enumeration.vba import VBAEnumerator
 from repro.cluster.dbscan import dbscan_from_pairs
 from repro.index.grid import GridKey
 from repro.index.gridobject import GridObject
@@ -209,22 +213,57 @@ class EnumerateOperator(Operator):
         return out
 
 
+class BatchedEnumerateOperator(Operator):
+    """Whole-subtask enumeration through a batched kernel strategy.
+
+    Replaces :class:`EnumerateOperator` when a vectorized enumeration
+    kernel (e.g. ``numpy``) is selected: the subtask buffers its
+    snapshot's partition records and, at the snapshot trigger, hands them
+    to the kernel in one batch — membership bitmaps, candidate screening
+    and Lemma-7 closing all happen inside the kernel across every hosted
+    anchor at once.  Per anchor, the emitted pattern stream is identical
+    to the reference operator's (shared exact predicates and combination
+    growth); only the interleaving across anchors within one snapshot may
+    differ, which is output-invariant because a pattern's smallest object
+    id is its anchor.
+    """
+
+    def __init__(self, kernel: EnumerationKernel):
+        self.kernel = kernel
+        self._records: list[PartitionRecord] = []
+
+    def process(self, element: PartitionRecord) -> Iterable[Any]:
+        """Buffer one partition record until the snapshot trigger."""
+        self._records.append(element)
+        return ()
+
+    def end_batch(self, ctx: Any) -> Iterable[Any]:
+        """Hand the snapshot's records to the kernel in one batch.
+
+        A ctx-less trigger keeps the buffer intact: the records belong
+        to a snapshot whose time has not been announced yet, and
+        dropping them would silently diverge from the reference
+        operator (which processes records eagerly).
+        """
+        if ctx is None:
+            return ()
+        records, self._records = self._records, []
+        return self.kernel.on_snapshot(
+            int(ctx), [(anchor, members) for _time, anchor, members in records]
+        )
+
+    def finish(self) -> Iterable[Any]:
+        """Flush the kernel's state at end of stream."""
+        return self.kernel.finish()
+
+
 def make_enumerator_factory(
     config,
 ) -> Callable[[int], AnchorEnumerator]:
     """Build the per-anchor enumerator factory from an :class:`ICPEConfig`."""
-    kind = config.enumerator
-    constraints = config.constraints
-    if kind == "baseline":
-        return lambda anchor: BAEnumerator(
-            anchor, constraints, max_partition_size=config.ba_max_partition_size
-        )
-    if kind == "fba":
-        return lambda anchor: FBAEnumerator(anchor, constraints)
-    if kind == "vba":
-        return lambda anchor: VBAEnumerator(
-            anchor,
-            constraints,
-            candidate_retention=config.vba_candidate_retention,
-        )
-    raise ValueError(f"unknown enumerator kind: {kind!r}")
+    return anchor_enumerator_factory(
+        config.enumerator,
+        config.constraints,
+        ba_max_partition_size=config.ba_max_partition_size,
+        vba_candidate_retention=config.vba_candidate_retention,
+    )

@@ -17,6 +17,11 @@ the CP(M, K, L, G) patterns anchored at ``o``:
 
 ``repro.enumeration.oracle`` provides the exhaustive reference enumerator
 used by the test-suite to prove all three agree.
+
+``repro.enumeration.kernels`` makes the *implementation strategy* of a
+whole enumerate subtask selectable: the reference per-anchor state
+machines (``python``) or batched membership bitmaps on NumPy arrays
+(``numpy``), both emitting identical pattern streams.
 """
 
 from repro.enumeration.base import AnchorEnumerator, PatternCollector

@@ -1,0 +1,90 @@
+"""Selectable pattern-enumeration kernels (the PED-phase strategy axis).
+
+The enumeration phase (id-based partitions -> bit strings -> candidate
+screening -> combination growth) has interchangeable implementation
+strategies behind one contract
+(:class:`~repro.enumeration.kernels.base.EnumerationKernel`):
+
+* ``"python"`` — the reference per-anchor state machines (BA / FBA /
+  VBA), driven exactly like the classic enumerate operator; the default.
+* ``"numpy"`` — contiguous membership bitmaps across all anchors of a
+  subtask, vectorized window builds, popcount candidate screens and
+  Lemma-7 trailing-zero closing; requires the optional NumPy dependency
+  and the bit-compression enumerators (``fba`` / ``vba``).
+
+All kernels produce identical pattern streams by construction (the exact
+validity predicate and the combination growth are shared code), so the
+choice is purely a performance strategy — selectable via
+``ICPEConfig(enumeration_kernel=...)`` or the CLI's ``--enum-kernel``
+flag, and composable with either execution backend and either
+clustering kernel.
+"""
+
+from __future__ import annotations
+
+from repro.enumeration.kernels.base import EnumerationKernel
+from repro.enumeration.kernels.numpy_kernel import (
+    BITMAP_ENUMERATORS,
+    NumpyEnumerationKernel,
+    numpy_available,
+)
+from repro.enumeration.kernels.python_ref import (
+    PythonEnumerationKernel,
+    anchor_enumerator_factory,
+)
+from repro.model.constraints import PatternConstraints
+
+ENUMERATION_KERNELS = ("python", "numpy")
+
+__all__ = [
+    "BITMAP_ENUMERATORS",
+    "ENUMERATION_KERNELS",
+    "EnumerationKernel",
+    "NumpyEnumerationKernel",
+    "PythonEnumerationKernel",
+    "anchor_enumerator_factory",
+    "make_enumeration_kernel",
+    "numpy_available",
+]
+
+
+def make_enumeration_kernel(
+    name: str,
+    *,
+    enumerator: str,
+    constraints: PatternConstraints,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+) -> EnumerationKernel:
+    """Build the named enumeration kernel for one enumerate subtask.
+
+    The reference kernel hosts any enumerator; the vectorized kernel
+    batches membership bit strings and therefore supports only the
+    bit-compression enumerators (``fba`` / ``vba``) — combining it with
+    ``"baseline"`` is rejected rather than silently downgraded.
+
+    Raises:
+        ValueError: for an unknown kernel name, an unknown enumerator,
+            or a vectorized kernel combined with an enumerator that has
+            no bitmap form.
+        RuntimeError: when the kernel's optional dependency is missing.
+    """
+    if name == "python":
+        return PythonEnumerationKernel(
+            anchor_enumerator_factory(
+                enumerator,
+                constraints,
+                ba_max_partition_size=ba_max_partition_size,
+                vba_candidate_retention=vba_candidate_retention,
+            )
+        )
+    if name == "numpy":
+        return NumpyEnumerationKernel(
+            enumerator,
+            constraints,
+            vba_candidate_retention=vba_candidate_retention,
+        )
+    raise ValueError(
+        f"unknown enumeration kernel {name!r}; "
+        f"expected one of {ENUMERATION_KERNELS}"
+    )

@@ -1,0 +1,76 @@
+"""The pattern-enumeration kernel contract (the PED phase's strategy).
+
+Pattern enumeration — id-based partition records in, co-movement patterns
+out — is the second hot path of the ICPE framework (the PED phase of
+Fig. 3; Figs. 12-15 all sweep it).  Once snapshot clustering is
+vectorized (:mod:`repro.kernels`), the per-anchor bit-string state
+machines of Section 6 dominate the remaining per-snapshot cost.  An
+*enumeration kernel* is one interchangeable implementation strategy for
+a whole enumerate subtask: it consumes every partition record routed to
+the subtask for one snapshot at once, maintains the membership bit
+strings of all hosted anchors, and emits the confirmed
+:class:`~repro.model.pattern.CoMovementPattern` instances.
+
+Two strategies ship with the repository:
+
+* ``python`` (:mod:`repro.enumeration.kernels.python_ref`) — the
+  reference path: one :class:`~repro.enumeration.base.AnchorEnumerator`
+  state machine (BA / FBA / VBA) per anchor, driven record by record
+  exactly like :class:`~repro.core.operators.EnumerateOperator` drives
+  them.  Supports every enumerator and is the default.
+* ``numpy`` (:mod:`repro.enumeration.kernels.numpy_kernel`) — batches
+  all anchors of the subtask into contiguous membership bitmaps
+  (per-anchor bit columns packed into uint64 words) and vectorizes the
+  bit-string maintenance: batched window builds and candidate screens
+  for FBA, vectorized appends and Lemma-7 trailing-zero closing for VBA.
+  Supports the bit-compression enumerators (``fba`` / ``vba``).
+
+Every kernel must produce the *identical* pattern stream for the same
+record stream: the vectorized layers only build bit strings and screen
+candidates with necessary conditions — the exact validity predicate
+(:func:`~repro.enumeration.bitstring.valid_sequences_of_bits`) and the
+combination growth (:func:`~repro.enumeration.fba.enumerate_window`,
+:meth:`~repro.enumeration.vba.VBAEnumerator.enumerate_closed`) are the
+very same code the reference enumerators run, so emitted patterns are
+bit-for-bit identical per anchor, and anchors never collide across
+subtasks (every pattern's smallest object id *is* its anchor).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.model.pattern import CoMovementPattern
+
+#: One snapshot's partition records for a subtask: ``(anchor, members)``
+#: in arrival order, ``members`` being the strictly-larger-id co-cluster
+#: members of the anchor (possibly empty — the explicit absence signal).
+Partitions = Sequence[tuple[int, frozenset[int]]]
+
+
+class EnumerationKernel(ABC):
+    """One pattern-enumeration strategy for a whole enumerate subtask.
+
+    Attributes:
+        name: registry name of the strategy (``"python"``, ``"numpy"``).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def on_snapshot(
+        self, time: int, partitions: Partitions
+    ) -> list[CoMovementPattern]:
+        """Consume one snapshot's partition records; return new patterns.
+
+        ``partitions`` holds every record routed to this subtask for
+        ``time``; anchors the kernel has seen before but that received no
+        record are treated as absent (their bit strings append a zero /
+        their windows advance), exactly like the reference operator's
+        absence tick.  Times must arrive in strictly increasing order.
+        """
+
+    @abstractmethod
+    def finish(self) -> list[CoMovementPattern]:
+        """Flush end-of-stream state (pending windows, open bit strings)."""

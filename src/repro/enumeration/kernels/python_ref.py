@@ -1,0 +1,83 @@
+"""Reference enumeration kernel: per-anchor state machines, batched API.
+
+``PythonEnumerationKernel`` hosts one
+:class:`~repro.enumeration.base.AnchorEnumerator` per anchor and drives
+it exactly like :class:`~repro.core.operators.EnumerateOperator` does —
+records in arrival order, then the absence tick for every known
+non-idle anchor — so wrapping the reference path behind the batched
+:class:`~repro.enumeration.kernels.base.EnumerationKernel` contract
+changes nothing about what is emitted or when.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.enumeration.base import AnchorEnumerator
+from repro.enumeration.baseline import BAEnumerator
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.kernels.base import EnumerationKernel, Partitions
+from repro.enumeration.vba import VBAEnumerator
+from repro.model.constraints import PatternConstraints
+from repro.model.pattern import CoMovementPattern
+
+
+def anchor_enumerator_factory(
+    enumerator: str,
+    constraints: PatternConstraints,
+    *,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+) -> Callable[[int], AnchorEnumerator]:
+    """Per-anchor state-machine factory for the named enumerator.
+
+    The single construction point for BA / FBA / VBA instances, shared by
+    :func:`repro.core.operators.make_enumerator_factory`, the reference
+    enumeration kernel and the bench harness.
+    """
+    if enumerator == "baseline":
+        return lambda anchor: BAEnumerator(
+            anchor, constraints, max_partition_size=ba_max_partition_size
+        )
+    if enumerator == "fba":
+        return lambda anchor: FBAEnumerator(anchor, constraints)
+    if enumerator == "vba":
+        return lambda anchor: VBAEnumerator(
+            anchor, constraints, candidate_retention=vba_candidate_retention
+        )
+    raise ValueError(f"unknown enumerator kind: {enumerator!r}")
+
+
+class PythonEnumerationKernel(EnumerationKernel):
+    """The reference AnchorEnumerator path behind the batched contract."""
+
+    name = "python"
+
+    def __init__(self, factory: Callable[[int], AnchorEnumerator]):
+        self._factory = factory
+        self._enumerators: dict[int, AnchorEnumerator] = {}
+
+    def on_snapshot(
+        self, time: int, partitions: Partitions
+    ) -> list[CoMovementPattern]:
+        """Route records to their anchors, then tick the absent ones."""
+        out: list[CoMovementPattern] = []
+        received: set[int] = set()
+        for anchor, members in partitions:
+            enumerator = self._enumerators.get(anchor)
+            if enumerator is None:
+                enumerator = self._enumerators[anchor] = self._factory(anchor)
+            received.add(anchor)
+            out.extend(enumerator.on_partition(time, members))
+        for anchor, enumerator in self._enumerators.items():
+            if anchor in received or enumerator.is_idle():
+                continue
+            out.extend(enumerator.on_partition(time, frozenset()))
+        return out
+
+    def finish(self) -> list[CoMovementPattern]:
+        """Flush every hosted enumerator at end of stream."""
+        out: list[CoMovementPattern] = []
+        for anchor in sorted(self._enumerators):
+            out.extend(self._enumerators[anchor].finish())
+        return out

@@ -47,12 +47,24 @@ class VBAEnumerator(AnchorEnumerator):
         anchor: int,
         constraints: PatternConstraints,
         candidate_retention: int | None = None,
+        sequences_fn=None,
     ):
         """``candidate_retention``: drop global candidates whose end time is
         more than this many time units in the past (None = keep forever,
-        the paper's semantics over the full snapshot history)."""
+        the paper's semantics over the full snapshot history).
+        ``sequences_fn``: overrides the maximal-valid-sequence extraction
+        used during enumeration (``(bits, start) -> sequences``, same
+        contract as :func:`valid_sequences_of_bits` bound to the
+        constraints); the batched kernels pass a memoized extractor,
+        which is output-invariant because the decomposition is a pure
+        function of ``(bits, start)``."""
         super().__init__(anchor, constraints)
         self.candidate_retention = candidate_retention
+        if sequences_fn is None:
+            sequences_fn = lambda bits, start: valid_sequences_of_bits(
+                bits, start, constraints.k, constraints.l, constraints.g
+            )
+        self._sequences = sequences_fn
         self._open: dict[int, VariableBitString] = {}
         self._candidates: list[ClosedBitString] = []
         self._last_time: int | None = None
@@ -77,13 +89,7 @@ class VBAEnumerator(AnchorEnumerator):
                 closed.extend(self._append_all(missing, frozenset()))
         self._last_time = time
         closed.extend(self._append_all(time, members))
-        emitted = self._process_candidates(closed)
-        if self.candidate_retention is not None:
-            horizon = time - self.candidate_retention
-            self._candidates = [
-                c for c in self._candidates if c.end >= horizon
-            ]
-        return emitted
+        return self.enumerate_candidates(time, closed)
 
     def finish(self) -> list[CoMovementPattern]:
         """Force-close every open string and enumerate the late candidates."""
@@ -96,7 +102,40 @@ class VBAEnumerator(AnchorEnumerator):
             ):
                 closed.append(string.trimmed().with_oid(oid))
         self._open.clear()
-        return self._process_candidates(closed)
+        return self.enumerate_closed(closed)
+
+    def enumerate_closed(
+        self, fresh: list[ClosedBitString]
+    ) -> list[CoMovementPattern]:
+        """One candidate round (lines 15-21) without retention pruning.
+
+        Public entry point for the batched enumeration kernels
+        (:mod:`repro.enumeration.kernels`), whose vectorized state machine
+        produces the closed strings itself and uses this enumerator purely
+        as the per-anchor candidate store + combination engine — the exact
+        code path :meth:`on_partition` and :meth:`finish` run, so emitted
+        patterns are bit-for-bit identical.
+        """
+        return self._process_candidates(fresh)
+
+    def enumerate_candidates(
+        self, time: int, fresh: list[ClosedBitString]
+    ) -> list[CoMovementPattern]:
+        """One full per-time candidate round: enumerate, then retention.
+
+        Equivalent to the tail of :meth:`on_partition` at ``time``:
+        enumerate the fresh candidates against the global list, merge
+        them, and (when ``candidate_retention`` is set) evict candidates
+        whose end time fell behind the horizon — pruning runs *after* the
+        round, so the enumeration pool matches the paper's semantics.
+        """
+        emitted = self._process_candidates(fresh)
+        if self.candidate_retention is not None:
+            horizon = time - self.candidate_retention
+            self._candidates = [
+                c for c in self._candidates if c.end >= horizon
+            ]
+        return emitted
 
     def is_idle(self) -> bool:
         """No open strings: zero-appends (even across a gap) are no-ops.
@@ -172,9 +211,7 @@ class VBAEnumerator(AnchorEnumerator):
 
         frontier: list[tuple[tuple[ClosedBitString, ...], int]] = []
         if min_extra == 0:
-            sequences = valid_sequences_of_bits(
-                new.bits, new.start, c.k, c.l, c.g
-            )
+            sequences = self._sequences(new.bits, new.start)
             # A closed candidate is valid by construction; emit the pair
             # pattern {anchor, new} and use it as the growth seed.
             emitted.append(
@@ -191,9 +228,7 @@ class VBAEnumerator(AnchorEnumerator):
                 if result is None:
                     continue
                 bits, window_start = result
-                sequences = valid_sequences_of_bits(
-                    bits, window_start, c.k, c.l, c.g
-                )
+                sequences = self._sequences(bits, window_start)
                 if sequences:
                     oids = (self.anchor, new.oid, *(s.oid for s in seed))
                     emitted.append(CoMovementPattern.of(oids, sequences[0]))
@@ -212,9 +247,7 @@ class VBAEnumerator(AnchorEnumerator):
                     if result is None:
                         continue
                     bits, window_start = result
-                    sequences = valid_sequences_of_bits(
-                        bits, window_start, c.k, c.l, c.g
-                    )
+                    sequences = self._sequences(bits, window_start)
                     if sequences:
                         extended = seed + (extra,)
                         oids = (

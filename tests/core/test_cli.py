@@ -151,6 +151,64 @@ class TestDetect:
             ]
         assert outputs["python"] == outputs["numpy"]
 
+    def test_enum_kernel_choice(self, workload_csv, capsys):
+        pytest.importorskip("numpy", reason="the numpy kernel needs NumPy")
+        outputs = {}
+        for kernel in ("python", "numpy"):
+            code = main(
+                [
+                    "detect",
+                    "--input", str(workload_csv),
+                    "--m", "3", "--k", "5", "--min-pts", "3",
+                    "--enum-kernel", kernel,
+                    "--limit", "1000",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"enumeration kernel: {kernel}" in out
+            outputs[kernel] = [
+                line for line in out.splitlines() if line.startswith("  {")
+            ]
+        assert outputs["python"] == outputs["numpy"]
+
+    def test_enum_kernel_without_numpy_is_clean_error(
+        self, monkeypatch, capsys
+    ):
+        """`detect --enum-kernel numpy` on a NumPy-less host exits with a
+        one-line error, not a RuntimeError traceback."""
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "numpy_available", lambda: False)
+        code = main(
+            [
+                "detect", "--input", "does-not-matter.csv",
+                "--enum-kernel", "numpy",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "requires NumPy" in err
+        assert "--enum-kernel python" in err
+
+    def test_enum_kernel_rejects_baseline(self, capsys):
+        """The batched bitmap kernel has no BA form; clean error."""
+        code = main(
+            [
+                "detect", "--input", "does-not-matter.csv",
+                "--enum-kernel", "numpy", "--enumerator", "baseline",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no bitmap form" in err
+
+    def test_unknown_enum_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--input", "x.csv", "--enum-kernel", "fortran"]
+            )
+
     def test_numpy_kernel_without_numpy_is_clean_error(
         self, monkeypatch, capsys
     ):

@@ -25,8 +25,24 @@ class TestOnesPositions:
     def test_pattern(self):
         assert ones_positions(0b101101) == [0, 2, 3, 5]
 
+    def test_beyond_64_bits(self):
+        """Python ints are unbounded; offsets past one uint64 word work."""
+        bits = (1 << 200) | (1 << 64) | (1 << 63) | 0b101
+        assert ones_positions(bits) == [0, 2, 63, 64, 200]
+
+    def test_single_high_bit(self):
+        assert ones_positions(1 << 100) == [100]
+
     @given(st.integers(min_value=0, max_value=2**64))
     def test_roundtrip(self, bits):
+        rebuilt = 0
+        for offset in ones_positions(bits):
+            rebuilt |= 1 << offset
+        assert rebuilt == bits
+
+    @given(st.integers(min_value=0, max_value=2**200))
+    def test_roundtrip_wide(self, bits):
+        """The reconstruction property holds far past 64 bits."""
         rebuilt = 0
         for offset in ones_positions(bits):
             rebuilt |= 1 << offset
@@ -153,6 +169,36 @@ class TestVariableBitString:
         vbs.append(False)
         assert vbs.status(2, 1, 1) == CLOSED_INVALID
 
+    @pytest.mark.parametrize("gap", [1, 2, 3, 5])
+    def test_lemma7_closes_exactly_at_gap_plus_one_zeros(self, gap):
+        """The string stays OPEN through G trailing zeros and closes on
+        the (G+1)-th — the exact Lemma-7 boundary, for every gap."""
+        vbs = VariableBitString.opened_at(1)
+        vbs.append(True)  # 11: valid for (K=2, L=1, G=gap)
+        for _zeros in range(gap):
+            vbs.append(False)
+            assert vbs.status(2, 1, gap) == OPEN, vbs.trailing_zeros
+        vbs.append(False)  # the (G+1)-th zero
+        assert vbs.trailing_zeros == gap + 1
+        assert vbs.status(2, 1, gap) == CLOSED_VALID
+
+    def test_lemma7_reset_by_intervening_one(self):
+        """A one arriving at G trailing zeros resets the counter, so the
+        string survives and needs a fresh run of G+1 zeros to close."""
+        gap = 2
+        vbs = VariableBitString.opened_at(1)
+        vbs.append(True)  # 11: valid prefix for (K=2, L=1, G=2)
+        for _zeros in range(gap):
+            vbs.append(False)
+        assert vbs.trailing_zeros == gap
+        vbs.append(True)  # resets at exactly G zeros -> still open
+        assert vbs.trailing_zeros == 0
+        for _zeros in range(gap):
+            vbs.append(False)
+            assert vbs.status(2, 1, gap) == OPEN
+        vbs.append(False)  # fresh (G+1)-th zero finally closes
+        assert vbs.status(2, 1, gap) == CLOSED_VALID
+
     def test_trimmed(self):
         vbs = VariableBitString.opened_at(2)
         for bit in (True, True, False, False):
@@ -225,6 +271,40 @@ class TestAndClosedStrings:
 
 
 class TestValidSequencesOfBits:
+    def test_zero_bits(self):
+        assert valid_sequences_of_bits(0, 5, 1, 1, 1) == []
+
+    def test_sequence_at_window_start(self):
+        """A valid run beginning at offset 0 maps to absolute ``start``."""
+        [seq] = valid_sequences_of_bits(0b111, 10, 3, 1, 1)
+        assert seq == TimeSequence([10, 11, 12])
+
+    def test_sequence_at_window_end(self):
+        """A run ending at the last meaningful offset of an eta window."""
+        eta = 6
+        bits = 0b111 << (eta - 3)  # offsets 3..5 of a 6-long window
+        [seq] = valid_sequences_of_bits(bits, 3, 3, 2, 2)
+        assert seq == TimeSequence([6, 7, 8])
+
+    def test_exactly_k_times_spanning_whole_window(self):
+        """A sequence exactly filling a K-long window is valid (the
+        length-vs-difference boundary the VBA deviation note fixes)."""
+        assert valid_sequences_of_bits(0b1111, 0, 4, 1, 1)
+        assert valid_sequences_of_bits(0b111, 0, 4, 1, 1) == []
+
+    def test_boundary_segments_chain_across_gap(self):
+        """First and last window offsets chain when the gap fits."""
+        # offsets 0,1 and 4,5: gap of 2 missing slots -> difference 3.
+        bits = 0b110011
+        assert valid_sequences_of_bits(bits, 0, 4, 2, 3)
+        assert valid_sequences_of_bits(bits, 0, 4, 2, 2) == []
+
+    def test_beyond_64_bit_window(self):
+        """Sequences extract correctly past the first uint64 word."""
+        bits = ((1 << 70) - 1) ^ ((1 << 5) - 1)  # offsets 5..69 set
+        [seq] = valid_sequences_of_bits(bits, 100, 60, 2, 2)
+        assert seq.times == tuple(range(105, 170))
+
     @given(st.integers(0, 2**20), st.integers(1, 5), st.integers(1, 3),
            st.integers(1, 3))
     def test_matches_timeseq_decomposition(self, bits, k, l, g):

@@ -1,0 +1,22 @@
+"""Docstring-coverage regression test: the CI docs job, runnable locally.
+
+Runs ``tools/check_docstrings.py`` (the same script the CI docs job
+invokes) so an undocumented public class/function under ``src/repro/``
+fails the tier-1 suite before it reaches CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_public_api_docstring_coverage():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docstrings.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "docstring coverage ok" in result.stdout

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Docstring-coverage checker for the public API under ``src/repro/``.
+
+Walks every module and counts the *public documentable objects*: the
+module itself, public top-level functions, public classes, and public
+methods of public classes (names starting with ``_`` are private;
+dunder methods are skipped — a dataclass documents its fields on the
+class).  Coverage is the fraction of those objects carrying a
+docstring; the threshold is baked in below so the bar cannot drift
+silently between runs.
+
+Exit status 0 when coverage meets the threshold, 1 otherwise (with one
+line per undocumented object).  Run from anywhere::
+
+    python tools/check_docstrings.py            # enforce the threshold
+    python tools/check_docstrings.py --list     # list every gap
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Directory whose public API falls under the coverage contract.
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Required coverage, percent.  The tree is fully documented; keep it so.
+THRESHOLD = 100.0
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_documentable(tree: ast.Module, module_name: str):
+    """Yield ``(qualified name, kind, has_docstring)`` for one module."""
+    yield module_name, "module", ast.get_docstring(tree) is not None
+    for node in tree.body:
+        if isinstance(node, _FUNCTION_NODES) and _is_public(node.name):
+            yield (
+                f"{module_name}.{node.name}",
+                "function",
+                ast.get_docstring(node) is not None,
+            )
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            yield (
+                f"{module_name}.{node.name}",
+                "class",
+                ast.get_docstring(node) is not None,
+            )
+            for member in node.body:
+                if isinstance(member, _FUNCTION_NODES) and _is_public(
+                    member.name
+                ):
+                    yield (
+                        f"{module_name}.{node.name}.{member.name}",
+                        "method",
+                        ast.get_docstring(member) is not None,
+                    )
+
+
+def scan() -> tuple[int, int, list[str]]:
+    """Scan the source tree; returns (documented, total, gap names)."""
+    documented = total = 0
+    gaps: list[str] = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        relative = path.relative_to(REPO_ROOT / "src")
+        module_name = ".".join(relative.with_suffix("").parts)
+        if module_name.endswith(".__init__"):
+            module_name = module_name[: -len(".__init__")]
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for name, kind, has_doc in iter_documentable(tree, module_name):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                gaps.append(f"{name} ({kind})")
+    return documented, total, gaps
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the scan, print the verdict, return the exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    documented, total, gaps = scan()
+    coverage = 100.0 * documented / total if total else 100.0
+    if gaps and ("--list" in argv or coverage < THRESHOLD):
+        print("\n".join(f"missing docstring: {gap}" for gap in gaps))
+    print(
+        f"docstring coverage: {documented}/{total} public objects "
+        f"({coverage:.1f}%), threshold {THRESHOLD:.1f}%"
+    )
+    if coverage < THRESHOLD:
+        print(f"FAIL: {len(gaps)} undocumented public object(s)")
+        return 1
+    print("docstring coverage ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
