@@ -12,12 +12,7 @@ from __future__ import annotations
 
 import random
 
-from repro import (
-    CoMovementDetector,
-    ICPEConfig,
-    PatternConstraints,
-    StreamRecord,
-)
+from repro import PatternConstraints, StreamRecord, open_session
 
 # Landmarks of Fig. 1.
 PLACES = {
@@ -88,16 +83,14 @@ def main() -> None:
     # only objects sharing a *full* itinerary form patterns — the three
     # groups of Fig. 1.
     constraints = PatternConstraints(m=2, k=10, l=3, g=2)
-    config = ICPEConfig(
-        epsilon=4.0, cell_width=16.0, min_pts=2, constraints=constraints
-    )
-    detector = CoMovementDetector(config)
     history = build_history()
-    detector.feed_many(history)
-    detector.finish()
+    with open_session(
+        epsilon=4.0, cell_width=16.0, min_pts=2, constraints=constraints
+    ) as session:
+        session.feed_many(history)
 
     # Keep the maximal patterns (largest object sets).
-    patterns = [p for p in detector.patterns if p.size >= 2]
+    patterns = [p for p in session.patterns if p.size >= 2]
     maximal = [
         p
         for p in patterns

@@ -1,17 +1,19 @@
 """Live convoy monitoring: the real-time view of current travel groups.
 
 BA/FBA/VBA confirm patterns after verification windows close; a traffic
-operator also wants to see "who is travelling together RIGHT NOW".  The
-online convoy tracker maintains the maximal strictly-consecutive groups
-(CP(M, K, K, 1)) incrementally and exposes them at every snapshot.
+operator also wants to see "who is travelling together RIGHT NOW".  A
+session opened with convoy tracking maintains the maximal
+strictly-consecutive groups (CP(M, K, K, 1)) incrementally: every change
+of the live view arrives as a ``ConvoyDelta`` event, and
+``session.active_convoys`` exposes the current groups at any moment.
 
 Run:  python examples/live_convoy_monitor.py
 """
 
 from __future__ import annotations
 
-from repro.cluster.rjc import ClusteringConfig, RJCClusterer
-from repro.core.live import ConvoyTracker
+from repro import ConvoyDelta, WatermarkAdvanced, open_session
+from repro.core.presets import convoy
 from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
 
 M, K = 3, 6
@@ -29,34 +31,48 @@ def main() -> None:
         )
     )
     epsilon = max(dataset.resolve_percentage(0.08), 12.0)
-    clusterer = RJCClusterer(
-        ClusteringConfig(epsilon=epsilon, min_pts=3, cell_width=4 * epsilon)
-    )
-    tracker = ConvoyTracker(m=M, k=K)
 
-    finished_total = 0
-    for snapshot in dataset.snapshots():
-        cluster_snapshot = clusterer.cluster(snapshot)
-        finished = tracker.on_snapshot(cluster_snapshot)
-        finished_total += len(finished)
-        for convoy in finished:
-            print(f"t={snapshot.time:>3}  convoy ENDED: {convoy}")
-        if snapshot.time in CHECKPOINTS:
-            active = tracker.active(min_duration=K)
-            print(
-                f"t={snapshot.time:>3}  live view: {len(active)} active "
-                f"convoys (>= {K} ticks)"
-            )
-            for candidate in active[:3]:
-                ids = ", ".join(f"o{oid}" for oid in sorted(candidate.members))
-                print(
-                    f"          {{{ids}}} travelling since t={candidate.start}"
-                    f" ({candidate.duration} ticks)"
-                )
-    for convoy in tracker.finish():
-        finished_total += 1
-        print(f"flush  convoy ended with the stream: {convoy}")
-    print(f"\n{finished_total} maximal convoys in total")
+    ended_total = 0
+    with open_session(
+        epsilon=epsilon,
+        cell_width=4 * epsilon,
+        min_pts=3,
+        constraints=convoy(m=M, k=K),
+        track_convoys=True,
+    ) as session:
+        for record in dataset.records:
+            for event in session.feed(record):
+                if isinstance(event, ConvoyDelta):
+                    for pattern in event.ended:
+                        ended_total += 1
+                        print(f"t={event.time:>3}  convoy ENDED: {pattern}")
+                elif (
+                    isinstance(event, WatermarkAdvanced)
+                    and event.time in CHECKPOINTS
+                ):
+                    active = [
+                        candidate
+                        for candidate in session.active_convoys
+                        if candidate.duration >= K
+                    ]
+                    print(
+                        f"t={event.time:>3}  live view: {len(active)} "
+                        f"active convoys (>= {K} ticks)"
+                    )
+                    for candidate in active[:3]:
+                        ids = ", ".join(
+                            f"o{oid}" for oid in sorted(candidate.members)
+                        )
+                        print(
+                            f"          {{{ids}}} travelling since "
+                            f"t={candidate.start} ({candidate.duration} ticks)"
+                        )
+        for event in session.finish():
+            if isinstance(event, ConvoyDelta):
+                for pattern in event.ended:
+                    ended_total += 1
+                    print(f"flush  convoy ended with the stream: {pattern}")
+    print(f"\n{ended_total} maximal convoys in total")
 
 
 if __name__ == "__main__":

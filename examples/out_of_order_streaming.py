@@ -3,8 +3,8 @@
 Flink does not deliver records in event-time order; ICPE attaches each
 trajectory's previous report time so snapshots can be completed exactly.
 This example scrambles a taxi stream within a bounded delay, feeds it to
-the detector, and verifies the results match in-order processing, while
-reporting the per-snapshot latency/throughput metrics.
+a streaming session, and verifies the results match in-order processing,
+while reporting the per-snapshot latency/throughput metrics.
 
 Run:  python examples/out_of_order_streaming.py
 """
@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 
-from repro import CoMovementDetector, ICPEConfig, PatternConstraints
+from repro import ICPEConfig, PatternConstraints, open_session
 from repro.data.taxi import TaxiConfig, generate_taxi
 from repro.streaming.shuffle import bounded_shuffle
 
@@ -35,13 +35,11 @@ def main() -> None:
     )
 
     print("1) In-order run (reference)...")
-    reference = CoMovementDetector(config)
-    reference.feed_many(dataset.records)
-    reference.finish()
+    with open_session(config) as reference:
+        reference.feed_many(dataset.records)
     print(f"   {len(reference.patterns)} patterns")
 
     print(f"2) Scrambled run (records displaced up to {MAX_DELAY} ticks)...")
-    scrambled = CoMovementDetector(config)
     shuffled = list(
         bounded_shuffle(dataset.records, MAX_DELAY, random.Random(99))
     )
@@ -49,8 +47,8 @@ def main() -> None:
         1 for a, b in zip(dataset.records, shuffled) if a is not b
     )
     print(f"   {moved}/{len(shuffled)} records arrive out of place")
-    scrambled.feed_many(shuffled)
-    scrambled.finish()
+    with open_session(config) as scrambled:
+        scrambled.feed_many(shuffled)
     print(f"   {len(scrambled.patterns)} patterns")
 
     same = {p.objects for p in reference.patterns} == {

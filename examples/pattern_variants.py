@@ -10,7 +10,7 @@ Run:  python examples/pattern_variants.py
 
 from __future__ import annotations
 
-from repro import CoMovementDetector, ICPEConfig
+from repro import open_session
 from repro.core.presets import convoy, platoon, swarm
 from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
 
@@ -36,20 +36,18 @@ def main() -> None:
     print(f"Dataset: {dataset.statistics().as_row()}\n")
     results = {}
     for label, constraints in variants.items():
-        config = ICPEConfig(
+        with open_session(
             epsilon=epsilon,
             cell_width=4 * epsilon,
             min_pts=3,
             constraints=constraints,
             enumerator="fba",
-        )
-        detector = CoMovementDetector(config)
-        detector.feed_many(dataset.records)
-        detector.finish()
-        results[label] = detector.patterns
+        ) as session:
+            session.feed_many(dataset.records)
+        results[label] = session.patterns
         print(
-            f"{label:<45} {len(detector.patterns):>5} patterns "
-            f"(largest: {max((p.size for p in detector.patterns), default=0)})"
+            f"{label:<45} {len(session.patterns):>5} patterns "
+            f"(largest: {max((p.size for p in session.patterns), default=0)})"
         )
 
     convoy_sets = {p.objects for p in results[list(variants)[0]]}

@@ -1,8 +1,8 @@
 """Quickstart: detect co-movement patterns on a small synthetic stream.
 
 Three groups of objects travel together (with occasional dropouts) among
-background traffic; the detector finds every CP(M, K, L, G) pattern in
-real time.
+background traffic; a streaming session finds every CP(M, K, L, G)
+pattern in real time, emitting typed events as snapshots complete.
 
 Run:  python examples/quickstart.py
 """
@@ -12,10 +12,10 @@ from __future__ import annotations
 import random
 
 from repro import (
-    CoMovementDetector,
-    ICPEConfig,
+    PatternConfirmed,
     PatternConstraints,
     StreamRecord,
+    open_session,
 )
 
 
@@ -52,28 +52,30 @@ def make_stream(
 
 def main() -> None:
     constraints = PatternConstraints(m=3, k=6, l=2, g=2)
-    config = ICPEConfig(
+    print(f"Detecting CP(M={constraints.m}, K={constraints.k}, "
+          f"L={constraints.l}, G={constraints.g}) patterns...\n")
+
+    with open_session(
         epsilon=2.0,        # DBSCAN / range-join distance threshold
         cell_width=8.0,     # GR-index grid cell width (lg)
         min_pts=3,          # DBSCAN density
         constraints=constraints,
-        enumerator="fba",   # "baseline" | "fba" | "vba"
-    )
-    detector = CoMovementDetector(config)
+        enumerator="fba",   # any registered enumerator plugin
+    ) as session:
+        for record in make_stream():
+            for event in session.feed(record):
+                if isinstance(event, PatternConfirmed):
+                    print(f"  t={event.time:>3}  new pattern {event.pattern}")
+        for event in session.finish():
+            if isinstance(event, PatternConfirmed):
+                print(f"  flush  new pattern {event.pattern}")
 
-    print(f"Detecting CP(M={constraints.m}, K={constraints.k}, "
-          f"L={constraints.l}, G={constraints.g}) patterns...\n")
-    for record in make_stream():
-        for pattern in detector.feed(record):
-            print(f"  t={record.time:>3}  new pattern {pattern}")
-    for pattern in detector.finish():
-        print(f"  flush  new pattern {pattern}")
-
-    meter = detector.meter
-    print(f"\n{len(detector.patterns)} distinct patterns; "
-          f"{meter.snapshots} snapshots processed; "
-          f"avg latency {meter.average_latency_ms():.2f} ms; "
-          f"throughput {meter.throughput_tps():.0f} snapshots/s")
+    result = session.result()
+    print(f"\n{len(result.patterns)} distinct patterns; "
+          f"{result.snapshots} snapshots processed; "
+          f"avg latency {result.avg_latency_ms:.2f} ms; "
+          f"throughput {result.throughput_tps:.0f} snapshots/s; "
+          f"events: {result.events}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ Run:  python examples/trajectory_compression.py
 
 from __future__ import annotations
 
-from repro import CoMovementDetector, ICPEConfig, PatternConstraints
+from repro import PatternConstraints, open_session
 from repro.data.taxi import TaxiConfig, generate_taxi
 
 
@@ -28,17 +28,15 @@ def main() -> None:
         )
     )
     epsilon = max(dataset.resolve_percentage(0.08), 15.0)
-    config = ICPEConfig(
+    with open_session(
         epsilon=epsilon,
         cell_width=4 * epsilon,
         min_pts=3,
         constraints=PatternConstraints(m=3, k=8, l=2, g=2),
         enumerator="vba",
-    )
-    detector = CoMovementDetector(config)
-    detector.feed_many(dataset.records)
-    detector.finish()
-    store = detector.store()
+    ) as session:
+        session.feed_many(dataset.records)
+    store = session.store()
     maximal = store.maximal()
     print(
         f"{len(dataset)} raw positions, {len(store)} patterns "

@@ -4,23 +4,28 @@ A from-scratch Python reproduction of Chen et al., "Real-time Distributed
 Co-Movement Pattern Detection on Streaming Trajectories", PVLDB 12(10),
 2019 (DOI 10.14778/3339490.3339502).
 
-Quickstart::
+Quickstart (the streaming Session API)::
 
-    from repro import CoMovementDetector, ICPEConfig, PatternConstraints
+    from repro import PatternConstraints, open_session
 
-    config = ICPEConfig(
+    with open_session(
         epsilon=10.0, cell_width=30.0, min_pts=3,
         constraints=PatternConstraints(m=3, k=4, l=2, g=2),
-    )
-    detector = CoMovementDetector(config)
-    for record in stream:          # StreamRecord items
-        for pattern in detector.feed(record):
-            print(pattern)
-    for pattern in detector.finish():
-        print(pattern)
+    ) as session:
+        for record in stream:          # StreamRecord items
+            for event in session.feed(record):
+                print(event)
+    print(session.result().summary())
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-reproduced tables and figures.
+Every strategy axis — execution backend, clustering kernel, enumeration
+kernel, enumerator — is a plugin on :func:`repro.registry.
+default_registry`; third-party packages register via the
+``repro.plugins`` entry-point group.  The pre-2.0
+``CoMovementDetector`` remains available as a deprecation shim.
+
+See ``docs/API.md`` for the session lifecycle and the plugin contract,
+``docs/ARCHITECTURE.md`` for the system inventory and
+``docs/PAPER_MAP.md`` for the paper-to-code map.
 """
 
 from repro.model import (
@@ -36,38 +41,62 @@ from repro.model import (
     Trajectory,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = [
-    "ClusterSnapshot",
-    "CoMovementDetector",
-    "CoMovementPattern",
-    "GPSRecord",
-    "ICPEConfig",
-    "ICPEPipeline",
-    "Location",
-    "PatternConstraints",
-    "Snapshot",
-    "StreamRecord",
-    "TimeDiscretizer",
-    "TimeSequence",
-    "Trajectory",
-    "__version__",
-]
+#: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
+#: registry machinery), mapped to their home modules.
+_LAZY_EXPORTS = {
+    "CoMovementDetector": "repro.core.detector",
+    "ICPEConfig": "repro.core.config",
+    "ICPEPipeline": "repro.core.icpe",
+    "CallbackSink": "repro.session",
+    "ConvoyDelta": "repro.session",
+    "JsonlSink": "repro.session",
+    "ListSink": "repro.session",
+    "PatternConfirmed": "repro.session",
+    "PatternEvent": "repro.session",
+    "PatternSink": "repro.session",
+    "Session": "repro.session",
+    "SessionBuilder": "repro.session",
+    "SessionResult": "repro.session",
+    "WatermarkAdvanced": "repro.session",
+    "open_session": "repro.session",
+    "PluginCapabilities": "repro.registry",
+    "PluginRegistry": "repro.registry",
+    "PluginSpec": "repro.registry",
+    "default_registry": "repro.registry",
+}
+
+__all__ = sorted(
+    [
+        "ClusterSnapshot",
+        "CoMovementPattern",
+        "GPSRecord",
+        "Location",
+        "PatternConstraints",
+        "Snapshot",
+        "StreamRecord",
+        "TimeDiscretizer",
+        "TimeSequence",
+        "Trajectory",
+        "__version__",
+        *_LAZY_EXPORTS,
+    ]
+)
 
 
 def __getattr__(name: str):
-    """Lazily import the heavyweight core API to keep import costs low."""
-    if name in ("CoMovementDetector", "ICPEConfig", "ICPEPipeline"):
-        from repro.core.config import ICPEConfig
-        from repro.core.detector import CoMovementDetector
-        from repro.core.icpe import ICPEPipeline
+    """Lazily import the heavyweight public API to keep import costs low."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
 
-        value = {
-            "CoMovementDetector": CoMovementDetector,
-            "ICPEConfig": ICPEConfig,
-            "ICPEPipeline": ICPEPipeline,
-        }[name]
-        globals()[name] = value
-        return value
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    """Expose the lazy names to ``dir(repro)`` / tab-completion."""
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -48,6 +48,27 @@ ENUMERATORS = ("B", "F", "V")
 _ENUM_NAME = {"B": "baseline", "F": "fba", "V": "vba"}
 
 
+def registered_strategy_names(
+    kind: str, reference: str | None = None
+) -> tuple[str, ...]:
+    """Sweepable plugin names of one strategy axis, reference first.
+
+    Reads the plugin registry (so entry-point plugins join sweeps
+    automatically), keeps only plugins whose runtime requirements are
+    met on this host, and moves ``reference`` — the row speedups are
+    measured against — to the front when present.  The backend / kernel
+    comparison runners use this as their default instead of hardcoded
+    name lists.
+    """
+    from repro.registry import default_registry
+
+    names = list(default_registry().available_names(kind))
+    if reference is not None and reference in names:
+        names.remove(reference)
+        names.insert(0, reference)
+    return tuple(names)
+
+
 # --------------------------------------------------------------------- points
 
 
@@ -431,15 +452,18 @@ def _require_equal_signatures(
 def run_backend_comparison(
     dataset: TrajectoryDataset,
     config: ICPEConfig,
-    backends: tuple[str, ...] = ("serial", "parallel"),
+    backends: tuple[str, ...] | None = None,
     parallel_workers: int | None = None,
 ) -> list[BackendPoint]:
     """Run the full ICPE pipeline under each backend; measure wall clock.
 
-    The first backend in ``backends`` is the speedup baseline.  Raises
-    :class:`RuntimeError` if any two backends disagree on the detected
-    pattern set.
+    ``backends=None`` sweeps every registered, available backend plugin
+    (serial first).  The first backend in ``backends`` is the speedup
+    baseline.  Raises :class:`RuntimeError` if any two backends disagree
+    on the detected pattern set.
     """
+    if backends is None:
+        backends = registered_strategy_names("backend", reference="serial")
     points: list[BackendPoint] = []
     signatures: dict[str, frozenset] = {}
     baseline_wall: float | None = None
@@ -501,16 +525,22 @@ def run_kernel_clustering_comparison(
     epsilon_pct: float,
     grid_pct: float,
     min_pts: int,
-    kernels: tuple[str, ...] = ("python", "numpy"),
+    kernels: tuple[str, ...] | None = None,
 ) -> list[KernelPoint]:
     """Clustering-only kernel sweep over a Fig. 10-style workload.
 
-    Runs the RJC clustering phase snapshot by snapshot under each kernel
-    strategy and measures wall-clock time.  Raises :class:`RuntimeError`
-    if any two kernels disagree on any snapshot's cluster set — identical
-    clusters are part of the kernel contract, and a speedup over a
-    different answer would be meaningless.
+    ``kernels=None`` sweeps every registered, available clustering
+    kernel (the ``python`` reference first).  Runs the RJC clustering
+    phase snapshot by snapshot under each kernel strategy and measures
+    wall-clock time.  Raises :class:`RuntimeError` if any two kernels
+    disagree on any snapshot's cluster set — identical clusters are part
+    of the kernel contract, and a speedup over a different answer would
+    be meaningless.
     """
+    if kernels is None:
+        kernels = registered_strategy_names(
+            "clustering_kernel", reference="python"
+        )
     _require_python_reference(kernels)
     epsilon = dataset.resolve_percentage(epsilon_pct)
     cell_width = dataset.resolve_percentage(grid_pct)
@@ -602,14 +632,20 @@ def _run_pipeline_kernel_sweep(
 def run_kernel_comparison(
     dataset: TrajectoryDataset,
     config: ICPEConfig,
-    kernels: tuple[str, ...] = ("python", "numpy"),
+    kernels: tuple[str, ...] | None = None,
 ) -> list[KernelPoint]:
     """Full-pipeline kernel sweep: measured wall clock + pattern equality.
 
-    Runs the complete ICPE detection pipeline (whatever backend ``config``
-    selects) once per kernel strategy.  Raises :class:`RuntimeError` if
-    any two kernels disagree on the detected pattern set.
+    ``kernels=None`` sweeps every registered, available clustering
+    kernel (reference first).  Runs the complete ICPE detection pipeline
+    (whatever backend ``config`` selects) once per kernel strategy.
+    Raises :class:`RuntimeError` if any two kernels disagree on the
+    detected pattern set.
     """
+    if kernels is None:
+        kernels = registered_strategy_names(
+            "clustering_kernel", reference="python"
+        )
     return _run_pipeline_kernel_sweep(
         dataset, config, kernels, ICPEConfig.with_kernel, "kernel"
     )
@@ -621,15 +657,20 @@ def run_kernel_comparison(
 def run_enum_kernel_comparison(
     dataset: TrajectoryDataset,
     config: ICPEConfig,
-    kernels: tuple[str, ...] = ("python", "numpy"),
+    kernels: tuple[str, ...] | None = None,
 ) -> list[KernelPoint]:
     """Full-pipeline enumeration-kernel sweep: wall clock + equality.
 
-    Runs the complete ICPE detection pipeline (whatever backend and
-    clustering kernel ``config`` selects) once per enumeration-kernel
-    strategy.  Raises :class:`RuntimeError` if any two kernels disagree
-    on the detected pattern set.
+    ``kernels=None`` sweeps every registered, available enumeration
+    kernel (reference first).  Runs the complete ICPE detection pipeline
+    (whatever backend and clustering kernel ``config`` selects) once per
+    enumeration-kernel strategy.  Raises :class:`RuntimeError` if any
+    two kernels disagree on the detected pattern set.
     """
+    if kernels is None:
+        kernels = registered_strategy_names(
+            "enumeration_kernel", reference="python"
+        )
     return _run_pipeline_kernel_sweep(
         dataset,
         config,
@@ -643,12 +684,13 @@ def run_enum_kernel_enumeration_comparison(
     cluster_snapshots: list[ClusterSnapshot],
     constraints: PatternConstraints,
     enumerator: str,
-    kernels: tuple[str, ...] = ("python", "numpy"),
+    kernels: tuple[str, ...] | None = None,
     vba_candidate_retention: int | None = None,
 ) -> list[KernelPoint]:
     """Enumeration-only kernel sweep over a pre-clustered stream.
 
-    The enumeration-phase counterpart of
+    ``kernels=None`` sweeps every registered, available enumeration
+    kernel (reference first).  The enumeration-phase counterpart of
     :func:`run_kernel_clustering_comparison`: clustering is taken out of
     the measurement (Section 7.3's methodology) and each kernel strategy
     hosts the whole anchor population in a single subtask — the regime a
@@ -657,6 +699,10 @@ def run_enum_kernel_enumeration_comparison(
     """
     from repro.enumeration.kernels import make_enumeration_kernel
 
+    if kernels is None:
+        kernels = registered_strategy_names(
+            "enumeration_kernel", reference="python"
+        )
     _require_python_reference(kernels)
     measured: list[tuple[str, float, int]] = []
     signatures: dict[str, frozenset] = {}

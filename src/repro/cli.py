@@ -8,24 +8,34 @@ Usage::
     python -m repro.cli detect --input /tmp/brinkhoff.csv \
         --epsilon-pct 0.06 --grid-pct 1.6 --min-pts 5 \
         --m 5 --k 10 --l 2 --g 2 --enumerator fba --maximal-only
+    python -m repro.cli plugins
+
+Strategy flags (``--enumerator`` / ``--backend`` / ``--kernel`` /
+``--enum-kernel``) take their choice lists from the plugin registry, so
+third-party plugins registered via the ``repro.plugins`` entry-point
+group appear automatically; ``plugins`` lists every registered strategy
+with its capabilities.  ``detect --output json`` streams the session's
+typed pattern events as JSON lines (the :class:`~repro.session.sinks.
+JsonlSink` format) instead of the human listing.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.bench.report import format_table
 from repro.core.config import ICPEConfig
-from repro.core.detector import CoMovementDetector
-from repro.core.store import PatternStore
 from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
 from repro.data.dataset import TrajectoryDataset
 from repro.data.geolife import GeoLifeConfig, generate_geolife
 from repro.data.taxi import TaxiConfig, generate_taxi
 from repro.kernels import numpy_available
 from repro.model.constraints import PatternConstraints
+from repro.registry import PLUGIN_KINDS, PluginError, default_registry
+from repro.session import JsonlSink, Session
 
 GENERATORS = {
     "brinkhoff": (generate_brinkhoff, BrinkhoffConfig),
@@ -33,9 +43,23 @@ GENERATORS = {
     "taxi": (generate_taxi, TaxiConfig),
 }
 
+#: Strategy axis -> the CLI flag selecting it (error messages, listings).
+AXIS_FLAGS = {
+    "enumerator": "--enumerator",
+    "backend": "--backend",
+    "clustering_kernel": "--kernel",
+    "enumeration_kernel": "--enum-kernel",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse parser with the three subcommands."""
+    """Construct the argparse parser with the four subcommands.
+
+    The strategy flags' ``choices`` are generated from the plugin
+    registry rather than hardcoded, so every registered plugin —
+    built-in or entry-point discovered — is selectable.
+    """
+    registry = default_registry()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ICPE: co-movement pattern detection on streaming trajectories",
@@ -53,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="print Table-2 style statistics")
     stats.add_argument("--input", required=True, help="CSV from `generate`")
 
+    plugins = commands.add_parser(
+        "plugins", help="list registered strategy plugins and capabilities"
+    )
+    plugins.add_argument(
+        "--kind", choices=PLUGIN_KINDS, default=None,
+        help="restrict the listing to one strategy axis",
+    )
+
     detect = commands.add_parser("detect", help="run pattern detection")
     detect.add_argument("--input", required=True, help="CSV from `generate`")
     detect.add_argument("--epsilon-pct", type=float, default=0.06,
@@ -65,10 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--l", type=int, default=2)
     detect.add_argument("--g", type=int, default=2)
     detect.add_argument(
-        "--enumerator", choices=("baseline", "fba", "vba"), default="fba"
+        "--enumerator", choices=registry.names("enumerator"), default="fba"
     )
     detect.add_argument(
-        "--backend", choices=("serial", "parallel"), default="serial",
+        "--backend", choices=registry.names("backend"), default="serial",
         help="execution backend running the job graph",
     )
     detect.add_argument(
@@ -76,17 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool size for --backend parallel",
     )
     detect.add_argument(
-        "--kernel", choices=("python", "numpy"), default="python",
+        "--kernel", choices=registry.names("clustering_kernel"),
+        default="python",
         help="snapshot-clustering kernel: reference object path or "
              "vectorized NumPy arrays (identical results)",
     )
     detect.add_argument(
-        "--enum-kernel", choices=("python", "numpy"), default="python",
+        "--enum-kernel", choices=registry.names("enumeration_kernel"),
+        default="python",
         help="pattern-enumeration kernel: reference per-anchor state "
              "machines or batched NumPy membership bitmaps (identical "
              "results; requires --enumerator fba or vba)",
     )
     detect.add_argument("--max-delay", type=int, default=0)
+    detect.add_argument(
+        "--output", choices=("text", "json"), default="text",
+        help="text: human pattern listing; json: one JSON line per "
+             "session pattern event plus a final summary line",
+    )
     detect.add_argument(
         "--maximal-only", action="store_true",
         help="report only maximal object sets",
@@ -127,29 +166,70 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plugins(args: argparse.Namespace) -> int:
+    """``plugins``: list every registered strategy with capabilities."""
+    registry = default_registry()
+    kinds = (args.kind,) if args.kind else registry.kinds()
+    rows = []
+    for kind in kinds:
+        for spec in registry.specs(kind):
+            missing = spec.missing_requirement()
+            rows.append(
+                {
+                    "kind": spec.kind,
+                    "name": spec.name,
+                    "source": spec.source,
+                    "available": "yes" if missing is None else f"no ({missing})",
+                    "capabilities": spec.capabilities.summary_markers(),
+                    "summary": spec.summary,
+                }
+            )
+    print(format_table(rows, title="Registered plugins"))
+    return 0
+
+
+def _selection_error(args: argparse.Namespace) -> str | None:
+    """One-line reason the requested plugin selection cannot run, if any.
+
+    Unknown names are already rejected by argparse ``choices``; this
+    covers the capability layer — invalid cross-axis combinations
+    (declarative registry check) and unmet runtime requirements, each
+    phrased in terms of the CLI flag that selects the offending plugin.
+    """
+    registry = default_registry()
+    try:
+        selection = registry.validate_selection(
+            enumerator=args.enumerator,
+            backend=args.backend,
+            clustering_kernel=args.kernel,
+            enumeration_kernel=args.enum_kernel,
+        )
+    except PluginError as error:
+        return str(error)
+    for kind, spec in selection.items():
+        # The module-level numpy_available reference keeps the check
+        # monkeypatchable per the established CLI test seam.
+        if spec.capabilities.requires_numpy and not numpy_available():
+            flag = AXIS_FLAGS[kind]
+            message = (
+                f"{flag} {spec.name} requires NumPy, which is not installed"
+            )
+            alternatives = [
+                name
+                for name in registry.available_names(kind)
+                if name != spec.name
+            ]
+            if alternatives:
+                message += f"; use {flag} {alternatives[0]}"
+            return message
+    return None
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     """``detect``: run ICPE over a CSV workload and print patterns."""
-    if args.kernel == "numpy" and not numpy_available():
-        print(
-            "error: --kernel numpy requires NumPy, which is not installed; "
-            "use --kernel python",
-            file=sys.stderr,
-        )
-        return 2
-    if args.enum_kernel == "numpy" and not numpy_available():
-        print(
-            "error: --enum-kernel numpy requires NumPy, which is not "
-            "installed; use --enum-kernel python",
-            file=sys.stderr,
-        )
-        return 2
-    if args.enum_kernel != "python" and args.enumerator == "baseline":
-        print(
-            "error: --enum-kernel numpy batches membership bit strings and "
-            "supports --enumerator fba or vba; the baseline enumerator has "
-            "no bitmap form",
-            file=sys.stderr,
-        )
+    reason = _selection_error(args)
+    if reason is not None:
+        print(f"error: {reason}", file=sys.stderr)
         return 2
     dataset = TrajectoryDataset.load_csv(args.input)
     config = ICPEConfig(
@@ -164,35 +244,58 @@ def cmd_detect(args: argparse.Namespace) -> int:
         clustering_kernel=args.kernel,
         enumeration_kernel=args.enum_kernel,
     )
-    detector = CoMovementDetector(config)
-    detector.feed_many(dataset.records)
-    detector.finish()
-    print(f"backend: {detector.backend_name}")
-    print(f"kernel: {detector.kernel_name}")
-    print(f"enumeration kernel: {detector.enumeration_kernel_name}")
+    # Context-managed so the backend's worker pool is released even if a
+    # sink or the pipeline raises mid-run.
+    with Session(config) as session:
+        if args.output == "json":
+            session.subscribe(JsonlSink(sys.stdout))
+        session.feed_many(dataset.records)
+        session.finish()
 
-    store = PatternStore()
-    store.add_all(detector.pipeline.collector.detections)
-    patterns = store.maximal() if args.maximal_only else list(store)
-    patterns.sort(key=lambda p: (-p.size, p.objects))
-    label = "maximal patterns" if args.maximal_only else "patterns"
-    print(f"{len(patterns)} {label} (showing up to {args.limit}):")
-    for stored in patterns[: args.limit]:
-        first, last = stored.span
-        ids = ", ".join(f"o{oid}" for oid in stored.objects)
-        print(f"  {{{ids}}}  witnessed over [{first}, {last}]")
+    store = session.store()
+    result = session.result()
+    if args.output == "json":
+        print(
+            json.dumps(
+                {
+                    "kind": "summary",
+                    "patterns": len(result.patterns),
+                    "maximal_patterns": len(store.maximal()),
+                    "snapshots": result.snapshots,
+                    "avg_latency_ms": result.avg_latency_ms,
+                    "throughput_tps": result.throughput_tps,
+                    "backend": result.backend,
+                    "clustering_kernel": result.clustering_kernel,
+                    "enumeration_kernel": result.enumeration_kernel,
+                    "enumerator": result.enumerator,
+                }
+            )
+        )
+    else:
+        print(f"backend: {result.backend}")
+        print(f"kernel: {result.clustering_kernel}")
+        print(f"enumeration kernel: {result.enumeration_kernel}")
+        patterns = store.maximal() if args.maximal_only else list(store)
+        patterns.sort(key=lambda p: (-p.size, p.objects))
+        label = "maximal patterns" if args.maximal_only else "patterns"
+        print(f"{len(patterns)} {label} (showing up to {args.limit}):")
+        for stored in patterns[: args.limit]:
+            first, last = stored.span
+            ids = ", ".join(f"o{oid}" for oid in stored.objects)
+            print(f"  {{{ids}}}  witnessed over [{first}, {last}]")
+        meter = session.meter
+        print(
+            f"\n{meter.snapshots} snapshots; avg latency "
+            f"{meter.average_latency_ms():.2f} ms; throughput "
+            f"{meter.throughput_tps():.0f} snapshots/s"
+        )
     if args.json_out:
         with open(args.json_out, "w") as handle:
             handle.write(
                 store.to_json(maximal_only=args.maximal_only, indent=2)
             )
-        print(f"wrote JSON to {args.json_out}")
-    meter = detector.meter
-    print(
-        f"\n{meter.snapshots} snapshots; avg latency "
-        f"{meter.average_latency_ms():.2f} ms; throughput "
-        f"{meter.throughput_tps():.0f} snapshots/s"
-    )
+        if args.output != "json":
+            print(f"wrote JSON to {args.json_out}")
     return 0
 
 
@@ -202,6 +305,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": cmd_generate,
         "stats": cmd_stats,
+        "plugins": cmd_plugins,
         "detect": cmd_detect,
     }
     return handlers[args.command](args)

@@ -3,8 +3,9 @@
 ``ICPEPipeline`` wires discretized snapshots through indexed clustering
 (GridAllocate -> GridQuery -> GridSync/DBSCAN) into id-partitioned pattern
 enumeration (BA / FBA / VBA) on the streaming substrate, with per-stage
-cost accounting.  ``CoMovementDetector`` is the user-facing API that also
-performs "last time" synchronisation of raw records.
+cost accounting.  The user-facing front end is the streaming Session API
+(:mod:`repro.session`); ``CoMovementDetector`` remains as its
+deprecation shim.
 """
 
 from repro.core.config import ICPEConfig

@@ -11,13 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.rjc import ClusteringConfig
-from repro.enumeration.kernels import BITMAP_ENUMERATORS, ENUMERATION_KERNELS
-from repro.kernels import KERNELS
 from repro.model.constraints import PatternConstraints
+from repro.registry import default_registry
 from repro.streaming.cluster import ClusterModel
-
-ENUMERATORS = ("baseline", "fba", "vba")
-BACKENDS = ("serial", "parallel")
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +57,14 @@ class ICPEConfig:
             optional NumPy dependency and a bit-compression enumerator,
             i.e. ``fba`` or ``vba``).  Composable with either execution
             backend and either clustering kernel.
+
+    Every strategy field (``enumerator``, ``backend``,
+    ``clustering_kernel``, ``enumeration_kernel``) accepts any name
+    registered on the plugin registry — built-ins or third-party plugins
+    discovered via the ``repro.plugins`` entry-point group — and invalid
+    cross-axis combinations are rejected declaratively from the
+    registered capability metadata.  For a fluent streaming front end
+    over this configuration, see :class:`repro.session.Session`.
     """
 
     epsilon: float
@@ -92,10 +96,6 @@ class ICPEConfig:
             raise ValueError(f"cell_width must be positive: {self.cell_width}")
         if self.min_pts < 1:
             raise ValueError(f"min_pts must be >= 1: {self.min_pts}")
-        if self.enumerator not in ENUMERATORS:
-            raise ValueError(
-                f"enumerator must be one of {ENUMERATORS}: {self.enumerator!r}"
-            )
         for name in (
             "allocate_parallelism",
             "query_parallelism",
@@ -103,34 +103,20 @@ class ICPEConfig:
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
-        if self.backend not in BACKENDS:
-            raise ValueError(
-                f"backend must be one of {BACKENDS}: {self.backend!r}"
-            )
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1: {self.parallel_workers}"
             )
-        if self.clustering_kernel not in KERNELS:
-            raise ValueError(
-                f"clustering_kernel must be one of {KERNELS}: "
-                f"{self.clustering_kernel!r}"
-            )
-        if self.enumeration_kernel not in ENUMERATION_KERNELS:
-            raise ValueError(
-                f"enumeration_kernel must be one of {ENUMERATION_KERNELS}: "
-                f"{self.enumeration_kernel!r}"
-            )
-        if (
-            self.enumeration_kernel != "python"
-            and self.enumerator not in BITMAP_ENUMERATORS
-        ):
-            raise ValueError(
-                f"enumeration_kernel {self.enumeration_kernel!r} batches "
-                "membership bit strings and supports "
-                f"{BITMAP_ENUMERATORS}; enumerator {self.enumerator!r} "
-                "has no bitmap form — use enumeration_kernel='python'"
-            )
+        # Strategy names and their cross-axis combinations are validated
+        # against the plugin registry: unknown names and invalid
+        # capability pairs (e.g. a bitmap-batching enumeration kernel
+        # with a non-bitmap enumerator) raise ValueError subclasses.
+        default_registry().validate_selection(
+            backend=self.backend,
+            clustering_kernel=self.clustering_kernel,
+            enumeration_kernel=self.enumeration_kernel,
+            enumerator=self.enumerator,
+        )
 
     def clustering_config(self) -> ClusteringConfig:
         """The clustering-phase view of this configuration."""

@@ -1,96 +1,127 @@
-"""High-level streaming detector: raw records in, patterns out.
+"""Deprecated detector facade: raw records in, pattern lists out.
 
-``CoMovementDetector`` composes the "last time" synchronisation operator
-(Section 4) with the ICPE pipeline, so callers feed possibly out-of-order
-:class:`~repro.model.records.StreamRecord` items and receive newly
-confirmed co-movement patterns as they are detected.
+``CoMovementDetector`` was the public entry point before the streaming
+Session API (PR 4); it is now a thin shim over
+:class:`repro.session.Session` that keeps the old surface — ``feed`` /
+``feed_many`` / ``finish`` returning bare
+:class:`~repro.model.pattern.CoMovementPattern` lists — while emitting
+a :class:`DeprecationWarning` at construction.  The shim and the
+session run the identical engine (same sync operator, same pipeline),
+so migrating is purely mechanical::
+
+    # old                                  # new
+    detector = CoMovementDetector(config)  session = open_session(config)
+    detector.feed(record)                  session.feed(record)  # events
+    detector.finish()                      session.finish()
+
+Session ``feed`` returns typed events; the confirmed patterns are the
+``.pattern`` of its ``PatternConfirmed`` events.
+
+One sharpened edge: feeding after ``finish()`` now raises
+``RuntimeError`` immediately.  The pre-Session detector had no explicit
+guard there — such a feed was silently buffered and crashed later when
+the next snapshot completed against the finished pipeline.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from repro.core.config import ICPEConfig
-from repro.core.icpe import ICPEPipeline
 from repro.model.pattern import CoMovementPattern
 from repro.model.records import StreamRecord
+from repro.session.events import PatternConfirmed
+from repro.session.session import Session
 from repro.streaming.metrics import LatencyThroughputMeter
-from repro.streaming.sync import TimeSyncOperator
 
 
 class CoMovementDetector:
-    """Real-time co-movement pattern detection over a trajectory stream."""
+    """Deprecated: use :func:`repro.open_session` / :class:`Session`.
+
+    Real-time co-movement pattern detection over a trajectory stream,
+    in the pre-Session list-returning style.
+    """
 
     def __init__(self, config: ICPEConfig):
+        warnings.warn(
+            "CoMovementDetector is deprecated; use repro.open_session(...) "
+            "— Session.feed yields typed PatternEvents and supports sinks, "
+            "live convoy tracking and context-manager lifecycle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.config = config
-        self.pipeline = ICPEPipeline(config)
-        self.sync = TimeSyncOperator(max_delay=config.max_delay)
+        self._session = Session(config)
+
+    @staticmethod
+    def _patterns(events) -> list[CoMovementPattern]:
+        return [
+            event.pattern
+            for event in events
+            if isinstance(event, PatternConfirmed)
+        ]
 
     def feed(self, record: StreamRecord) -> list[CoMovementPattern]:
-        """Accept one record; returns patterns confirmed by its arrival.
-
-        Records may arrive out of event-time order within the configured
-        ``max_delay``; the synchronisation operator assembles complete
-        snapshots before any clustering happens (Definition 7's semantics
-        require complete snapshots in ascending order).
-        """
-        fresh: list[CoMovementPattern] = []
-        for snapshot in self.sync.feed(record):
-            fresh.extend(self.pipeline.process_snapshot(snapshot))
-        return fresh
+        """Accept one record; returns patterns confirmed by its arrival."""
+        return self._patterns(self._session.feed(record))
 
     def feed_many(
         self, records: Iterable[StreamRecord]
     ) -> list[CoMovementPattern]:
         """Feed an iterable of records; returns all freshly confirmed patterns."""
-        fresh: list[CoMovementPattern] = []
-        for record in records:
-            fresh.extend(self.feed(record))
-        return fresh
+        return self._patterns(self._session.feed_many(records))
 
     def finish(self) -> list[CoMovementPattern]:
         """Flush the stream end: remaining snapshots, windows, bit strings."""
-        fresh: list[CoMovementPattern] = []
-        for snapshot in self.sync.flush():
-            fresh.extend(self.pipeline.process_snapshot(snapshot))
-        fresh.extend(self.pipeline.finish())
-        return fresh
+        return self._patterns(self._session.finish())
 
     def close(self) -> None:
         """Release execution-backend resources without flushing state."""
-        self.pipeline.close()
+        self._session.close()
+
+    @property
+    def session(self) -> Session:
+        """The underlying :class:`Session` (migration escape hatch)."""
+        return self._session
+
+    @property
+    def pipeline(self):
+        """The underlying :class:`~repro.core.icpe.ICPEPipeline`."""
+        return self._session.pipeline
+
+    @property
+    def sync(self):
+        """The "last time" synchronisation operator assembling snapshots."""
+        return self._session._sync
 
     @property
     def backend_name(self) -> str:
         """Name of the execution backend running the job graph."""
-        return self.pipeline.backend_name
+        return self._session.pipeline.backend_name
 
     @property
     def kernel_name(self) -> str:
         """Name of the snapshot-clustering kernel strategy in use."""
-        return self.pipeline.kernel_name
+        return self._session.pipeline.kernel_name
 
     @property
     def enumeration_kernel_name(self) -> str:
         """Name of the pattern-enumeration kernel strategy in use."""
-        return self.pipeline.enumeration_kernel_name
+        return self._session.pipeline.enumeration_kernel_name
 
     @property
     def patterns(self) -> list[CoMovementPattern]:
         """Every distinct pattern detected so far."""
-        return self.pipeline.patterns
+        return self._session.patterns
 
     @property
     def meter(self) -> LatencyThroughputMeter:
         """Per-snapshot latency / throughput metrics."""
-        return self.pipeline.meter
+        return self._session.meter
 
     def store(self):
         """Build a queryable :class:`~repro.core.store.PatternStore` from
         everything detected so far (containment / time / maximality
         queries for downstream applications)."""
-        from repro.core.store import PatternStore
-
-        store = PatternStore()
-        store.add_all(self.pipeline.collector.detections)
-        return store
+        return self._session.store()

@@ -63,28 +63,28 @@ def make_enumeration_kernel(
     bit-compression enumerators (``fba`` / ``vba``) — combining it with
     ``"baseline"`` is rejected rather than silently downgraded.
 
+    Resolution goes through the plugin registry (kinds
+    ``"enumeration_kernel"`` and ``"enumerator"``): the kernel/enumerator
+    combination is validated declaratively from the registered
+    capability metadata (``requires_bitmap_enumeration`` vs
+    ``provides_bitmap_enumeration``) before construction, and
+    third-party kernels registered via the ``repro.plugins`` entry-point
+    group are constructible here without any change to this package.
+
     Raises:
         ValueError: for an unknown kernel name, an unknown enumerator,
             or a vectorized kernel combined with an enumerator that has
             no bitmap form.
         RuntimeError: when the kernel's optional dependency is missing.
     """
-    if name == "python":
-        return PythonEnumerationKernel(
-            anchor_enumerator_factory(
-                enumerator,
-                constraints,
-                ba_max_partition_size=ba_max_partition_size,
-                vba_candidate_retention=vba_candidate_retention,
-            )
-        )
-    if name == "numpy":
-        return NumpyEnumerationKernel(
-            enumerator,
-            constraints,
-            vba_candidate_retention=vba_candidate_retention,
-        )
-    raise ValueError(
-        f"unknown enumeration kernel {name!r}; "
-        f"expected one of {ENUMERATION_KERNELS}"
+    from repro.registry import default_registry
+
+    selection = default_registry().validate_selection(
+        enumeration_kernel=name, enumerator=enumerator
+    )
+    return selection["enumeration_kernel"].create(
+        enumerator=enumerator,
+        constraints=constraints,
+        ba_max_partition_size=ba_max_partition_size,
+        vba_candidate_retention=vba_candidate_retention,
     )

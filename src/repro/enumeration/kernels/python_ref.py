@@ -14,10 +14,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.enumeration.base import AnchorEnumerator
-from repro.enumeration.baseline import BAEnumerator
-from repro.enumeration.fba import FBAEnumerator
 from repro.enumeration.kernels.base import EnumerationKernel, Partitions
-from repro.enumeration.vba import VBAEnumerator
 from repro.model.constraints import PatternConstraints
 from repro.model.pattern import CoMovementPattern
 
@@ -31,21 +28,23 @@ def anchor_enumerator_factory(
 ) -> Callable[[int], AnchorEnumerator]:
     """Per-anchor state-machine factory for the named enumerator.
 
-    The single construction point for BA / FBA / VBA instances, shared by
-    :func:`repro.core.operators.make_enumerator_factory`, the reference
-    enumeration kernel and the bench harness.
+    The single construction point for per-anchor enumerator instances,
+    shared by :func:`repro.core.operators.make_enumerator_factory`, the
+    reference enumeration kernel and the bench harness.  Names resolve
+    through the plugin registry (kind ``"enumerator"``), so third-party
+    enumerators registered via the ``repro.plugins`` entry-point group
+    are hosted by the reference enumeration path without any change
+    here.
     """
-    if enumerator == "baseline":
-        return lambda anchor: BAEnumerator(
-            anchor, constraints, max_partition_size=ba_max_partition_size
-        )
-    if enumerator == "fba":
-        return lambda anchor: FBAEnumerator(anchor, constraints)
-    if enumerator == "vba":
-        return lambda anchor: VBAEnumerator(
-            anchor, constraints, candidate_retention=vba_candidate_retention
-        )
-    raise ValueError(f"unknown enumerator kind: {enumerator!r}")
+    from repro.registry import default_registry
+
+    spec = default_registry().get("enumerator", enumerator)
+    return lambda anchor: spec.create(
+        anchor,
+        constraints,
+        ba_max_partition_size=ba_max_partition_size,
+        vba_candidate_retention=vba_candidate_retention,
+    )
 
 
 class PythonEnumerationKernel(EnumerationKernel):

@@ -14,6 +14,13 @@ verification + the canonical border rule), so the choice is purely a
 performance strategy — selectable via ``ICPEConfig(clustering_kernel=...)``
 or the CLI's ``--kernel`` flag, and composable with either execution
 backend.
+
+Since the plugin-registry redesign, :func:`make_kernel` resolves names
+through :func:`repro.registry.default_registry` (kind
+``"clustering_kernel"``), so third-party kernels registered via the
+``repro.plugins`` entry-point group are constructible here without any
+change to this package; :data:`KERNELS` keeps naming the built-in
+strategies.
 """
 
 from __future__ import annotations
@@ -60,53 +67,52 @@ def make_kernel(
 ) -> ClusteringKernel:
     """Build the named kernel from the clustering-phase parameters.
 
-    The reference kernel consumes every parameter; vectorized kernels have
-    no object path (no replication, no local trees, their own bucket
-    width), so combining them with a non-default ablation switch is
-    rejected rather than silently ignored — an ablation sweep must run the
-    reference kernel to measure anything.  ``cell_width`` cannot be
-    rejected the same way (every caller passes it), but it likewise has no
-    effect on vectorized kernels: they derive their bucket width from
-    epsilon (see ``NumpyKernel.bucket_width``), so grid-width sweeps
-    (Fig. 11) only measure the reference kernel.
+    Resolution goes through the plugin registry (kind
+    ``"clustering_kernel"``), so the name may be a built-in or any
+    third-party kernel registered via the ``repro.plugins`` entry-point
+    group.  The reference kernel consumes every parameter; vectorized
+    kernels have no object path (no replication, no local trees, their
+    own bucket width), so combining them with a non-default ablation
+    switch is rejected rather than silently ignored — an ablation sweep
+    must run the reference kernel to measure anything.  ``cell_width``
+    cannot be rejected the same way (every caller passes it), but it
+    likewise has no effect on vectorized kernels: they derive their
+    bucket width from epsilon (see ``NumpyKernel.bucket_width``), so
+    grid-width sweeps (Fig. 11) only measure kernels whose registered
+    capabilities include ``honours_cell_width``.
 
     Raises:
-        ValueError: for an unknown kernel name, or a vectorized kernel
-            combined with non-default ablation switches.
+        ValueError: for an unknown kernel name, or a kernel whose
+            registered capabilities lack ``supports_ablation`` combined
+            with non-default ablation switches.
         RuntimeError: when the kernel's optional dependency is missing.
     """
-    if name == "python":
-        return PythonKernel(
-            epsilon=epsilon,
-            min_pts=min_pts,
-            cell_width=cell_width,
-            metric_name=metric_name,
-            lemma1=lemma1,
-            lemma2=lemma2,
-            local_index=local_index,
-            rtree_fanout=rtree_fanout,
-        )
-    if name == "numpy":
+    from repro.registry import default_registry
+
+    spec = default_registry().get("clustering_kernel", name)
+    ablation = dict(
+        lemma1=lemma1,
+        lemma2=lemma2,
+        local_index=local_index,
+        rtree_fanout=rtree_fanout,
+    )
+    if not spec.capabilities.supports_ablation:
         non_default = [
             f"{switch}={value!r}"
-            for switch, value in (
-                ("lemma1", lemma1),
-                ("lemma2", lemma2),
-                ("local_index", local_index),
-                ("rtree_fanout", rtree_fanout),
-            )
+            for switch, value in ablation.items()
             if value != _ABLATION_DEFAULTS[switch]
         ]
         if non_default:
             raise ValueError(
-                "ablation switches only affect the 'python' reference "
-                f"kernel; the {name!r} kernel would ignore "
-                f"{', '.join(non_default)} — run ablations with "
-                "clustering_kernel='python'"
+                "ablation switches only affect kernels whose registered "
+                f"capabilities include supports_ablation; the {name!r} "
+                f"kernel would ignore {', '.join(non_default)} — run "
+                "ablations with clustering_kernel='python'"
             )
-        return NumpyKernel(
-            epsilon=epsilon, min_pts=min_pts, metric_name=metric_name
-        )
-    raise ValueError(
-        f"unknown clustering kernel {name!r}; expected one of {KERNELS}"
+    return spec.create(
+        epsilon=epsilon,
+        min_pts=min_pts,
+        cell_width=cell_width,
+        metric_name=metric_name,
+        **ablation,
     )

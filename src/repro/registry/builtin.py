@@ -1,0 +1,255 @@
+"""Registration of the built-in strategies on a plugin registry.
+
+Every strategy PRs 1-3 introduced ad hoc is re-registered here through
+the one typed extension point: both execution backends
+(``streaming/runtime/``), both clustering kernels (``kernels/``), both
+enumeration kernels (``enumeration/kernels/``) and the three
+enumerators (baseline / FBA / VBA).  Factories import their modules
+lazily so loading the registry stays cheap and free of import cycles —
+the heavy strategy code is only touched when a plugin is constructed.
+
+Factory signatures per axis (third-party plugins must match):
+
+* ``backend``: ``factory(max_workers: int | None = None)`` returning an
+  :class:`~repro.streaming.runtime.base.ExecutionBackend`;
+* ``clustering_kernel``: ``factory(*, epsilon, min_pts, cell_width,
+  metric_name, lemma1, lemma2, local_index, rtree_fanout)`` returning a
+  :class:`~repro.kernels.base.ClusteringKernel`;
+* ``enumeration_kernel``: ``factory(*, enumerator, constraints,
+  ba_max_partition_size, vba_candidate_retention)`` returning an
+  :class:`~repro.enumeration.kernels.base.EnumerationKernel`;
+* ``enumerator``: ``factory(anchor, constraints, *,
+  ba_max_partition_size, vba_candidate_retention)`` returning an
+  :class:`~repro.enumeration.base.AnchorEnumerator`.
+"""
+
+from __future__ import annotations
+
+from repro.registry.capabilities import PluginCapabilities
+from repro.registry.core import PluginRegistry, PluginSpec
+
+# ------------------------------------------------------------------ backends
+
+
+def _serial_backend(max_workers: int | None = None):
+    """The sequential reference backend (``max_workers`` is ignored)."""
+    from repro.streaming.runtime.serial import SerialBackend
+
+    return SerialBackend()
+
+
+def _parallel_backend(max_workers: int | None = None):
+    """The worker-pool backend with batched keyed exchanges."""
+    from repro.streaming.runtime.parallel import ParallelBackend
+
+    return ParallelBackend(max_workers=max_workers)
+
+
+# ---------------------------------------------------------- clustering kernels
+
+
+def _python_clustering_kernel(**params):
+    """The reference GR-index object path (honours every ablation)."""
+    from repro.kernels.python_ref import PythonKernel
+
+    return PythonKernel(**params)
+
+
+def _numpy_clustering_kernel(
+    *,
+    epsilon: float,
+    min_pts: int,
+    cell_width: float,
+    metric_name: str = "l1",
+    **ablation,
+):
+    """The vectorized array kernel.
+
+    The vectorized path has no object walk (no replication, no local
+    trees, its own epsilon-derived bucket width): ``cell_width`` and the
+    ablation switches are absorbed unused.  Non-default ablation
+    switches never reach this factory — the spec declares
+    ``supports_ablation=False`` and ``make_kernel`` enforces that
+    capability declaratively for every registered kernel.
+    """
+    from repro.kernels.numpy_kernel import NumpyKernel
+
+    return NumpyKernel(epsilon=epsilon, min_pts=min_pts, metric_name=metric_name)
+
+
+# --------------------------------------------------------- enumeration kernels
+
+
+def _python_enumeration_kernel(
+    *,
+    enumerator: str,
+    constraints,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+):
+    """Reference per-anchor state machines behind the batched contract."""
+    from repro.enumeration.kernels.python_ref import (
+        PythonEnumerationKernel,
+        anchor_enumerator_factory,
+    )
+
+    return PythonEnumerationKernel(
+        anchor_enumerator_factory(
+            enumerator,
+            constraints,
+            ba_max_partition_size=ba_max_partition_size,
+            vba_candidate_retention=vba_candidate_retention,
+        )
+    )
+
+
+def _numpy_enumeration_kernel(
+    *,
+    enumerator: str,
+    constraints,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+):
+    """Batched membership-bitmap kernel (FBA / VBA forms only)."""
+    from repro.enumeration.kernels.numpy_kernel import NumpyEnumerationKernel
+
+    return NumpyEnumerationKernel(
+        enumerator,
+        constraints,
+        vba_candidate_retention=vba_candidate_retention,
+    )
+
+
+# ----------------------------------------------------------------- enumerators
+
+
+def _baseline_enumerator(
+    anchor: int,
+    constraints,
+    *,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+):
+    """BA: subset materialisation with the partition-size cap."""
+    from repro.enumeration.baseline import BAEnumerator
+
+    return BAEnumerator(
+        anchor, constraints, max_partition_size=ba_max_partition_size
+    )
+
+
+def _fba_enumerator(
+    anchor: int,
+    constraints,
+    *,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+):
+    """FBA: forward bit-compression over sliding windows."""
+    from repro.enumeration.fba import FBAEnumerator
+
+    return FBAEnumerator(anchor, constraints)
+
+
+def _vba_enumerator(
+    anchor: int,
+    constraints,
+    *,
+    ba_max_partition_size: int = 20,
+    vba_candidate_retention: int | None = None,
+):
+    """VBA: verification bit-compression with the global candidate list."""
+    from repro.enumeration.vba import VBAEnumerator
+
+    return VBAEnumerator(
+        anchor, constraints, candidate_retention=vba_candidate_retention
+    )
+
+
+BUILTIN_SPECS: tuple[PluginSpec, ...] = (
+    PluginSpec(
+        kind="backend",
+        name="serial",
+        factory=_serial_backend,
+        capabilities=PluginCapabilities(),
+        summary="sequential in-thread execution (deterministic reference)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="backend",
+        name="parallel",
+        factory=_parallel_backend,
+        capabilities=PluginCapabilities(),
+        summary="worker-pool execution with batched keyed exchanges",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="clustering_kernel",
+        name="python",
+        factory=_python_clustering_kernel,
+        capabilities=PluginCapabilities(),
+        summary="reference GR-index object path (honours every ablation)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="clustering_kernel",
+        name="numpy",
+        factory=_numpy_clustering_kernel,
+        capabilities=PluginCapabilities(
+            requires_numpy=True,
+            supports_ablation=False,
+            honours_cell_width=False,
+        ),
+        summary="vectorized bucketing + searchsorted join + array DBSCAN",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="enumeration_kernel",
+        name="python",
+        factory=_python_enumeration_kernel,
+        capabilities=PluginCapabilities(),
+        summary="reference per-anchor BA/FBA/VBA state machines",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="enumeration_kernel",
+        name="numpy",
+        factory=_numpy_enumeration_kernel,
+        capabilities=PluginCapabilities(
+            requires_numpy=True,
+            requires_bitmap_enumeration=True,
+        ),
+        summary="batched membership bitmaps, popcount screens, Lemma-7 closes",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="enumerator",
+        name="baseline",
+        factory=_baseline_enumerator,
+        capabilities=PluginCapabilities(provides_bitmap_enumeration=False),
+        summary="BA subset materialisation (Fig. 12's capped baseline)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="enumerator",
+        name="fba",
+        factory=_fba_enumerator,
+        capabilities=PluginCapabilities(provides_bitmap_enumeration=True),
+        summary="forward bit-compression enumeration (Definition 13)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="enumerator",
+        name="vba",
+        factory=_vba_enumerator,
+        capabilities=PluginCapabilities(provides_bitmap_enumeration=True),
+        summary="verification bit-compression enumeration (Definition 14)",
+        source="builtin",
+    ),
+)
+
+
+def register_builtin_plugins(registry: PluginRegistry) -> PluginRegistry:
+    """Register every built-in strategy; returns the registry."""
+    registry.register_all(BUILTIN_SPECS)
+    return registry

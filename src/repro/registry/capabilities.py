@@ -1,0 +1,74 @@
+"""Per-plugin capability metadata driving declarative compatibility.
+
+PRs 1-3 grew three strategy axes (execution backends, clustering
+kernels, enumeration kernels) plus the enumerator choice, each policing
+its own combinations with hand-rolled if-chains — the baseline x numpy
+rejection lived in ``ICPEConfig.__post_init__``, the NumPy-missing check
+in each kernel constructor, the ablation restriction in ``make_kernel``.
+:class:`PluginCapabilities` turns those facts into *data* attached to
+each registered plugin, so cross-axis validity is computed from
+capability pairs (see :func:`repro.registry.core.check_selection`)
+instead of being re-encoded wherever two axes meet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True, slots=True)
+class PluginCapabilities:
+    """What a plugin needs and what it provides.
+
+    Attributes:
+        requires_numpy: the plugin cannot be constructed without the
+            optional NumPy dependency (vectorized kernels).
+        provides_bitmap_enumeration: the enumerator maintains Definition
+            13/14 membership bit strings (FBA / VBA) and therefore has a
+            batched bitmap form.
+        requires_bitmap_enumeration: the enumeration kernel batches
+            membership bitmaps and can only host enumerators that
+            provide them (``provides_bitmap_enumeration``).
+        supports_ablation: the clustering kernel honours the Lemma-1/2 /
+            local-index ablation switches; vectorized kernels have no
+            object path and must be combined with default switches only.
+        honours_cell_width: the clustering kernel uses the configured
+            GR-index cell width ``lg``; vectorized kernels derive their
+            bucket width from epsilon, so Fig. 11 grid sweeps only
+            measure kernels with this capability.
+        compatible_enumerators: optional explicit allow-list of
+            enumerator names an enumeration kernel supports; ``None``
+            means "no restriction beyond the bitmap requirement".  Lets
+            a third-party kernel pin itself to specific enumerators
+            without shipping a new capability flag.
+    """
+
+    requires_numpy: bool = False
+    provides_bitmap_enumeration: bool = False
+    requires_bitmap_enumeration: bool = False
+    supports_ablation: bool = True
+    honours_cell_width: bool = True
+    compatible_enumerators: tuple[str, ...] | None = None
+
+    def flags(self) -> dict[str, object]:
+        """The capability fields as a flat name -> value mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary_markers(self) -> str:
+        """Compact marker string for CLI listings (e.g. ``numpy,bitmap``)."""
+        markers: list[str] = []
+        if self.requires_numpy:
+            markers.append("requires-numpy")
+        if self.provides_bitmap_enumeration:
+            markers.append("bitmap")
+        if self.requires_bitmap_enumeration:
+            markers.append("needs-bitmap")
+        if not self.supports_ablation:
+            markers.append("no-ablation")
+        if not self.honours_cell_width:
+            markers.append("epsilon-buckets")
+        if self.compatible_enumerators is not None:
+            markers.append(
+                "enumerators=" + "|".join(self.compatible_enumerators)
+            )
+        return ",".join(markers) if markers else "-"

@@ -1,0 +1,91 @@
+"""The streaming Session API: the framework's public front door.
+
+Where PRs 1-3 exposed detection through ``CoMovementDetector`` (records
+in, bare pattern lists out), the session package gives the same engine
+an event-driven surface:
+
+* :mod:`repro.session.session` — :class:`Session` (incremental
+  ``feed()`` yielding typed events, ``result()`` summaries,
+  context-manager lifecycle) and :class:`SessionResult`;
+* :mod:`repro.session.events` — the typed event stream
+  (:class:`PatternConfirmed`, :class:`ConvoyDelta`,
+  :class:`WatermarkAdvanced`);
+* :mod:`repro.session.sinks` — the :class:`PatternSink` protocol and the
+  callback / list / JSON-lines sinks;
+* :mod:`repro.session.builder` — the fluent :class:`SessionBuilder`.
+
+:func:`open_session` is the one-call entry point, re-exported as
+``repro.open_session``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.config import ICPEConfig
+from repro.session.builder import SessionBuilder
+from repro.session.events import (
+    ConvoyDelta,
+    PatternConfirmed,
+    PatternEvent,
+    WatermarkAdvanced,
+    event_to_dict,
+)
+from repro.session.session import Session, SessionResult
+from repro.session.sinks import (
+    CallbackSink,
+    JsonlSink,
+    ListSink,
+    PatternSink,
+    as_sink,
+)
+
+__all__ = [
+    "CallbackSink",
+    "ConvoyDelta",
+    "JsonlSink",
+    "ListSink",
+    "PatternConfirmed",
+    "PatternEvent",
+    "PatternSink",
+    "Session",
+    "SessionBuilder",
+    "SessionResult",
+    "WatermarkAdvanced",
+    "as_sink",
+    "event_to_dict",
+    "open_session",
+]
+
+
+def open_session(
+    config: ICPEConfig | None = None,
+    *,
+    track_convoys: bool = False,
+    sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
+    **overrides: Any,
+) -> Session:
+    """Open a streaming session — the one-call public entry point.
+
+    Pass an :class:`ICPEConfig` (optionally with field ``overrides``),
+    or no config and the :class:`ICPEConfig` fields as keyword
+    arguments (``epsilon=, cell_width=, min_pts=, constraints=`` are
+    then required)::
+
+        session = open_session(
+            epsilon=10.0, cell_width=30.0, min_pts=3,
+            constraints=PatternConstraints(m=3, k=4, l=2, g=2),
+            backend="parallel",
+        )
+
+    ``track_convoys`` enables the live convoy view; ``sinks`` subscribe
+    before any record flows.  Use the session as a context manager to
+    flush on clean exit and always release backend resources.
+    """
+    builder = SessionBuilder(config)
+    if overrides:
+        builder.option(**overrides)
+    if track_convoys:
+        builder.track_convoys()
+    builder.sinks(sinks)
+    return builder.open()

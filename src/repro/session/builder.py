@@ -1,0 +1,185 @@
+"""Fluent construction of streaming sessions.
+
+``SessionBuilder`` accumulates configuration — core Table-3 knobs,
+strategy-plugin selections, sinks, live-tracking — and materialises an
+:class:`~repro.core.config.ICPEConfig` plus a
+:class:`~repro.session.session.Session` in one ``open()`` call::
+
+    session = (
+        SessionBuilder()
+        .epsilon(10.0).cell_width(30.0).min_pts(3)
+        .constraints(m=3, k=4, l=2, g=2)
+        .backend("parallel", workers=4)
+        .clustering_kernel("numpy")
+        .track_convoys()
+        .sink(print)
+        .open()
+    )
+
+Strategy names are validated against the plugin registry when the
+config materialises, so a typo or an invalid combination fails at
+``open()`` with the registry's declarative error, not deep inside the
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Iterable
+
+from repro.core.config import ICPEConfig
+from repro.model.constraints import PatternConstraints
+from repro.session.events import PatternEvent
+from repro.session.session import Session
+from repro.session.sinks import PatternSink
+
+
+class SessionBuilder:
+    """Fluent builder for :class:`~repro.session.session.Session`.
+
+    Seed from an existing :class:`ICPEConfig` (``SessionBuilder(config)``)
+    or start blank and set the four required core knobs — ``epsilon``,
+    ``cell_width``, ``min_pts``, ``constraints`` — before ``open()``.
+    Every setter returns the builder.
+    """
+
+    _REQUIRED = ("epsilon", "cell_width", "min_pts", "constraints")
+
+    def __init__(self, config: ICPEConfig | None = None):
+        self._base = config
+        self._overrides: dict[str, Any] = {}
+        self._sinks: list[PatternSink | Callable[[PatternEvent], None]] = []
+        self._track_convoys = False
+
+    # ------------------------------------------------------------ core knobs
+
+    def epsilon(self, value: float) -> "SessionBuilder":
+        """DBSCAN / range-join distance threshold."""
+        return self._set(epsilon=value)
+
+    def cell_width(self, value: float) -> "SessionBuilder":
+        """GR-index grid cell width (``lg``)."""
+        return self._set(cell_width=value)
+
+    def min_pts(self, value: int) -> "SessionBuilder":
+        """DBSCAN density threshold."""
+        return self._set(min_pts=value)
+
+    def constraints(
+        self,
+        constraints: PatternConstraints | None = None,
+        *,
+        m: int | None = None,
+        k: int | None = None,
+        l: int | None = None,
+        g: int | None = None,
+    ) -> "SessionBuilder":
+        """The CP(M, K, L, G) constraints — an object or the four ints."""
+        if constraints is None:
+            if None in (m, k, l, g):
+                raise ValueError(
+                    "pass a PatternConstraints or all of m, k, l, g"
+                )
+            constraints = PatternConstraints(m=m, k=k, l=l, g=g)
+        return self._set(constraints=constraints)
+
+    def max_delay(self, value: int) -> "SessionBuilder":
+        """Bounded-delay guarantee for time synchronisation."""
+        return self._set(max_delay=value)
+
+    # ------------------------------------------------------- plugin choices
+
+    def enumerator(self, name: str) -> "SessionBuilder":
+        """Select the enumerator plugin (``baseline`` / ``fba`` / ``vba`` /
+        any registered third-party name)."""
+        return self._set(enumerator=name)
+
+    def backend(
+        self, name: str, *, workers: int | None = None
+    ) -> "SessionBuilder":
+        """Select the execution-backend plugin (and worker-pool size).
+
+        Omitting ``workers`` leaves any previously configured pool size
+        untouched (e.g. one seeded from a base config).
+        """
+        if workers is not None:
+            return self._set(backend=name, parallel_workers=workers)
+        return self._set(backend=name)
+
+    def clustering_kernel(self, name: str) -> "SessionBuilder":
+        """Select the snapshot-clustering kernel plugin."""
+        return self._set(clustering_kernel=name)
+
+    def enumeration_kernel(self, name: str) -> "SessionBuilder":
+        """Select the pattern-enumeration kernel plugin."""
+        return self._set(enumeration_kernel=name)
+
+    def option(self, **fields: Any) -> "SessionBuilder":
+        """Set any remaining :class:`ICPEConfig` field by name
+        (escape hatch for knobs without a dedicated setter)."""
+        return self._set(**fields)
+
+    # --------------------------------------------------------- session wiring
+
+    def sink(
+        self, sink: PatternSink | Callable[[PatternEvent], None]
+    ) -> "SessionBuilder":
+        """Subscribe a sink (or bare callable) on the built session."""
+        self._sinks.append(sink)
+        return self
+
+    def sinks(
+        self,
+        sinks: Iterable[PatternSink | Callable[[PatternEvent], None]],
+    ) -> "SessionBuilder":
+        """Subscribe several sinks at once, in order."""
+        self._sinks.extend(sinks)
+        return self
+
+    def track_convoys(self, enabled: bool = True) -> "SessionBuilder":
+        """Enable the live convoy view (ConvoyDelta events,
+        ``Session.active_convoys``)."""
+        self._track_convoys = enabled
+        return self
+
+    # ---------------------------------------------------------- materialise
+
+    def config(self) -> ICPEConfig:
+        """Materialise the :class:`ICPEConfig` (validates everything).
+
+        Raises:
+            ValueError: when a required core knob is missing, a strategy
+                name is unregistered, or a combination is invalid.
+        """
+        if self._base is not None:
+            return (
+                replace(self._base, **self._overrides)
+                if self._overrides
+                else self._base
+            )
+        missing = [
+            name for name in self._REQUIRED if name not in self._overrides
+        ]
+        if missing:
+            raise ValueError(
+                f"SessionBuilder is missing required settings: {missing}; "
+                f"set them or seed the builder with an ICPEConfig"
+            )
+        return ICPEConfig(**self._overrides)
+
+    def open(self) -> Session:
+        """Build the session (compiles the pipeline onto its backend)."""
+        return Session(
+            self.config(),
+            track_convoys=self._track_convoys,
+            sinks=self._sinks,
+        )
+
+    # Alias: ``builder.build()`` reads naturally in non-streaming call sites.
+    build = open
+
+    # ------------------------------------------------------------- internals
+
+    def _set(self, **fields: Any) -> "SessionBuilder":
+        self._overrides.update(fields)
+        return self

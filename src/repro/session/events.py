@@ -1,0 +1,105 @@
+"""Typed events a streaming session emits.
+
+The old detector API returned bare pattern lists, losing *when* the
+pipeline learnt things that applications care about: a snapshot fully
+processed (safe-progress watermark), the live convoy view changing
+(the paper's accident-response motivation), a CP(M, K, L, G) pattern
+confirmed.  A :class:`~repro.session.session.Session` emits each of
+those as a typed :class:`PatternEvent` subclass, both returned from
+``feed()`` and dispatched to subscribed sinks.
+
+Every event carries the stream time it describes and a stable ``kind``
+string (``"pattern"`` / ``"convoy"`` / ``"watermark"``) used by sinks
+and the CLI's JSON output; :func:`event_to_dict` is the canonical
+JSON-ready flattening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.model.pattern import CoMovementPattern
+
+
+@dataclass(frozen=True, slots=True)
+class PatternEvent:
+    """Base class of every session event; ``time`` is the stream time."""
+
+    kind: ClassVar[str] = "event"
+
+    time: int
+
+
+@dataclass(frozen=True, slots=True)
+class PatternConfirmed(PatternEvent):
+    """A co-movement pattern was confirmed at ``time``.
+
+    One event per *fresh* pattern (first emission for its object set —
+    the session deduplicates exactly like the pipeline's collector).
+    """
+
+    kind: ClassVar[str] = "pattern"
+
+    pattern: CoMovementPattern
+
+
+@dataclass(frozen=True, slots=True)
+class ConvoyDelta(PatternEvent):
+    """The live convoy view changed while processing snapshot ``time``.
+
+    Emitted only when convoy tracking is enabled
+    (``SessionBuilder.track_convoys()``) and only when something changed:
+    ``formed`` lists member sets that newly appeared among the open
+    candidates, ``dissolved`` those that disappeared, and ``ended``
+    carries convoys that expired having met the duration threshold
+    (reported as patterns).  ``active`` is the open-candidate count
+    after the snapshot.
+    """
+
+    kind: ClassVar[str] = "convoy"
+
+    formed: tuple[frozenset[int], ...]
+    dissolved: tuple[frozenset[int], ...]
+    ended: tuple[CoMovementPattern, ...]
+    active: int
+
+
+@dataclass(frozen=True, slots=True)
+class WatermarkAdvanced(PatternEvent):
+    """Snapshot ``time`` was fully processed through the pipeline.
+
+    The session's progress signal: every record with event time up to
+    ``time`` has been clustered and enumerated, so downstream consumers
+    may treat results up to ``time`` as complete.
+    """
+
+    kind: ClassVar[str] = "watermark"
+
+    snapshots_processed: int
+    patterns_total: int
+
+
+def event_to_dict(event: PatternEvent) -> dict:
+    """Flatten one event into a JSON-ready dict (stable ``kind`` key)."""
+    payload: dict = {"kind": event.kind, "time": event.time}
+    if isinstance(event, PatternConfirmed):
+        payload["objects"] = sorted(event.pattern.objects)
+        payload["times"] = list(event.pattern.times.times)
+    elif isinstance(event, ConvoyDelta):
+        payload["formed"] = [sorted(members) for members in event.formed]
+        payload["dissolved"] = [
+            sorted(members) for members in event.dissolved
+        ]
+        payload["ended"] = [
+            {
+                "objects": sorted(pattern.objects),
+                "times": list(pattern.times.times),
+            }
+            for pattern in event.ended
+        ]
+        payload["active"] = event.active
+    elif isinstance(event, WatermarkAdvanced):
+        payload["snapshots_processed"] = event.snapshots_processed
+        payload["patterns_total"] = event.patterns_total
+    return payload

@@ -1,0 +1,356 @@
+"""The streaming session: records in, typed events out.
+
+:class:`Session` is the public front door of the framework.  It owns
+the "last time" synchronisation operator and the ICPE pipeline (built
+from an :class:`~repro.core.config.ICPEConfig`, so every registered
+plugin axis — backend, clustering kernel, enumeration kernel,
+enumerator — is selectable), optionally a live
+:class:`~repro.core.live.ConvoyTracker`, and a set of subscribed
+sinks.  ``feed()`` accepts possibly out-of-order records and returns
+the typed :class:`~repro.session.events.PatternEvent` stream those
+records caused; ``result()`` summarises the run at any point; the
+session is a context manager that flushes on clean exit and always
+releases backend resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.config import ICPEConfig
+from repro.core.icpe import ICPEPipeline
+from repro.core.live import ConvoyTracker
+from repro.model.pattern import CoMovementPattern
+from repro.model.records import StreamRecord
+from repro.model.snapshot import Snapshot
+from repro.session.events import (
+    ConvoyDelta,
+    PatternConfirmed,
+    PatternEvent,
+    WatermarkAdvanced,
+)
+from repro.session.sinks import PatternSink, as_sink
+from repro.streaming.metrics import LatencyThroughputMeter
+from repro.streaming.sync import TimeSyncOperator
+
+
+@dataclass(frozen=True, slots=True)
+class SessionResult:
+    """Summary of a session's run so far.
+
+    Attributes:
+        patterns: every distinct confirmed pattern, in detection order.
+        snapshots: snapshots fully processed.
+        avg_latency_ms: cost-model per-snapshot latency
+            (:mod:`repro.streaming.metrics`).
+        throughput_tps: cost-model snapshots per second.
+        events: emitted-event counts per event kind.
+        backend: execution-backend plugin name.
+        clustering_kernel: clustering-kernel plugin name.
+        enumeration_kernel: enumeration-kernel plugin name.
+        enumerator: enumerator plugin name.
+    """
+
+    patterns: tuple[CoMovementPattern, ...]
+    snapshots: int
+    avg_latency_ms: float
+    throughput_tps: float
+    events: dict[str, int]
+    backend: str
+    clustering_kernel: str
+    enumeration_kernel: str
+    enumerator: str
+
+    def summary(self) -> dict[str, float]:
+        """The numeric metrics as a flat dict (report-friendly)."""
+        return {
+            "patterns": float(len(self.patterns)),
+            "snapshots": float(self.snapshots),
+            "avg_latency_ms": self.avg_latency_ms,
+            "throughput_tps": self.throughput_tps,
+        }
+
+
+class Session:
+    """A streaming pattern-detection session over one configuration.
+
+    Usually built via :func:`repro.session.open_session` or the fluent
+    :class:`~repro.session.builder.SessionBuilder` rather than directly.
+
+    Lifecycle: ``feed()`` any number of records, then ``finish()`` to
+    flush bounded-evaluation state; ``close()`` releases execution
+    backend resources.  As a context manager the session finishes on
+    clean exit (no exception) and closes either way::
+
+        with open_session(config) as session:
+            for record in stream:
+                for event in session.feed(record):
+                    ...
+        print(session.result().summary())
+    """
+
+    def __init__(
+        self,
+        config: ICPEConfig,
+        *,
+        track_convoys: bool = False,
+        sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
+    ):
+        """``track_convoys`` enables live convoy tracking (CMC scheme of
+        ``core/live.py``) with M and K taken from ``config.constraints``;
+        ``sinks`` are subscribed in order before any record flows."""
+        self.config = config
+        self.pipeline = ICPEPipeline(config)
+        self._sync = TimeSyncOperator(max_delay=config.max_delay)
+        self._tracker: ConvoyTracker | None = None
+        self._tracked_members: frozenset[frozenset[int]] = frozenset()
+        if track_convoys:
+            self._tracker = ConvoyTracker(
+                m=config.constraints.m, k=config.constraints.k
+            )
+        self._sinks: list[PatternSink] = []
+        self._event_counts: dict[str, int] = {}
+        self._finished = False
+        self._closed = False
+        for sink in sinks:
+            self.subscribe(sink)
+
+    # ------------------------------------------------------------------ sinks
+
+    def subscribe(
+        self, sink: PatternSink | Callable[[PatternEvent], None]
+    ) -> PatternSink:
+        """Subscribe a sink (or bare callable); returns the sink object.
+
+        Every subsequently emitted event is dispatched to it, in
+        subscription order.
+        """
+        wrapped = as_sink(sink)
+        self._sinks.append(wrapped)
+        return wrapped
+
+    def _emit(self, events: list[PatternEvent]) -> list[PatternEvent]:
+        for event in events:
+            self._event_counts[event.kind] = (
+                self._event_counts.get(event.kind, 0) + 1
+            )
+            for sink in self._sinks:
+                sink.on_event(event)
+        return events
+
+    # ------------------------------------------------------------------ drive
+
+    def feed(self, record: StreamRecord) -> list[PatternEvent]:
+        """Accept one record; returns the events its arrival caused.
+
+        Records may arrive out of event-time order within the configured
+        ``max_delay``; the synchronisation operator assembles complete
+        snapshots before anything is clustered.  Per completed snapshot
+        the session emits, in order: one
+        :class:`~repro.session.events.PatternConfirmed` per fresh
+        pattern, a :class:`~repro.session.events.ConvoyDelta` when the
+        live view changed (tracking enabled), and one
+        :class:`~repro.session.events.WatermarkAdvanced`.
+        """
+        self._check_open()
+        events: list[PatternEvent] = []
+        for snapshot in self._sync.feed(record):
+            events.extend(self._process(snapshot))
+        return self._emit(events)
+
+    def feed_many(
+        self, records: Iterable[StreamRecord]
+    ) -> list[PatternEvent]:
+        """Feed an iterable of records; returns all caused events."""
+        events: list[PatternEvent] = []
+        for record in records:
+            events.extend(self.feed(record))
+        return events
+
+    def stream(
+        self, records: Iterable[StreamRecord]
+    ) -> Iterator[PatternEvent]:
+        """Generator form: yield events as the record stream is consumed.
+
+        Ends with the flush events of :meth:`finish` — convenient for
+        ``for event in session.stream(records): ...`` one-liners over
+        bounded streams.
+        """
+        for record in records:
+            yield from self.feed(record)
+        yield from self.finish()
+
+    def finish(self) -> list[PatternEvent]:
+        """End of stream: flush sync buffers, windows and bit strings.
+
+        Idempotent; returns the flush-caused events.  The execution
+        backend is released (the pipeline's own finish closes it).
+        """
+        if self._finished:
+            return []
+        self._check_open()
+        events: list[PatternEvent] = []
+        for snapshot in self._sync.flush():
+            events.extend(self._process(snapshot))
+        flush_patterns = self.pipeline.finish()
+        flush_time = self._last_time()
+        events.extend(
+            PatternConfirmed(time=flush_time, pattern=pattern)
+            for pattern in flush_patterns
+        )
+        if self._tracker is not None:
+            ended = tuple(self._tracker.finish())
+            if ended or self._tracked_members:
+                events.append(
+                    ConvoyDelta(
+                        time=flush_time,
+                        formed=(),
+                        dissolved=tuple(sorted(self._tracked_members, key=sorted)),
+                        ended=ended,
+                        active=0,
+                    )
+                )
+                self._tracked_members = frozenset()
+        # Mark finished only once the flush itself succeeded, so an
+        # error mid-flush (backend failure) leaves the session
+        # retryable instead of silently swallowing the tail patterns.
+        self._finished = True
+        return self._emit(events)
+
+    def close(self) -> None:
+        """Release backend resources and close owned sinks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pipeline.close()
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Session":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Flush on clean exit, release resources either way.
+
+        A session the user already closed inside the block is left
+        as-is — ``close()`` is idempotent and there is nothing left to
+        flush.
+        """
+        if exc_type is None and not self._finished and not self._closed:
+            self.finish()
+        self.close()
+
+    # ------------------------------------------------------------------ state
+
+    def result(self) -> SessionResult:
+        """Snapshot the run's summary (callable at any point)."""
+        meter = self.pipeline.meter
+        return SessionResult(
+            patterns=tuple(self.pipeline.patterns),
+            snapshots=meter.snapshots,
+            avg_latency_ms=meter.average_latency_ms(),
+            throughput_tps=meter.throughput_tps(),
+            events=dict(self._event_counts),
+            backend=self.pipeline.backend_name,
+            clustering_kernel=self.config.clustering_kernel,
+            enumeration_kernel=self.config.enumeration_kernel,
+            enumerator=self.config.enumerator,
+        )
+
+    def store(self):
+        """A queryable :class:`~repro.core.store.PatternStore` of
+        everything detected so far (containment / time / maximality
+        queries for downstream applications)."""
+        from repro.core.store import PatternStore
+
+        store = PatternStore()
+        store.add_all(self.pipeline.collector.detections)
+        return store
+
+    @property
+    def patterns(self) -> list[CoMovementPattern]:
+        """Every distinct pattern detected so far."""
+        return self.pipeline.patterns
+
+    @property
+    def meter(self) -> LatencyThroughputMeter:
+        """Per-snapshot latency / throughput metrics."""
+        return self.pipeline.meter
+
+    @property
+    def active_convoys(self):
+        """Live convoy candidates (requires ``track_convoys``).
+
+        Raises:
+            RuntimeError: when convoy tracking is not enabled.
+        """
+        if self._tracker is None:
+            raise RuntimeError(
+                "convoy tracking is not enabled; build the session with "
+                "track_convoys=True"
+            )
+        return self._tracker.active()
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has flushed the stream end."""
+        return self._finished
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` released backend resources."""
+        return self._closed
+
+    # ------------------------------------------------------------- internals
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._finished:
+            raise RuntimeError("session already finished")
+
+    def _last_time(self) -> int:
+        timings = self.pipeline.meter.timings
+        return timings[-1].time if timings else 0
+
+    def _process(self, snapshot: Snapshot) -> list[PatternEvent]:
+        """Run one complete snapshot; build its ordered event list."""
+        fresh = self.pipeline.process_snapshot(snapshot)
+        events: list[PatternEvent] = [
+            PatternConfirmed(time=snapshot.time, pattern=pattern)
+            for pattern in fresh
+        ]
+        if self._tracker is not None:
+            cluster_snapshot = self.pipeline.last_cluster_snapshot
+            if cluster_snapshot is not None:
+                ended = tuple(self._tracker.on_snapshot(cluster_snapshot))
+                members = frozenset(
+                    candidate.members for candidate in self._tracker.active()
+                )
+                formed = tuple(
+                    sorted(members - self._tracked_members, key=sorted)
+                )
+                dissolved = tuple(
+                    sorted(self._tracked_members - members, key=sorted)
+                )
+                self._tracked_members = members
+                if formed or dissolved or ended:
+                    events.append(
+                        ConvoyDelta(
+                            time=snapshot.time,
+                            formed=formed,
+                            dissolved=dissolved,
+                            ended=ended,
+                            active=len(members),
+                        )
+                    )
+        events.append(
+            WatermarkAdvanced(
+                time=snapshot.time,
+                snapshots_processed=self.pipeline.meter.snapshots,
+                patterns_total=len(self.pipeline.collector),
+            )
+        )
+        return events

@@ -1,0 +1,118 @@
+"""Pattern sinks: where a session's event stream goes.
+
+A sink is anything with an ``on_event(event)`` method (and optionally
+``close()``) — the :class:`PatternSink` protocol.  Sessions dispatch
+every emitted :class:`~repro.session.events.PatternEvent` to every
+subscribed sink, in subscription order, before returning the events to
+the caller.  Three ready-made sinks cover the common shapes:
+
+* :class:`CallbackSink` — adapt a bare callable;
+* :class:`ListSink` — collect events (and confirmed patterns) in memory;
+* :class:`JsonlSink` — stream JSON-lines to a file or handle, the
+  machine-readable form the CLI's ``detect --output json`` also emits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Protocol, TextIO, runtime_checkable
+
+from repro.model.pattern import CoMovementPattern
+from repro.session.events import PatternConfirmed, PatternEvent, event_to_dict
+
+
+@runtime_checkable
+class PatternSink(Protocol):
+    """Structural protocol every session sink satisfies."""
+
+    def on_event(self, event: PatternEvent) -> None:
+        """Receive one session event."""
+
+    def close(self) -> None:
+        """Release sink resources; called by ``Session.close()``."""
+
+
+class CallbackSink:
+    """Adapt a bare callable into a sink (``fn(event)`` per event)."""
+
+    def __init__(self, fn: Callable[[PatternEvent], None]):
+        self._fn = fn
+
+    def on_event(self, event: PatternEvent) -> None:
+        """Forward the event to the wrapped callable."""
+        self._fn(event)
+
+    def close(self) -> None:
+        """Nothing to release for a callback."""
+
+
+class ListSink:
+    """Collect every event in memory (``events``; patterns via property)."""
+
+    def __init__(self) -> None:
+        self.events: list[PatternEvent] = []
+
+    def on_event(self, event: PatternEvent) -> None:
+        """Append the event to the in-memory log."""
+        self.events.append(event)
+
+    @property
+    def patterns(self) -> list[CoMovementPattern]:
+        """The confirmed patterns among collected events, in order."""
+        return [
+            event.pattern
+            for event in self.events
+            if isinstance(event, PatternConfirmed)
+        ]
+
+    def close(self) -> None:
+        """Nothing to release for an in-memory sink."""
+
+
+class JsonlSink:
+    """Write one JSON object per event (JSON-lines) to a path or handle.
+
+    Opening by path creates/truncates the file and ``close()`` closes
+    it; a caller-provided handle is borrowed and left open (the caller
+    owns its lifecycle) — matching the usual file-sink convention.
+    """
+
+    def __init__(self, target: str | TextIO):
+        if isinstance(target, str):
+            self._handle: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._closed = False
+
+    def on_event(self, event: PatternEvent) -> None:
+        """Serialize one event as a JSON line."""
+        if self._closed:
+            raise RuntimeError("JsonlSink is closed")
+        self._handle.write(json.dumps(event_to_dict(event)) + "\n")
+
+    def close(self) -> None:
+        """Flush, and close the handle if this sink opened it."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+def as_sink(target: "PatternSink | Callable[[PatternEvent], None]") -> PatternSink:
+    """Coerce a sink or bare callable into a :class:`PatternSink`.
+
+    ``Session.subscribe`` accepts either; objects already satisfying the
+    protocol pass through, callables are wrapped in
+    :class:`CallbackSink`.
+    """
+    if isinstance(target, PatternSink):
+        return target
+    if callable(target):
+        return CallbackSink(target)
+    raise TypeError(
+        f"expected a PatternSink or callable, got {type(target).__name__}"
+    )

@@ -82,21 +82,29 @@ def resolve_backend(
 ) -> ExecutionBackend:
     """Turn a backend name (or instance, or ``None``) into a backend.
 
-    ``"serial"`` / ``None`` yield a :class:`SerialBackend`; ``"parallel"``
-    yields a :class:`ParallelBackend` with ``max_workers`` workers.  An
-    :class:`ExecutionBackend` instance passes through unchanged.
+    ``None`` yields a :class:`SerialBackend`.  An
+    :class:`ExecutionBackend` instance passes through unchanged.  Every
+    name — including ``"serial"`` and ``"parallel"`` — resolves through
+    the plugin registry (kind ``"backend"``), so third-party backends
+    registered via the ``repro.plugins`` entry-point group (and even
+    replacements of the built-in names) run the job graph without any
+    change here.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
-    if backend is None or backend == "serial":
+    if backend is None:
         return _default_backend()
-    if backend == "parallel":
-        from repro.streaming.runtime.parallel import ParallelBackend
+    from repro.registry import UnknownPluginError, default_registry
 
-        return ParallelBackend(max_workers=max_workers)
-    raise ValueError(
-        f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
-    )
+    registry = default_registry()
+    try:
+        spec = registry.get("backend", backend)
+    except UnknownPluginError:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; registered: "
+            f"{registry.names('backend')}"
+        ) from None
+    return spec.create(max_workers=max_workers)
 
 
 def execute_unit(

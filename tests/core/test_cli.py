@@ -66,6 +66,33 @@ class TestStats:
         assert "epsilon at 0.06%" in output
 
 
+class TestPlugins:
+    def test_lists_every_axis(self, capsys):
+        assert main(["plugins"]) == 0
+        output = capsys.readouterr().out
+        for kind in (
+            "backend", "clustering_kernel", "enumeration_kernel", "enumerator"
+        ):
+            assert kind in output
+        for name in ("serial", "parallel", "fba", "vba", "baseline"):
+            assert name in output
+
+    def test_kind_filter(self, capsys):
+        assert main(["plugins", "--kind", "backend"]) == 0
+        output = capsys.readouterr().out
+        assert "serial" in output
+        assert "enumeration_kernel" not in output
+
+    def test_capability_markers_shown(self, capsys):
+        main(["plugins", "--kind", "enumeration_kernel"])
+        output = capsys.readouterr().out
+        assert "needs-bitmap" in output
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plugins", "--kind", "sink"])
+
+
 class TestDetect:
     def test_detects_patterns(self, workload_csv, capsys):
         code = main(
@@ -235,6 +262,50 @@ class TestDetect:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["detect", "--input", "x.csv", "--backend", "quantum"]
+            )
+
+    def test_output_json_emits_event_lines(self, workload_csv, capsys):
+        import json
+
+        code = main(
+            [
+                "detect",
+                "--input", str(workload_csv),
+                "--m", "3", "--k", "5", "--min-pts", "3",
+                "--output", "json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payloads = [json.loads(line) for line in out.splitlines()]
+        kinds = {p["kind"] for p in payloads}
+        assert "watermark" in kinds
+        assert payloads[-1]["kind"] == "summary"
+        assert payloads[-1]["backend"] == "serial"
+        # no human-readable prose in json mode
+        assert "snapshots; avg latency" not in out
+
+    def test_output_json_matches_text_pattern_count(self, workload_csv, capsys):
+        import json
+
+        main(
+            [
+                "detect", "--input", str(workload_csv),
+                "--m", "3", "--k", "5", "--min-pts", "3",
+                "--output", "json",
+            ]
+        )
+        payloads = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        confirmed = [p for p in payloads if p["kind"] == "pattern"]
+        assert payloads[-1]["patterns"] == len(confirmed)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--input", "x.csv", "--output", "xml"]
             )
 
     def test_json_export(self, workload_csv, tmp_path, capsys):
