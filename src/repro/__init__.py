@@ -17,6 +17,15 @@ Quickstart (the streaming Session API)::
                 print(event)
     print(session.result().summary())
 
+Throughput-oriented ingestion goes through the columnar data plane —
+pack records into a :class:`~repro.model.batch.RecordBatch` (or let
+``feed_many`` auto-pack) and feed whole batches::
+
+    with open_session(config, batch_size=1024) as session:
+        for batch in RecordBatch.pack(stream, 1024):
+            for event in session.feed_batch(batch):
+                print(event)
+
 Every strategy axis — execution backend, clustering kernel, enumeration
 kernel, enumerator — is a plugin on :func:`repro.registry.
 default_registry`; third-party packages register via the
@@ -34,14 +43,16 @@ from repro.model import (
     GPSRecord,
     Location,
     PatternConstraints,
+    RecordBatch,
     Snapshot,
+    SnapshotBatch,
     StreamRecord,
     TimeDiscretizer,
     TimeSequence,
     Trajectory,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 #: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
 #: registry machinery), mapped to their home modules.
@@ -74,7 +85,9 @@ __all__ = sorted(
         "GPSRecord",
         "Location",
         "PatternConstraints",
+        "RecordBatch",
         "Snapshot",
+        "SnapshotBatch",
         "StreamRecord",
         "TimeDiscretizer",
         "TimeSequence",

@@ -26,6 +26,7 @@ from repro.enumeration.base import PatternCollector
 from repro.enumeration.kernels import make_enumeration_kernel
 from repro.join.query import CellJoiner
 from repro.kernels import make_kernel
+from repro.model.batch import SnapshotBatch
 from repro.model.pattern import CoMovementPattern
 from repro.model.snapshot import ClusterSnapshot, Snapshot
 from repro.streaming.cluster import ClusterModel
@@ -220,8 +221,18 @@ class ICPEPipeline:
 
     # ------------------------------------------------------------------ drive
 
-    def process_snapshot(self, snapshot: Snapshot) -> list[CoMovementPattern]:
-        """Run one snapshot through the pipeline; returns *new* patterns."""
+    def process_snapshot(
+        self, snapshot: Snapshot | SnapshotBatch
+    ) -> list[CoMovementPattern]:
+        """Run one snapshot through the pipeline; returns *new* patterns.
+
+        Accepts the object form or the columnar
+        :class:`~repro.model.batch.SnapshotBatch` of the batch data
+        plane; a columnar snapshot enters the job graph as one envelope
+        (split per destination by the keyed exchange) when the execution
+        backend declares batch-ingest support, and as per-row elements
+        otherwise — the pattern output is identical either way.
+        """
         if self._finished:
             raise RuntimeError("pipeline already finished")
         if self._last_time is not None and snapshot.time <= self._last_time:
@@ -230,7 +241,13 @@ class ICPEPipeline:
                 f"{snapshot.time} after {self._last_time}"
             )
         self._last_time = snapshot.time
-        outputs, works = self._job.run(snapshot.points(), ctx=snapshot.time)
+        if isinstance(snapshot, SnapshotBatch) and getattr(
+            self._backend, "supports_batch_ingest", False
+        ):
+            elements: list = [snapshot]
+        else:
+            elements = snapshot.points()
+        outputs, works = self._job.run(elements, ctx=snapshot.time)
         patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
         fresh_count = self.collector.offer(snapshot.time, patterns)
         self._record_timing(snapshot, works, fresh_count)

@@ -31,6 +31,7 @@ from repro.index.grid import GridKey
 from repro.index.gridobject import GridObject
 from repro.join.allocate import allocate_location
 from repro.join.query import CellJoiner
+from repro.model.batch import SnapshotBatch
 from repro.model.snapshot import ClusterSnapshot
 from repro.streaming.dataflow import Operator
 
@@ -133,6 +134,7 @@ class KernelClusterOperator(Operator):
         self.kernel = kernel
         self.significance = significance
         self._points: list[tuple[int, float, float]] = []
+        self._blocks: list[SnapshotBatch] = []
         self.last_cluster_snapshot: ClusterSnapshot | None = None
         self.cluster_sizes: list[int] = []
 
@@ -141,6 +143,16 @@ class KernelClusterOperator(Operator):
     ) -> Iterable[Any]:
         """Buffer one raw location until the snapshot trigger."""
         self._points.append(element)
+        return ()
+
+    def process_batch(self, batch: SnapshotBatch) -> Iterable[Any]:
+        """Buffer one columnar envelope whole until the snapshot trigger.
+
+        The columnar hand-off of the batch data plane: the envelope's
+        columns go to the kernel as arrays at the trigger — no per-point
+        tuples are ever materialised on this path.
+        """
+        self._blocks.append(batch)
         return ()
 
     def end_batch(self, ctx: Any) -> Iterable[PartitionRecord]:
@@ -156,8 +168,7 @@ class KernelClusterOperator(Operator):
         so the reference stage sees and emits them too.
         """
         time = int(ctx)
-        result = self.kernel.cluster(self._points)
-        self._points.clear()
+        result = self._cluster_buffered()
         groups = result.clusters.values()
         if self.kernel.min_pts == 1:
             groups = [members for members in groups if len(members) >= 2]
@@ -172,6 +183,53 @@ class KernelClusterOperator(Operator):
                 id_partitions(snapshot, self.significance).items()
             )
         ]
+
+    def _cluster_buffered(self):
+        """Cluster whatever the snapshot buffered, preferring columns.
+
+        A snapshot arriving purely as columnar envelopes goes to the
+        kernel's ``cluster_columns`` entry (concatenated arrays, no row
+        boxing); mixed or row-only buffers fall back to the row form.
+        One envelope per snapshot is the normal case — the cluster
+        stage is unkeyed, so the exchange passes the batch whole.
+        """
+        blocks, self._blocks = self._blocks, []
+        if blocks and not self._points:
+            if len(blocks) == 1:
+                block = blocks[0]
+                result = self.kernel.cluster_columns(
+                    block.oids, block.xs, block.ys
+                )
+            else:
+                result = self.kernel.cluster_columns(
+                    *_concat_columns(blocks)
+                )
+            return result
+        points = self._points
+        self._points = []
+        for block in blocks:
+            points.extend(block.rows())
+        return self.kernel.cluster(points)
+
+
+def _concat_columns(blocks: list[SnapshotBatch]):
+    """Concatenate the columns of several envelopes (rare multi-block path)."""
+    if blocks[0].backing == "numpy":
+        import numpy as np
+
+        return (
+            np.concatenate([b.oids for b in blocks]),
+            np.concatenate([b.xs for b in blocks]),
+            np.concatenate([b.ys for b in blocks]),
+        )
+    oids: list[int] = []
+    xs: list[float] = []
+    ys: list[float] = []
+    for block in blocks:
+        oids.extend(block.oids)
+        xs.extend(block.xs)
+        ys.extend(block.ys)
+    return oids, xs, ys
 
 
 class EnumerateOperator(Operator):

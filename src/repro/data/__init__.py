@@ -20,7 +20,7 @@ from repro.data.corruption import (
     duplicate_records,
     jitter_positions,
 )
-from repro.data.dataset import DatasetStats, TrajectoryDataset
+from repro.data.dataset import DatasetStats, TrajectoryDataset, iter_csv_batches
 from repro.data.geolife import GeoLifeConfig, generate_geolife
 from repro.data.groups import GroupPlan, plan_groups
 from repro.data.roadnet import RoadNetwork, build_road_network
@@ -41,6 +41,7 @@ __all__ = [
     "generate_brinkhoff",
     "generate_geolife",
     "generate_taxi",
+    "iter_csv_batches",
     "jitter_positions",
     "plan_groups",
 ]

@@ -6,7 +6,9 @@ import csv
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
+from repro.model.batch import RecordBatch
 from repro.model.records import StreamRecord
 from repro.model.snapshot import Snapshot
 
@@ -68,6 +70,27 @@ class TrajectoryDataset:
     def times(self) -> list[int]:
         """Sorted distinct discretized times."""
         return sorted({r.time for r in self.records})
+
+    def to_batch(self) -> RecordBatch:
+        """The whole dataset as one columnar :class:`RecordBatch`.
+
+        The batch-ingestion entry of the loaders: records stay in their
+        time-sorted stream order, so feeding the batch is equivalent to
+        feeding ``records`` one at a time.
+        """
+        return RecordBatch.from_records(self.records)
+
+    def batches(self, batch_size: int) -> Iterator[RecordBatch]:
+        """Stream the dataset as columnar batches of ``batch_size``.
+
+        Slices of one packed batch — zero-copy views on the array
+        backing — in stream order; the final batch may be shorter.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        packed = self.to_batch()
+        for start in range(0, len(packed), batch_size):
+            yield packed[start : start + batch_size]
 
     def snapshots(self) -> list[Snapshot]:
         """Group records into complete snapshots in ascending time order."""
@@ -166,6 +189,35 @@ class TrajectoryDataset:
                     )
                 )
         return cls(name=name or path.stem, records=records)
+
+
+def iter_csv_batches(
+    path: str | Path, batch_size: int
+) -> Iterator[RecordBatch]:
+    """Stream a ``save_csv`` file as columnar batches without loading it.
+
+    Reads ``batch_size`` CSV rows at a time straight into
+    :meth:`RecordBatch.from_csv_rows` — the unbounded-stream ingestion
+    shape: no :class:`TrajectoryDataset` (and no per-record
+    :class:`StreamRecord`) is ever materialised.  Rows are batched in
+    file order; ``save_csv`` writes stream order, but a hand-assembled
+    file is *not* re-sorted the way :meth:`TrajectoryDataset.load_csv`
+    sorts (the CLI therefore feeds through the loaded dataset).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader, None)  # header row
+        chunk: list[list[str]] = []
+        for row in reader:
+            chunk.append(row)
+            if len(chunk) >= batch_size:
+                yield RecordBatch.from_csv_rows(chunk)
+                chunk = []
+        if chunk:
+            yield RecordBatch.from_csv_rows(chunk)
 
 
 def link_last_times(records: list[StreamRecord]) -> list[StreamRecord]:

@@ -84,3 +84,14 @@ class ClusteringKernel(ABC):
         return dbscan_from_pairs(
             (oid for oid, _, _ in points), pairs, self.min_pts
         )
+
+    def cluster_columns(self, oids, xs, ys) -> DBSCANResult:
+        """Cluster one snapshot given as parallel columns.
+
+        The columnar entry point of the batch-ingestion data plane:
+        vectorized kernels override it to consume the arrays directly
+        (no per-point boxing); the default zips the columns into the
+        row form and delegates to :meth:`cluster`, so every kernel is
+        batch-transparent.  Results are identical either way.
+        """
+        return self.cluster(list(zip(oids, xs, ys)))

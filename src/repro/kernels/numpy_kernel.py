@@ -252,7 +252,24 @@ class NumpyKernel(ClusteringKernel):
 
     def cluster(self, points: Points) -> DBSCANResult:
         """Full vectorized DBSCAN over the snapshot (arrays end to end)."""
-        oids, xs, ys = self._pack(points)
+        return self._cluster_packed(*self._pack(points))
+
+    def cluster_columns(self, oids, xs, ys) -> DBSCANResult:
+        """Columnar entry: cluster parallel ``(oids, xs, ys)`` columns.
+
+        The batch data plane hands snapshot columns straight here — one
+        stable argsort replaces :meth:`_pack`'s sort-and-split, and with
+        distinct oids (the snapshot contract) the packed layout is
+        identical to the row path's, so results are bit-for-bit equal.
+        """
+        oids = np.asarray(oids, dtype=np.int64)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        order = np.argsort(oids, kind="stable")
+        return self._cluster_packed(oids[order], xs[order], ys[order])
+
+    def _cluster_packed(self, oids, xs, ys) -> DBSCANResult:
+        """DBSCAN over oid-sorted packed arrays (shared by both entries)."""
         left, right = self._pair_indices(xs, ys)
         oids, left, right = self._collapse_duplicate_oids(oids, left, right)
         n = oids.size

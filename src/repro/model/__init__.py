@@ -5,6 +5,7 @@ discretized time sequences with the L-consecutive / G-connected machinery,
 snapshots, and the unified co-movement pattern definition CP(M, K, L, G).
 """
 
+from repro.model.batch import RecordBatch, SnapshotBatch
 from repro.model.constraints import PatternConstraints
 from repro.model.discretize import TimeDiscretizer
 from repro.model.pattern import CoMovementPattern
@@ -25,7 +26,9 @@ __all__ = [
     "GPSRecord",
     "Location",
     "PatternConstraints",
+    "RecordBatch",
     "Snapshot",
+    "SnapshotBatch",
     "StreamRecord",
     "TimeDiscretizer",
     "TimeSequence",

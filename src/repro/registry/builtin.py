@@ -171,7 +171,7 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         kind="backend",
         name="serial",
         factory=_serial_backend,
-        capabilities=PluginCapabilities(),
+        capabilities=PluginCapabilities(supports_batch_ingest=True),
         summary="sequential in-thread execution (deterministic reference)",
         source="builtin",
     ),
@@ -179,7 +179,7 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         kind="backend",
         name="parallel",
         factory=_parallel_backend,
-        capabilities=PluginCapabilities(),
+        capabilities=PluginCapabilities(supports_batch_ingest=True),
         summary="worker-pool execution with batched keyed exchanges",
         source="builtin",
     ),

@@ -41,6 +41,12 @@ class PluginCapabilities:
             means "no restriction beyond the bitmap requirement".  Lets
             a third-party kernel pin itself to specific enumerators
             without shipping a new capability flag.
+        supports_batch_ingest: the execution backend routes columnar
+            :class:`~repro.model.batch.SnapshotBatch` envelopes through
+            its keyed exchanges (batch-shaped exchange: one envelope per
+            destination partition per batch).  Both built-in backends
+            declare it; the pipeline falls back to per-row elements for
+            backends that do not.
     """
 
     requires_numpy: bool = False
@@ -49,6 +55,7 @@ class PluginCapabilities:
     supports_ablation: bool = True
     honours_cell_width: bool = True
     compatible_enumerators: tuple[str, ...] | None = None
+    supports_batch_ingest: bool = False
 
     def flags(self) -> dict[str, object]:
         """The capability fields as a flat name -> value mapping."""
@@ -71,4 +78,6 @@ class PluginCapabilities:
             markers.append(
                 "enumerators=" + "|".join(self.compatible_enumerators)
             )
+        if self.supports_batch_ingest:
+            markers.append("batch-ingest")
         return ",".join(markers) if markers else "-"

@@ -63,6 +63,7 @@ def open_session(
     *,
     track_convoys: bool = False,
     sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
+    batch_size: int | None = None,
     **overrides: Any,
 ) -> Session:
     """Open a streaming session — the one-call public entry point.
@@ -79,13 +80,17 @@ def open_session(
         )
 
     ``track_convoys`` enables the live convoy view; ``sinks`` subscribe
-    before any record flows.  Use the session as a context manager to
-    flush on clean exit and always release backend resources.
+    before any record flows; ``batch_size`` sets ``feed_many``'s
+    auto-packing chunk (columnar batch ingestion).  Use the session as
+    a context manager to flush on clean exit and always release backend
+    resources.
     """
     builder = SessionBuilder(config)
     if overrides:
         builder.option(**overrides)
     if track_convoys:
         builder.track_convoys()
+    if batch_size is not None:
+        builder.batch_size(batch_size)
     builder.sinks(sinks)
     return builder.open()

@@ -50,6 +50,7 @@ class SessionBuilder:
         self._overrides: dict[str, Any] = {}
         self._sinks: list[PatternSink | Callable[[PatternEvent], None]] = []
         self._track_convoys = False
+        self._batch_size: int | None = None
 
     # ------------------------------------------------------------ core knobs
 
@@ -142,6 +143,16 @@ class SessionBuilder:
         self._track_convoys = enabled
         return self
 
+    def batch_size(self, size: int) -> "SessionBuilder":
+        """Auto-batching chunk for ``Session.feed_many``: plain record
+        iterables are packed into columnar
+        :class:`~repro.model.batch.RecordBatch` chunks of this many
+        records before they enter the data plane."""
+        if size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {size}")
+        self._batch_size = size
+        return self
+
     # ---------------------------------------------------------- materialise
 
     def config(self) -> ICPEConfig:
@@ -173,6 +184,7 @@ class SessionBuilder:
             self.config(),
             track_convoys=self._track_convoys,
             sinks=self._sinks,
+            batch_size=self._batch_size,
         )
 
     # Alias: ``builder.build()`` reads naturally in non-streaming call sites.

@@ -6,11 +6,14 @@ from an :class:`~repro.core.config.ICPEConfig`, so every registered
 plugin axis — backend, clustering kernel, enumeration kernel,
 enumerator — is selectable), optionally a live
 :class:`~repro.core.live.ConvoyTracker`, and a set of subscribed
-sinks.  ``feed()`` accepts possibly out-of-order records and returns
-the typed :class:`~repro.session.events.PatternEvent` stream those
-records caused; ``result()`` summarises the run at any point; the
-session is a context manager that flushes on clean exit and always
-releases backend resources.
+sinks.  ``feed_batch()`` accepts columnar
+:class:`~repro.model.batch.RecordBatch` input (``feed()`` is the
+one-row compatibility form, ``feed_many()`` packs iterables
+automatically) and returns the typed
+:class:`~repro.session.events.PatternEvent` stream those records
+caused; ``result()`` summarises the run at any point; the session is a
+context manager that flushes on clean exit and always releases backend
+resources.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Callable, Iterable, Iterator
 from repro.core.config import ICPEConfig
 from repro.core.icpe import ICPEPipeline
 from repro.core.live import ConvoyTracker
+from repro.model.batch import RecordBatch, SnapshotBatch
 from repro.model.pattern import CoMovementPattern
 from repro.model.records import StreamRecord
 from repro.model.snapshot import Snapshot
@@ -33,6 +37,10 @@ from repro.session.events import (
 from repro.session.sinks import PatternSink, as_sink
 from repro.streaming.metrics import LatencyThroughputMeter
 from repro.streaming.sync import TimeSyncOperator
+
+#: Records per auto-packed batch when ``feed_many`` receives a plain
+#: iterable and neither the call nor the session configured a size.
+DEFAULT_BATCH_SIZE = 512
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,11 +104,17 @@ class Session:
         *,
         track_convoys: bool = False,
         sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
+        batch_size: int | None = None,
     ):
         """``track_convoys`` enables live convoy tracking (CMC scheme of
         ``core/live.py``) with M and K taken from ``config.constraints``;
-        ``sinks`` are subscribed in order before any record flows."""
+        ``sinks`` are subscribed in order before any record flows;
+        ``batch_size`` sets the auto-packing chunk of :meth:`feed_many`
+        (``None`` means :data:`DEFAULT_BATCH_SIZE`)."""
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.config = config
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
         self.pipeline = ICPEPipeline(config)
         self._sync = TimeSyncOperator(max_delay=config.max_delay)
         self._tracker: ConvoyTracker | None = None
@@ -131,12 +145,16 @@ class Session:
         return wrapped
 
     def _emit(self, events: list[PatternEvent]) -> list[PatternEvent]:
+        counts = self._event_counts
         for event in events:
-            self._event_counts[event.kind] = (
-                self._event_counts.get(event.kind, 0) + 1
-            )
-            for sink in self._sinks:
-                sink.on_event(event)
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        # Dispatch is skipped wholesale when nothing is subscribed — a
+        # zero-sink session pays only the count bookkeeping per event,
+        # not a per-event empty dispatch loop.
+        if self._sinks:
+            for event in events:
+                for sink in self._sinks:
+                    sink.on_event(event)
         return events
 
     # ------------------------------------------------------------------ drive
@@ -152,20 +170,58 @@ class Session:
         pattern, a :class:`~repro.session.events.ConvoyDelta` when the
         live view changed (tracking enabled), and one
         :class:`~repro.session.events.WatermarkAdvanced`.
+
+        The per-point compatibility path of the columnar data plane: a
+        record is a one-row :class:`~repro.model.batch.RecordBatch`, so
+        both paths run the identical machinery and stay event-for-event
+        interchangeable.
+        """
+        return self.feed_batch(RecordBatch.single(record))
+
+    def feed_batch(self, batch: RecordBatch) -> list[PatternEvent]:
+        """Accept one columnar batch; returns the events it caused.
+
+        The primary ingestion path: the batch flows through the
+        vectorized synchronisation walk, completed snapshots stay in
+        columnar form through the keyed exchanges into the clustering
+        kernel, and the returned typed event stream is identical —
+        event for event — to feeding the same records through
+        :meth:`feed` one at a time (an emission can at most move to a
+        later call when the batch boundary defers the watermark).
         """
         self._check_open()
         events: list[PatternEvent] = []
-        for snapshot in self._sync.feed(record):
+        for snapshot in self._sync.feed_batch(batch):
             events.extend(self._process(snapshot))
         return self._emit(events)
 
     def feed_many(
-        self, records: Iterable[StreamRecord]
+        self,
+        records: Iterable[StreamRecord] | RecordBatch,
+        *,
+        batch_size: int | None = None,
     ) -> list[PatternEvent]:
-        """Feed an iterable of records; returns all caused events."""
+        """Feed many records, auto-packing them into columnar batches.
+
+        A :class:`~repro.model.batch.RecordBatch` argument is fed
+        directly; any other iterable is chunked into batches of
+        ``batch_size`` records (``None`` means the session's configured
+        ``batch_size``) and fed through :meth:`feed_batch`.  Returns all
+        caused events, exactly as per-point feeding would.
+
+        Raises:
+            ValueError: for an explicit ``batch_size`` below 1 (unlike
+                the CLI flag, 0 does not mean "per-point" here — feed
+                records individually for that).
+        """
+        if isinstance(records, RecordBatch):
+            return self.feed_batch(records)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        size = batch_size if batch_size is not None else self.batch_size
         events: list[PatternEvent] = []
-        for record in records:
-            events.extend(self.feed(record))
+        for batch in RecordBatch.pack(records, size):
+            events.extend(self.feed_batch(batch))
         return events
 
     def stream(
@@ -315,7 +371,9 @@ class Session:
         timings = self.pipeline.meter.timings
         return timings[-1].time if timings else 0
 
-    def _process(self, snapshot: Snapshot) -> list[PatternEvent]:
+    def _process(
+        self, snapshot: Snapshot | SnapshotBatch
+    ) -> list[PatternEvent]:
         """Run one complete snapshot; build its ordered event list."""
         fresh = self.pipeline.process_snapshot(snapshot)
         events: list[PatternEvent] = [

@@ -29,6 +29,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
+from repro.model.batch import SnapshotBatch
 from repro.streaming.hashing import stable_hash
 
 
@@ -41,6 +42,19 @@ class Operator(ABC):
     @abstractmethod
     def process(self, element: Any) -> Iterable[Any]:
         """Handle one element; yield downstream elements."""
+
+    def process_batch(self, batch: SnapshotBatch) -> Iterable[Any]:
+        """Handle one columnar envelope routed to this subtask.
+
+        The default unrolls the envelope's rows through :meth:`process`,
+        so every row-oriented operator is batch-transparent; columnar
+        operators (the kernel clustering stage) override this to consume
+        the columns wholesale and never box per-point objects.
+        """
+        out: list[Any] = []
+        for row in batch.rows():
+            out.extend(self.process(row))
+        return out
 
     def end_batch(self, ctx: Any) -> Iterable[Any]:
         """Per-unit-of-work trigger (ICPE: once per snapshot, ctx = time).
@@ -65,6 +79,19 @@ class FnOperator(Operator):
     def process(self, element: Any) -> Iterable[Any]:
         """Delegate to the wrapped function."""
         return self._fn(element)
+
+
+def count_elements(elements: Sequence[Any]) -> int:
+    """Logical element count of a unit of work (envelopes count rows).
+
+    Keeps ``StageWork.elements_in`` comparable between the per-element
+    and the batch-shaped exchange: a columnar envelope contributes its
+    row count, not 1, wherever it sits in the sequence.
+    """
+    return sum(
+        len(element) if isinstance(element, SnapshotBatch) else 1
+        for element in elements
+    )
 
 
 @dataclass(slots=True)
@@ -128,12 +155,27 @@ class StageRuntime:
         self.subtasks = [stage.operator_factory() for _ in range(stage.parallelism)]
         for index, subtask in enumerate(self.subtasks):
             subtask.open(index, stage.parallelism)
+        # Keyed streams revisit the same routing keys every snapshot
+        # (trajectory ids, grid cells, anchors), so the CRC32 of a key is
+        # computed once and memoised.  Spatial keys (grid cells) are
+        # unbounded on a live stream, so the cache stops admitting new
+        # entries at a fixed cap — past it, misses just recompute.
+        self._route_cache: dict[Any, int] = {}
+
+    #: Route-cache admission cap (entries are a key plus a small int).
+    _ROUTE_CACHE_LIMIT = 1 << 16
 
     def route(self, element: Any) -> int:
         """Subtask index an element is routed to (stable across runs)."""
         if self.stage.key_fn is None:
             return 0
-        return stable_hash(self.stage.key_fn(element)) % self.stage.parallelism
+        key = self.stage.key_fn(element)
+        index = self._route_cache.get(key)
+        if index is None:
+            index = stable_hash(key) % self.stage.parallelism
+            if len(self._route_cache) < self._ROUTE_CACHE_LIMIT:
+                self._route_cache[key] = index
+        return index
 
     def partition(self, elements: Sequence[Any]) -> list[list[Any]]:
         """Bucket one batch of elements by routed subtask (keyed exchange).
@@ -141,11 +183,39 @@ class StageRuntime:
         The whole batch is exchanged at once — one bucket handoff per
         subtask per unit of work, not one per element — which is what lets
         a parallel backend hand each worker its full bucket up front.
+        Columnar :class:`~repro.model.batch.SnapshotBatch` envelopes are
+        split into at most one sub-envelope per destination subtask (the
+        batch-shaped keyed exchange) instead of being unboxed into rows.
         """
         buckets: list[list[Any]] = [[] for _ in self.subtasks]
         for element in elements:
-            buckets[self.route(element)].append(element)
+            if isinstance(element, SnapshotBatch):
+                self._partition_envelope(element, buckets)
+            else:
+                buckets[self.route(element)].append(element)
         return buckets
+
+    def _partition_envelope(
+        self, envelope: SnapshotBatch, buckets: list[list[Any]]
+    ) -> None:
+        """Split one columnar envelope by routed subtask.
+
+        Emits one sub-envelope per destination that receives any rows;
+        an unkeyed or single-subtask stage takes the envelope whole
+        (zero-copy).  Row order within each sub-envelope preserves the
+        envelope's order, exactly like the per-element exchange.
+        """
+        if self.stage.key_fn is None or self.stage.parallelism == 1:
+            # Unkeyed stages broadcast to subtask 0; any key modulo a
+            # parallelism of 1 is also 0 — the envelope passes whole.
+            buckets[0].append(envelope)
+            return
+        assigned: list[list[int]] = [[] for _ in self.subtasks]
+        for index, row in enumerate(envelope.rows()):
+            assigned[self.route(row)].append(index)
+        for subtask, indices in enumerate(assigned):
+            if indices:
+                buckets[subtask].append(envelope.select(indices))
 
     def run_subtask(
         self, index: int, bucket: Sequence[Any], ctx: Any = None
@@ -161,7 +231,10 @@ class StageRuntime:
         outputs: list[Any] = []
         started = _time.perf_counter()
         for element in bucket:
-            outputs.extend(subtask.process(element))
+            if isinstance(element, SnapshotBatch):
+                outputs.extend(subtask.process_batch(element))
+            else:
+                outputs.extend(subtask.process(element))
         outputs.extend(subtask.end_batch(ctx))
         return outputs, _time.perf_counter() - started
 
@@ -191,7 +264,7 @@ class StageRuntime:
         work = StageWork(
             name=self.stage.name,
             busy_seconds=busy,
-            elements_in=len(elements),
+            elements_in=count_elements(elements),
             elements_out=len(outputs),
             wall_seconds=_time.perf_counter() - started,
         )

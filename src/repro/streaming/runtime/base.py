@@ -39,6 +39,15 @@ class ExecutionBackend(ABC):
 
     name: str = "abstract"
 
+    #: Whether the backend routes columnar :class:`~repro.model.batch.
+    #: SnapshotBatch` envelopes through its keyed exchanges.  Backends
+    #: that drive the shared :class:`StageRuntime` ``partition`` /
+    #: ``run_subtask`` operations get envelope handling for free and
+    #: declare ``True``; the conservative default protects third-party
+    #: backends with custom exchange implementations — the pipeline
+    #: falls back to per-row elements for them.
+    supports_batch_ingest: bool = False
+
     @abstractmethod
     def run_stage(
         self, runtime: StageRuntime, elements: Sequence[Any], ctx: Any = None

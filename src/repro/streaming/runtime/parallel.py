@@ -34,7 +34,7 @@ import time as _time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
-from repro.streaming.dataflow import StageRuntime, StageWork
+from repro.streaming.dataflow import StageRuntime, StageWork, count_elements
 from repro.streaming.runtime.base import ExecutionBackend
 
 
@@ -57,6 +57,7 @@ class ParallelBackend(ExecutionBackend):
     """
 
     name = "parallel"
+    supports_batch_ingest = True
 
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers < 1:
@@ -120,7 +121,7 @@ class ParallelBackend(ExecutionBackend):
         return self._fan_out(
             runtime,
             lambda index: runtime.run_subtask(index, buckets[index], ctx),
-            elements_in=len(elements),
+            elements_in=count_elements(elements),
             started=started,
         )
 

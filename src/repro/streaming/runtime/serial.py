@@ -18,6 +18,7 @@ class SerialBackend(ExecutionBackend):
     """Sequential in-thread execution (default; reference semantics)."""
 
     name = "serial"
+    supports_batch_ingest = True
 
     def run_stage(
         self, runtime: StageRuntime, elements: Sequence[Any], ctx: Any = None

@@ -19,15 +19,67 @@ event time ``tau`` arrives before any record with event time greater than
 * no trajectory chain is blocked on a missing predecessor at a time <= t.
 
 ``flush()`` emits every remaining snapshot at end of stream.
+
+Two ingestion paths share the chain machinery:
+
+* :meth:`TimeSyncOperator.feed` — one record at a time, emitting
+  materialised :class:`~repro.model.snapshot.Snapshot` objects (the
+  historical contract);
+* :meth:`TimeSyncOperator.feed_batch` — a whole
+  :class:`~repro.model.batch.RecordBatch` at once, grouping the batch
+  by trajectory with one stable argsort, advancing every touched chain
+  once, and emitting *columnar*
+  :class:`~repro.model.batch.SnapshotBatch` envelopes so the hot path
+  never boxes per-point objects.  Feeding the same records through
+  either path yields the identical snapshot contents; deferring
+  emission to the batch boundary can only move an emission to a later
+  call, never change what a snapshot contains (released pending records
+  always carry times strictly above any snapshot already emittable).
+
+Internally a pending record is a plain ``(time, seq, oid, x, y,
+last_time)`` tuple — cheap to build from batch columns, totally ordered
+by ``(time, seq)`` because the per-chain sequence number is unique.
 """
 
 from __future__ import annotations
 
-import heapq
+from bisect import insort
 from dataclasses import dataclass, field
 
-from repro.model.records import StreamRecord
+from repro.model.batch import NO_LAST_TIME, RecordBatch, SnapshotBatch
+from repro.model.records import Location, StreamRecord
 from repro.model.snapshot import Snapshot
+
+#: A pending record row: ``(time, seq, oid, x, y, last_time-or-None)``.
+_Row = tuple
+
+
+class _SnapshotBuilder:
+    """Accumulates one building snapshot's released rows as columns."""
+
+    __slots__ = ("oids", "xs", "ys")
+
+    def __init__(self) -> None:
+        self.oids: list[int] = []
+        self.xs: list[float] = []
+        self.ys: list[float] = []
+
+    def append(self, oid: int, x: float, y: float) -> None:
+        """Register one released row (re-reports resolve at emit time)."""
+        self.oids.append(oid)
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def to_snapshot(self, time: int) -> Snapshot:
+        """Materialise the object form (dict last-wins, like ``add``)."""
+        snapshot = Snapshot(time)
+        for oid, x, y in zip(self.oids, self.xs, self.ys):
+            snapshot.add(oid, Location(x, y))
+        return snapshot
+
+    def to_snapshot_batch(self, time: int) -> SnapshotBatch:
+        """Materialise the columnar form (same last-wins dedup rule)."""
+        return SnapshotBatch.from_rows(time, self.oids, self.xs, self.ys)
 
 
 @dataclass(slots=True)
@@ -35,38 +87,62 @@ class _Chain:
     """Per-trajectory reassembly state."""
 
     released_up_to: int | None = None
-    pending: list[tuple[int, int, StreamRecord]] = field(default_factory=list)
-    _push_count: int = 0
+    pending: list[_Row] = field(default_factory=list)
+    _seq: int = 0
 
     def push(self, record: StreamRecord) -> None:
-        # The counter breaks heap ties; StreamRecord itself is unordered.
-        heapq.heappush(self.pending, (record.time, self._push_count, record))
-        self._push_count += 1
+        """Insert one record into the time-sorted pending list.
 
-    def releasable(self) -> StreamRecord | None:
-        """The next record if its predecessor has been released."""
-        if not self.pending:
-            return None
-        record = self.pending[0][2]
-        if record.last_time == self.released_up_to or (
-            record.last_time is None and self.released_up_to is None
-        ):
-            return record
-        return None
+        The sequence number breaks ordering ties between same-time
+        records, preserving arrival order.
+        """
+        insort(
+            self.pending,
+            (
+                record.time,
+                self._seq,
+                record.oid,
+                record.x,
+                record.y,
+                record.last_time,
+            ),
+        )
+        self._seq += 1
+
+    def push_rows(self, rows: list[_Row]) -> None:
+        """Merge a group of already-sequenced rows into the pending list.
+
+        ``rows`` arrive in arrival order (sequence numbers assigned by
+        the caller from this chain's counter); a single sort restores
+        the ``(time, seq)`` pending order.
+        """
+        if self.pending:
+            self.pending.extend(rows)
+            self.pending.sort()
+        else:
+            rows.sort()
+            self.pending = rows
+
+    def next_seq(self, count: int) -> int:
+        """Reserve ``count`` sequence numbers; returns the first."""
+        first = self._seq
+        self._seq += count
+        return first
 
     def blocked_at(self) -> int | None:
         """Time of the missing predecessor, if the chain is blocked."""
         if not self.pending:
             return None
-        record = self.pending[0][2]
-        if record.last_time is None or record.last_time == self.released_up_to:
+        last_time = self.pending[0][5]
+        if last_time is None or last_time == self.released_up_to:
             return None
-        return record.last_time
+        return last_time
 
-    def pop(self) -> StreamRecord:
-        record = heapq.heappop(self.pending)[2]
-        self.released_up_to = record.time
-        return record
+    def pop(self) -> _Row:
+        """Release the earliest pending row and advance the chain."""
+        row = self.pending.pop(0)
+        self.released_up_to = row[0]
+        return row
 
 
 class TimeSyncOperator:
@@ -81,27 +157,91 @@ class TimeSyncOperator:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
         self.max_delay = max_delay
         self._chains: dict[int, _Chain] = {}
-        self._building: dict[int, Snapshot] = {}
+        self._building: dict[int, _SnapshotBuilder] = {}
         self._max_seen: int | None = None
         self._emitted_up_to: int | None = None
 
     def feed(self, record: StreamRecord) -> list[Snapshot]:
         """Accept one record; return any snapshots that became complete."""
-        if (
-            self._emitted_up_to is not None
-            and record.time <= self._emitted_up_to
-        ):
-            raise ValueError(
-                f"record for t={record.time} arrived after snapshot "
-                f"{self._emitted_up_to} was emitted; max_delay={self.max_delay} "
-                "is too small for this stream"
-            )
+        self._check_not_stale(record.time)
         chain = self._chains.setdefault(record.oid, _Chain())
         chain.push(record)
         if self._max_seen is None or record.time > self._max_seen:
             self._max_seen = record.time
-        self._release_chains()
+        self._release_chain(chain)
         return self._emit_ready()
+
+    def feed_batch(self, batch: RecordBatch) -> list[SnapshotBatch]:
+        """Accept a whole columnar batch; return completed snapshots.
+
+        The batch is grouped by trajectory with one stable sort, each
+        touched chain advances once, and the watermark is evaluated once
+        at the batch boundary — equivalent to feeding every record
+        through :meth:`feed` in order, except that snapshots are
+        returned in columnar :class:`SnapshotBatch` form and a
+        bounded-delay violation *inside* one batch (a record arriving
+        after its own batch made its snapshot emittable) is absorbed
+        into the still-pending snapshot instead of raising mid-batch.
+
+        Raises:
+            ValueError: when any record's time is at or below a snapshot
+                already emitted by a previous call (the same staleness
+                contract as :meth:`feed`).
+        """
+        if not len(batch):
+            return []
+        self._check_not_stale(batch.min_time())
+        oids, xs, ys, times, lasts = batch.column_lists()
+        n = len(oids)
+        if n == 1:
+            chain = self._chains.setdefault(oids[0], _Chain())
+            last = lasts[0]
+            chain.push_rows(
+                [
+                    (
+                        times[0],
+                        chain.next_seq(1),
+                        oids[0],
+                        xs[0],
+                        ys[0],
+                        None if last == NO_LAST_TIME else last,
+                    )
+                ]
+            )
+            self._release_chain(chain)
+        else:
+            # Group rows by oid, preserving arrival order within each
+            # group so sequence numbers replay per-point tie-breaking.
+            groups: dict[int, list[_Row]] = {}
+            for i in range(n):
+                last = lasts[i]
+                row = (
+                    times[i],
+                    0,  # sequenced below, once the group is complete
+                    oids[i],
+                    xs[i],
+                    ys[i],
+                    None if last == NO_LAST_TIME else last,
+                )
+                group = groups.get(oids[i])
+                if group is None:
+                    groups[oids[i]] = [row]
+                else:
+                    group.append(row)
+            for oid, rows in groups.items():
+                chain = self._chains.setdefault(oid, _Chain())
+                base = chain.next_seq(len(rows))
+                chain.push_rows(
+                    [
+                        (row[0], base + j, *row[2:])
+                        for j, row in enumerate(rows)
+                    ]
+                )
+                self._release_chain(chain)
+        max_time = batch.max_time()
+        if self._max_seen is None or max_time > self._max_seen:
+            self._max_seen = max_time
+        return self._emit_ready(columnar=True)
 
     def flush(self) -> list[Snapshot]:
         """End of stream: release everything and emit remaining snapshots."""
@@ -109,11 +249,11 @@ class TimeSyncOperator:
         # loss; releasing in time order is the best-effort semantics.
         for chain in self._chains.values():
             while chain.pending:
-                record = chain.pop()
-                self._building.setdefault(
-                    record.time, Snapshot(record.time)
-                ).add_record(record)
-        snapshots = [self._building[t] for t in sorted(self._building)]
+                time, _seq, oid, x, y, _last = chain.pop()
+                self._builder(time).append(oid, x, y)
+        snapshots = [
+            self._building[t].to_snapshot(t) for t in sorted(self._building)
+        ]
         self._building.clear()
         if snapshots:
             self._emitted_up_to = snapshots[-1].time
@@ -121,33 +261,60 @@ class TimeSyncOperator:
 
     # ------------------------------------------------------------------ internals
 
-    def _release_chains(self) -> None:
-        for chain in self._chains.values():
-            while True:
-                record = chain.releasable()
-                if record is None:
-                    break
-                chain.pop()
-                self._building.setdefault(
-                    record.time, Snapshot(record.time)
-                ).add_record(record)
+    def _check_not_stale(self, time: int) -> None:
+        if self._emitted_up_to is not None and time <= self._emitted_up_to:
+            raise ValueError(
+                f"record for t={time} arrived after snapshot "
+                f"{self._emitted_up_to} was emitted; max_delay={self.max_delay} "
+                "is too small for this stream"
+            )
 
-    def _emit_ready(self) -> list[Snapshot]:
+    def _builder(self, time: int) -> _SnapshotBuilder:
+        builder = self._building.get(time)
+        if builder is None:
+            builder = self._building[time] = _SnapshotBuilder()
+        return builder
+
+    def _release_chain(self, chain: _Chain) -> None:
+        """Release the chain's ready prefix into the building snapshots.
+
+        Chains are independent (a release can only unblock records of
+        the *same* trajectory), so only chains the current feed touched
+        need advancing.
+        """
+        pending = chain.pending
+        up_to = chain.released_up_to
+        i = 0
+        count = len(pending)
+        while i < count:
+            row = pending[i]
+            if row[5] != up_to:
+                break
+            up_to = row[0]
+            self._builder(row[0]).append(row[2], row[3], row[4])
+            i += 1
+        if i:
+            chain.released_up_to = up_to
+            del pending[:i]
+
+    def _emit_ready(self, columnar: bool = False):
         if self._max_seen is None:
             return []
         watermark = self._max_seen - self.max_delay - 1
-        blocked = [
-            chain.blocked_at()
-            for chain in self._chains.values()
-            if chain.blocked_at() is not None
-        ]
-        if blocked:
-            watermark = min(watermark, min(blocked) - 1)
-        out: list[Snapshot] = []
+        for chain in self._chains.values():
+            blocked = chain.blocked_at()
+            if blocked is not None and blocked - 1 < watermark:
+                watermark = blocked - 1
+        out: list = []
         for t in sorted(self._building):
             if t > watermark:
                 break
-            out.append(self._building.pop(t))
+            builder = self._building.pop(t)
+            out.append(
+                builder.to_snapshot_batch(t)
+                if columnar
+                else builder.to_snapshot(t)
+            )
         if out:
             self._emitted_up_to = out[-1].time
         return out

@@ -157,6 +157,27 @@ class TestDetect:
             ]
         assert outputs["serial"] == outputs["parallel"]
 
+    def test_batch_size_matches_per_point(self, workload_csv, capsys):
+        """The columnar reader (--batch-size N) and the per-point path
+        (--batch-size 0) print the identical pattern listing."""
+        outputs = {}
+        for batch_size in ("0", "37"):
+            code = main(
+                [
+                    "detect",
+                    "--input", str(workload_csv),
+                    "--m", "3", "--k", "5", "--min-pts", "3",
+                    "--batch-size", batch_size,
+                    "--limit", "1000",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            outputs[batch_size] = [
+                line for line in out.splitlines() if line.startswith("  {")
+            ]
+        assert outputs["0"] == outputs["37"]
+
     def test_kernel_choice(self, workload_csv, capsys):
         pytest.importorskip("numpy", reason="the numpy kernel needs NumPy")
         outputs = {}

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.data.dataset import TrajectoryDataset, link_last_times
+from repro.data.dataset import (
+    TrajectoryDataset,
+    iter_csv_batches,
+    link_last_times,
+)
+from repro.model.batch import RecordBatch
 from repro.model.records import StreamRecord
 
 
@@ -95,3 +100,41 @@ class TestCsvRoundTrip:
             (r.oid, r.time, r.last_time) for r in ds.records
         ]
         assert loaded.records[0].x == pytest.approx(ds.records[0].x)
+
+
+class TestColumnarBatches:
+    def test_to_batch_preserves_stream_order(self):
+        ds = make_dataset()
+        assert ds.to_batch().to_records() == ds.records
+
+    def test_batches_chunk_and_concatenate(self):
+        ds = make_dataset()
+        chunks = list(ds.batches(3))
+        assert [len(c) for c in chunks] == [3, 1]
+        assert all(isinstance(c, RecordBatch) for c in chunks)
+        assert [r for c in chunks for r in c.to_records()] == ds.records
+
+    def test_batches_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(make_dataset().batches(0))
+
+    def test_iter_csv_batches_streams_saved_file(self, tmp_path):
+        ds = make_dataset()
+        path = tmp_path / "toy.csv"
+        ds.save_csv(path)
+        streamed = [
+            r for batch in iter_csv_batches(path, 3) for r in batch.to_records()
+        ]
+        # save_csv writes stream order and truncates coordinates to 6
+        # decimals, so ids / times / chains round-trip exactly.
+        assert [(r.oid, r.time, r.last_time) for r in streamed] == [
+            (r.oid, r.time, r.last_time) for r in ds.records
+        ]
+        assert streamed[0].x == pytest.approx(ds.records[0].x)
+        assert streamed[0].last_time is None
+
+    def test_iter_csv_batches_rejects_non_positive_size(self, tmp_path):
+        path = tmp_path / "toy.csv"
+        make_dataset().save_csv(path)
+        with pytest.raises(ValueError, match="batch_size"):
+            list(iter_csv_batches(path, 0))

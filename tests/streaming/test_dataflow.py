@@ -2,12 +2,14 @@
 
 import pytest
 
+from repro.model.batch import SnapshotBatch
 from repro.streaming.dataflow import (
     FnOperator,
     KeyedStage,
     Operator,
     StageRuntime,
     Topology,
+    count_elements,
     finish_all,
     run_unit,
 )
@@ -73,6 +75,50 @@ class TestStageRuntime:
     def test_invalid_parallelism(self):
         with pytest.raises(ValueError):
             KeyedStage("x", Doubler, parallelism=0)
+
+    def test_envelope_splits_into_one_sub_batch_per_destination(self):
+        stage = KeyedStage(
+            "rows", Doubler, parallelism=3, key_fn=lambda row: row[0]
+        )
+        runtime = StageRuntime(stage)
+        envelope = SnapshotBatch.from_rows(
+            1, [1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0], [0.0, 0.0, 0.0, 0.0]
+        )
+        buckets = runtime.partition([envelope])
+        # At most one envelope lands per subtask, rows route like tuples.
+        assert all(len(bucket) <= 1 for bucket in buckets)
+        routed = {
+            oid: index
+            for index, bucket in enumerate(buckets)
+            for batch in bucket
+            for oid, _x, _y in batch.rows()
+        }
+        assert routed == {
+            row[0]: runtime.route(row) for row in envelope.rows()
+        }
+
+    def test_count_elements_counts_envelope_rows_anywhere(self):
+        envelope = SnapshotBatch.from_rows(
+            1, [1, 2, 3], [0.0, 1.0, 2.0], [0.0, 0.0, 0.0]
+        )
+        assert count_elements([envelope]) == 3
+        # Mixed units count rows regardless of the envelope's position.
+        assert count_elements([(9, 0.0, 0.0), envelope]) == 4
+        assert count_elements([envelope, (9, 0.0, 0.0)]) == 4
+        assert count_elements([]) == 0
+
+    def test_route_cache_admission_is_capped(self):
+        stage = KeyedStage("k", Doubler, parallelism=2, key_fn=lambda e: e)
+        runtime = StageRuntime(stage)
+        runtime._ROUTE_CACHE_LIMIT = 4
+        for element in range(10):
+            runtime.route(element)
+        assert len(runtime._route_cache) == 4
+        # Uncached keys still route consistently with cached ones.
+        fresh = StageRuntime(stage)
+        assert [runtime.route(e) for e in range(10)] == [
+            fresh.route(e) for e in range(10)
+        ]
 
 
 class TestTopology:
