@@ -4,6 +4,13 @@ Paper shape: average latency drops and throughput rises as nodes are
 added, flattening once the dominant subtask can no longer be split.  One
 pipeline execution per method is re-scored under every N via the cluster
 cost model (per-subtask busy times are N-independent).
+
+The process-backend section measures the same scaling question with
+*real* shared-nothing workers instead of the cost model: serial vs
+parallel-threads vs process pools of growing size over a
+distributed-shape workload (see :mod:`repro.bench.process_workload`),
+plus a full-ICPE serial ≡ process equivalence run.  Results land in
+``benchmarks/results/fig14_process_speedup.txt``.
 """
 
 import pytest
@@ -15,11 +22,20 @@ from benchmarks.conftest import (
     DEFAULTS,
     MIN_PTS,
 )
-from repro.bench.harness import detection_config, run_node_sweep
+from repro.bench.harness import (
+    detection_config,
+    run_backend_comparison,
+    run_node_sweep,
+)
+from repro.bench.process_workload import run_process_sweep
 from repro.bench.report import format_table, write_report
+from repro.streaming.runtime import available_cpu_count
 
 NODES = DEFAULTS.nodes.values
 _results: list[dict] = []
+_process_results: list[dict] = []
+_stage_results: list[dict] = []
+_icpe_results: list[dict] = []
 
 
 @pytest.mark.parametrize("dataset_name", ["Taxi", "Brinkhoff"])
@@ -62,6 +78,143 @@ def test_detection_vs_nodes(benchmark, datasets, dataset_name, method):
         assert later <= earlier * 1.02, latencies
     for earlier, later in zip(throughputs, throughputs[1:]):
         assert later >= earlier * 0.98, throughputs
+
+
+def test_process_backend_speedup(benchmark):
+    """Real worker processes vs serial on the distributed-shape workload.
+
+    Unlike the cost-model sweep above, every row here is measured
+    wall-clock of actual execution; the acceptance bar is >= 2x
+    end-to-end over serial at the 4-worker process pool.
+    """
+
+    def run():
+        return run_process_sweep(
+            parallelism=8,
+            batches=4,
+            elements_per_batch=32,
+            cpu_iterations=1_000,
+            stall_seconds=0.02,
+            process_workers=(1, 2, 4),
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for point in points:
+        _process_results.append(
+            {
+                "backend": point.backend,
+                "workers": point.workers,
+                "wall_s": point.wall_seconds,
+                "speedup": point.speedup_vs_serial,
+                "outputs_equal": "yes",  # run_process_sweep raised otherwise
+            }
+        )
+        for stage, busy in sorted(point.stage_busy_seconds.items()):
+            _stage_results.append(
+                {
+                    "backend": point.backend,
+                    "workers": point.workers,
+                    "stage": stage,
+                    "busy_s": busy,
+                }
+            )
+    four = next(
+        p for p in points if p.backend == "process" and p.workers == 4
+    )
+    assert four.speedup_vs_serial >= 2.0, points
+    assert len({p.digest for p in points}) == 1
+
+
+@pytest.mark.parametrize("dataset_name", ["Taxi"])
+def test_process_icpe_equivalence(benchmark, datasets, dataset_name):
+    """Full ICPE pipeline, serial vs process: identical pattern sets.
+
+    The pure-Python operator work dominates here, so no speedup is
+    claimed — this run pins the correctness half of the story: the
+    shared-memory exchange path detects exactly the serial pattern set.
+    """
+    dataset = datasets[dataset_name]
+    config = detection_config(
+        dataset,
+        DEFAULT_CONSTRAINTS,
+        "F",
+        DEFAULT_EPS_PCT,
+        DEFAULT_GRID_PCT,
+        MIN_PTS,
+    )
+
+    def run():
+        # run_backend_comparison raises if the pattern sets differ.
+        return run_backend_comparison(
+            dataset, config, backends=("serial", "process"),
+            parallel_workers=2,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for point in points:
+        _icpe_results.append(
+            {
+                "workload": f"icpe({dataset_name})",
+                "backend": point.backend,
+                "workers": 2 if point.backend == "process" else 1,
+                "wall_s": point.wall_seconds,
+                "patterns": point.patterns,
+                "patterns_equal": "yes",
+            }
+        )
+    assert len({p.patterns for p in points}) == 1
+
+
+def test_fig14_process_report(benchmark):
+    if not _process_results:
+        pytest.skip(
+            "no process-backend measurements collected this session; "
+            "refusing to overwrite the recorded report with an empty table"
+        )
+
+    def build():
+        text = format_table(
+            _process_results,
+            title=(
+                "Fig. 14 (measured): serial vs parallel threads vs "
+                "shared-nothing process pools"
+            ),
+        )
+        text += "\n\n" + format_table(
+            _stage_results,
+            title=(
+                "Per-stage busy seconds (StageWork ledger; measured "
+                "inside the workers under the process backend)"
+            ),
+        )
+        if _icpe_results:
+            text += "\n\n" + format_table(
+                _icpe_results,
+                title=(
+                    "Full ICPE pipeline: serial vs process pattern-set "
+                    "equality (correctness, not speedup)"
+                ),
+            )
+        text += (
+            "\n\nHardware note: recorded on a container with "
+            f"{available_cpu_count()} usable CPU core(s).  The workload "
+            "is the distributed-shape synthetic stage pair from "
+            "repro.bench.process_workload (GIL-releasing CPU kernel + "
+            "exchange stall per subtask per unit, as in "
+            "backend_speedup.txt): the speedup comes from the pools "
+            "overlapping per-subtask stalls, which is what scaling out "
+            "buys on exchange-bound stages regardless of core count.  "
+            "Worker spawn/warm-up is excluded (happens at compile "
+            "time); per-subtask busy times cross the process boundary "
+            "in the StageWork ledger.  The pure-Python full-ICPE run "
+            "gains nothing on this host and is included for output "
+            "equality only."
+        )
+        return text
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("fig14_process_speedup", text)
+    print("\n" + text)
 
 
 def test_fig14_report(benchmark):

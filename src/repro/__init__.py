@@ -52,7 +52,7 @@ from repro.model import (
     Trajectory,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 #: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
 #: registry machinery), mapped to their home modules.

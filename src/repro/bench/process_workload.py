@@ -1,0 +1,168 @@
+"""A three-backend sweep over a distributed-shape two-stage workload.
+
+Companion to :mod:`repro.bench.backend_workload`, extended for the
+process backend.  The process backend rebuilds operators inside each
+worker from a picklable :class:`~repro.streaming.runtime.GraphSpec`, so
+the job builder here is a module-level function (the lambda factories in
+:func:`~repro.bench.backend_workload.build_workload_job` cannot cross a
+spawn boundary).
+
+The workload is two keyed stages of
+:class:`~repro.bench.backend_workload.StallingHashOperator` — a
+GIL-releasing CPU kernel plus an exchange/state-backend stall per
+subtask per unit, the shape real distributed stages have.  A worker pool
+(threads *or* processes) overlaps the stalls across subtasks even on a
+single core, which is what the sweep measures; all backends must emit
+byte-identical output streams, asserted via a running digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time as _time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bench.backend_workload import StallingHashOperator
+from repro.streaming.environment import Job, StreamEnvironment
+from repro.streaming.runtime import (
+    GraphSpec,
+    ParallelBackend,
+    ProcessBackend,
+    SerialBackend,
+)
+
+
+def build_stall_environment(
+    parallelism: int, cpu_iterations: int, stall_seconds: float
+) -> StreamEnvironment:
+    """Two chained keyed stages of stalling-hash subtasks.
+
+    Module-level on purpose: ``GraphSpec(build_stall_environment, args)``
+    pickles this function by reference, so spawned workers re-import it
+    and rebuild identical operator instances shared-nothing.
+    """
+    env = StreamEnvironment()
+    (
+        env.source()
+        .key_by(lambda element: element, name="hash-stall")
+        .process(
+            lambda: StallingHashOperator(cpu_iterations, stall_seconds),
+            parallelism=parallelism,
+        )
+        # Second hop re-keys on the upstream subtask index, exercising a
+        # real keyed exchange between stages under every backend.
+        .key_by(lambda element: element[0], name="fold")
+        .process(
+            lambda: StallingHashOperator(cpu_iterations, stall_seconds),
+            parallelism=parallelism,
+        )
+    )
+    return env
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessSweepPoint:
+    """One backend/pool-size measurement over the two-stage workload.
+
+    ``stage_busy_seconds`` sums each stage's per-subtask busy time from
+    the :class:`~repro.streaming.runtime.StageWork` ledger — under the
+    process backend these are measured *inside* the workers, so the
+    breakdown shows where pool time actually went.
+    """
+
+    backend: str
+    workers: int
+    wall_seconds: float
+    speedup_vs_serial: float
+    digest: str
+    stage_busy_seconds: Mapping[str, float]
+
+
+def _drive(
+    job: Job, batches: int, elements_per_batch: int
+) -> tuple[float, str, dict[str, float]]:
+    """Run the job over deterministic batches; wall, digest, busy map."""
+    combined = hashlib.sha256()
+    stage_busy: dict[str, float] = {}
+    started = _time.perf_counter()
+    for batch in range(batches):
+        elements = [
+            batch * elements_per_batch + offset
+            for offset in range(elements_per_batch)
+        ]
+        outputs, works = job.run(elements, ctx=batch)
+        combined.update(repr(outputs).encode("utf-8"))
+        for work in works:
+            stage_busy[work.name] = stage_busy.get(work.name, 0.0) + sum(
+                work.busy_seconds
+            )
+    wall = _time.perf_counter() - started
+    job.close()
+    return wall, combined.hexdigest(), stage_busy
+
+
+def run_process_sweep(
+    parallelism: int = 8,
+    batches: int = 4,
+    elements_per_batch: int = 32,
+    cpu_iterations: int = 1_000,
+    stall_seconds: float = 0.02,
+    process_workers: tuple[int, ...] = (1, 2, 4),
+    parallel_workers: int | None = None,
+) -> list[ProcessSweepPoint]:
+    """Measure serial vs parallel vs process backends on one workload.
+
+    Row order: serial (the speedup baseline), parallel threads at
+    ``parallel_workers`` (default: the largest process pool), then one
+    process row per pool size in ``process_workers``.  Worker spawn and
+    graph warm-up happen at compile time, before the timer starts — the
+    sweep measures steady-state execution, not pool start-up.  Raises
+    :class:`RuntimeError` if any backend's output stream digest differs
+    from serial's.
+    """
+    thread_pool = parallel_workers or max(process_workers)
+    spec = GraphSpec(
+        build_stall_environment, (parallelism, cpu_iterations, stall_seconds)
+    )
+    runs: list[tuple[str, int, object]] = [
+        ("serial", 1, SerialBackend()),
+        ("parallel", thread_pool, ParallelBackend(max_workers=thread_pool)),
+    ]
+    runs += [
+        ("process", workers, ProcessBackend(max_workers=workers))
+        for workers in process_workers
+    ]
+    points: list[ProcessSweepPoint] = []
+    serial_wall: float | None = None
+    serial_digest: str | None = None
+    for name, workers, backend in runs:
+        env = build_stall_environment(
+            parallelism, cpu_iterations, stall_seconds
+        )
+        # bind_graph + worker warm-up run inside compile(), off the clock.
+        job = env.compile(backend=backend, graph_spec=spec)
+        try:
+            wall, digest, stage_busy = _drive(
+                job, batches, elements_per_batch
+            )
+        finally:
+            backend.close()  # sweep-owned instance; job.close() borrows
+        if serial_wall is None:
+            serial_wall, serial_digest = wall, digest
+        if digest != serial_digest:
+            raise RuntimeError(
+                f"backend {name!r} (workers={workers}) emitted a different "
+                "output stream than 'serial'"
+            )
+        points.append(
+            ProcessSweepPoint(
+                backend=name,
+                workers=workers,
+                wall_seconds=wall,
+                speedup_vs_serial=serial_wall / wall if wall > 0 else 1.0,
+                digest=digest,
+                stage_busy_seconds=stage_busy,
+            )
+        )
+    return points

@@ -40,11 +40,13 @@ class ICPEConfig:
         vba_candidate_retention: optional eviction horizon for VBA's
             global candidate list (None = paper semantics, keep all).
         backend: execution backend running the job graph — ``"serial"``
-            (sequential, deterministic, default) or ``"parallel"``
-            (worker-pool concurrency; identical results, measured
-            wall-clock busy times).
-        parallel_workers: worker-pool size for the parallel backend
-            (``None`` = one worker per core, at least 4).
+            (sequential, deterministic, default), ``"parallel"``
+            (thread-pool concurrency; identical results, measured
+            wall-clock busy times) or ``"process"`` (shared-nothing
+            worker processes with shared-memory columnar exchanges;
+            identical results, no GIL contention between subtasks).
+        parallel_workers: worker-pool size for the parallel and process
+            backends (``None`` = one worker per usable core, at least 4).
         clustering_kernel: snapshot-clustering kernel strategy —
             ``"python"`` (the reference object path, default) or
             ``"numpy"`` (vectorized array kernel; identical cluster and

@@ -3,7 +3,8 @@
 ``ICPEPipeline`` describes the four-stage topology through the fluent
 :class:`~repro.streaming.environment.StreamEnvironment` builder — the same
 path any user dataflow takes — compiles it onto the configured execution
-backend (serial or parallel), and executes it per snapshot, collecting
+backend (serial, parallel or process), and executes it per snapshot,
+collecting
 per-stage busy times, the simulated distributed latency/throughput (via
 the cluster cost model) and the deduplicated pattern results.
 """
@@ -33,7 +34,7 @@ from repro.streaming.cluster import ClusterModel
 from repro.streaming.dataflow import StageWork
 from repro.streaming.environment import DataStream, Job, StreamEnvironment
 from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
-from repro.streaming.runtime import resolve_backend
+from repro.streaming.runtime import GraphSpec, resolve_backend
 
 
 def describe_clustering_stages(
@@ -155,6 +156,19 @@ def describe_enumeration_stage(
     )
 
 
+def build_icpe_graph(config: ICPEConfig):
+    """The ICPE job graph for a config (module-level, hence picklable).
+
+    The builder behind the :class:`~repro.streaming.runtime.GraphSpec`
+    every pipeline binds to its backend: process-isolated backends pickle
+    ``(build_icpe_graph, (config,))`` to each worker, which calls it after
+    spawn to instantiate its own operator state — the config is a frozen
+    plain-data dataclass, so the spec crosses the process boundary even
+    though the stage factories themselves are closures.
+    """
+    return ICPEPipeline.build_environment(config).graph()
+
+
 class ICPEPipeline:
     """Snapshot-in, patterns-out execution of the ICPE job graph."""
 
@@ -172,7 +186,8 @@ class ICPEPipeline:
             config.backend, max_workers=config.parallel_workers
         )
         self._job: Job = self.build_environment(config).compile(
-            backend=self._backend
+            backend=self._backend,
+            graph_spec=GraphSpec(build_icpe_graph, (config,)),
         )
         self._runtimes = self._job.runtimes
         self._finished = False
@@ -322,7 +337,14 @@ class ICPEPipeline:
         return meter
 
     def average_cluster_size(self) -> float:
-        """Mean size of the clusters formed so far (Figs. 12-13 curves)."""
+        """Mean size of the clusters formed so far (Figs. 12-13 curves).
+
+        Reads the master-side cluster operator, which a process-isolated
+        backend never executes (worker processes own the live operator
+        state), so under ``backend="process"`` this reports 0.0 — the
+        cluster-size curves are a serial/parallel instrumentation
+        surface, not part of the pattern output contract.
+        """
         operator = self._cluster_operator
         if operator is None or not operator.cluster_sizes:
             return 0.0

@@ -1,7 +1,7 @@
 """Registration of the built-in strategies on a plugin registry.
 
 Every strategy PRs 1-3 introduced ad hoc is re-registered here through
-the one typed extension point: both execution backends
+the one typed extension point: the three execution backends
 (``streaming/runtime/``), both clustering kernels (``kernels/``), both
 enumeration kernels (``enumeration/kernels/``) and the three
 enumerators (baseline / FBA / VBA).  Factories import their modules
@@ -43,6 +43,13 @@ def _parallel_backend(max_workers: int | None = None):
     from repro.streaming.runtime.parallel import ParallelBackend
 
     return ParallelBackend(max_workers=max_workers)
+
+
+def _process_backend(max_workers: int | None = None):
+    """The shared-nothing worker-process backend (shm exchanges)."""
+    from repro.streaming.runtime.process import ProcessBackend
+
+    return ProcessBackend(max_workers=max_workers)
 
 
 # ---------------------------------------------------------- clustering kernels
@@ -181,6 +188,17 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         factory=_parallel_backend,
         capabilities=PluginCapabilities(supports_batch_ingest=True),
         summary="worker-pool execution with batched keyed exchanges",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="backend",
+        name="process",
+        factory=_process_backend,
+        capabilities=PluginCapabilities(
+            supports_batch_ingest=True,
+            supports_process_isolation=True,
+        ),
+        summary="shared-nothing worker processes, shared-memory exchanges",
         source="builtin",
     ),
     PluginSpec(

@@ -44,9 +44,15 @@ class PluginCapabilities:
         supports_batch_ingest: the execution backend routes columnar
             :class:`~repro.model.batch.SnapshotBatch` envelopes through
             its keyed exchanges (batch-shaped exchange: one envelope per
-            destination partition per batch).  Both built-in backends
-            declare it; the pipeline falls back to per-row elements for
+            destination partition per batch).  Every built-in backend
+            declares it; the pipeline falls back to per-row elements for
             backends that do not.
+        supports_process_isolation: the execution backend runs subtasks
+            in separate OS processes (shared-nothing address spaces, no
+            GIL contention) and rebuilds operator state per worker from a
+            bound :class:`~repro.streaming.runtime.base.GraphSpec`
+            instead of receiving it from the caller.  Drivers use this
+            to know the backend needs ``bind_graph()`` before running.
     """
 
     requires_numpy: bool = False
@@ -56,6 +62,7 @@ class PluginCapabilities:
     honours_cell_width: bool = True
     compatible_enumerators: tuple[str, ...] | None = None
     supports_batch_ingest: bool = False
+    supports_process_isolation: bool = False
 
     def flags(self) -> dict[str, object]:
         """The capability fields as a flat name -> value mapping."""
@@ -80,4 +87,6 @@ class PluginCapabilities:
             )
         if self.supports_batch_ingest:
             markers.append("batch-ingest")
+        if self.supports_process_isolation:
+            markers.append("process-isolated")
         return ",".join(markers) if markers else "-"

@@ -100,8 +100,11 @@ class SessionBuilder:
     ) -> "SessionBuilder":
         """Select the execution-backend plugin (and worker-pool size).
 
-        Omitting ``workers`` leaves any previously configured pool size
-        untouched (e.g. one seeded from a base config).
+        Built-in names: ``serial`` / ``parallel`` (threads) /
+        ``process`` (shared-nothing worker processes); ``workers`` sizes
+        the parallel and process pools.  Omitting ``workers`` leaves any
+        previously configured pool size untouched (e.g. one seeded from
+        a base config).
         """
         if workers is not None:
             return self._set(backend=name, parallel_workers=workers)

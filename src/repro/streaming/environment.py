@@ -37,6 +37,7 @@ from repro.streaming.dataflow import (
 )
 from repro.streaming.runtime.base import (
     ExecutionBackend,
+    GraphSpec,
     execute_finish,
     execute_unit,
     resolve_backend,
@@ -154,10 +155,15 @@ class Job:
         self,
         graph: JobGraph,
         backend: ExecutionBackend | str | None = None,
+        graph_spec: GraphSpec | None = None,
     ):
         self.graph = graph
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = resolve_backend(backend)
+        if graph_spec is not None:
+            # Process-isolated backends rebuild operator state per worker
+            # from the spec; in-process backends ignore the offer.
+            self.backend.bind_graph(graph_spec)
         self.runtimes = graph.build_runtimes()
 
     def run(
@@ -202,12 +208,19 @@ class StreamEnvironment:
         return JobGraph(list(self._stages))
 
     def compile(
-        self, backend: ExecutionBackend | str | None = None
+        self,
+        backend: ExecutionBackend | str | None = None,
+        graph_spec: GraphSpec | None = None,
     ) -> Job:
         """Instantiate an independent job over the described topology.
 
         May be called any number of times; each call yields a job with
         fresh operator instances, optionally bound to a non-default
         execution backend (an instance or a name, e.g. ``"parallel"``).
+        ``graph_spec`` — a picklable recipe rebuilding this same
+        topology — is required by process-isolated backends (e.g.
+        ``"process"``), which cannot receive the operator instances
+        compiled here and instead rebuild their own per worker; other
+        backends ignore it.
         """
-        return Job(self.graph(), backend=backend)
+        return Job(self.graph(), backend=backend, graph_spec=graph_spec)

@@ -12,10 +12,15 @@ The runtime package separates *what* a job computes (the
 * :mod:`repro.streaming.runtime.serial` — sequential reference
   execution (default);
 * :mod:`repro.streaming.runtime.parallel` — concurrent subtask
-  execution on a worker pool with batched keyed exchanges and measured
-  wall-clock busy times.
+  execution on a worker pool (threads) with batched keyed exchanges and
+  measured wall-clock busy times;
+* :mod:`repro.streaming.runtime.process` — shared-nothing worker
+  *processes* rebuilding operator state from a picklable
+  :class:`~repro.streaming.runtime.base.GraphSpec`, with columnar
+  envelopes shipped through pooled ``multiprocessing.shared_memory``
+  segments (:mod:`repro.streaming.runtime.shm`).
 
-Both backends drive stages through the same partition/run-subtask
+All backends drive stages through the same partition/run-subtask
 operations and concatenate outputs in subtask-index order, so the emitted
 element sequence — and therefore every detected pattern — is identical
 across backends.
@@ -25,20 +30,31 @@ from repro.streaming.hashing import canonical_encode, stable_hash
 from repro.streaming.runtime.base import (
     BACKENDS,
     ExecutionBackend,
+    GraphSpec,
     execute_finish,
     execute_unit,
     resolve_backend,
 )
 from repro.streaming.runtime.graph import JobGraph
-from repro.streaming.runtime.parallel import ParallelBackend, default_worker_count
+from repro.streaming.runtime.parallel import (
+    ParallelBackend,
+    available_cpu_count,
+    default_worker_count,
+)
+from repro.streaming.runtime.process import ProcessBackend
 from repro.streaming.runtime.serial import SerialBackend
+from repro.streaming.runtime.shm import SegmentPool
 
 __all__ = [
     "BACKENDS",
     "ExecutionBackend",
+    "GraphSpec",
     "JobGraph",
     "ParallelBackend",
+    "ProcessBackend",
+    "SegmentPool",
     "SerialBackend",
+    "available_cpu_count",
     "canonical_encode",
     "default_worker_count",
     "execute_finish",

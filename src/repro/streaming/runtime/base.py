@@ -4,7 +4,7 @@ An :class:`ExecutionBackend` decides *how* one stage's subtasks execute for
 one unit of work — the dataflow semantics (keyed routing, per-subtask
 state, batch triggers) are fixed by
 :class:`~repro.streaming.dataflow.StageRuntime` and shared by every
-backend.  Two implementations ship:
+backend.  Three implementations ship:
 
 * :class:`~repro.streaming.runtime.serial.SerialBackend` — subtasks run
   sequentially in the calling thread (deterministic, zero overhead, the
@@ -12,6 +12,13 @@ backend.  Two implementations ship:
 * :class:`~repro.streaming.runtime.parallel.ParallelBackend` — subtasks of
   a stage run concurrently on a worker pool with real wall-clock
   measurement.
+* :class:`~repro.streaming.runtime.process.ProcessBackend` — subtasks run
+  in a shared-nothing pool of persistent worker processes; columnar
+  keyed-exchange envelopes travel through ``multiprocessing.
+  shared_memory`` segments.  Operator state cannot be shipped across a
+  process boundary, so this backend additionally needs a picklable
+  :class:`GraphSpec` — the recipe each worker uses to rebuild its own
+  operator instances — bound via :meth:`ExecutionBackend.bind_graph`.
 
 The drivers :func:`execute_unit` and :func:`execute_finish` chain stages
 together and are what :class:`~repro.streaming.environment.Job` and the
@@ -22,11 +29,53 @@ legacy :func:`~repro.streaming.dataflow.run_unit` /
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 from repro.streaming.dataflow import StageRuntime, StageWork
 
-BACKENDS = ("serial", "parallel")
+BACKENDS = ("serial", "parallel", "process")
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class GraphSpec:
+    """A picklable recipe for rebuilding a job graph in another process.
+
+    Operator factories are closures (the fluent builder wraps them in
+    lambdas), so a compiled :class:`~repro.streaming.runtime.graph.
+    JobGraph` cannot cross a process boundary.  What *can* cross is the
+    way the graph was described: a module-level builder callable plus
+    plain-data arguments.  Each worker of a process backend calls
+    ``builder(*args, **kwargs)`` after spawn and instantiates its own
+    operator state from the result — the shared-nothing contract.
+
+    ``builder`` must be importable by qualified name (a module-level
+    function or a staticmethod on an importable class — not a lambda or
+    a local closure), and ``args`` / ``kwargs`` must pickle.  It may
+    return a :class:`JobGraph`, a
+    :class:`~repro.streaming.environment.StreamEnvironment`, or a
+    legacy :class:`~repro.streaming.dataflow.Topology`.
+    """
+
+    builder: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def build(self):
+        """Run the builder and normalise its result to a ``JobGraph``."""
+        from repro.streaming.runtime.graph import JobGraph
+
+        described = self.builder(*self.args, **self.kwargs)
+        if isinstance(described, JobGraph):
+            return described
+        if hasattr(described, "graph"):  # StreamEnvironment
+            return described.graph()
+        if hasattr(described, "to_graph"):  # legacy Topology
+            return described.to_graph()
+        raise TypeError(
+            f"GraphSpec builder must return a JobGraph, StreamEnvironment "
+            f"or Topology, got {type(described).__name__}"
+        )
 
 
 class ExecutionBackend(ABC):
@@ -47,6 +96,24 @@ class ExecutionBackend(ABC):
     #: backends with custom exchange implementations — the pipeline
     #: falls back to per-row elements for them.
     supports_batch_ingest: bool = False
+
+    #: Whether the backend runs subtasks in separate OS processes
+    #: (shared-nothing address spaces, no GIL contention between
+    #: subtasks).  Such backends cannot receive operator state from the
+    #: caller and instead rebuild it per worker from a bound
+    #: :class:`GraphSpec`.
+    supports_process_isolation: bool = False
+
+    def bind_graph(self, spec: GraphSpec) -> None:
+        """Offer the backend a picklable description of the job graph.
+
+        Drivers that know how their graph was described (the ICPE
+        pipeline, ``StreamEnvironment.compile(graph_spec=...)``) call
+        this before running.  In-process backends ignore it — their
+        subtask state arrives fully built inside each
+        :class:`StageRuntime` — while process-isolated backends use it
+        to rebuild operator state inside every worker.
+        """
 
     @abstractmethod
     def run_stage(

@@ -38,13 +38,42 @@ from repro.streaming.dataflow import StageRuntime, StageWork, count_elements
 from repro.streaming.runtime.base import ExecutionBackend
 
 
+def available_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the host's cores, which over-provisions
+    worker pools inside cgroup/affinity-limited containers (a 4-CPU
+    quota on a 64-core host would get 32 workers).  Prefer, in order:
+    ``os.process_cpu_count()`` (Python 3.13+, respects affinity and
+    ``PYTHON_CPU_COUNT``), ``os.sched_getaffinity`` (Linux), and only
+    then the raw core count.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        counted = process_cpu_count()
+        if counted:
+            return counted
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            affinity = len(os.sched_getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms only
+            affinity = 0
+        if affinity:
+            return affinity
+    return os.cpu_count() or 1
+
+
 def default_worker_count() -> int:
-    """Worker-pool size when none is requested: every core, at least 4.
+    """Worker-pool size when none is requested: every usable core, at
+    least 4.
 
     At least 4 so that stalls still overlap on small machines; capped at
-    32 so a wide stage on a huge host does not explode the thread count.
+    32 so a wide stage on a huge host does not explode the worker count.
+    Shared by the thread-pool (``parallel``) and worker-process
+    (``process``) backends; "usable" is the affinity-aware
+    :func:`available_cpu_count`, not the raw core count.
     """
-    return max(4, min(32, os.cpu_count() or 1))
+    return max(4, min(32, available_cpu_count()))
 
 
 class ParallelBackend(ExecutionBackend):

@@ -1,0 +1,102 @@
+"""A pooled allocator for ``multiprocessing.shared_memory`` segments.
+
+Creating and unlinking a shared-memory segment costs two syscalls plus a
+``/dev/shm`` file each — paid per envelope per stage, that would dwarf
+the copy it avoids.  :class:`SegmentPool` amortises the cost: segments
+are created in power-of-two size classes and returned to a free list on
+:meth:`release`, so a steady-state pipeline reuses the same few segments
+for every snapshot.  The pool is owned by the master process (the
+process backend); workers only ever *attach* to named segments and never
+create or unlink them.
+
+Sizing note: a segment acquired for ``nbytes`` may be larger (its size
+class), and ``/dev/shm`` rounds to page size besides — readers must take
+row counts from the envelope descriptor, never from the buffer length.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+
+def _size_class(nbytes: int) -> int:
+    """Smallest power-of-two size class holding ``nbytes`` (min 4096)."""
+    size = 4096
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+class SegmentPool:
+    """Create-once, reuse-forever shared-memory segments (master side).
+
+    ``acquire`` hands out a segment of the requested capacity (reusing a
+    free one of the same size class when possible), ``release`` returns
+    it to the free list, ``retire`` destroys one segment early, and
+    ``close`` unlinks everything — the pool owns every segment it ever
+    created until then.
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[str, shared_memory.SharedMemory] = {}
+        self._free: dict[int, list[str]] = {}
+        self._closed = False
+
+    def __len__(self) -> int:
+        """Number of segments currently owned (free and in flight)."""
+        return len(self._live)
+
+    def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A segment with capacity for ``nbytes`` (possibly larger)."""
+        if self._closed:
+            raise RuntimeError("segment pool already closed")
+        size = _size_class(nbytes)
+        free = self._free.get(size)
+        if free:
+            return self._live[free.pop()]
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        self._live[segment.name] = segment
+        return segment
+
+    def release(self, name: str) -> None:
+        """Return a segment to the free list (unknown names are ignored —
+        the segment may have been retired while the release was in
+        flight)."""
+        segment = self._live.get(name)
+        if segment is None or self._closed:
+            return
+        self._free.setdefault(segment.size, []).append(name)
+
+    def retire(self, name: str) -> None:
+        """Destroy one segment now instead of pooling it.
+
+        Used when a release fails cleanly (e.g. a reader still holds
+        views, so ``close`` would raise ``BufferError`` later) — the
+        segment is dropped from the pool and unlinked so nothing leaks.
+        """
+        segment = self._live.pop(name, None)
+        if segment is None:
+            return
+        for names in self._free.values():
+            if name in names:
+                names.remove(name)
+        self._destroy(segment)
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent)."""
+        self._closed = True
+        live, self._live = self._live, {}
+        self._free = {}
+        for segment in live.values():
+            self._destroy(segment)
+
+    @staticmethod
+    def _destroy(segment: shared_memory.SharedMemory) -> None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass

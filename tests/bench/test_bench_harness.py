@@ -135,8 +135,8 @@ class TestBackendRunner:
         points = run_backend_comparison(
             small_dataset, config, parallel_workers=2
         )
-        assert [p.backend for p in points] == ["serial", "parallel"]
-        assert points[0].patterns == points[1].patterns
+        assert [p.backend for p in points] == ["serial", "parallel", "process"]
+        assert points[0].patterns == points[1].patterns == points[2].patterns
         assert points[0].speedup_vs_serial == 1.0
         assert all(p.wall_seconds > 0 for p in points)
 
@@ -173,6 +173,24 @@ class TestBackendRunner:
         assert points[0].digest == points[1].digest
         assert points[0].backend == "serial"
         assert points[1].workers == 3
+
+    def test_process_sweep_identical_outputs(self):
+        from repro.bench.process_workload import run_process_sweep
+
+        points = run_process_sweep(
+            parallelism=2,
+            batches=1,
+            elements_per_batch=4,
+            cpu_iterations=10,
+            stall_seconds=0.0,
+            process_workers=(2,),
+        )
+        assert [p.backend for p in points] == ["serial", "parallel", "process"]
+        # run_process_sweep itself raises on digest divergence; the
+        # single digest here is the belt to that suspenders.
+        assert len({p.digest for p in points}) == 1
+        for point in points:
+            assert set(point.stage_busy_seconds) == {"hash-stall", "fold"}
 
     def test_clustering_job_through_environment(self, small_dataset):
         from repro.bench.harness import build_clustering_job

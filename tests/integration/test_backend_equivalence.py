@@ -1,10 +1,13 @@
-"""Serial/parallel backend equivalence on end-to-end detection scenarios.
+"""Backend equivalence on end-to-end detection scenarios.
 
-The runtime contract: both execution backends route every element to the
-same subtask (stable hashing), process buckets in the same per-subtask
-order, and concatenate outputs in subtask-index order — so the full ICPE
-pipeline must detect the *identical* pattern set, with identical
-detection times, under either backend.
+The runtime contract: every execution backend (serial, parallel threads,
+shared-nothing processes) routes every element to the same subtask
+(stable hashing), processes buckets in the same per-subtask order, and
+concatenates outputs in subtask-index order — so the full ICPE pipeline
+must detect the *identical* pattern set, with identical detection times,
+under any backend.  For the process backend the bar is event-for-event
+session equality (including ``WatermarkAdvanced``) across the
+backend × clustering-kernel × enumeration-kernel grid.
 """
 
 import random
@@ -16,6 +19,8 @@ from repro.core.detector import CoMovementDetector
 from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
 from repro.data.taxi import TaxiConfig, generate_taxi
 from repro.model.constraints import PatternConstraints
+from repro.session import Session
+from repro.session.events import event_to_dict
 from repro.streaming.shuffle import bounded_shuffle
 
 CONSTRAINTS = PatternConstraints(m=3, k=5, l=2, g=2)
@@ -111,3 +116,76 @@ class TestBackendEquivalence:
             make_config(dataset, backend="parallel", parallel_workers=3),
         )
         assert serial_patterns == parallel_patterns
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return generate_brinkhoff(BrinkhoffConfig(n_objects=30, horizon=10, seed=11))
+
+
+def session_events(dataset, config):
+    """The full typed event stream of one session over the dataset."""
+    with Session(config) as session:
+        events = session.feed_many(dataset.records)
+        events += session.finish()
+        result = session.result()
+    return [event_to_dict(event) for event in events], result
+
+
+class TestProcessBackendEquivalence:
+    """serial ≡ process, event for event, across the kernel grid."""
+
+    @pytest.mark.parametrize(
+        "clustering_kernel,enumeration_kernel",
+        [
+            ("python", "python"),
+            ("python", "numpy"),
+            ("numpy", "python"),
+            ("numpy", "numpy"),
+        ],
+    )
+    def test_event_streams_identical(
+        self, small_dataset, clustering_kernel, enumeration_kernel
+    ):
+        if "numpy" in (clustering_kernel, enumeration_kernel):
+            pytest.importorskip("numpy")
+        configs = {
+            backend: make_config(
+                small_dataset,
+                enumerator="fba",
+                backend=backend,
+                parallel_workers=2 if backend == "process" else None,
+                clustering_kernel=clustering_kernel,
+                enumeration_kernel=enumeration_kernel,
+            )
+            for backend in ("serial", "process")
+        }
+        serial_events, serial_result = session_events(
+            small_dataset, configs["serial"]
+        )
+        process_events, process_result = session_events(
+            small_dataset, configs["process"]
+        )
+        assert serial_events == process_events
+        assert any(e["kind"] == "pattern" for e in serial_events)
+        assert any(e["kind"] == "watermark" for e in serial_events)
+        assert serial_result.patterns == process_result.patterns
+        assert serial_result.snapshots == process_result.snapshots
+        assert process_result.backend == "process"
+
+    def test_process_parallel_cross_check(self, small_dataset):
+        """The three-way closure: parallel ≡ process on pattern sets."""
+        _, parallel_patterns = detect(
+            small_dataset,
+            make_config(
+                small_dataset, backend="parallel", parallel_workers=3
+            ),
+        )
+        _, process_patterns = detect(
+            small_dataset,
+            make_config(
+                small_dataset, backend="process", parallel_workers=3
+            ),
+        )
+        assert parallel_patterns == process_patterns
+        assert len(process_patterns) > 0

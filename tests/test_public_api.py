@@ -64,8 +64,8 @@ class TestSurfaceLock:
         for name in repro.__all__:
             assert getattr(repro, name) is not None, name
 
-    def test_version_is_2_1(self):
-        assert repro.__version__ == "2.1.0"
+    def test_version_is_2_2(self):
+        assert repro.__version__ == "2.2.0"
 
 
 class TestLazyMachinery:
