@@ -52,7 +52,7 @@ from repro.model import (
     Trajectory,
 )
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 #: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
 #: registry machinery), mapped to their home modules.
@@ -60,6 +60,8 @@ _LAZY_EXPORTS = {
     "CoMovementDetector": "repro.core.detector",
     "ICPEConfig": "repro.core.config",
     "ICPEPipeline": "repro.core.icpe",
+    "Checkpoint": "repro.state",
+    "CheckpointError": "repro.state",
     "CallbackSink": "repro.session",
     "ConvoyDelta": "repro.session",
     "JsonlSink": "repro.session",

@@ -264,7 +264,7 @@ def run_clustering_point(
         grid_pct=grid_pct,
         avg_latency_ms=run.average_latency_ms(),
         throughput_tps=run.throughput_tps(),
-        clusters=len(cluster_operator.cluster_sizes),
+        clusters=cluster_operator.clusters_formed,
     )
 
 

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.bench.report import format_table
@@ -36,6 +38,7 @@ from repro.kernels import numpy_available
 from repro.model.constraints import PatternConstraints
 from repro.registry import PLUGIN_KINDS, PluginError, default_registry
 from repro.session import JsonlSink, Session
+from repro.state import Checkpoint, CheckpointError
 
 GENERATORS = {
     "brinkhoff": (generate_brinkhoff, BrinkhoffConfig),
@@ -143,6 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", default=None,
         help="also write the patterns as JSON to this path",
     )
+    detect.add_argument(
+        "--checkpoint-dir", default=None,
+        help="save periodic checkpoints into this directory "
+             "(checkpoint-<watermark>.ckpt, loadable via --restore-from)",
+    )
+    detect.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="watermarks between periodic checkpoints "
+             "(requires --checkpoint-dir)",
+    )
+    detect.add_argument(
+        "--restore-from", default=None,
+        help="resume from a checkpoint file; detection parameters come "
+             "from the checkpoint (only --backend/--workers may differ) "
+             "and already-ingested records are skipped",
+    )
     return parser
 
 
@@ -237,32 +256,83 @@ def cmd_detect(args: argparse.Namespace) -> int:
     if reason is not None:
         print(f"error: {reason}", file=sys.stderr)
         return 2
+    if args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
     dataset = TrajectoryDataset.load_csv(args.input)
-    config = ICPEConfig(
-        epsilon=dataset.resolve_percentage(args.epsilon_pct),
-        cell_width=dataset.resolve_percentage(args.grid_pct),
-        min_pts=args.min_pts,
-        constraints=PatternConstraints(m=args.m, k=args.k, l=args.l, g=args.g),
-        enumerator=args.enumerator,
-        max_delay=args.max_delay,
-        backend=args.backend,
-        parallel_workers=args.workers,
-        clustering_kernel=args.kernel,
-        enumeration_kernel=args.enum_kernel,
-    )
+    restore = None
+    skip = 0
+    if args.restore_from is not None:
+        try:
+            restore = Checkpoint.load(args.restore_from)
+        except (OSError, CheckpointError) as error:
+            print(f"error: --restore-from: {error}", file=sys.stderr)
+            return 2
+        skip = restore.records_ingested
+        # Detection parameters must match the checkpointed run exactly;
+        # only the execution surface may change, so the config is the
+        # checkpoint's with the backend flags applied on top.
+        config = replace(
+            restore.config,
+            backend=args.backend,
+            parallel_workers=args.workers,
+        )
+    else:
+        config = ICPEConfig(
+            epsilon=dataset.resolve_percentage(args.epsilon_pct),
+            cell_width=dataset.resolve_percentage(args.grid_pct),
+            min_pts=args.min_pts,
+            constraints=PatternConstraints(
+                m=args.m, k=args.k, l=args.l, g=args.g
+            ),
+            enumerator=args.enumerator,
+            max_delay=args.max_delay,
+            backend=args.backend,
+            parallel_workers=args.workers,
+            clustering_kernel=args.kernel,
+            enumeration_kernel=args.enum_kernel,
+        )
+    if args.checkpoint_dir is not None:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+
+    def save_checkpoint(session: Session, events) -> None:
+        """Checkpoint after every ``--checkpoint-every``-th watermark."""
+        for event in events:
+            if event.kind != "watermark":
+                continue
+            pending["watermarks"] += 1
+            if pending["watermarks"] % args.checkpoint_every:
+                continue
+            path = os.path.join(
+                args.checkpoint_dir, f"checkpoint-{event.time}.ckpt"
+            )
+            session.checkpoint().save(path)
+            print(f"checkpoint saved: {path}", file=sys.stderr)
+
+    pending = {"watermarks": 0}
     # Context-managed so the backend's worker pool is released even if a
     # sink or the pipeline raises mid-run.
-    with Session(config) as session:
+    with Session(config, restore=restore) as session:
         if args.output == "json":
             session.subscribe(JsonlSink(sys.stdout))
-        if args.batch_size > 0:
+        if skip:
+            print(
+                f"restored from {args.restore_from}: skipping {skip} "
+                "already-ingested records",
+                file=sys.stderr,
+            )
+        if args.batch_size > 0 and not skip:
             # Columnar ingestion: the CSV workload streams through the
             # session in RecordBatch chunks of the configured size.
             for batch in dataset.batches(args.batch_size):
-                session.feed_batch(batch)
+                events = session.feed_batch(batch)
+                if args.checkpoint_dir is not None:
+                    save_checkpoint(session, events)
         else:
-            for record in dataset.records:
-                session.feed(record)
+            for record in dataset.records[skip:]:
+                events = session.feed(record)
+                if args.checkpoint_dir is not None:
+                    save_checkpoint(session, events)
         session.finish()
 
     store = session.store()

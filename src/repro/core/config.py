@@ -35,6 +35,11 @@ class ICPEConfig:
         rtree_fanout: local R-tree node capacity.
         lemma1 / lemma2 / local_index: ablation switches (paper: on/rtree).
         max_delay: bounded-delay guarantee for time synchronisation.
+        trajectory_ttl: optional bound on time-sync state — a trajectory
+            idle for more than this many time units behind the watermark
+            is evicted, and a later reappearance is treated as a fresh
+            object (None = keep every chain forever).  Must exceed
+            ``max_delay``.
         cluster: the simulated cluster (nodes, cores, exchange cost).
         ba_max_partition_size: BA's subset-materialisation cap.
         vba_candidate_retention: optional eviction horizon for VBA's
@@ -83,6 +88,7 @@ class ICPEConfig:
     lemma2: bool = True
     local_index: str = "rtree"
     max_delay: int = 0
+    trajectory_ttl: int | None = None
     cluster: ClusterModel = field(default_factory=ClusterModel)
     ba_max_partition_size: int = 20
     vba_candidate_retention: int | None = None
@@ -108,6 +114,13 @@ class ICPEConfig:
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1: {self.parallel_workers}"
+            )
+        if self.trajectory_ttl is not None and (
+            self.trajectory_ttl <= self.max_delay
+        ):
+            raise ValueError(
+                f"trajectory_ttl must be > max_delay ({self.max_delay}): "
+                f"{self.trajectory_ttl}"
             )
         # Strategy names and their cross-axis combinations are validated
         # against the plugin registry: unknown names and invalid

@@ -32,9 +32,17 @@ from repro.model.pattern import CoMovementPattern
 from repro.model.snapshot import ClusterSnapshot, Snapshot
 from repro.streaming.cluster import ClusterModel
 from repro.streaming.dataflow import StageWork
+from repro.state.codec import decode_payload, digest_of
 from repro.streaming.environment import DataStream, Job, StreamEnvironment
 from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
 from repro.streaming.runtime import GraphSpec, resolve_backend
+
+#: Cluster-state view when no cluster aggregates are available (yet).
+_EMPTY_CLUSTER_STATE = {
+    "clusters_formed": 0,
+    "cluster_size_sum": 0,
+    "last_snapshot": None,
+}
 
 
 def describe_clustering_stages(
@@ -192,6 +200,14 @@ class ICPEPipeline:
         self._runtimes = self._job.runtimes
         self._finished = False
         self._last_time: int | None = None
+        #: Incremental-capture cache: last seen digest and encoded payload
+        #: per (stage, subtask) — unchanged operators reuse these bytes.
+        self._state_digests: dict[tuple[str, int], str] = {}
+        self._state_payloads: dict[tuple[str, int], bytes] = {}
+        #: Cluster-state fetch cache for process-isolated backends,
+        #: keyed on the snapshot count at fetch time.
+        self._cluster_state_cache: tuple[int, dict] | None = None
+        self._cluster_final_state: dict | None = None
         # Exposed for the harness: average cluster size (Figs. 12-13).
         self._cluster_operator: ClusterOperator | KernelClusterOperator | None
         self._cluster_operator = None
@@ -274,6 +290,13 @@ class ICPEPipeline:
             return []
         self._finished = True
         outputs, _works = self._job.finish()
+        if getattr(self._backend, "supports_process_isolation", False):
+            # The workers are about to go away; keep their final cluster
+            # aggregates readable for post-run instrumentation.
+            try:
+                self._cluster_final_state = self._fetch_cluster_state()
+            except RuntimeError:  # pragma: no cover - dead worker
+                pass
         self.close()
         patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
         time = self._last_time if self._last_time is not None else 0
@@ -339,22 +362,21 @@ class ICPEPipeline:
     def average_cluster_size(self) -> float:
         """Mean size of the clusters formed so far (Figs. 12-13 curves).
 
-        Reads the master-side cluster operator, which a process-isolated
-        backend never executes (worker processes own the live operator
-        state), so under ``backend="process"`` this reports 0.0 — the
-        cluster-size curves are a serial/parallel instrumentation
-        surface, not part of the pattern output contract.
+        Works under every backend: in-process backends read the live
+        master-side cluster operator; a process-isolated backend fetches
+        the owning worker's aggregates through the reply protocol's
+        ``state`` command (cached per processed snapshot, final values
+        retained past :meth:`finish`).
         """
-        operator = self._cluster_operator
-        if operator is None or not operator.cluster_sizes:
+        state = self._cluster_state()
+        if not state["clusters_formed"]:
             return 0.0
-        return sum(operator.cluster_sizes) / len(operator.cluster_sizes)
+        return state["cluster_size_sum"] / state["clusters_formed"]
 
     @property
     def clusters_formed(self) -> int:
         """Total number of clusters formed across processed snapshots."""
-        operator = self._cluster_operator
-        return len(operator.cluster_sizes) if operator else 0
+        return self._cluster_state()["clusters_formed"]
 
     @property
     def job(self) -> Job:
@@ -378,11 +400,158 @@ class ICPEPipeline:
 
     @property
     def last_cluster_snapshot(self) -> ClusterSnapshot | None:
-        """Clusters of the most recently processed snapshot (any kernel)."""
-        operator = self._cluster_operator
-        return operator.last_cluster_snapshot if operator else None
+        """Clusters of the most recently processed snapshot (any backend)."""
+        return self._cluster_state()["last_snapshot"]
 
     @property
     def patterns(self) -> list[CoMovementPattern]:
         """Every distinct pattern detected so far."""
         return self.collector.patterns()
+
+    # ------------------------------------------------------------ cluster state
+
+    def _cluster_state(self) -> dict:
+        """The cluster stage's aggregates, wherever the live operator is."""
+        if getattr(self._backend, "supports_process_isolation", False):
+            if self._finished:
+                return self._cluster_final_state or _EMPTY_CLUSTER_STATE
+            return self._fetch_cluster_state()
+        operator = self._cluster_operator
+        if operator is None:
+            return _EMPTY_CLUSTER_STATE
+        return {
+            "clusters_formed": operator.clusters_formed,
+            "cluster_size_sum": operator.cluster_size_sum,
+            "last_snapshot": operator.last_cluster_snapshot,
+        }
+
+    def _fetch_cluster_state(self) -> dict:
+        """Fetch the cluster subtask's payload from its owning worker.
+
+        One round-trip per processed snapshot at most: the result is
+        cached against the snapshot count, so repeated reads (the convoy
+        tracker plus the harness) reuse it.
+        """
+        marker = self.meter.snapshots
+        if (
+            self._cluster_state_cache is not None
+            and self._cluster_state_cache[0] == marker
+        ):
+            return self._cluster_state_cache[1]
+        runtime = next(
+            (r for r in self._runtimes if r.stage.name == "cluster"), None
+        )
+        if runtime is None:  # pragma: no cover - graph without clustering
+            return _EMPTY_CLUSTER_STATE
+        state = dict(_EMPTY_CLUSTER_STATE)
+        for _index, _digest, data in self._backend.collect_states(runtime):
+            payload = decode_payload(data)
+            state["clusters_formed"] += payload["clusters_formed"]
+            state["cluster_size_sum"] += payload["cluster_size_sum"]
+            if payload["last_snapshot"] is not None:
+                state["last_snapshot"] = payload["last_snapshot"]
+        self._cluster_state_cache = (marker, state)
+        return state
+
+    # ------------------------------------------------------------- checkpoints
+
+    @property
+    def supports_checkpoint(self) -> bool:
+        """Whether the configured backend can capture operator state."""
+        return bool(getattr(self._backend, "supports_checkpoint", False))
+
+    def collect_operator_states(
+        self,
+    ) -> tuple[dict[tuple[str, int], bytes], int, int]:
+        """Capture every stage's operator state for a checkpoint.
+
+        Incremental: each stateful subtask's payload digest is compared
+        against the previous capture, and unchanged operators reuse the
+        cached bytes instead of re-serialising (process workers answer
+        with the digest only).  Returns ``(states, captured, reused)``
+        where ``states`` maps ``(stage_name, subtask_index)`` to encoded
+        payload bytes.
+        """
+        if not self.supports_checkpoint:
+            raise RuntimeError(
+                f"backend {self._backend.name!r} does not support "
+                "checkpointing (supports_checkpoint is False)"
+            )
+        if self._finished:
+            raise RuntimeError("pipeline already finished")
+        states: dict[tuple[str, int], bytes] = {}
+        captured = reused = 0
+        for runtime in self._runtimes:
+            stage = runtime.stage.name
+            known = {
+                index: digest
+                for (name, index), digest in self._state_digests.items()
+                if name == stage
+            }
+            for index, digest, data in self._backend.collect_states(
+                runtime, known
+            ):
+                key = (stage, index)
+                if data is None:
+                    data = self._state_payloads[key]
+                    reused += 1
+                else:
+                    captured += 1
+                self._state_digests[key] = digest
+                self._state_payloads[key] = data
+                states[key] = data
+        return states, captured, reused
+
+    def restore_operator_states(
+        self, states: dict[tuple[str, int], bytes]
+    ) -> None:
+        """Restore a checkpoint's operator payloads into the job graph.
+
+        Also seeds the incremental-capture cache, so the first checkpoint
+        taken after a restore reuses every still-unchanged payload.
+        """
+        if not self.supports_checkpoint:
+            raise RuntimeError(
+                f"backend {self._backend.name!r} does not support "
+                "checkpointing (supports_checkpoint is False)"
+            )
+        by_stage: dict[str, list[tuple[int, bytes]]] = {}
+        for (stage, index), data in states.items():
+            by_stage.setdefault(stage, []).append((index, data))
+        known_stages = {runtime.stage.name for runtime in self._runtimes}
+        unknown = sorted(set(by_stage) - known_stages)
+        if unknown:
+            raise ValueError(
+                f"checkpoint carries state for stages {unknown} that are "
+                f"not part of this pipeline ({sorted(known_stages)}); was "
+                "it taken under a different kernel configuration?"
+            )
+        for runtime in self._runtimes:
+            payloads = by_stage.get(runtime.stage.name)
+            if payloads:
+                self._backend.restore_states(runtime, sorted(payloads))
+        for key, data in states.items():
+            self._state_digests[key] = digest_of(data)
+            self._state_payloads[key] = data
+        self._cluster_state_cache = None
+
+    def state_metrics(self) -> dict[str, dict[str, int]]:
+        """Per-component memory accounting across the whole pipeline.
+
+        One entry per stage (subtask metrics summed), plus the
+        master-side collector and meter.  Stage metrics require a
+        checkpoint-capable backend and a running job; after
+        :meth:`finish` only the master-side components report.
+        """
+        metrics: dict[str, dict[str, int]] = {}
+        if self.supports_checkpoint and not self._finished:
+            for runtime in self._runtimes:
+                merged: dict[str, int] = {}
+                for _index, sub in self._backend.collect_metrics(runtime):
+                    for key, value in sub.items():
+                        merged[key] = merged.get(key, 0) + value
+                if merged:
+                    metrics[runtime.stage.name] = merged
+        metrics["collector"] = self.collector.state_metrics()
+        metrics["meter"] = self.meter.state_metrics()
+        return metrics

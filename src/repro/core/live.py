@@ -107,6 +107,28 @@ class ConvoyTracker:
         self._candidates = []
         return out
 
+    def snapshot_state(self) -> dict:
+        """Open candidates and the tracker clock as plain data."""
+        return {
+            "candidates": [
+                (tuple(sorted(c.members)), c.start, c.end)
+                for c in self._candidates
+            ],
+            "last_time": self._last_time,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._candidates = [
+            ConvoyCandidate(frozenset(members), start, end)
+            for members, start, end in payload["candidates"]
+        ]
+        self._last_time = payload["last_time"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: open convoy candidates."""
+        return {"convoy_candidates": len(self._candidates)}
+
     def active(self, min_duration: int = 1) -> list[ConvoyCandidate]:
         """The live view: open groups with at least ``min_duration`` ticks."""
         return sorted(

@@ -80,6 +80,10 @@ class QueryOperator(Operator):
         self._cells.clear()
         return pairs
 
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: per-snapshot GR-index fragments buffered."""
+        return {"buffered_cells": len(self._cells)}
+
 
 class ClusterOperator(Operator):
     """GridSync + DBSCAN + id-based partitioning (single collecting subtask)."""
@@ -90,7 +94,8 @@ class ClusterOperator(Operator):
         self.dedup = dedup
         self._pairs: list[tuple[int, int]] = []
         self.last_cluster_snapshot: ClusterSnapshot | None = None
-        self.cluster_sizes: list[int] = []
+        self.clusters_formed = 0
+        self.cluster_size_sum = 0
 
     def process(self, element: tuple[int, int]) -> Iterable[Any]:
         """Collect one neighbour pair (the GridSync role)."""
@@ -105,16 +110,48 @@ class ClusterOperator(Operator):
         result = dbscan_from_pairs(oids, pairs, self.min_pts)
         self._pairs.clear()
         snapshot = result.to_snapshot(time)
-        self.last_cluster_snapshot = snapshot
-        self.cluster_sizes.extend(
-            len(members) for members in snapshot.clusters.values()
-        )
+        self._account(snapshot)
         return [
             (time, anchor, members)
             for anchor, members in sorted(
                 id_partitions(snapshot, self.significance).items()
             )
         ]
+
+    def _account(self, snapshot: ClusterSnapshot) -> None:
+        """Fold one snapshot into the bounded cluster aggregates.
+
+        Counts and a size sum replace the old unbounded per-cluster size
+        list: ``average_cluster_size`` only ever needed the ratio, and a
+        never-ending session must not grow a list per snapshot.
+        """
+        self.last_cluster_snapshot = snapshot
+        self.clusters_formed += len(snapshot.clusters)
+        self.cluster_size_sum += sum(
+            len(members) for members in snapshot.clusters.values()
+        )
+
+    def snapshot_state(self) -> dict:
+        """Cluster aggregates plus the last emitted cluster snapshot."""
+        return {
+            "clusters_formed": self.clusters_formed,
+            "cluster_size_sum": self.cluster_size_sum,
+            "last_snapshot": self.last_cluster_snapshot,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.clusters_formed = payload["clusters_formed"]
+        self.cluster_size_sum = payload["cluster_size_sum"]
+        self.last_cluster_snapshot = payload["last_snapshot"]
+        self._pairs.clear()
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: buffered pairs and lifetime cluster counts."""
+        return {
+            "buffered_pairs": len(self._pairs),
+            "clusters_formed": self.clusters_formed,
+        }
 
 
 class KernelClusterOperator(Operator):
@@ -136,7 +173,8 @@ class KernelClusterOperator(Operator):
         self._points: list[tuple[int, float, float]] = []
         self._blocks: list[SnapshotBatch] = []
         self.last_cluster_snapshot: ClusterSnapshot | None = None
-        self.cluster_sizes: list[int] = []
+        self.clusters_formed = 0
+        self.cluster_size_sum = 0
 
     def process(
         self, element: tuple[int, float, float]
@@ -173,16 +211,39 @@ class KernelClusterOperator(Operator):
         if self.kernel.min_pts == 1:
             groups = [members for members in groups if len(members) >= 2]
         snapshot = ClusterSnapshot.from_groups(time, groups)
-        self.last_cluster_snapshot = snapshot
-        self.cluster_sizes.extend(
-            len(members) for members in snapshot.clusters.values()
-        )
+        self._account(snapshot)
         return [
             (time, anchor, members)
             for anchor, members in sorted(
                 id_partitions(snapshot, self.significance).items()
             )
         ]
+
+    _account = ClusterOperator._account
+
+    def snapshot_state(self) -> dict:
+        """Cluster aggregates plus the last emitted cluster snapshot."""
+        return {
+            "clusters_formed": self.clusters_formed,
+            "cluster_size_sum": self.cluster_size_sum,
+            "last_snapshot": self.last_cluster_snapshot,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.clusters_formed = payload["clusters_formed"]
+        self.cluster_size_sum = payload["cluster_size_sum"]
+        self.last_cluster_snapshot = payload["last_snapshot"]
+        self._points.clear()
+        self._blocks.clear()
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: buffered locations and cluster counts."""
+        return {
+            "buffered_points": len(self._points),
+            "buffered_blocks": len(self._blocks),
+            "clusters_formed": self.clusters_formed,
+        }
 
     def _cluster_buffered(self):
         """Cluster whatever the snapshot buffered, preferring columns.
@@ -270,6 +331,33 @@ class EnumerateOperator(Operator):
             out.extend(self._enumerators[anchor].finish())
         return out
 
+    def snapshot_state(self) -> dict:
+        """Per-anchor enumerator payloads, keyed by anchor id."""
+        return {
+            "anchors": {
+                anchor: self._enumerators[anchor].snapshot_state()
+                for anchor in sorted(self._enumerators)
+            }
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Rebuild each anchor's enumerator through the factory, then
+        hand it its captured payload."""
+        self._enumerators = {}
+        for anchor, sub_payload in payload["anchors"].items():
+            enumerator = self.factory(anchor)
+            enumerator.restore_state(sub_payload)
+            self._enumerators[anchor] = enumerator
+        self._received = set()
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: hosted anchors plus summed enumerator metrics."""
+        metrics = {"anchors": len(self._enumerators)}
+        for enumerator in self._enumerators.values():
+            for key, value in enumerator.state_metrics().items():
+                metrics[key] = metrics.get(key, 0) + value
+        return metrics
+
 
 class BatchedEnumerateOperator(Operator):
     """Whole-subtask enumeration through a batched kernel strategy.
@@ -313,6 +401,24 @@ class BatchedEnumerateOperator(Operator):
     def finish(self) -> Iterable[Any]:
         """Flush the kernel's state at end of stream."""
         return self.kernel.finish()
+
+    def snapshot_state(self) -> dict:
+        """The kernel's payload plus any records buffered pre-trigger."""
+        return {
+            "kernel": self.kernel.snapshot_state(),
+            "records": list(self._records),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.kernel.restore_state(payload["kernel"])
+        self._records = list(payload["records"])
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: kernel metrics plus the pre-trigger buffer."""
+        metrics = dict(self.kernel.state_metrics())
+        metrics["buffered_records"] = len(self._records)
+        return metrics
 
 
 def make_enumerator_factory(

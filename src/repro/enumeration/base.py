@@ -45,6 +45,27 @@ class AnchorEnumerator(ABC):
         """
         return False
 
+    def snapshot_state(self) -> dict:
+        """Serializable payload capturing the anchor machine's state.
+
+        Every built-in enumerator implements the pair; a third-party
+        enumerator without it makes the hosting stage's checkpoint fail
+        loudly rather than silently dropping its state.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting (entry counts); empty for unknown machines."""
+        return {}
+
 
 class PatternCollector:
     """Deduplicating sink for detected patterns.
@@ -78,3 +99,18 @@ class PatternCollector:
 
     def __len__(self) -> int:
         return len(self._seen)
+
+    def snapshot_state(self) -> dict:
+        """The detection log (``_seen`` is derivable and rebuilt on restore)."""
+        return {"detections": list(self.detections)}
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.detections = list(payload["detections"])
+        self._seen = {
+            pattern.objects: pattern for _, pattern in self.detections
+        }
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: size of the dedup map / detection log."""
+        return {"patterns": len(self._seen), "detections": len(self.detections)}

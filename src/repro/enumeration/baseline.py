@@ -91,6 +91,33 @@ class BAEnumerator(AnchorEnumerator):
         """True when no window is pending."""
         return not self._pending_starts
 
+    def snapshot_state(self) -> dict:
+        """Window contents, pending starts and counters as plain data."""
+        return {
+            "window": {
+                t: tuple(sorted(self._window[t])) for t in sorted(self._window)
+            },
+            "pending_starts": list(self._pending_starts),
+            "last_time": self._last_time,
+            "subsets_materialised": self.subsets_materialised,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._window = {
+            t: frozenset(members) for t, members in payload["window"].items()
+        }
+        self._pending_starts = list(payload["pending_starts"])
+        self._last_time = payload["last_time"]
+        self.subsets_materialised = payload["subsets_materialised"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: retained window entries and pending starts."""
+        return {
+            "window_entries": len(self._window),
+            "pending_windows": len(self._pending_starts),
+        }
+
     def _evict(self, now: int) -> None:
         """Drop partitions no pending window can reference."""
         if not self._pending_starts:

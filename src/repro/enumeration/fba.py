@@ -147,6 +147,35 @@ class FBAEnumerator(AnchorEnumerator):
         """True when no window is pending."""
         return not self._pending_starts
 
+    def snapshot_state(self) -> dict:
+        """Window contents, pending starts and work counters as plain data."""
+        return {
+            "window": {
+                t: tuple(sorted(self._window[t])) for t in sorted(self._window)
+            },
+            "pending_starts": list(self._pending_starts),
+            "last_time": self._last_time,
+            "bitstrings_built": self.bitstrings_built,
+            "and_evaluations": self.and_evaluations,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._window = {
+            t: frozenset(members) for t, members in payload["window"].items()
+        }
+        self._pending_starts = list(payload["pending_starts"])
+        self._last_time = payload["last_time"]
+        self.bitstrings_built = payload["bitstrings_built"]
+        self.and_evaluations = payload["and_evaluations"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: retained window entries and pending starts."""
+        return {
+            "window_entries": len(self._window),
+            "pending_windows": len(self._pending_starts),
+        }
+
     def _evict(self, now: int) -> None:
         if not self._pending_starts:
             horizon = now - self.constraints.eta + 1

@@ -74,3 +74,24 @@ class EnumerationKernel(ABC):
     @abstractmethod
     def finish(self) -> list[CoMovementPattern]:
         """Flush end-of-stream state (pending windows, open bit strings)."""
+
+    def snapshot_state(self) -> dict:
+        """Serializable payload capturing the kernel's bit-string state.
+
+        Both shipped kernels implement the pair; a third-party kernel
+        without it makes the hosting stage's checkpoint fail loudly
+        rather than silently dropping its state.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting (entry counts); empty for unknown kernels."""
+        return {}

@@ -199,6 +199,43 @@ class _FBAWindows:
         self._time_keys.clear()
         return emitted
 
+    def snapshot_state(self) -> dict:
+        """Key arrays as raw bytes plus pending windows and counters."""
+        return {
+            "time_keys": {
+                t: self._time_keys[t].tobytes()
+                for t in sorted(self._time_keys)
+            },
+            "pending": {
+                t: list(self._pending[t]) for t in sorted(self._pending)
+            },
+            "rows_built": self.rows_built,
+            "and_evaluations": self.and_evaluations,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._time_keys = {
+            t: np.frombuffer(data, dtype=np.int64).copy()
+            for t, data in payload["time_keys"].items()
+        }
+        self._pending = {
+            t: [
+                (anchor, tuple(members))
+                for anchor, members in entries
+            ]
+            for t, entries in payload["pending"].items()
+        }
+        self.rows_built = payload["rows_built"]
+        self.and_evaluations = payload["and_evaluations"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: retained key snapshots and pending windows."""
+        return {
+            "window_entries": len(self._time_keys),
+            "pending_windows": len(self._pending),
+        }
+
     def _run_start(self, start: int) -> list[CoMovementPattern]:
         """Build all bitmaps of one window start; screen; enumerate."""
         entries = self._pending.pop(start)
@@ -310,14 +347,35 @@ class _VBAStrings:
         emitted: list[CoMovementPattern] = []
         for anchor in sorted(closed):
             emitted.extend(
-                self._shell(anchor).enumerate_candidates(time, closed[anchor])
+                self._shell(anchor).enumerate_candidates(
+                    time,
+                    closed[anchor],
+                    earliest_open_start=self._earliest_open_start(
+                        anchor, time
+                    ),
+                )
             )
         if self.candidate_retention is not None:
             for anchor in sorted(active - set(closed)):
                 shell = self._shells.get(anchor)
                 if shell is not None:
-                    shell.enumerate_candidates(time, [])
+                    shell.enumerate_candidates(
+                        time,
+                        [],
+                        earliest_open_start=self._earliest_open_start(
+                            anchor, time
+                        ),
+                    )
         return emitted
+
+    def _earliest_open_start(self, anchor: int, time: int) -> int:
+        """Start of this anchor's oldest open string (rows live here, not
+        in the shell), bounding the shell's output-preserving eviction."""
+        if self._keys.size:
+            mask = (self._keys >> np.int64(32)) == anchor
+            if mask.any():
+                return int(self._start[mask].min())
+        return time + 1
 
     def finish(self) -> list[CoMovementPattern]:
         """Force-close every open string; run the late candidate rounds."""
@@ -366,6 +424,63 @@ class _VBAStrings:
                 sequences_fn=self.sequences_fn,
             )
         return shell
+
+    def snapshot_state(self) -> dict:
+        """Parallel arrays as raw bytes plus per-anchor shell payloads.
+
+        The uint64 bitmap matrix serialises with its word width so
+        multi-word (> 64 time) open strings restore exactly; shells
+        round-trip through :meth:`VBAEnumerator.snapshot_state` and are
+        rebuilt with the kernel's shared memoized sequence extractor.
+        """
+        return {
+            "keys": self._keys.tobytes(),
+            "start": self._start.tobytes(),
+            "length": self._length.tobytes(),
+            "tz": self._tz.tobytes(),
+            "bits": (self._bits.tobytes(), self._bits.shape[1]),
+            "shells": {
+                anchor: self._shells[anchor].snapshot_state()
+                for anchor in sorted(self._shells)
+            },
+            "last_time": self._last_time,
+            "candidates_created": self.candidates_created,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._keys = np.frombuffer(payload["keys"], dtype=np.int64).copy()
+        self._start = np.frombuffer(payload["start"], dtype=np.int64).copy()
+        self._length = np.frombuffer(payload["length"], dtype=np.int64).copy()
+        self._tz = np.frombuffer(payload["tz"], dtype=np.int64).copy()
+        bits_data, words = payload["bits"]
+        self._bits = (
+            np.frombuffer(bits_data, dtype=np.uint64)
+            .reshape(self._keys.size, words)
+            .copy()
+            if self._keys.size
+            else np.empty((0, max(words, 1)), dtype=np.uint64)
+        )
+        self._shells = {}
+        for anchor, shell_payload in payload["shells"].items():
+            shell = self._shell(anchor)
+            shell.restore_state(shell_payload)
+        self._last_time = payload["last_time"]
+        self.candidates_created = payload["candidates_created"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: open rows, bitmap words, shell candidates."""
+        metrics = {
+            "open_strings": int(self._keys.size),
+            "bitmap_words": int(self._bits.size),
+            "anchors": len(self._shells),
+        }
+        for shell in self._shells.values():
+            for key, value in shell.state_metrics().items():
+                if key == "open_strings":
+                    continue  # shells never hold open state here
+                metrics[key] = metrics.get(key, 0) + value
+        return metrics
 
     def _advance(
         self,
@@ -525,3 +640,30 @@ class NumpyEnumerationKernel(EnumerationKernel):
     def finish(self) -> list[CoMovementPattern]:
         """Flush pending windows / open strings at end of stream."""
         return self._state.finish()
+
+    def snapshot_state(self) -> dict:
+        """The batch state's payload plus the kernel clock.
+
+        The memoized sequence cache is deliberately absent: it is a pure
+        function of its inputs, so a restored kernel repopulates it on
+        demand with identical results.
+        """
+        return {
+            "enumerator": self.enumerator,
+            "last_time": self._last_time,
+            "state": self._state.snapshot_state(),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        if payload["enumerator"] != self.enumerator:
+            raise ValueError(
+                f"cannot restore {payload['enumerator']!r} kernel state "
+                f"into a {self.enumerator!r} kernel"
+            )
+        self._last_time = payload["last_time"]
+        self._state.restore_state(payload["state"])
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting delegated to the batch state."""
+        return self._state.state_metrics()

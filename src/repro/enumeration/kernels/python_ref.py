@@ -80,3 +80,29 @@ class PythonEnumerationKernel(EnumerationKernel):
         for anchor in sorted(self._enumerators):
             out.extend(self._enumerators[anchor].finish())
         return out
+
+    def snapshot_state(self) -> dict:
+        """Per-anchor enumerator payloads, keyed by anchor id."""
+        return {
+            "anchors": {
+                anchor: self._enumerators[anchor].snapshot_state()
+                for anchor in sorted(self._enumerators)
+            }
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Rebuild each anchor's enumerator through the factory, then
+        hand it its captured payload."""
+        self._enumerators = {}
+        for anchor, sub_payload in payload["anchors"].items():
+            enumerator = self._factory(anchor)
+            enumerator.restore_state(sub_payload)
+            self._enumerators[anchor] = enumerator
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: hosted anchors plus summed enumerator metrics."""
+        metrics = {"anchors": len(self._enumerators)}
+        for enumerator in self._enumerators.values():
+            for key, value in enumerator.state_metrics().items():
+                metrics[key] = metrics.get(key, 0) + value
+        return metrics

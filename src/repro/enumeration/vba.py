@@ -50,8 +50,10 @@ class VBAEnumerator(AnchorEnumerator):
         sequences_fn=None,
     ):
         """``candidate_retention``: drop global candidates whose end time is
-        more than this many time units in the past (None = keep forever,
-        the paper's semantics over the full snapshot history).
+        more than this many time units in the past *and* that no future
+        candidate can combine with (None = keep forever, the paper's
+        semantics; see :meth:`enumerate_candidates` for the
+        output-preservation argument).
         ``sequences_fn``: overrides the maximal-valid-sequence extraction
         used during enumeration (``(bits, start) -> sequences``, same
         contract as :func:`valid_sequences_of_bits` bound to the
@@ -71,6 +73,8 @@ class VBAEnumerator(AnchorEnumerator):
         # Work counters for the harness.
         self.candidates_created = 0
         self.and_evaluations = 0
+        #: G-expired candidates dropped by the retention policy.
+        self.candidates_evicted = 0
 
     def on_partition(
         self, time: int, members: frozenset[int]
@@ -119,7 +123,10 @@ class VBAEnumerator(AnchorEnumerator):
         return self._process_candidates(fresh)
 
     def enumerate_candidates(
-        self, time: int, fresh: list[ClosedBitString]
+        self,
+        time: int,
+        fresh: list[ClosedBitString],
+        earliest_open_start: int | None = None,
     ) -> list[CoMovementPattern]:
         """One full per-time candidate round: enumerate, then retention.
 
@@ -128,13 +135,34 @@ class VBAEnumerator(AnchorEnumerator):
         them, and (when ``candidate_retention`` is set) evict candidates
         whose end time fell behind the horizon — pruning runs *after* the
         round, so the enumeration pool matches the paper's semantics.
+
+        Eviction is *output-preserving*: besides being older than the
+        horizon, a candidate is only dropped when no future candidate
+        can combine with it under Lemma 8.  Every future closed string
+        starts at or after the earliest currently-open string (strings
+        opened later start later), so a candidate whose end cannot
+        overlap that start by K times is provably dead — the retention
+        knob bounds memory without ever dropping a confirmable pattern.
+
+        ``earliest_open_start`` lets a batched kernel that keeps open
+        strings outside this object (:mod:`repro.enumeration.kernels`)
+        supply that bound; by default it is read from ``self._open``.
         """
         emitted = self._process_candidates(fresh)
         if self.candidate_retention is not None:
             horizon = time - self.candidate_retention
+            if earliest_open_start is None:
+                earliest_open_start = min(
+                    (s.start for s in self._open.values()), default=time + 1
+                )
+            cutoff = min(
+                horizon, earliest_open_start + self.constraints.k - 1
+            )
+            before = len(self._candidates)
             self._candidates = [
-                c for c in self._candidates if c.end >= horizon
+                c for c in self._candidates if c.end >= cutoff
             ]
+            self.candidates_evicted += before - len(self._candidates)
         return emitted
 
     def is_idle(self) -> bool:
@@ -145,6 +173,52 @@ class VBAEnumerator(AnchorEnumerator):
         global candidate list is inert until a new candidate closes.
         """
         return not self._open
+
+    def snapshot_state(self) -> dict:
+        """Open strings, closed candidates and counters as plain data.
+
+        Bit strings are Python ints, so multi-word (> 64 time) strings
+        serialise exactly; closed candidates round-trip as
+        ``(oid, start, end, bits)`` tuples.
+        """
+        return {
+            "open": {
+                oid: (s.start, s.bits, s.length, s.trailing_zeros)
+                for oid, s in sorted(self._open.items())
+            },
+            "candidates": [
+                (c.oid, c.start, c.end, c.bits) for c in self._candidates
+            ],
+            "last_time": self._last_time,
+            "candidates_created": self.candidates_created,
+            "and_evaluations": self.and_evaluations,
+            "candidates_evicted": self.candidates_evicted,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._open = {
+            oid: VariableBitString(
+                start=start, bits=bits, length=length, trailing_zeros=tz
+            )
+            for oid, (start, bits, length, tz) in payload["open"].items()
+        }
+        self._candidates = [
+            ClosedBitString(oid=oid, start=start, end=end, bits=bits)
+            for oid, start, end, bits in payload["candidates"]
+        ]
+        self._last_time = payload["last_time"]
+        self.candidates_created = payload["candidates_created"]
+        self.and_evaluations = payload["and_evaluations"]
+        self.candidates_evicted = payload["candidates_evicted"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: open strings, candidate pool, evictions."""
+        return {
+            "open_strings": len(self._open),
+            "candidates": len(self._candidates),
+            "candidates_evicted": self.candidates_evicted,
+        }
 
     # ------------------------------------------------------------------ state
 

@@ -178,7 +178,10 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         kind="backend",
         name="serial",
         factory=_serial_backend,
-        capabilities=PluginCapabilities(supports_batch_ingest=True),
+        capabilities=PluginCapabilities(
+            supports_batch_ingest=True,
+            supports_checkpoint=True,
+        ),
         summary="sequential in-thread execution (deterministic reference)",
         source="builtin",
     ),
@@ -186,7 +189,10 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         kind="backend",
         name="parallel",
         factory=_parallel_backend,
-        capabilities=PluginCapabilities(supports_batch_ingest=True),
+        capabilities=PluginCapabilities(
+            supports_batch_ingest=True,
+            supports_checkpoint=True,
+        ),
         summary="worker-pool execution with batched keyed exchanges",
         source="builtin",
     ),
@@ -197,6 +203,7 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         capabilities=PluginCapabilities(
             supports_batch_ingest=True,
             supports_process_isolation=True,
+            supports_checkpoint=True,
         ),
         summary="shared-nothing worker processes, shared-memory exchanges",
         source="builtin",

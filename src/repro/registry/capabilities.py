@@ -53,6 +53,12 @@ class PluginCapabilities:
             bound :class:`~repro.streaming.runtime.base.GraphSpec`
             instead of receiving it from the caller.  Drivers use this
             to know the backend needs ``bind_graph()`` before running.
+        supports_checkpoint: the execution backend can capture and
+            restore its operators' state through the
+            ``collect_states`` / ``restore_states`` surface, making
+            ``Session.checkpoint()`` available on top of it.  Every
+            built-in backend declares it (the process backend drains its
+            workers through the synchronous reply protocol).
     """
 
     requires_numpy: bool = False
@@ -63,6 +69,7 @@ class PluginCapabilities:
     compatible_enumerators: tuple[str, ...] | None = None
     supports_batch_ingest: bool = False
     supports_process_isolation: bool = False
+    supports_checkpoint: bool = False
 
     def flags(self) -> dict[str, object]:
         """The capability fields as a flat name -> value mapping."""
@@ -89,4 +96,6 @@ class PluginCapabilities:
             markers.append("batch-ingest")
         if self.supports_process_isolation:
             markers.append("process-isolated")
+        if self.supports_checkpoint:
+            markers.append("checkpoint")
         return ",".join(markers) if markers else "-"

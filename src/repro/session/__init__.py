@@ -39,6 +39,7 @@ from repro.session.sinks import (
     PatternSink,
     as_sink,
 )
+from repro.state import Checkpoint
 
 __all__ = [
     "CallbackSink",
@@ -64,6 +65,7 @@ def open_session(
     track_convoys: bool = False,
     sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
     batch_size: int | None = None,
+    restore: Checkpoint | None = None,
     **overrides: Any,
 ) -> Session:
     """Open a streaming session — the one-call public entry point.
@@ -81,7 +83,9 @@ def open_session(
 
     ``track_convoys`` enables the live convoy view; ``sinks`` subscribe
     before any record flows; ``batch_size`` sets ``feed_many``'s
-    auto-packing chunk (columnar batch ingestion).  Use the session as
+    auto-packing chunk (columnar batch ingestion); ``restore`` resumes
+    from a :class:`~repro.state.Checkpoint` (with no ``config`` the
+    checkpoint's own config seeds the session).  Use the session as
     a context manager to flush on clean exit and always release backend
     resources.
     """
@@ -92,5 +96,7 @@ def open_session(
         builder.track_convoys()
     if batch_size is not None:
         builder.batch_size(batch_size)
+    if restore is not None:
+        builder.restore(restore)
     builder.sinks(sinks)
     return builder.open()

@@ -32,6 +32,7 @@ from repro.model.constraints import PatternConstraints
 from repro.session.events import PatternEvent
 from repro.session.session import Session
 from repro.session.sinks import PatternSink
+from repro.state import Checkpoint
 
 
 class SessionBuilder:
@@ -51,6 +52,7 @@ class SessionBuilder:
         self._sinks: list[PatternSink | Callable[[PatternEvent], None]] = []
         self._track_convoys = False
         self._batch_size: int | None = None
+        self._restore: Checkpoint | None = None
 
     # ------------------------------------------------------------ core knobs
 
@@ -156,6 +158,18 @@ class SessionBuilder:
         self._batch_size = size
         return self
 
+    def restore(self, checkpoint: Checkpoint) -> "SessionBuilder":
+        """Resume the built session from a checkpoint.
+
+        When the builder has no base config and no core knobs set, the
+        checkpoint's own config seeds the build, so
+        ``SessionBuilder().restore(cp).open()`` resumes exactly the
+        captured run; setters may still override the execution surface
+        (backend, pool size) before ``open()``.
+        """
+        self._restore = checkpoint
+        return self
+
     # ---------------------------------------------------------- materialise
 
     def config(self) -> ICPEConfig:
@@ -165,11 +179,12 @@ class SessionBuilder:
             ValueError: when a required core knob is missing, a strategy
                 name is unregistered, or a combination is invalid.
         """
-        if self._base is not None:
+        base = self._base
+        if base is None and self._restore is not None:
+            base = self._restore.config
+        if base is not None:
             return (
-                replace(self._base, **self._overrides)
-                if self._overrides
-                else self._base
+                replace(base, **self._overrides) if self._overrides else base
             )
         missing = [
             name for name in self._REQUIRED if name not in self._overrides
@@ -188,6 +203,7 @@ class SessionBuilder:
             track_convoys=self._track_convoys,
             sinks=self._sinks,
             batch_size=self._batch_size,
+            restore=self._restore,
         )
 
     # Alias: ``builder.build()`` reads naturally in non-streaming call sites.

@@ -18,7 +18,7 @@ resources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator
 
 from repro.core.config import ICPEConfig
@@ -35,6 +35,13 @@ from repro.session.events import (
     WatermarkAdvanced,
 )
 from repro.session.sinks import PatternSink, as_sink
+from repro.state import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    decode_payload,
+    encode_payload,
+)
 from repro.streaming.metrics import LatencyThroughputMeter
 from repro.streaming.sync import TimeSyncOperator
 
@@ -58,6 +65,10 @@ class SessionResult:
         clustering_kernel: clustering-kernel plugin name.
         enumeration_kernel: enumeration-kernel plugin name.
         enumerator: enumerator plugin name.
+        state_memory: per-component memory accounting — one entry per
+            live component (pipeline stages, sync operator, collector,
+            meter, convoy tracker) mapping its retained-object counters,
+            e.g. ``{"sync": {"chains": 12, "chains_evicted": 3}, ...}``.
     """
 
     patterns: tuple[CoMovementPattern, ...]
@@ -69,6 +80,7 @@ class SessionResult:
     clustering_kernel: str
     enumeration_kernel: str
     enumerator: str
+    state_memory: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
         """The numeric metrics as a flat dict (report-friendly)."""
@@ -105,18 +117,25 @@ class Session:
         track_convoys: bool = False,
         sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
         batch_size: int | None = None,
+        restore: Checkpoint | None = None,
     ):
         """``track_convoys`` enables live convoy tracking (CMC scheme of
         ``core/live.py``) with M and K taken from ``config.constraints``;
         ``sinks`` are subscribed in order before any record flows;
         ``batch_size`` sets the auto-packing chunk of :meth:`feed_many`
-        (``None`` means :data:`DEFAULT_BATCH_SIZE`)."""
+        (``None`` means :data:`DEFAULT_BATCH_SIZE`); ``restore`` resumes
+        from a :class:`~repro.state.Checkpoint` taken by
+        :meth:`checkpoint` (the configs must match on every field except
+        the execution surface — backend, pool size, cluster model)."""
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.config = config
         self.batch_size = batch_size or DEFAULT_BATCH_SIZE
         self.pipeline = ICPEPipeline(config)
-        self._sync = TimeSyncOperator(max_delay=config.max_delay)
+        self._sync = TimeSyncOperator(
+            max_delay=config.max_delay,
+            trajectory_ttl=config.trajectory_ttl,
+        )
         self._tracker: ConvoyTracker | None = None
         self._tracked_members: frozenset[frozenset[int]] = frozenset()
         if track_convoys:
@@ -125,8 +144,15 @@ class Session:
             )
         self._sinks: list[PatternSink] = []
         self._event_counts: dict[str, int] = {}
+        self._records_ingested = 0
         self._finished = False
         self._closed = False
+        if restore is not None:
+            try:
+                self._restore_from(restore)
+            except Exception:
+                self.pipeline.close()
+                raise
         for sink in sinks:
             self.subscribe(sink)
 
@@ -190,6 +216,7 @@ class Session:
         later call when the batch boundary defers the watermark).
         """
         self._check_open()
+        self._records_ingested += len(batch)
         events: list[PatternEvent] = []
         for snapshot in self._sync.feed_batch(batch):
             events.extend(self._process(snapshot))
@@ -298,6 +325,104 @@ class Session:
             self.finish()
         self.close()
 
+    # ------------------------------------------------------------ checkpoints
+
+    def checkpoint(self) -> Checkpoint:
+        """Capture the session's complete state as a restorable value.
+
+        Everything a restarted session needs flows into the returned
+        :class:`~repro.state.Checkpoint`: every stateful operator of
+        the pipeline graph (incrementally — operators whose payload
+        digest is unchanged since the previous checkpoint reuse the
+        cached bytes), plus the master-side synchronisation operator,
+        pattern collector, metrics meter, convoy tracker, and the
+        session's own counters.  The backend must advertise
+        ``supports_checkpoint``; a process backend drains its workers
+        through the synchronous reply protocol, so the capture is a
+        consistent cut.  Call between feeds — ideally right after a
+        :class:`~repro.session.events.WatermarkAdvanced` event.
+
+        Raises:
+            RuntimeError: on a finished/closed session or a backend
+                without checkpoint support.
+        """
+        self._check_open()
+        states, captured, reused = self.pipeline.collect_operator_states()
+        master: dict[str, bytes] = {}
+        payloads: list[tuple[str, dict]] = [
+            ("sync", self._sync.snapshot_state()),
+            ("collector", self.pipeline.collector.snapshot_state()),
+            ("meter", self.pipeline.meter.snapshot_state()),
+            (
+                "session",
+                {
+                    "event_counts": dict(self._event_counts),
+                    "tracked_members": sorted(
+                        (tuple(sorted(members)) for members in self._tracked_members),
+                    ),
+                    "records_ingested": self._records_ingested,
+                },
+            ),
+        ]
+        if self._tracker is not None:
+            payloads.append(("tracker", self._tracker.snapshot_state()))
+        for name, payload in payloads:
+            master[name] = encode_payload(payload)[1]
+        timings = self.pipeline.meter.timings
+        return Checkpoint(
+            config=self.config,
+            watermark=timings[-1].time if timings else None,
+            records_ingested=self._records_ingested,
+            operator_states=states,
+            master_states=master,
+            captured=captured,
+            reused=reused,
+        )
+
+    def _restore_from(self, checkpoint: Checkpoint) -> None:
+        """Adopt a checkpoint into this (freshly built) session."""
+        if checkpoint.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {checkpoint.version} is not supported"
+            )
+        compatible = replace(
+            checkpoint.config,
+            backend=self.config.backend,
+            parallel_workers=self.config.parallel_workers,
+            cluster=self.config.cluster,
+        )
+        if compatible != self.config:
+            raise CheckpointError(
+                "checkpoint was taken under an incompatible configuration; "
+                "only the execution surface (backend, parallel_workers, "
+                "cluster model) may differ on restore"
+            )
+        self.pipeline.restore_operator_states(checkpoint.operator_states)
+        master = checkpoint.master_states
+        self._sync.restore_state(decode_payload(master["sync"]))
+        self.pipeline.collector.restore_state(decode_payload(master["collector"]))
+        self.pipeline.meter.restore_state(decode_payload(master["meter"]))
+        session_payload = decode_payload(master["session"])
+        self._event_counts = dict(session_payload["event_counts"])
+        self._tracked_members = frozenset(
+            frozenset(members)
+            for members in session_payload["tracked_members"]
+        )
+        self._records_ingested = session_payload["records_ingested"]
+        if self._tracker is not None:
+            if "tracker" not in master:
+                raise CheckpointError(
+                    "track_convoys is enabled but the checkpoint carries no "
+                    "convoy-tracker state; take checkpoints from a tracking "
+                    "session to restore one"
+                )
+            self._tracker.restore_state(decode_payload(master["tracker"]))
+
+    @property
+    def records_ingested(self) -> int:
+        """Records accepted so far (for source skipping on restore)."""
+        return self._records_ingested
+
     # ------------------------------------------------------------------ state
 
     def result(self) -> SessionResult:
@@ -313,7 +438,23 @@ class Session:
             clustering_kernel=self.config.clustering_kernel,
             enumeration_kernel=self.config.enumeration_kernel,
             enumerator=self.config.enumerator,
+            state_memory=self.state_memory(),
         )
+
+    def state_memory(self) -> dict[str, dict[str, int]]:
+        """Per-component memory accounting (retained-object counters).
+
+        One entry per live component: the pipeline's stages (summed over
+        subtasks, via the backend where workers own the state), the
+        master-side collector and meter, the synchronisation operator
+        (chain/eviction counters when ``trajectory_ttl`` bounds it), and
+        the convoy tracker when enabled.
+        """
+        metrics = self.pipeline.state_metrics()
+        metrics["sync"] = self._sync.state_metrics()
+        if self._tracker is not None:
+            metrics["tracker"] = self._tracker.state_metrics()
+        return metrics
 
     def store(self):
         """A queryable :class:`~repro.core.store.PatternStore` of

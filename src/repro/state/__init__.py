@@ -1,0 +1,18 @@
+"""Serializable operator state: payload codec and checkpoint container.
+
+This package has no dependencies on the rest of ``repro`` so that both
+the master process and spawned process-backend workers can import it
+without pulling in the full pipeline.
+"""
+
+from repro.state.checkpoint import CHECKPOINT_VERSION, Checkpoint, CheckpointError
+from repro.state.codec import decode_payload, digest_of, encode_payload
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "decode_payload",
+    "digest_of",
+    "encode_payload",
+]

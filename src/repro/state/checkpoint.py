@@ -1,0 +1,106 @@
+"""Checkpoint container: a consistent, restorable snapshot of a session.
+
+A :class:`Checkpoint` is what ``Session.checkpoint()`` returns and what
+``open_session(restore=...)`` consumes.  It bundles
+
+* the session's :class:`~repro.core.config.ICPEConfig` (so a restore
+  can be opened without repeating the configuration),
+* one encoded payload per stateful pipeline operator, keyed by
+  ``(stage_name, subtask_index)``,
+* encoded payloads for the master-side components that live outside the
+  dataflow graph (time-sync operator, pattern collector, latency meter,
+  optional convoy tracker, session counters), and
+* capture statistics — how many operator payloads were freshly
+  serialised versus reused unchanged from the previous capture.
+
+Checkpoints are plain pickles of this dataclass; ``save``/``load``
+round-trip them through files for the CLI's ``--checkpoint-dir`` /
+``--restore-from`` flags and the crash-recovery tests.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Format version embedded in every checkpoint; bumped on layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised when a checkpoint cannot be decoded or is incompatible."""
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """Immutable snapshot of a session's complete mutable state."""
+
+    #: Configuration the checkpointed session was running with.
+    config: Any
+    #: Time of the last emitted snapshot (``None`` before the first one).
+    watermark: int | None
+    #: Records fed to the session so far; a resumed source should skip
+    #: exactly this many records from the start of its stream.
+    records_ingested: int
+    #: Encoded operator payloads keyed by ``(stage_name, subtask_index)``.
+    operator_states: dict[tuple[str, int], bytes]
+    #: Encoded payloads for master-side components, keyed by component
+    #: name (``"sync"``, ``"collector"``, ``"meter"``, ``"tracker"``,
+    #: ``"session"``).
+    master_states: dict[str, bytes]
+    #: Operator payloads freshly serialised during this capture.
+    captured: int = 0
+    #: Operator payloads reused unchanged (digest match) from the
+    #: previous capture.
+    reused: int = 0
+    #: Checkpoint format version; see :data:`CHECKPOINT_VERSION`.
+    version: int = CHECKPOINT_VERSION
+
+    def to_bytes(self) -> bytes:
+        """Serialise the checkpoint to a byte string."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        """Decode a checkpoint produced by :meth:`to_bytes`."""
+        try:
+            checkpoint = pickle.loads(data)
+        except Exception as error:  # noqa: BLE001 - surface as one type
+            raise CheckpointError(f"cannot decode checkpoint: {error}") from error
+        if not isinstance(checkpoint, cls):
+            raise CheckpointError(
+                f"decoded object is {type(checkpoint).__name__}, not Checkpoint"
+            )
+        if checkpoint.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {checkpoint.version} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return checkpoint
+
+    def save(self, path: str | Path) -> Path:
+        """Write the checkpoint to ``path``; returns the resolved path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(self.to_bytes())
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Checkpoint":
+        """Read a checkpoint previously written with :meth:`save`."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    def summary(self) -> dict[str, Any]:
+        """Small plain-data description for logs and CLI output."""
+        return {
+            "version": self.version,
+            "watermark": self.watermark,
+            "records_ingested": self.records_ingested,
+            "operators": len(self.operator_states),
+            "captured": self.captured,
+            "reused": self.reused,
+            "bytes": sum(len(data) for data in self.operator_states.values())
+            + sum(len(data) for data in self.master_states.values()),
+        }

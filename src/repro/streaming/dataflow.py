@@ -69,6 +69,36 @@ class Operator(ABC):
         """Flush state at end of stream; yield remaining elements."""
         return ()
 
+    def snapshot_state(self) -> Any:
+        """Serializable state payload, or ``None`` for stateless operators.
+
+        The payload must be plain picklable data (dicts, tuples, ints,
+        frozen model dataclasses) capturing everything :meth:`restore_state`
+        needs to make a freshly ``open``-ed instance behave identically.
+        Checkpoints are taken at unit-of-work boundaries, so transient
+        per-unit buffers (cleared by :meth:`end_batch`) need not appear.
+        """
+        return None
+
+    def restore_state(self, payload: Any) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`.
+
+        Only invoked with payloads this operator class produced; the
+        default refuses because the base class never produces one.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} produced no state payload to restore"
+        )
+
+    def state_metrics(self) -> dict[str, int]:
+        """Per-operator memory accounting (entry counts, eviction tallies).
+
+        Stateless operators return an empty dict; stateful ones report
+        the sizes of their retained structures so sessions can surface
+        per-component accounting in ``Session.result()``.
+        """
+        return {}
+
 
 class FnOperator(Operator):
     """Adapter turning a plain function into a flat-map operator."""

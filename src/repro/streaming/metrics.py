@@ -66,3 +66,37 @@ class LatencyThroughputMeter:
             "throughput_tps": self.throughput_tps(),
             "patterns": float(self.total_patterns()),
         }
+
+    def snapshot_state(self) -> dict:
+        """The timing log as plain tuples."""
+        return {
+            "timings": [
+                (
+                    t.time,
+                    t.latency_seconds,
+                    t.bottleneck_seconds,
+                    t.locations,
+                    t.patterns_emitted,
+                )
+                for t in self.timings
+            ]
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.timings = [
+            SnapshotTiming(
+                time=time,
+                latency_seconds=latency,
+                bottleneck_seconds=bottleneck,
+                locations=locations,
+                patterns_emitted=patterns,
+            )
+            for time, latency, bottleneck, locations, patterns in payload[
+                "timings"
+            ]
+        ]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: size of the timing log."""
+        return {"timings": len(self.timings)}

@@ -104,6 +104,16 @@ class ExecutionBackend(ABC):
     #: :class:`GraphSpec`.
     supports_process_isolation: bool = False
 
+    #: Whether the backend can capture and restore operator state via
+    #: :meth:`collect_states` / :meth:`restore_states`.  The in-process
+    #: defaults below walk ``runtime.subtasks`` directly and are correct
+    #: for any backend whose operator instances live in the calling
+    #: process; process-isolated backends must route the calls through
+    #: their worker protocol instead.  Conservative default for
+    #: third-party backends: sessions refuse ``checkpoint()`` unless the
+    #: backend opts in.
+    supports_checkpoint: bool = False
+
     def bind_graph(self, spec: GraphSpec) -> None:
         """Offer the backend a picklable description of the job graph.
 
@@ -133,6 +143,54 @@ class ExecutionBackend(ABC):
         self, runtime: StageRuntime
     ) -> tuple[list[Any], StageWork]:
         """Flush one stage's subtask state at end of stream."""
+
+    def collect_states(
+        self,
+        runtime: StageRuntime,
+        known_digests: dict[int, str] | None = None,
+    ) -> list[tuple[int, str, bytes | None]]:
+        """Capture the stage's operator state for a checkpoint.
+
+        Returns one ``(subtask_index, digest, payload_bytes)`` triple per
+        *stateful* subtask (operators whose ``snapshot_state()`` returns
+        ``None`` are skipped).  When ``known_digests`` maps a subtask
+        index to the digest the caller already holds, an unchanged
+        operator answers with ``payload_bytes = None`` — the incremental
+        capture contract: the caller reuses its cached bytes.
+        """
+        from repro.state.codec import encode_payload
+
+        known = known_digests or {}
+        entries: list[tuple[int, str, bytes | None]] = []
+        for index, subtask in enumerate(runtime.subtasks):
+            payload = subtask.snapshot_state()
+            if payload is None:
+                continue
+            digest, data = encode_payload(payload)
+            entries.append(
+                (index, digest, None if known.get(index) == digest else data)
+            )
+        return entries
+
+    def restore_states(
+        self, runtime: StageRuntime, payloads: Sequence[tuple[int, bytes]]
+    ) -> None:
+        """Restore previously captured state into the stage's subtasks."""
+        from repro.state.codec import decode_payload
+
+        for index, data in payloads:
+            runtime.subtasks[index].restore_state(decode_payload(data))
+
+    def collect_metrics(
+        self, runtime: StageRuntime
+    ) -> list[tuple[int, dict[str, int]]]:
+        """Gather per-subtask memory-accounting metrics for one stage."""
+        entries: list[tuple[int, dict[str, int]]] = []
+        for index, subtask in enumerate(runtime.subtasks):
+            metrics = subtask.state_metrics()
+            if metrics:
+                entries.append((index, metrics))
+        return entries
 
     def close(self) -> None:
         """Release any resources the backend holds (idempotent)."""

@@ -87,6 +87,7 @@ class ParallelBackend(ExecutionBackend):
 
     name = "parallel"
     supports_batch_ingest = True
+    supports_checkpoint = True
 
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers < 1:

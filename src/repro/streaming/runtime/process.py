@@ -50,6 +50,7 @@ from repro.streaming.dataflow import (
     decode_exchange_elements,
     encode_exchange_elements,
 )
+from repro.state.codec import decode_payload, encode_payload
 from repro.streaming.runtime.base import ExecutionBackend, GraphSpec
 from repro.streaming.runtime.parallel import default_worker_count
 from repro.streaming.runtime.shm import SegmentPool
@@ -114,6 +115,43 @@ class _WorkerState:
             (index, *runtime.finish_subtask(index)) for index in indices
         ]
 
+    def collect_states(self, stage_index: int, tasks) -> list[tuple]:
+        """Serve a ``state`` command: capture this worker's subtask state.
+
+        ``tasks`` is ``[(subtask_index, known_digest | None), ...]``;
+        replies ``(subtask_index, digest, payload_bytes | None)`` per
+        stateful subtask, with ``None`` bytes when the digest matches
+        what the master already holds (incremental capture).
+        """
+        runtime = self.runtimes[stage_index]
+        results = []
+        for subtask_index, known_digest in tasks:
+            payload = runtime.subtasks[subtask_index].snapshot_state()
+            if payload is None:
+                continue
+            digest, data = encode_payload(payload)
+            results.append(
+                (subtask_index, digest, None if digest == known_digest else data)
+            )
+        return results
+
+    def restore_states(self, stage_index: int, tasks) -> list[tuple]:
+        """Serve a ``restore`` command: adopt checkpointed subtask state."""
+        runtime = self.runtimes[stage_index]
+        for subtask_index, data in tasks:
+            runtime.subtasks[subtask_index].restore_state(decode_payload(data))
+        return []
+
+    def collect_metrics(self, stage_index: int, indices) -> list[tuple]:
+        """Serve a ``metrics`` command: per-subtask memory accounting."""
+        runtime = self.runtimes[stage_index]
+        results = []
+        for subtask_index in indices:
+            metrics = runtime.subtasks[subtask_index].state_metrics()
+            if metrics:
+                results.append((subtask_index, metrics))
+        return results
+
     def sweep_attached(self) -> list[str]:
         """Detach every segment no live view still aliases.
 
@@ -147,9 +185,9 @@ def _worker_main(conn, spec: GraphSpec, worker_index: int) -> None:
     """Entry point of one worker process: build the graph, serve the pipe.
 
     Replies ``("ready", stage_names)`` after a successful build, then
-    answers ``run`` / ``finish`` commands with ``("ok", results,
-    released_segments)`` until a ``close`` command (or a dropped pipe)
-    ends the loop.  Any exception travels back as ``("error",
+    answers ``run`` / ``finish`` / ``state`` / ``restore`` / ``metrics``
+    commands with ``("ok", results, released_segments)`` until a
+    ``close`` command (or a dropped pipe) ends the loop.  Any exception travels back as ``("error",
     traceback)`` instead of killing the worker.
     """
     try:
@@ -176,6 +214,15 @@ def _worker_main(conn, spec: GraphSpec, worker_index: int) -> None:
             elif op == "finish":
                 _, stage_index, indices = message
                 results = state.finish(stage_index, indices)
+            elif op == "state":
+                _, stage_index, tasks = message
+                results = state.collect_states(stage_index, tasks)
+            elif op == "restore":
+                _, stage_index, tasks = message
+                results = state.restore_states(stage_index, tasks)
+            elif op == "metrics":
+                _, stage_index, indices = message
+                results = state.collect_metrics(stage_index, indices)
             else:
                 raise ValueError(f"unknown worker command {op!r}")
         except BaseException:
@@ -199,6 +246,7 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
     supports_batch_ingest = True
     supports_process_isolation = True
+    supports_checkpoint = True
 
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers < 1:
@@ -475,3 +523,80 @@ class ProcessBackend(ExecutionBackend):
             elements_in=0,
             started=started,
         )
+
+    # ---------------------------------------------------------------- state
+
+    def _control(
+        self, runtime: StageRuntime, op: str, per_subtask_args: list
+    ) -> list[tuple]:
+        """Round-trip one state command (``state``/``restore``/``metrics``).
+
+        ``per_subtask_args`` carries one entry per subtask, routed to the
+        subtask's owning worker (``i % workers``, same as execution).
+        The pipe protocol is synchronous request/reply, so by the time
+        every involved worker has answered, the pool is drained — no
+        stage work can be in flight concurrently with a state command.
+        Replies are merged in subtask-index order.
+        """
+        stage_index = self._stage_address(runtime)
+        workers = len(self._conns)
+        per_worker_tasks: list[list] = [[] for _ in range(workers)]
+        for subtask_index, item in enumerate(per_subtask_args):
+            if item is None:
+                continue
+            per_worker_tasks[subtask_index % workers].append(item)
+        involved = [
+            worker for worker, tasks in enumerate(per_worker_tasks) if tasks
+        ]
+        for worker in involved:
+            self._send(worker, (op, stage_index, per_worker_tasks[worker]))
+        merged: list[tuple] = []
+        failure: str | None = None
+        for worker in involved:
+            reply = self._recv(worker)
+            if reply[0] == "error":
+                failure = failure or reply[1]
+                continue
+            merged.extend(reply[1])
+            self._pool_release_late(reply[2])
+        if failure is not None:
+            raise RuntimeError(
+                f"process-backend worker failed handling {op!r} for stage "
+                f"{runtime.stage.name!r}:\n{failure}"
+            )
+        merged.sort(key=lambda entry: entry[0])
+        return merged
+
+    def _pool_release_late(self, released) -> None:
+        """Recycle segments a worker let go of alongside a state reply."""
+        for name in released:
+            self._pool.release(name)
+
+    def collect_states(
+        self,
+        runtime: StageRuntime,
+        known_digests: dict[int, str] | None = None,
+    ) -> list[tuple[int, str, bytes | None]]:
+        """Capture the stage's operator state through the worker protocol."""
+        known = known_digests or {}
+        args = [
+            (index, known.get(index))
+            for index in range(len(runtime.subtasks))
+        ]
+        return self._control(runtime, "state", args)
+
+    def restore_states(
+        self, runtime: StageRuntime, payloads: Sequence[tuple[int, bytes]]
+    ) -> None:
+        """Restore checkpointed state into each subtask's owning worker."""
+        args: list = [None] * len(runtime.subtasks)
+        for index, data in payloads:
+            args[index] = (index, data)
+        self._control(runtime, "restore", args)
+
+    def collect_metrics(
+        self, runtime: StageRuntime
+    ) -> list[tuple[int, dict[str, int]]]:
+        """Gather per-subtask memory accounting through the worker protocol."""
+        args = list(range(len(runtime.subtasks)))
+        return self._control(runtime, "metrics", args)

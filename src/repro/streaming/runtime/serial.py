@@ -19,6 +19,7 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
     supports_batch_ingest = True
+    supports_checkpoint = True
 
     def run_stage(
         self, runtime: StageRuntime, elements: Sequence[Any], ctx: Any = None

@@ -148,23 +148,50 @@ class _Chain:
 class TimeSyncOperator:
     """Reorders a trajectory stream into complete, ascending snapshots."""
 
-    def __init__(self, max_delay: int = 0):
+    def __init__(self, max_delay: int = 0, trajectory_ttl: int | None = None):
         """``max_delay``: bounded-delay guarantee of the source, in
         discretized time units.  0 means the stream is already in
         event-time order across trajectories (records of one snapshot may
-        still interleave arbitrarily)."""
+        still interleave arbitrarily).
+
+        ``trajectory_ttl`` bounds chain state: a trajectory idle for more
+        than this many time units behind the watermark is evicted, and a
+        later reappearance is treated as a brand-new object (its
+        ``last_time`` back-reference into the evicted past is dropped).
+        Must exceed ``max_delay`` so eviction can never race records the
+        bounded-delay contract still allows to arrive."""
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if trajectory_ttl is not None and trajectory_ttl <= max_delay:
+            raise ValueError(
+                f"trajectory_ttl must be > max_delay ({max_delay}), "
+                f"got {trajectory_ttl}"
+            )
         self.max_delay = max_delay
+        self.trajectory_ttl = trajectory_ttl
         self._chains: dict[int, _Chain] = {}
         self._building: dict[int, _SnapshotBuilder] = {}
         self._max_seen: int | None = None
         self._emitted_up_to: int | None = None
+        #: Times at or below this are evicted history: a ``last_time``
+        #: pointing into it is dropped (the record opens a fresh chain).
+        self._eviction_horizon: int | None = None
+        #: Total chains evicted by the TTL policy.
+        self.chains_evicted = 0
 
     def feed(self, record: StreamRecord) -> list[Snapshot]:
         """Accept one record; return any snapshots that became complete."""
         self._check_not_stale(record.time)
         chain = self._chains.setdefault(record.oid, _Chain())
+        last = self._effective_last(record.last_time)
+        if last is not record.last_time:
+            record = StreamRecord(
+                oid=record.oid,
+                time=record.time,
+                x=record.x,
+                y=record.y,
+                last_time=last,
+            )
         chain.push(record)
         if self._max_seen is None or record.time > self._max_seen:
             self._max_seen = record.time
@@ -204,7 +231,9 @@ class TimeSyncOperator:
                         oids[0],
                         xs[0],
                         ys[0],
-                        None if last == NO_LAST_TIME else last,
+                        self._effective_last(
+                            None if last == NO_LAST_TIME else last
+                        ),
                     )
                 ]
             )
@@ -221,7 +250,9 @@ class TimeSyncOperator:
                     oids[i],
                     xs[i],
                     ys[i],
-                    None if last == NO_LAST_TIME else last,
+                    self._effective_last(
+                        None if last == NO_LAST_TIME else last
+                    ),
                 )
                 group = groups.get(oids[i])
                 if group is None:
@@ -297,6 +328,40 @@ class TimeSyncOperator:
             chain.released_up_to = up_to
             del pending[:i]
 
+    def _effective_last(self, last: int | None) -> int | None:
+        """Drop back-references into evicted history (fresh-object rule)."""
+        if (
+            last is not None
+            and self._eviction_horizon is not None
+            and last <= self._eviction_horizon
+        ):
+            return None
+        return last
+
+    def _evict_idle_chains(self, watermark: int) -> None:
+        """TTL policy: forget chains idle past ``watermark - ttl``.
+
+        Only *idle* chains (nothing pending) are eligible — a chain with
+        pending rows is still reassembling and holds the watermark back
+        itself.  Every eviction advances the horizon so that a
+        reappearing trajectory's ``last_time`` back-reference is dropped
+        by :meth:`_effective_last` and the object starts a fresh chain
+        instead of blocking forever on forgotten history.
+        """
+        horizon = watermark - self.trajectory_ttl
+        if self._eviction_horizon is None or horizon > self._eviction_horizon:
+            self._eviction_horizon = horizon
+        evicted = [
+            oid
+            for oid, chain in self._chains.items()
+            if not chain.pending
+            and chain.released_up_to is not None
+            and chain.released_up_to <= horizon
+        ]
+        for oid in evicted:
+            del self._chains[oid]
+        self.chains_evicted += len(evicted)
+
     def _emit_ready(self, columnar: bool = False):
         if self._max_seen is None:
             return []
@@ -305,6 +370,8 @@ class TimeSyncOperator:
             blocked = chain.blocked_at()
             if blocked is not None and blocked - 1 < watermark:
                 watermark = blocked - 1
+        if self.trajectory_ttl is not None:
+            self._evict_idle_chains(watermark)
         out: list = []
         for t in sorted(self._building):
             if t > watermark:
@@ -318,3 +385,52 @@ class TimeSyncOperator:
         if out:
             self._emitted_up_to = out[-1].time
         return out
+
+    # ------------------------------------------------------------------ state
+
+    def snapshot_state(self) -> dict:
+        """Serializable payload capturing every chain and building snapshot."""
+        return {
+            "chains": {
+                oid: (chain.released_up_to, list(chain.pending), chain._seq)
+                for oid, chain in self._chains.items()
+            },
+            "building": {
+                t: (list(b.oids), list(b.xs), list(b.ys))
+                for t, b in self._building.items()
+            },
+            "max_seen": self._max_seen,
+            "emitted_up_to": self._emitted_up_to,
+            "eviction_horizon": self._eviction_horizon,
+            "chains_evicted": self.chains_evicted,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._chains = {
+            oid: _Chain(
+                released_up_to=released, pending=list(rows), _seq=seq
+            )
+            for oid, (released, rows, seq) in payload["chains"].items()
+        }
+        self._building = {}
+        for t, (oids, xs, ys) in payload["building"].items():
+            builder = self._builder(t)
+            builder.oids = list(oids)
+            builder.xs = list(xs)
+            builder.ys = list(ys)
+        self._max_seen = payload["max_seen"]
+        self._emitted_up_to = payload["emitted_up_to"]
+        self._eviction_horizon = payload["eviction_horizon"]
+        self.chains_evicted = payload["chains_evicted"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: chain/pending/building sizes and evictions."""
+        return {
+            "chains": len(self._chains),
+            "pending_records": sum(
+                len(chain.pending) for chain in self._chains.values()
+            ),
+            "building_snapshots": len(self._building),
+            "chains_evicted": self.chains_evicted,
+        }

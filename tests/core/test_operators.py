@@ -47,7 +47,8 @@ class TestClusterOperator:
         partitions = list(op.end_batch(5))
         assert (5, 1, frozenset({2, 3})) in partitions
         assert op.last_cluster_snapshot.time == 5
-        assert op.cluster_sizes == [3]
+        assert op.clusters_formed == 1
+        assert op.cluster_size_sum == 3
 
     def test_significance_filter(self):
         op = ClusterOperator(min_pts=2, significance=3)

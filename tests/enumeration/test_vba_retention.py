@@ -1,9 +1,11 @@
-"""VBA candidate retention: the documented memory/completeness trade-off.
+"""VBA candidate retention: bounded memory without dropped patterns.
 
 The paper's semantics keep every closed candidate forever (patterns range
 over the whole snapshot history).  ``candidate_retention`` bounds memory
-by evicting old candidates — and therefore can miss patterns whose
-members' valid windows are far apart.  These tests pin both sides.
+by evicting candidates that are both older than the horizon and provably
+uncombinable with any future candidate (Lemma-8 reachability against the
+earliest open string) — see ``tests/state/test_eviction.py`` for the
+differential proof that eviction never changes the pattern output.
 """
 
 from repro.enumeration.vba import VBAEnumerator

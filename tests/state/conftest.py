@@ -1,0 +1,107 @@
+"""Shared harness for the checkpoint/restore differential tests.
+
+The restart-equivalence contract: take a checkpoint anywhere between two
+feeds, open a fresh session from it, continue with the remaining
+records — the concatenated event stream must equal the uninterrupted
+run **event for event**, including the ``WatermarkAdvanced``
+interleaving.  These helpers drive both sides of that differential.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import PatternConstraints, open_session
+from repro.model.records import StreamRecord
+from repro.session import event_to_dict
+from repro.state import Checkpoint
+
+CONSTRAINTS = PatternConstraints(m=2, k=3, l=2, g=2)
+
+BASE_KNOBS = dict(
+    epsilon=2.0,
+    cell_width=4.0,
+    min_pts=2,
+    constraints=CONSTRAINTS,
+)
+
+
+def cluster_stream(
+    seed: int, n_times: int = 10, n_objects: int = 8
+) -> list[StreamRecord]:
+    """A deterministic record stream forming and breaking small clusters.
+
+    Objects jitter around a few fixed sites, so density clusters form,
+    drift apart and re-form — enough churn to exercise every enumerator
+    state machine without making runs slow.
+    """
+    rng = random.Random(seed)
+    records: list[StreamRecord] = []
+    for t in range(n_times):
+        for oid in range(n_objects):
+            site = oid % 3 if rng.random() > 0.2 else rng.randrange(3)
+            records.append(
+                StreamRecord(
+                    oid=oid,
+                    time=t,
+                    x=float(site) * 4.0 + rng.random(),
+                    y=float(oid // 3) * 0.5,
+                    last_time=t - 1 if t else None,
+                )
+            )
+    return records
+
+
+def run_uninterrupted(
+    records: list[StreamRecord], **session_kwargs
+) -> list[dict]:
+    """The oracle: one session over the whole stream, events as dicts."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    session = open_session(**kwargs)
+    events = []
+    for record in records:
+        events.extend(session.feed(record))
+    events.extend(session.finish())
+    session.close()
+    return [event_to_dict(event) for event in events]
+
+
+def watermark_boundaries(
+    records: list[StreamRecord], **session_kwargs
+) -> list[int]:
+    """Record counts right after each ``WatermarkAdvanced`` emission."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    session = open_session(**kwargs)
+    boundaries = []
+    for fed, record in enumerate(records, start=1):
+        if any(e.kind == "watermark" for e in session.feed(record)):
+            boundaries.append(fed)
+    session.finish()
+    session.close()
+    return boundaries
+
+
+def run_with_restart(
+    records: list[StreamRecord],
+    cut: int,
+    *,
+    through_bytes: bool = True,
+    restore_kwargs: dict | None = None,
+    **session_kwargs,
+) -> list[dict]:
+    """Checkpoint after ``cut`` records, restore, continue to the end."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    first = open_session(**kwargs)
+    events = []
+    for record in records[:cut]:
+        events.extend(first.feed(record))
+    checkpoint = first.checkpoint()
+    first.close()
+    if through_bytes:
+        checkpoint = Checkpoint.from_bytes(checkpoint.to_bytes())
+    second = open_session(restore=checkpoint, **(restore_kwargs or {}))
+    for record in records[cut:]:
+        events.extend(second.feed(record))
+    events.extend(second.finish())
+    second.close()
+    return [event_to_dict(event) for event in events]

@@ -1,0 +1,175 @@
+"""Bounded state: TTL trajectory eviction and VBA candidate eviction.
+
+Two safety arguments are tested differentially.  First, evicting an
+idle trajectory chain must be *transparent*: a dense stream (where
+nothing is ever idle long enough) produces identical events with and
+without a TTL, and an object that reappears after eviction behaves as a
+brand-new object instead of deadlocking the watermark on its stale
+``last_time`` link.  Second, VBA's candidate-retention horizon of
+``2 * (K + G)`` never drops a pattern the unbounded reference confirms.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PatternConstraints, open_session
+from repro.enumeration.partition import PartitionRouter
+from repro.enumeration.vba import VBAEnumerator
+from repro.model.records import StreamRecord
+from repro.session import event_to_dict
+from repro.streaming.sync import TimeSyncOperator
+
+from tests.conftest import random_cluster_stream
+from tests.state.conftest import (
+    BASE_KNOBS,
+    cluster_stream,
+    run_uninterrupted,
+)
+
+pytestmark = pytest.mark.checkpoint
+
+
+class TestTrajectoryTTL:
+    def test_dense_stream_events_are_unchanged(self):
+        records = cluster_stream(seed=41)
+        assert run_uninterrupted(records, trajectory_ttl=3) == (
+            run_uninterrupted(records)
+        )
+
+    def test_ttl_must_exceed_max_delay(self):
+        with pytest.raises(ValueError, match="trajectory_ttl"):
+            open_session(**BASE_KNOBS, max_delay=2, trajectory_ttl=2)
+        with pytest.raises(ValueError, match="trajectory_ttl"):
+            TimeSyncOperator(max_delay=2, trajectory_ttl=1)
+
+    def _gapped_stream(self) -> list[StreamRecord]:
+        """Object 99 appears, vanishes for 10 ticks, then reappears with
+        a ``last_time`` link pointing at its pre-eviction record."""
+        records = []
+        for t in range(20):
+            for oid in range(4):
+                records.append(
+                    StreamRecord(
+                        oid=oid,
+                        time=t,
+                        x=float(oid % 2),
+                        y=float(oid // 2),
+                        last_time=t - 1 if t else None,
+                    )
+                )
+            if t in (0, 1, 14, 15):
+                last = {0: None, 1: 0, 14: 1, 15: 14}[t]
+                records.append(
+                    StreamRecord(
+                        oid=99, time=t, x=0.2, y=0.0, last_time=last
+                    )
+                )
+        return records
+
+    def test_reappearing_trajectory_is_fresh_not_deadlocked(self):
+        """Without the eviction clamp, the t=14 record's stale link to
+        t=1 (evicted) would stall the watermark forever.  With it, the
+        stream drains completely and the object re-enters clusters."""
+        session = open_session(**BASE_KNOBS, trajectory_ttl=3)
+        events = []
+        for record in self._gapped_stream():
+            events.extend(session.feed(record))
+        watermarks = [e.time for e in events if e.kind == "watermark"]
+        assert watermarks == list(range(19))
+        metrics = session.state_memory()["sync"]
+        assert metrics["chains_evicted"] >= 1
+        session.finish()
+        session.close()
+
+    def test_eviction_counts_surface_in_result(self):
+        session = open_session(**BASE_KNOBS, trajectory_ttl=3)
+        for record in self._gapped_stream():
+            session.feed(record)
+        memory = session.result().state_memory
+        assert memory["sync"]["chains_evicted"] >= 1
+        assert memory["sync"]["chains"] <= 5
+        for component in ("cluster", "enumerate", "collector", "meter"):
+            assert component in memory, sorted(memory)
+        session.finish()
+        session.close()
+
+    def test_evicted_chain_state_is_dropped_from_checkpoints(self):
+        records = self._gapped_stream()
+        session = open_session(**BASE_KNOBS, trajectory_ttl=3)
+        for record in records:
+            session.feed(record)
+        checkpoint = session.checkpoint()
+        session.close()
+        from repro.state import decode_payload
+
+        sync_state = decode_payload(checkpoint.master_states["sync"])
+        assert sync_state["chains_evicted"] >= 1
+        # 4 dense objects plus at most the one recent sparse chain.
+        assert len(sync_state["chains"]) <= 5
+
+
+class TestVBACandidateRetention:
+    @pytest.mark.parametrize("seed", [1, 7, 19, 42])
+    def test_bounded_retention_confirms_every_pattern(self, seed):
+        """Differential sweep on dense random workloads: the bounded
+        candidate list (horizon ``2 * (K + G)``) confirms exactly the
+        patterns of the unbounded paper semantics."""
+        constraints = PatternConstraints(m=2, k=3, l=2, g=2)
+        retention = 2 * (constraints.k + constraints.g)
+        rng = random.Random(seed)
+        snapshots = random_cluster_stream(
+            rng, n_objects=6, horizon=30, drop_probability=0.1
+        )
+        results = {}
+        for name, kwargs in (
+            ("unbounded", {}),
+            ("bounded", {"candidate_retention": retention}),
+        ):
+            router = PartitionRouter(constraints.m)
+            enums: dict[int, VBAEnumerator] = {}
+            out = []
+            for snapshot in snapshots:
+                for anchor, members in router.route(snapshot):
+                    enum = enums.get(anchor)
+                    if enum is None:
+                        enum = enums[anchor] = VBAEnumerator(
+                            anchor, constraints, **kwargs
+                        )
+                    out.extend(
+                        map(str, enum.on_partition(snapshot.time, members))
+                    )
+            for anchor in sorted(enums):
+                out.extend(map(str, enums[anchor].finish()))
+            results[name] = sorted(out)
+        assert results["bounded"] == results["unbounded"]
+
+    def test_eviction_counter_reports_in_session_metrics(self):
+        records = cluster_stream(seed=2, n_times=30, n_objects=6)
+        session = open_session(
+            **BASE_KNOBS,
+            enumerator="vba",
+            vba_candidate_retention=2 * (BASE_KNOBS["constraints"].k
+                                         + BASE_KNOBS["constraints"].g),
+        )
+        for record in records:
+            session.feed(record)
+        memory = session.state_memory()
+        assert "candidates_evicted" in memory["enumerate"]
+        session.finish()
+        session.close()
+
+    def test_session_events_identical_with_retention(self):
+        records = cluster_stream(seed=2, n_times=30, n_objects=6)
+        retention = 2 * (
+            BASE_KNOBS["constraints"].k + BASE_KNOBS["constraints"].g
+        )
+        bounded = run_uninterrupted(
+            records, enumerator="vba", vba_candidate_retention=retention
+        )
+        unbounded = run_uninterrupted(records, enumerator="vba")
+        assert [e for e in bounded if e["kind"] == "pattern"] == (
+            [e for e in unbounded if e["kind"] == "pattern"]
+        )

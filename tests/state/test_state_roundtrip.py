@@ -1,0 +1,295 @@
+"""Property tests: every operator's state payload round-trips exactly.
+
+For each stateful component, hypothesis drives a random prefix of work,
+snapshots the state, restores it into a *fresh* instance, then drives
+the identical suffix through both — outputs and final payloads must
+match.  Payloads are also pushed through the pickle codec (the same
+bytes a spawn-context worker receives), including VBA bit strings
+longer than 64 snapshots, which span multiple uint64 words.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumeration.base import PatternCollector
+from repro.enumeration.baseline import BAEnumerator
+from repro.enumeration.fba import FBAEnumerator
+from repro.enumeration.partition import PartitionRouter
+from repro.enumeration.vba import VBAEnumerator
+from repro.core.live import ConvoyTracker
+from repro.model.batch import RecordBatch
+from repro.model.constraints import PatternConstraints
+from repro.model.records import StreamRecord
+from repro.state import decode_payload, digest_of, encode_payload
+from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+from repro.streaming.sync import TimeSyncOperator
+
+from tests.conftest import random_cluster_stream
+
+pytestmark = pytest.mark.checkpoint
+
+CONSTRAINTS = PatternConstraints(m=2, k=3, l=2, g=2)
+
+ENUMERATORS = {
+    "ba": lambda anchor: BAEnumerator(anchor, CONSTRAINTS),
+    "fba": lambda anchor: FBAEnumerator(anchor, CONSTRAINTS),
+    "vba": lambda anchor: VBAEnumerator(anchor, CONSTRAINTS),
+}
+
+
+def _codec_roundtrip(payload):
+    """Run a payload through the worker-boundary codec; returns the copy."""
+    digest, data = encode_payload(payload)
+    assert digest_of(data) == digest
+    clone = decode_payload(data)
+    # Stability: re-encoding the decoded payload yields the same digest,
+    # so an incremental capture across a worker boundary stays a no-op.
+    assert encode_payload(clone)[0] == digest
+    return clone
+
+
+def _drive_enumerator(kind, snapshots, split):
+    """Original vs snapshot+restore at ``split``: identical emissions."""
+    factory = ENUMERATORS[kind]
+    router = PartitionRouter(CONSTRAINTS.m)
+    routed = [
+        (snapshot.time, list(router.route(snapshot)))
+        for snapshot in snapshots
+    ]
+    anchors = sorted({a for _, parts in routed for a, _ in parts})
+    for anchor in anchors:
+        original = factory(anchor)
+        emitted = []
+        for index, (time, parts) in enumerate(routed):
+            if index == split:
+                clone = factory(anchor)
+                clone.restore_state(
+                    _codec_roundtrip(original.snapshot_state())
+                )
+                original = clone
+            for part_anchor, members in parts:
+                if part_anchor == anchor:
+                    emitted.append(
+                        sorted(map(str, original.on_partition(time, members)))
+                    )
+        emitted.append(sorted(map(str, original.finish())))
+
+        reference = factory(anchor)
+        expected = []
+        for time, parts in routed:
+            for part_anchor, members in parts:
+                if part_anchor == anchor:
+                    expected.append(
+                        sorted(map(str, reference.on_partition(time, members)))
+                    )
+        expected.append(sorted(map(str, reference.finish())))
+        assert emitted == expected, f"anchor {anchor} diverged"
+
+
+class TestEnumeratorRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(ENUMERATORS))
+    @given(seed=st.integers(0, 10_000), split=st.integers(0, 11))
+    @settings(max_examples=25, deadline=None)
+    def test_random_streams(self, kind, seed, split):
+        rng = random.Random(seed)
+        snapshots = random_cluster_stream(rng, n_objects=5, horizon=12)
+        _drive_enumerator(kind, snapshots, split)
+
+    @given(seed=st.integers(0, 1_000), split=st.integers(40, 70))
+    @settings(max_examples=5, deadline=None)
+    def test_vba_multiword_bitstrings(self, seed, split):
+        """Streams past 64 snapshots span multiple 64-bit words in the
+        VBA bit strings; the payload must carry them losslessly."""
+        rng = random.Random(seed)
+        snapshots = random_cluster_stream(
+            rng, n_objects=3, horizon=80, drop_probability=0.05
+        )
+        _drive_enumerator("vba", snapshots, split)
+
+    def test_unsupported_enumerator_raises(self):
+        from repro.enumeration.base import AnchorEnumerator
+
+        class Bare(AnchorEnumerator):
+            def on_partition(self, time, members):
+                return []
+
+            def finish(self):
+                return []
+
+        with pytest.raises(NotImplementedError):
+            Bare(1, CONSTRAINTS).snapshot_state()
+
+
+class TestSyncOperatorRoundTrip:
+    @given(
+        seed=st.integers(0, 10_000),
+        max_delay=st.integers(0, 2),
+        split=st.integers(1, 30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_out_of_order_streams(self, seed, max_delay, split):
+        rng = random.Random(seed)
+        records = []
+        for t in range(8):
+            for oid in range(4):
+                if rng.random() < 0.85:
+                    records.append(
+                        StreamRecord(
+                            oid=oid,
+                            time=t,
+                            x=rng.random(),
+                            y=rng.random(),
+                            last_time=None,
+                        )
+                    )
+        # Bounded shuffle within the delay guarantee.
+        records.sort(key=lambda r: r.time + rng.uniform(0, max_delay))
+
+        original = TimeSyncOperator(max_delay=max_delay)
+        emitted = []
+        for index, record in enumerate(records):
+            if index == min(split, len(records)):
+                clone = TimeSyncOperator(max_delay=max_delay)
+                clone.restore_state(
+                    _codec_roundtrip(original.snapshot_state())
+                )
+                original = clone
+            emitted.extend(s.time for s in original.feed(record))
+        emitted.extend(s.time for s in original.flush())
+
+        reference = TimeSyncOperator(max_delay=max_delay)
+        expected = []
+        for record in records:
+            expected.extend(s.time for s in reference.feed(record))
+        expected.extend(s.time for s in reference.flush())
+        assert emitted == expected
+
+    def test_batch_path_state_matches_pointwise(self):
+        records = [
+            StreamRecord(oid=o, time=t, x=float(o), y=0.0, last_time=None)
+            for t in range(4)
+            for o in range(3)
+        ]
+        pointwise = TimeSyncOperator(max_delay=1)
+        for record in records:
+            list(pointwise.feed(record))
+        batched = TimeSyncOperator(max_delay=1)
+        list(batched.feed_batch(RecordBatch.pack(records, 5).__next__()))
+        for record in records[5:]:
+            list(batched.feed(record))
+        assert (
+            pointwise.snapshot_state() == batched.snapshot_state()
+        )
+
+
+class TestMasterComponentsRoundTrip:
+    def test_collector_roundtrip_preserves_dedup(self):
+        rng = random.Random(7)
+        snapshots = random_cluster_stream(rng, n_objects=5, horizon=10)
+        collector = PatternCollector()
+        router = PartitionRouter(CONSTRAINTS.m)
+        enums: dict[int, FBAEnumerator] = {}
+        for snapshot in snapshots:
+            for anchor, members in router.route(snapshot):
+                enum = enums.setdefault(
+                    anchor, FBAEnumerator(anchor, CONSTRAINTS)
+                )
+                collector.offer(
+                    snapshot.time, enum.on_partition(snapshot.time, members)
+                )
+        clone = PatternCollector()
+        clone.restore_state(_codec_roundtrip(collector.snapshot_state()))
+        assert clone.detections == collector.detections
+        assert clone.patterns() == collector.patterns()
+        # Dedup survives: re-offering a known pattern stays a no-op.
+        for time, pattern in collector.detections:
+            clone.offer(time, [pattern])
+        assert len(clone) == len(collector)
+
+    def test_meter_roundtrip(self):
+        meter = LatencyThroughputMeter()
+        for t in range(5):
+            meter.record(
+                SnapshotTiming(
+                    time=t,
+                    latency_seconds=0.01 * (t + 1),
+                    bottleneck_seconds=0.002,
+                    locations=3 * t,
+                    patterns_emitted=t,
+                )
+            )
+        clone = LatencyThroughputMeter()
+        clone.restore_state(_codec_roundtrip(meter.snapshot_state()))
+        assert clone.summary() == meter.summary()
+        assert clone.timings == meter.timings
+
+    @given(seed=st.integers(0, 10_000), split=st.integers(0, 9))
+    @settings(max_examples=25, deadline=None)
+    def test_convoy_tracker_roundtrip(self, seed, split):
+        rng = random.Random(seed)
+        snapshots = random_cluster_stream(rng, n_objects=5, horizon=10)
+        original = ConvoyTracker(m=2, k=2)
+        emitted = []
+        for index, snapshot in enumerate(snapshots):
+            if index == split:
+                clone = ConvoyTracker(m=2, k=2)
+                clone.restore_state(
+                    _codec_roundtrip(original.snapshot_state())
+                )
+                original = clone
+            emitted.append(sorted(map(str, original.on_snapshot(snapshot))))
+        emitted.append(sorted(map(str, original.finish())))
+
+        reference = ConvoyTracker(m=2, k=2)
+        expected = [
+            sorted(map(str, reference.on_snapshot(s))) for s in snapshots
+        ]
+        expected.append(sorted(map(str, reference.finish())))
+        assert emitted == expected
+
+
+class TestSpawnContextStability:
+    def test_payload_bytes_survive_a_fresh_interpreter(self, tmp_path):
+        """The exact bytes a spawn worker ships must decode and
+        re-encode to the same digest in a separate interpreter — the
+        invariant the incremental digest cache rests on."""
+        import os
+        import subprocess
+        import sys
+
+        rng = random.Random(11)
+        snapshots = random_cluster_stream(rng, n_objects=4, horizon=70)
+        enum = VBAEnumerator(1, CONSTRAINTS)
+        router = PartitionRouter(CONSTRAINTS.m)
+        for snapshot in snapshots:
+            for anchor, members in router.route(snapshot):
+                if anchor == 1:
+                    enum.on_partition(snapshot.time, members)
+        digest, data = encode_payload(enum.snapshot_state())
+        blob = tmp_path / "payload.bin"
+        blob.write_bytes(data)
+        script = tmp_path / "reencode.py"
+        script.write_text(
+            "import sys\n"
+            "from pathlib import Path\n"
+            "from repro.state import decode_payload, encode_payload\n"
+            "payload = decode_payload(Path(sys.argv[1]).read_bytes())\n"
+            "print(encode_payload(payload)[0])\n"
+        )
+        result = subprocess.run(
+            [sys.executable, str(script), str(blob)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(
+                os.path.dirname(os.path.dirname(__file__))
+            ),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == digest

@@ -34,6 +34,9 @@ EXPECTED_EXPORTS = sorted(
         "CoMovementDetector",
         "ICPEConfig",
         "ICPEPipeline",
+        # lazy checkpoint/state API
+        "Checkpoint",
+        "CheckpointError",
         # lazy session API
         "CallbackSink",
         "ConvoyDelta",
@@ -64,8 +67,8 @@ class TestSurfaceLock:
         for name in repro.__all__:
             assert getattr(repro, name) is not None, name
 
-    def test_version_is_2_2(self):
-        assert repro.__version__ == "2.2.0"
+    def test_version_is_2_3(self):
+        assert repro.__version__ == "2.3.0"
 
 
 class TestLazyMachinery:
