@@ -27,7 +27,7 @@ pack records into a :class:`~repro.model.batch.RecordBatch` (or let
                 print(event)
 
 Every strategy axis — execution backend, clustering kernel, enumeration
-kernel, enumerator — is a plugin on :func:`repro.registry.
+kernel, enumerator, shed policy — is a plugin on :func:`repro.registry.
 default_registry`; third-party packages register via the
 ``repro.plugins`` entry-point group.  The pre-2.0
 ``CoMovementDetector`` remains available as a deprecation shim.
@@ -52,7 +52,7 @@ from repro.model import (
     Trajectory,
 )
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 #: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
 #: registry machinery), mapped to their home modules.
@@ -78,6 +78,11 @@ _LAZY_EXPORTS = {
     "PluginRegistry": "repro.registry",
     "PluginSpec": "repro.registry",
     "default_registry": "repro.registry",
+    "NoShedPolicy": "repro.shedding",
+    "PatternAwareShedPolicy": "repro.shedding",
+    "RandomShedPolicy": "repro.shedding",
+    "SLOController": "repro.shedding",
+    "ShedPolicy": "repro.shedding",
 }
 
 __all__ = sorted(

@@ -11,7 +11,8 @@ Usage::
     python -m repro.cli plugins
 
 Strategy flags (``--enumerator`` / ``--backend`` / ``--kernel`` /
-``--enum-kernel``) take their choice lists from the plugin registry, so
+``--enum-kernel`` / ``--shed-policy``) take their choice lists from the
+plugin registry, so
 third-party plugins registered via the ``repro.plugins`` entry-point
 group appear automatically; ``plugins`` lists every registered strategy
 with its capabilities.  ``detect --output json`` streams the session's
@@ -52,6 +53,7 @@ AXIS_FLAGS = {
     "backend": "--backend",
     "clustering_kernel": "--kernel",
     "enumeration_kernel": "--enum-kernel",
+    "shed_policy": "--shed-policy",
 }
 
 
@@ -122,6 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="pattern-enumeration kernel: reference per-anchor state "
              "machines or batched NumPy membership bitmaps (identical "
              "results; requires --enumerator fba or vba)",
+    )
+    detect.add_argument(
+        "--shed-policy", choices=registry.names("shed_policy"),
+        default="none",
+        help="load-shedding policy under overload: none (default), "
+             "random Bernoulli drops, or pattern_aware (protects "
+             "records inside live partial matches)",
+    )
+    detect.add_argument(
+        "--shed-rate", type=float, default=0.0,
+        help="fraction of ingested records to shed in [0, 1); the "
+             "starting rate when --target-p99-ms engages the controller",
+    )
+    detect.add_argument(
+        "--target-p99-ms", type=float, default=None,
+        help="latency SLO: adapt the shed rate toward this p99 "
+             "per-snapshot latency (requires --shed-policy != none)",
     )
     detect.add_argument("--max-delay", type=int, default=0)
     detect.add_argument(
@@ -228,6 +247,7 @@ def _selection_error(args: argparse.Namespace) -> str | None:
             backend=args.backend,
             clustering_kernel=args.kernel,
             enumeration_kernel=args.enum_kernel,
+            shed_policy=args.shed_policy,
         )
     except PluginError as error:
         return str(error)
@@ -291,6 +311,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
             parallel_workers=args.workers,
             clustering_kernel=args.kernel,
             enumeration_kernel=args.enum_kernel,
+            shed_policy=args.shed_policy,
+            shed_rate=args.shed_rate,
+            target_p99_ms=args.target_p99_ms,
         )
     if args.checkpoint_dir is not None:
         os.makedirs(args.checkpoint_dir, exist_ok=True)
@@ -351,6 +374,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
                     "clustering_kernel": result.clustering_kernel,
                     "enumeration_kernel": result.enumeration_kernel,
                     "enumerator": result.enumerator,
+                    "shedding": result.shedding,
                 }
             )
         )
@@ -372,6 +396,14 @@ def cmd_detect(args: argparse.Namespace) -> int:
             f"{meter.average_latency_ms():.2f} ms; throughput "
             f"{meter.throughput_tps():.0f} snapshots/s"
         )
+        shed = result.shedding
+        if shed.get("policy", "none") != "none":
+            print(
+                f"shedding ({shed['policy']}): "
+                f"{shed['records_shed']}/{shed['records_offered']} records "
+                f"dropped; final rate {shed['shed_rate']:.2f}; "
+                f"{shed['records_protected']} protected"
+            )
     if args.json_out:
         with open(args.json_out, "w") as handle:
             handle.write(

@@ -64,9 +64,26 @@ class ICPEConfig:
             optional NumPy dependency and a bit-compression enumerator,
             i.e. ``fba`` or ``vba``).  Composable with either execution
             backend and either clustering kernel.
+        shed_policy: load-shedding policy applied to completed snapshots
+            before clustering — ``"none"`` (default, no shedding),
+            ``"random"`` (uniform Bernoulli drops) or ``"pattern_aware"``
+            (drops only records of objects outside every live partial
+            match; see :mod:`repro.shedding`).  Dropping happens after
+            time synchronisation so the reassembly chains and the
+            bounded-delay watermark are never disturbed.
+        shed_rate: target fraction of snapshot records to shed
+            (``0 <= rate < 1``).  The starting rate when a latency
+            target drives the controller, the fixed rate otherwise.
+        shed_seed: seed of the shed policy's drop RNG (deterministic
+            shedding per seed; differential tests rely on it).
+        target_p99_ms: optional latency SLO — when set, the
+            :class:`~repro.shedding.controller.SLOController` adapts the
+            shed rate toward this p99 per-snapshot latency with
+            hysteresis (``None`` = hold ``shed_rate`` fixed).
 
     Every strategy field (``enumerator``, ``backend``,
-    ``clustering_kernel``, ``enumeration_kernel``) accepts any name
+    ``clustering_kernel``, ``enumeration_kernel``, ``shed_policy``)
+    accepts any name
     registered on the plugin registry — built-ins or third-party plugins
     discovered via the ``repro.plugins`` entry-point group — and invalid
     cross-axis combinations are rejected declaratively from the
@@ -96,6 +113,10 @@ class ICPEConfig:
     parallel_workers: int | None = None
     clustering_kernel: str = "python"
     enumeration_kernel: str = "python"
+    shed_policy: str = "none"
+    shed_rate: float = 0.0
+    shed_seed: int = 0
+    target_p99_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -122,6 +143,14 @@ class ICPEConfig:
                 f"trajectory_ttl must be > max_delay ({self.max_delay}): "
                 f"{self.trajectory_ttl}"
             )
+        if not 0.0 <= self.shed_rate < 1.0:
+            raise ValueError(
+                f"shed_rate must be in [0, 1): {self.shed_rate}"
+            )
+        if self.target_p99_ms is not None and self.target_p99_ms <= 0:
+            raise ValueError(
+                f"target_p99_ms must be positive: {self.target_p99_ms}"
+            )
         # Strategy names and their cross-axis combinations are validated
         # against the plugin registry: unknown names and invalid
         # capability pairs (e.g. a bitmap-batching enumeration kernel
@@ -131,6 +160,7 @@ class ICPEConfig:
             clustering_kernel=self.clustering_kernel,
             enumeration_kernel=self.enumeration_kernel,
             enumerator=self.enumerator,
+            shed_policy=self.shed_policy,
         )
 
     def clustering_config(self) -> ClusteringConfig:
@@ -173,3 +203,17 @@ class ICPEConfig:
     def with_enum_kernel(self, enumeration_kernel: str) -> "ICPEConfig":
         """Copy with a different pattern-enumeration kernel strategy."""
         return replace(self, enumeration_kernel=enumeration_kernel)
+
+    def with_shedding(
+        self,
+        shed_policy: str,
+        shed_rate: float = 0.0,
+        target_p99_ms: float | None = None,
+    ) -> "ICPEConfig":
+        """Copy with a different load-shedding configuration."""
+        return replace(
+            self,
+            shed_policy=shed_policy,
+            shed_rate=shed_rate,
+            target_p99_ms=target_p99_ms,
+        )

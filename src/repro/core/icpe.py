@@ -207,6 +207,11 @@ class ICPEPipeline:
         #: Cluster-state fetch cache for process-isolated backends,
         #: keyed on the snapshot count at fetch time.
         self._cluster_state_cache: tuple[int, dict] | None = None
+        #: Protected-set fetch cache (load shedding), same keying.
+        self._protected_cache: tuple[int, frozenset[int]] | None = None
+        #: Per-stage busy times of the most recent snapshot, for the
+        #: SLO controller's stage sampling.
+        self.last_works: list[StageWork] = []
         self._cluster_final_state: dict | None = None
         # Exposed for the harness: average cluster size (Figs. 12-13).
         self._cluster_operator: ClusterOperator | KernelClusterOperator | None
@@ -325,6 +330,7 @@ class ICPEPipeline:
         self, snapshot: Snapshot, works: list[StageWork], fresh: int
     ) -> None:
         model = self._cluster_model
+        self.last_works = works
         if self.keep_works:
             self.works_history.append(works)
         self.meter.record(
@@ -453,6 +459,40 @@ class ICPEPipeline:
         self._cluster_state_cache = (marker, state)
         return state
 
+    # --------------------------------------------------------------- shedding
+
+    def protected_oids(self) -> frozenset[int]:
+        """Oids inside a forming pattern anywhere in the enumeration stage.
+
+        The union over every enumerate subtask of the objects its open
+        FBA windows / unclosed VBA bit strings depend on — the records
+        the pattern-aware shed policy must not drop.  Works under every
+        backend: in-process backends walk the live operator instances,
+        the process backend round-trips a ``protected`` command through
+        the worker reply protocol.  Cached per processed snapshot (the
+        set only changes when a snapshot is processed); empty once the
+        pipeline has finished.
+        """
+        if self._finished:
+            return frozenset()
+        marker = self.meter.snapshots
+        if (
+            self._protected_cache is not None
+            and self._protected_cache[0] == marker
+        ):
+            return self._protected_cache[1]
+        runtime = next(
+            (r for r in self._runtimes if r.stage.name == "enumerate"), None
+        )
+        protected: frozenset[int] = frozenset()
+        if runtime is not None:
+            merged: set[int] = set()
+            for _index, oids in self._backend.collect_protected(runtime):
+                merged.update(oids)
+            protected = frozenset(merged)
+        self._protected_cache = (marker, protected)
+        return protected
+
     # ------------------------------------------------------------- checkpoints
 
     @property
@@ -534,6 +574,7 @@ class ICPEPipeline:
             self._state_digests[key] = digest_of(data)
             self._state_payloads[key] = data
         self._cluster_state_cache = None
+        self._protected_cache = None
 
     def state_metrics(self) -> dict[str, dict[str, int]]:
         """Per-component memory accounting across the whole pipeline.

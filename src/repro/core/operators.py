@@ -331,6 +331,13 @@ class EnumerateOperator(Operator):
             out.extend(self._enumerators[anchor].finish())
         return out
 
+    def protected_oids(self) -> frozenset[int]:
+        """Union of every hosted enumerator's shed-protected oids."""
+        protected: set[int] = set()
+        for enumerator in self._enumerators.values():
+            protected.update(enumerator.protected_oids())
+        return frozenset(protected)
+
     def snapshot_state(self) -> dict:
         """Per-anchor enumerator payloads, keyed by anchor id."""
         return {
@@ -401,6 +408,10 @@ class BatchedEnumerateOperator(Operator):
     def finish(self) -> Iterable[Any]:
         """Flush the kernel's state at end of stream."""
         return self.kernel.finish()
+
+    def protected_oids(self) -> frozenset[int]:
+        """Shed-protected oids, delegated to the enumeration kernel."""
+        return self.kernel.protected_oids()
 
     def snapshot_state(self) -> dict:
         """The kernel's payload plus any records buffered pre-trigger."""

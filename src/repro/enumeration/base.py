@@ -45,6 +45,17 @@ class AnchorEnumerator(ABC):
         """
         return False
 
+    def protected_oids(self) -> frozenset[int]:
+        """Oids this machine's partial matches depend on (shed-protected).
+
+        The load shedder must not drop records for objects currently
+        inside a forming pattern — an open FBA window, an unclosed VBA
+        bit string.  Machines with no such notion (the baseline
+        enumerator keeps no cross-snapshot partial state worth
+        protecting) report nothing and leave every record sheddable.
+        """
+        return frozenset()
+
     def snapshot_state(self) -> dict:
         """Serializable payload capturing the anchor machine's state.
 

@@ -147,6 +147,21 @@ class FBAEnumerator(AnchorEnumerator):
         """True when no window is pending."""
         return not self._pending_starts
 
+    def protected_oids(self) -> frozenset[int]:
+        """Anchor plus every member of a still-open eta-window.
+
+        While windows are pending, any retained partition member may
+        yet complete a pattern, so all of them (and the anchor itself)
+        are protected from shedding; once every window has run the
+        anchor holds no partial matches and reports nothing.
+        """
+        if not self._pending_starts:
+            return frozenset()
+        members: set[int] = {self.anchor}
+        for partition in self._window.values():
+            members.update(partition)
+        return frozenset(members)
+
     def snapshot_state(self) -> dict:
         """Window contents, pending starts and work counters as plain data."""
         return {

@@ -75,6 +75,16 @@ class EnumerationKernel(ABC):
     def finish(self) -> list[CoMovementPattern]:
         """Flush end-of-stream state (pending windows, open bit strings)."""
 
+    def protected_oids(self) -> frozenset[int]:
+        """Oids participating in any hosted partial match (shed-protected).
+
+        The union over every hosted anchor of the objects inside an
+        open FBA window or an unclosed VBA bit string — the records
+        the load shedder must not drop.  Kernels without partial-match
+        state report nothing and leave every record sheddable.
+        """
+        return frozenset()
+
     def snapshot_state(self) -> dict:
         """Serializable payload capturing the kernel's bit-string state.
 

@@ -199,6 +199,31 @@ class _FBAWindows:
         self._time_keys.clear()
         return emitted
 
+    def protected_oids(self) -> frozenset[int]:
+        """Anchors and members of every still-pending window.
+
+        Mirrors :meth:`FBAEnumerator.protected_oids`: while windows are
+        pending, the opening partitions (``_pending``) and every
+        retained snapshot's packed keys (``_time_keys``) may yet
+        complete a pattern; with nothing pending the batch holds no
+        partial matches.
+        """
+        if not self._pending:
+            return frozenset()
+        protected: set[int] = set()
+        for entries in self._pending.values():
+            for anchor, members in entries:
+                protected.add(anchor)
+                protected.update(members)
+        for keys in self._time_keys.values():
+            protected.update(
+                int(a) for a in np.unique(keys >> np.int64(32))
+            )
+            protected.update(
+                int(o) for o in np.unique(keys & np.int64(0xFFFFFFFF))
+            )
+        return frozenset(protected)
+
     def snapshot_state(self) -> dict:
         """Key arrays as raw bytes plus pending windows and counters."""
         return {
@@ -425,6 +450,24 @@ class _VBAStrings:
             )
         return shell
 
+    def protected_oids(self) -> frozenset[int]:
+        """Anchors and oids of every unclosed bit string.
+
+        Mirrors :meth:`VBAEnumerator.protected_oids` over the batched
+        row arrays: both halves of each packed open-string key are
+        protected (shells hold only closed candidates, which need no
+        protection — dropping a record cannot un-close a string).
+        """
+        if not self._keys.size:
+            return frozenset()
+        protected = {
+            int(a) for a in np.unique(self._keys >> np.int64(32))
+        }
+        protected.update(
+            int(o) for o in np.unique(self._keys & np.int64(0xFFFFFFFF))
+        )
+        return frozenset(protected)
+
     def snapshot_state(self) -> dict:
         """Parallel arrays as raw bytes plus per-anchor shell payloads.
 
@@ -640,6 +683,10 @@ class NumpyEnumerationKernel(EnumerationKernel):
     def finish(self) -> list[CoMovementPattern]:
         """Flush pending windows / open strings at end of stream."""
         return self._state.finish()
+
+    def protected_oids(self) -> frozenset[int]:
+        """Shed-protected oids, delegated to the batch state."""
+        return self._state.protected_oids()
 
     def snapshot_state(self) -> dict:
         """The batch state's payload plus the kernel clock.

@@ -81,6 +81,13 @@ class PythonEnumerationKernel(EnumerationKernel):
             out.extend(self._enumerators[anchor].finish())
         return out
 
+    def protected_oids(self) -> frozenset[int]:
+        """Union of every hosted enumerator's protected set."""
+        protected: set[int] = set()
+        for enumerator in self._enumerators.values():
+            protected.update(enumerator.protected_oids())
+        return frozenset(protected)
+
     def snapshot_state(self) -> dict:
         """Per-anchor enumerator payloads, keyed by anchor id."""
         return {

@@ -174,6 +174,19 @@ class VBAEnumerator(AnchorEnumerator):
         """
         return not self._open
 
+    def protected_oids(self) -> frozenset[int]:
+        """Anchor plus every object with an unclosed bit string.
+
+        Open strings are the partial matches shedding must not starve:
+        dropping a record for an open oid would flip a co-clustering
+        bit to zero and could close (or invalidate) a string that was
+        on its way to candidacy.  With no open strings the global
+        candidate list is inert and nothing needs protection.
+        """
+        if not self._open:
+            return frozenset()
+        return frozenset({self.anchor, *self._open})
+
     def snapshot_state(self) -> dict:
         """Open strings, closed candidates and counters as plain data.
 

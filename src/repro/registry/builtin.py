@@ -20,7 +20,10 @@ Factory signatures per axis (third-party plugins must match):
   :class:`~repro.enumeration.kernels.base.EnumerationKernel`;
 * ``enumerator``: ``factory(anchor, constraints, *,
   ba_max_partition_size, vba_candidate_retention)`` returning an
-  :class:`~repro.enumeration.base.AnchorEnumerator`.
+  :class:`~repro.enumeration.base.AnchorEnumerator`;
+* ``shed_policy``: ``factory(seed: int | None = 0)`` returning a
+  :class:`~repro.shedding.policy.ShedPolicy` (the seed drives the
+  policy's drop RNG; stateless policies ignore it).
 """
 
 from __future__ import annotations
@@ -173,6 +176,30 @@ def _vba_enumerator(
     )
 
 
+# --------------------------------------------------------------- shed policies
+
+
+def _none_shed_policy(seed: int | None = 0):
+    """The default no-op policy (``seed`` is ignored)."""
+    from repro.shedding.policy import NoShedPolicy
+
+    return NoShedPolicy()
+
+
+def _random_shed_policy(seed: int | None = 0):
+    """Uniform Bernoulli shedding, the state-blind baseline."""
+    from repro.shedding.policy import RandomShedPolicy
+
+    return RandomShedPolicy(seed=seed)
+
+
+def _pattern_aware_shed_policy(seed: int | None = 0):
+    """Semantic shedding that protects live partial matches."""
+    from repro.shedding.policy import PatternAwareShedPolicy
+
+    return PatternAwareShedPolicy(seed=seed)
+
+
 BUILTIN_SPECS: tuple[PluginSpec, ...] = (
     PluginSpec(
         kind="backend",
@@ -269,6 +296,30 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         factory=_vba_enumerator,
         capabilities=PluginCapabilities(provides_bitmap_enumeration=True),
         summary="verification bit-compression enumeration (Definition 14)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="shed_policy",
+        name="none",
+        factory=_none_shed_policy,
+        capabilities=PluginCapabilities(),
+        summary="no load shedding (default; zero per-batch overhead)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="shed_policy",
+        name="random",
+        factory=_random_shed_policy,
+        capabilities=PluginCapabilities(),
+        summary="uniform Bernoulli drops (state-blind shedding baseline)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="shed_policy",
+        name="pattern_aware",
+        factory=_pattern_aware_shed_policy,
+        capabilities=PluginCapabilities(protects_patterns=True),
+        summary="drops only cold records; partial matches are protected",
         source="builtin",
     ),
 )

@@ -59,6 +59,11 @@ class PluginCapabilities:
             ``Session.checkpoint()`` available on top of it.  Every
             built-in backend declares it (the process backend drains its
             workers through the synchronous reply protocol).
+        protects_patterns: the shed policy consults live enumeration
+            state and never drops a record whose object participates in
+            a partial match (an open FBA window / unclosed VBA bit
+            string).  Policies without it shed blindly — cheaper per
+            batch, but they trade recall for latency.
     """
 
     requires_numpy: bool = False
@@ -70,6 +75,7 @@ class PluginCapabilities:
     supports_batch_ingest: bool = False
     supports_process_isolation: bool = False
     supports_checkpoint: bool = False
+    protects_patterns: bool = False
 
     def flags(self) -> dict[str, object]:
         """The capability fields as a flat name -> value mapping."""
@@ -98,4 +104,6 @@ class PluginCapabilities:
             markers.append("process-isolated")
         if self.supports_checkpoint:
             markers.append("checkpoint")
+        if self.protects_patterns:
+            markers.append("protects-patterns")
         return ",".join(markers) if markers else "-"

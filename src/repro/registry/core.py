@@ -24,7 +24,7 @@ from typing import Any, Callable, Iterable
 
 from repro.registry.capabilities import PluginCapabilities
 
-#: The four built-in strategy axes.  Registration is not limited to these
+#: The five built-in strategy axes.  Registration is not limited to these
 #: — a future axis (e.g. pattern sinks, state backends) is just a new
 #: ``kind`` string — but these are the axes ``ICPEConfig`` validates.
 PLUGIN_KINDS = (
@@ -32,6 +32,7 @@ PLUGIN_KINDS = (
     "clustering_kernel",
     "enumeration_kernel",
     "enumerator",
+    "shed_policy",
 )
 
 

@@ -120,6 +120,31 @@ class SessionBuilder:
         """Select the pattern-enumeration kernel plugin."""
         return self._set(enumeration_kernel=name)
 
+    def shedding(
+        self,
+        policy: str,
+        *,
+        rate: float = 0.0,
+        target_p99_ms: float | None = None,
+        seed: int | None = None,
+    ) -> "SessionBuilder":
+        """Select the load-shedding policy plugin and its knobs.
+
+        Built-in names: ``none`` (default) / ``random`` /
+        ``pattern_aware``.  ``rate`` is the fixed shed rate — or the
+        starting rate when ``target_p99_ms`` engages the
+        :class:`~repro.shedding.controller.SLOController`; ``seed``
+        (when given) reseeds the policy's drop RNG.
+        """
+        fields: dict[str, Any] = {
+            "shed_policy": policy,
+            "shed_rate": rate,
+            "target_p99_ms": target_p99_ms,
+        }
+        if seed is not None:
+            fields["shed_seed"] = seed
+        return self._set(**fields)
+
     def option(self, **fields: Any) -> "SessionBuilder":
         """Set any remaining :class:`ICPEConfig` field by name
         (escape hatch for knobs without a dedicated setter)."""

@@ -28,6 +28,7 @@ from repro.model.batch import RecordBatch, SnapshotBatch
 from repro.model.pattern import CoMovementPattern
 from repro.model.records import StreamRecord
 from repro.model.snapshot import Snapshot
+from repro.registry import default_registry
 from repro.session.events import (
     ConvoyDelta,
     PatternConfirmed,
@@ -42,6 +43,7 @@ from repro.state import (
     decode_payload,
     encode_payload,
 )
+from repro.shedding import ShedPolicy, SLOController
 from repro.streaming.metrics import LatencyThroughputMeter
 from repro.streaming.sync import TimeSyncOperator
 
@@ -69,6 +71,11 @@ class SessionResult:
             live component (pipeline stages, sync operator, collector,
             meter, convoy tracker) mapping its retained-object counters,
             e.g. ``{"sync": {"chains": 12, "chains_evicted": 3}, ...}``.
+        shedding: load-shedding telemetry
+            (:meth:`Session.shedding_stats`) — the policy name, offered /
+            shed / protected record counters, the controller's current
+            rate and windowed latency percentiles, and the per-stage
+            busy-second samples it collected.
     """
 
     patterns: tuple[CoMovementPattern, ...]
@@ -81,6 +88,7 @@ class SessionResult:
     enumeration_kernel: str
     enumerator: str
     state_memory: dict[str, dict[str, int]] = field(default_factory=dict)
+    shedding: dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
         """The numeric metrics as a flat dict (report-friendly)."""
@@ -145,6 +153,19 @@ class Session:
         self._sinks: list[PatternSink] = []
         self._event_counts: dict[str, int] = {}
         self._records_ingested = 0
+        self._records_shed = 0
+        self._records_protected = 0
+        self._shed_policy: ShedPolicy = default_registry().create(
+            "shed_policy", config.shed_policy, config.shed_seed
+        )
+        self._controller = SLOController(
+            target_p99_ms=config.target_p99_ms,
+            initial_rate=config.shed_rate,
+        )
+        # The default "none" policy keeps the ingest path byte-identical
+        # to a shedding-unaware session: no drop selection, no controller
+        # observation, no protected-set fetches.
+        self._shedding_active = config.shed_policy != "none"
         self._finished = False
         self._closed = False
         if restore is not None:
@@ -363,6 +384,15 @@ class Session:
                     "records_ingested": self._records_ingested,
                 },
             ),
+            (
+                "shedding",
+                {
+                    "controller": self._controller.snapshot_state(),
+                    "policy": self._shed_policy.snapshot_state(),
+                    "records_shed": self._records_shed,
+                    "records_protected": self._records_protected,
+                },
+            ),
         ]
         if self._tracker is not None:
             payloads.append(("tracker", self._tracker.snapshot_state()))
@@ -409,6 +439,15 @@ class Session:
             for members in session_payload["tracked_members"]
         )
         self._records_ingested = session_payload["records_ingested"]
+        # Checkpoints taken before the shedding subsystem existed carry
+        # no "shedding" payload; the freshly built default state stands.
+        shedding_blob = master.get("shedding")
+        if shedding_blob is not None:
+            shedding_payload = decode_payload(shedding_blob)
+            self._controller.restore_state(shedding_payload["controller"])
+            self._shed_policy.restore_state(shedding_payload["policy"])
+            self._records_shed = shedding_payload["records_shed"]
+            self._records_protected = shedding_payload["records_protected"]
         if self._tracker is not None:
             if "tracker" not in master:
                 raise CheckpointError(
@@ -439,7 +478,27 @@ class Session:
             enumeration_kernel=self.config.enumeration_kernel,
             enumerator=self.config.enumerator,
             state_memory=self.state_memory(),
+            shedding=self.shedding_stats(),
         )
+
+    def shedding_stats(self) -> dict[str, object]:
+        """Load-shedding telemetry of the run so far.
+
+        The policy name, offered / shed / protected record counters, the
+        controller's current rate, its windowed latency percentiles, and
+        the per-stage busy-second totals it sampled.  All zeros under
+        the default ``"none"`` policy.
+        """
+        return {
+            "policy": self.config.shed_policy,
+            "records_offered": self._records_ingested,
+            "records_shed": self._records_shed,
+            "records_protected": self._records_protected,
+            "shed_rate": self._controller.rate,
+            "windowed_p50_ms": self._controller.windowed_p50_ms(),
+            "windowed_p99_ms": self._controller.windowed_p99_ms(),
+            "stage_busy_seconds": self._controller.stage_busy_seconds(),
+        }
 
     def state_memory(self) -> dict[str, dict[str, int]]:
         """Per-component memory accounting (retained-object counters).
@@ -454,6 +513,14 @@ class Session:
         metrics["sync"] = self._sync.state_metrics()
         if self._tracker is not None:
             metrics["tracker"] = self._tracker.state_metrics()
+        if self._shedding_active:
+            shed_metrics = {
+                "records_shed": self._records_shed,
+                "records_protected": self._records_protected,
+            }
+            shed_metrics.update(self._controller.state_metrics())
+            shed_metrics.update(self._shed_policy.state_metrics())
+            metrics["shedding"] = shed_metrics
         return metrics
 
     def store(self):
@@ -475,6 +542,16 @@ class Session:
     def meter(self) -> LatencyThroughputMeter:
         """Per-snapshot latency / throughput metrics."""
         return self.pipeline.meter
+
+    @property
+    def shed_policy(self) -> ShedPolicy:
+        """The live load-shedding policy instance."""
+        return self._shed_policy
+
+    @property
+    def slo_controller(self) -> SLOController:
+        """The latency-SLO controller driving the shed rate."""
+        return self._controller
 
     @property
     def active_convoys(self):
@@ -512,11 +589,76 @@ class Session:
         timings = self.pipeline.meter.timings
         return timings[-1].time if timings else 0
 
+    def _shed_snapshot(
+        self, snapshot: Snapshot | SnapshotBatch
+    ) -> Snapshot | SnapshotBatch:
+        """Drop rows from one completed snapshot per the shed policy.
+
+        The drop point is deliberately *after* time synchronisation:
+        shedding a raw ingest record would leave its successor's
+        ``last_time`` naming a report that never arrives, blocking that
+        trajectory's reassembly chain and stalling the watermark.  A
+        dropped snapshot row, by contrast, is exactly a "no report at
+        t" hole for the clustering and enumeration layers — the shape
+        the bit-string semantics already handle — while still removing
+        the dominant per-row clustering/enumeration cost.
+
+        At an effective rate of zero the snapshot passes through
+        untouched and the policy's RNG is never consulted, keeping the
+        event stream byte-identical to an unshedded run.  The protected
+        set is only fetched for policies that consult enumeration state.
+        """
+        rate = self._controller.rate
+        if rate <= 0.0 or not len(snapshot):
+            return snapshot
+        policy = self._shed_policy
+        columnar = isinstance(snapshot, SnapshotBatch)
+        if columnar:
+            oids = [int(oid) for oid in snapshot.oids]
+        else:
+            oids = snapshot.oids()
+        protected: frozenset[int] = frozenset()
+        if policy.consults_state:
+            protected = self.pipeline.protected_oids()
+            self._records_protected += sum(
+                1 for oid in oids if oid in protected
+            )
+        drops = policy.select_drops(oids, rate, protected)
+        if not drops:
+            return snapshot
+        self._records_shed += len(drops)
+        dropped = set(drops)
+        keep = [i for i in range(len(oids)) if i not in dropped]
+        if columnar:
+            return snapshot.select(keep)
+        points = snapshot.points()
+        return Snapshot.from_points(
+            snapshot.time, [points[i] for i in keep]
+        )
+
+    def _observe_latency(self) -> None:
+        """Feed the last snapshot's timing to the SLO controller."""
+        timings = self.pipeline.meter.timings
+        if not timings:
+            return
+        busy: dict[str, float] = {}
+        for work in self.pipeline.last_works:
+            busy[work.name] = busy.get(work.name, 0.0) + sum(
+                work.busy_seconds
+            )
+        self._controller.observe(
+            timings[-1].latency_seconds * 1000.0, busy
+        )
+
     def _process(
         self, snapshot: Snapshot | SnapshotBatch
     ) -> list[PatternEvent]:
         """Run one complete snapshot; build its ordered event list."""
+        if self._shedding_active:
+            snapshot = self._shed_snapshot(snapshot)
         fresh = self.pipeline.process_snapshot(snapshot)
+        if self._shedding_active:
+            self._observe_latency()
         events: list[PatternEvent] = [
             PatternConfirmed(time=snapshot.time, pattern=pattern)
             for pattern in fresh

@@ -1,0 +1,38 @@
+"""Load shedding: drop cheap records under overload, keep forming patterns.
+
+At production ingest rates the pipeline cannot assume compute keeps up
+(ROADMAP north star: millions of users).  This package gives the
+:class:`~repro.session.Session` a principled way to fall behind
+gracefully:
+
+* :class:`~repro.shedding.policy.ShedPolicy` — the per-batch drop
+  contract, with three built-ins registered on the plugin registry
+  under the ``shed_policy`` kind: ``none`` (default, zero overhead),
+  ``random`` (uniform Bernoulli drops, the classical baseline) and
+  ``pattern_aware`` (consults live enumeration state and only drops
+  *cold* records — objects appearing in no open FBA window or unclosed
+  VBA bit string — so forming patterns keep their evidence).
+* :class:`~repro.shedding.controller.SLOController` — a feedback loop
+  that samples end-to-end snapshot latency and per-stage busy time and
+  adapts the shed rate toward a target p99 with hysteresis.
+
+Both pieces implement the OperatorState contract (``snapshot_state`` /
+``restore_state`` / ``state_metrics``) so shedding state rides through
+``Session.checkpoint()`` / restore unchanged.
+"""
+
+from repro.shedding.controller import SLOController
+from repro.shedding.policy import (
+    NoShedPolicy,
+    PatternAwareShedPolicy,
+    RandomShedPolicy,
+    ShedPolicy,
+)
+
+__all__ = [
+    "NoShedPolicy",
+    "PatternAwareShedPolicy",
+    "RandomShedPolicy",
+    "SLOController",
+    "ShedPolicy",
+]

@@ -1,0 +1,139 @@
+"""The latency-SLO feedback controller driving the shed rate.
+
+The session reports every processed snapshot's end-to-end latency and
+per-stage busy time to :class:`SLOController`; the controller keeps a
+sliding window of latencies, computes the windowed p99 and p50, and
+nudges the shed rate up when the p99 overshoots the target and back
+down when it clears it — with a hysteresis deadband so the rate does
+not oscillate around the setpoint.  With no target configured the
+controller is inert and simply holds the statically configured rate
+(the mode the recall-vs-latency sweeps use).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.streaming.metrics import percentile
+
+#: Defaults, tuned for snapshot-granularity observations.
+DEFAULT_WINDOW = 32
+DEFAULT_STEP = 0.05
+DEFAULT_MAX_RATE = 0.95
+DEFAULT_HYSTERESIS = 0.10
+
+
+class SLOController:
+    """Adapts the shed rate toward a target p99 snapshot latency.
+
+    Args:
+        target_p99_ms: the SLO.  ``None`` disables adaptation — the
+            rate stays at ``initial_rate`` forever (static sweeps).
+        initial_rate: the starting shed rate (``ICPEConfig.shed_rate``).
+        window: number of recent snapshot latencies the percentile is
+            computed over.
+        step: additive rate adjustment per out-of-band observation.
+        max_rate: hard ceiling on the adapted rate (never shed
+            everything).
+        hysteresis: relative deadband around the target — the rate only
+            moves when the windowed p99 leaves
+            ``[target * (1 - h), target * (1 + h)]``.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_p99_ms: float | None = None,
+        initial_rate: float = 0.0,
+        window: int = DEFAULT_WINDOW,
+        step: float = DEFAULT_STEP,
+        max_rate: float = DEFAULT_MAX_RATE,
+        hysteresis: float = DEFAULT_HYSTERESIS,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        if not 0.0 <= initial_rate < 1.0:
+            raise ValueError(f"initial_rate must be in [0, 1): {initial_rate}")
+        self.target_p99_ms = target_p99_ms
+        self._rate = initial_rate
+        self._floor = 0.0 if target_p99_ms is not None else initial_rate
+        self._window = deque(maxlen=window)
+        self._step = step
+        self._max_rate = max_rate
+        self._hysteresis = hysteresis
+        self._observed = 0
+        self._stage_busy: dict[str, float] = {}
+
+    @property
+    def rate(self) -> float:
+        """The current shed rate handed to the policy each batch."""
+        return self._rate
+
+    @property
+    def observed(self) -> int:
+        """Total snapshot observations fed to the controller."""
+        return self._observed
+
+    @property
+    def max_rate(self) -> float:
+        """Hard ceiling on the adapted shed rate."""
+        return self._max_rate
+
+    def observe(
+        self,
+        latency_ms: float,
+        stage_busy_seconds: dict[str, float] | None = None,
+    ) -> None:
+        """Record one snapshot's latency (and stage busy time); adapt.
+
+        Adaptation only runs once the window is full, so a cold start
+        does not chase the first noisy observations.
+        """
+        self._observed += 1
+        self._window.append(latency_ms)
+        for stage, busy in (stage_busy_seconds or {}).items():
+            self._stage_busy[stage] = self._stage_busy.get(stage, 0.0) + busy
+        target = self.target_p99_ms
+        if target is None or len(self._window) < self._window.maxlen:
+            return
+        p99 = percentile(self._window, 99.0)
+        if p99 > target * (1.0 + self._hysteresis):
+            self._rate = min(self._max_rate, self._rate + self._step)
+        elif p99 < target * (1.0 - self._hysteresis):
+            self._rate = max(self._floor, self._rate - self._step)
+
+    def windowed_p99_ms(self) -> float:
+        """p99 over the current latency window (0.0 when empty)."""
+        return percentile(self._window, 99.0)
+
+    def windowed_p50_ms(self) -> float:
+        """p50 over the current latency window (0.0 when empty)."""
+        return percentile(self._window, 50.0)
+
+    def stage_busy_seconds(self) -> dict[str, float]:
+        """Cumulative busy seconds per stage, as sampled from StageWork."""
+        return dict(self._stage_busy)
+
+    def snapshot_state(self) -> dict:
+        """Serialisable controller state for checkpoints."""
+        return {
+            "rate": self._rate,
+            "observed": self._observed,
+            "window": list(self._window),
+            "stage_busy": dict(self._stage_busy),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._rate = payload["rate"]
+        self._observed = payload["observed"]
+        self._window.clear()
+        self._window.extend(payload["window"])
+        self._stage_busy = dict(payload["stage_busy"])
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: latency window and stage map sizes."""
+        return {
+            "latency_window": len(self._window),
+            "stages_tracked": len(self._stage_busy),
+        }

@@ -9,8 +9,32 @@ model's distributed estimates — and produces those two numbers.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from statistics import mean
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Uses the same linear-interpolation-between-closest-ranks definition
+    NumPy defaults to, without requiring NumPy: the tail metrics the
+    SLO controller steers on must exist on pure-python installs too.
+    Returns 0.0 for an empty input.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +69,24 @@ class LatencyThroughputMeter:
             return 0.0
         return 1000.0 * mean(t.latency_seconds for t in self.timings)
 
+    def percentile_latency_ms(self, q: float) -> float:
+        """The ``q``-th percentile per-snapshot response time (ms)."""
+        return 1000.0 * percentile(
+            (t.latency_seconds for t in self.timings), q
+        )
+
+    def p50_latency_ms(self) -> float:
+        """Median per-snapshot response time in milliseconds."""
+        return self.percentile_latency_ms(50.0)
+
+    def p95_latency_ms(self) -> float:
+        """95th-percentile per-snapshot response time in milliseconds."""
+        return self.percentile_latency_ms(95.0)
+
+    def p99_latency_ms(self) -> float:
+        """99th-percentile per-snapshot response time in milliseconds."""
+        return self.percentile_latency_ms(99.0)
+
     def throughput_tps(self) -> float:
         """Snapshots per second sustained by the pipeline bottleneck."""
         if not self.timings:
@@ -63,6 +105,9 @@ class LatencyThroughputMeter:
         return {
             "snapshots": float(self.snapshots),
             "avg_latency_ms": self.average_latency_ms(),
+            "p50_latency_ms": self.p50_latency_ms(),
+            "p95_latency_ms": self.p95_latency_ms(),
+            "p99_latency_ms": self.p99_latency_ms(),
             "throughput_tps": self.throughput_tps(),
             "patterns": float(self.total_patterns()),
         }

@@ -192,6 +192,27 @@ class ExecutionBackend(ABC):
                 entries.append((index, metrics))
         return entries
 
+    def collect_protected(
+        self, runtime: StageRuntime
+    ) -> list[tuple[int, frozenset[int]]]:
+        """Gather per-subtask shed-protected oid sets for one stage.
+
+        Walks the in-process operator instances; subtasks without a
+        ``protected_oids`` method (non-enumeration operators) are
+        skipped, as are empty sets.  Process-isolated backends route
+        this through their worker protocol instead, exactly like
+        :meth:`collect_metrics`.
+        """
+        entries: list[tuple[int, frozenset[int]]] = []
+        for index, subtask in enumerate(runtime.subtasks):
+            query = getattr(subtask, "protected_oids", None)
+            if query is None:
+                continue
+            protected = query()
+            if protected:
+                entries.append((index, protected))
+        return entries
+
     def close(self) -> None:
         """Release any resources the backend holds (idempotent)."""
 

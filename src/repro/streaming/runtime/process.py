@@ -152,6 +152,21 @@ class _WorkerState:
                 results.append((subtask_index, metrics))
         return results
 
+    def collect_protected(self, stage_index: int, indices) -> list[tuple]:
+        """Serve a ``protected`` command: per-subtask shed-protected oids."""
+        runtime = self.runtimes[stage_index]
+        results = []
+        for subtask_index in indices:
+            query = getattr(
+                runtime.subtasks[subtask_index], "protected_oids", None
+            )
+            if query is None:
+                continue
+            protected = query()
+            if protected:
+                results.append((subtask_index, protected))
+        return results
+
     def sweep_attached(self) -> list[str]:
         """Detach every segment no live view still aliases.
 
@@ -186,7 +201,7 @@ def _worker_main(conn, spec: GraphSpec, worker_index: int) -> None:
 
     Replies ``("ready", stage_names)`` after a successful build, then
     answers ``run`` / ``finish`` / ``state`` / ``restore`` / ``metrics``
-    commands with ``("ok", results, released_segments)`` until a
+    / ``protected`` commands with ``("ok", results, released_segments)`` until a
     ``close`` command (or a dropped pipe) ends the loop.  Any exception travels back as ``("error",
     traceback)`` instead of killing the worker.
     """
@@ -223,6 +238,9 @@ def _worker_main(conn, spec: GraphSpec, worker_index: int) -> None:
             elif op == "metrics":
                 _, stage_index, indices = message
                 results = state.collect_metrics(stage_index, indices)
+            elif op == "protected":
+                _, stage_index, indices = message
+                results = state.collect_protected(stage_index, indices)
             else:
                 raise ValueError(f"unknown worker command {op!r}")
         except BaseException:
@@ -600,3 +618,10 @@ class ProcessBackend(ExecutionBackend):
         """Gather per-subtask memory accounting through the worker protocol."""
         args = list(range(len(runtime.subtasks)))
         return self._control(runtime, "metrics", args)
+
+    def collect_protected(
+        self, runtime: StageRuntime
+    ) -> list[tuple[int, frozenset[int]]]:
+        """Gather shed-protected oid sets through the worker protocol."""
+        args = list(range(len(runtime.subtasks)))
+        return self._control(runtime, "protected", args)

@@ -192,6 +192,7 @@ class TestBuiltins:
             clustering_kernel="python",
             enumeration_kernel="python",
             enumerator="fba",
+            shed_policy="none",
         )
         assert set(selection) == set(PLUGIN_KINDS)
 

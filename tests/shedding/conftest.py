@@ -1,0 +1,90 @@
+"""Shared harness for the load-shedding tests.
+
+Two deterministic workloads drive the suite:
+
+* :func:`grid_stream` — the small cluster-churn stream the checkpoint
+  harness uses, for backend x kernel equivalence grids;
+* :func:`bursty_stream` — a co-moving group plus far-apart noise
+  objects, the overload shape where a pattern-aware policy should
+  dominate a blind one: every pattern comes from the group, every noise
+  record is sheddable without recall loss.
+"""
+
+from __future__ import annotations
+
+from repro import PatternConstraints, open_session
+from repro.model.records import StreamRecord
+from repro.session import event_to_dict
+
+CONSTRAINTS = PatternConstraints(m=2, k=3, l=2, g=2)
+
+BASE_KNOBS = dict(
+    epsilon=2.0,
+    cell_width=4.0,
+    min_pts=2,
+    constraints=CONSTRAINTS,
+)
+
+
+def bursty_stream(
+    n_times: int = 24, group: int = 5, noise: int = 20
+) -> list[StreamRecord]:
+    """A co-moving group drowned in noise traffic.
+
+    ``group`` objects (oids ``0..group-1``) travel together inside one
+    epsilon ball for the whole horizon; ``noise`` objects are pinned
+    far apart from the group and from each other, so they never join
+    any density cluster.  Every confirmed pattern therefore involves
+    only group members — noise records are pure overload.
+    """
+    records: list[StreamRecord] = []
+    for t in range(n_times):
+        for oid in range(group):
+            records.append(
+                StreamRecord(
+                    oid=oid,
+                    time=t,
+                    x=float(t) * 0.1 + 0.2 * oid,
+                    y=0.0,
+                    last_time=t - 1 if t else None,
+                )
+            )
+        for j in range(noise):
+            oid = group + j
+            records.append(
+                StreamRecord(
+                    oid=oid,
+                    time=t,
+                    x=100.0 + 50.0 * j,
+                    y=100.0 + 50.0 * j,
+                    last_time=t - 1 if t else None,
+                )
+            )
+    return records
+
+
+def drive(records: list[StreamRecord], **session_kwargs) -> tuple:
+    """Run one session over ``records``; returns ``(event_dicts, result)``."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    session = open_session(**kwargs)
+    events = []
+    try:
+        events.extend(session.feed_many(records, batch_size=32))
+        events.extend(session.finish())
+        result = session.result()
+    finally:
+        session.close()
+    return [event_to_dict(event) for event in events], result
+
+
+def pattern_sets(result) -> set:
+    """The distinct confirmed object sets of a run (recall unit)."""
+    return {pattern.objects for pattern in result.patterns}
+
+
+def recall(result, baseline) -> float:
+    """Fraction of the baseline's pattern object sets a run retained."""
+    base = pattern_sets(baseline)
+    if not base:
+        return 1.0
+    return len(base & pattern_sets(result)) / len(base)

@@ -1,0 +1,126 @@
+"""Unit tests of the latency-SLO controller's adaptation law.
+
+Synthetic latency feeds isolate the hysteresis band, the warm-up
+window, the step bounds and the state round-trip from any real
+pipeline timing noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shedding import SLOController
+
+pytestmark = pytest.mark.shedding
+
+
+def feed(controller: SLOController, latency_ms: float, n: int) -> None:
+    for _ in range(n):
+        controller.observe(latency_ms)
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLOController(window=0)
+
+    def test_initial_rate_range(self):
+        with pytest.raises(ValueError):
+            SLOController(initial_rate=1.0)
+        with pytest.raises(ValueError):
+            SLOController(initial_rate=-0.1)
+
+
+class TestAdaptation:
+    def test_no_adaptation_until_window_full(self):
+        controller = SLOController(target_p99_ms=1.0, window=8)
+        feed(controller, 100.0, 7)
+        assert controller.rate == 0.0
+        controller.observe(100.0)
+        assert controller.rate > 0.0
+
+    def test_rate_climbs_under_overload(self):
+        controller = SLOController(target_p99_ms=1.0, window=4)
+        feed(controller, 50.0, 40)
+        assert controller.rate == pytest.approx(controller.max_rate)
+
+    def test_rate_decays_to_floor_when_under_target(self):
+        controller = SLOController(
+            target_p99_ms=100.0, initial_rate=0.5, window=4
+        )
+        feed(controller, 1.0, 40)
+        assert controller.rate == 0.0
+
+    def test_hysteresis_deadband_holds_rate(self):
+        controller = SLOController(
+            target_p99_ms=100.0, initial_rate=0.4, window=4, hysteresis=0.2
+        )
+        # Inside [80, 120]: no adjustment in either direction.
+        feed(controller, 110.0, 20)
+        assert controller.rate == pytest.approx(0.4)
+        feed(controller, 90.0, 20)
+        assert controller.rate == pytest.approx(0.4)
+
+    def test_inert_without_target_holds_configured_rate(self):
+        controller = SLOController(target_p99_ms=None, initial_rate=0.3)
+        feed(controller, 10_000.0, 100)
+        assert controller.rate == pytest.approx(0.3)
+
+    def test_recovers_after_burst(self):
+        controller = SLOController(target_p99_ms=10.0, window=4)
+        feed(controller, 100.0, 12)
+        burst_rate = controller.rate
+        assert burst_rate > 0.0
+        feed(controller, 1.0, 60)
+        assert controller.rate < burst_rate
+        assert controller.rate == 0.0
+
+
+class TestTelemetry:
+    def test_windowed_percentiles(self):
+        controller = SLOController(target_p99_ms=None, window=100)
+        for value in range(1, 101):
+            controller.observe(float(value))
+        assert controller.windowed_p50_ms() == pytest.approx(50.5)
+        assert controller.windowed_p99_ms() == pytest.approx(99.01)
+
+    def test_stage_busy_accumulates(self):
+        controller = SLOController()
+        controller.observe(1.0, {"cluster": 0.25, "enumerate": 0.5})
+        controller.observe(1.0, {"enumerate": 0.5})
+        busy = controller.stage_busy_seconds()
+        assert busy["cluster"] == pytest.approx(0.25)
+        assert busy["enumerate"] == pytest.approx(1.0)
+
+    def test_observed_counts_every_sample(self):
+        controller = SLOController(window=2)
+        feed(controller, 1.0, 5)
+        assert controller.observed == 5
+
+
+class TestStateRoundtrip:
+    def test_snapshot_restore_preserves_adaptation(self):
+        controller = SLOController(target_p99_ms=1.0, window=4)
+        feed(controller, 50.0, 10)
+        controller.observe(2.0, {"cluster": 0.1})
+        payload = controller.snapshot_state()
+
+        restored = SLOController(target_p99_ms=1.0, window=4)
+        restored.restore_state(payload)
+        assert restored.rate == pytest.approx(controller.rate)
+        assert restored.observed == controller.observed
+        assert restored.stage_busy_seconds() == controller.stage_busy_seconds()
+        # Both continue identically from the restored window.
+        controller.observe(50.0)
+        restored.observe(50.0)
+        assert restored.rate == pytest.approx(controller.rate)
+        assert restored.windowed_p99_ms() == pytest.approx(
+            controller.windowed_p99_ms()
+        )
+
+    def test_state_metrics_names_window_and_stages(self):
+        controller = SLOController(window=4)
+        controller.observe(1.0, {"cluster": 0.1})
+        metrics = controller.state_metrics()
+        assert metrics["latency_window"] == 1
+        assert metrics["stages_tracked"] == 1

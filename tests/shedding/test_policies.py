@@ -1,0 +1,152 @@
+"""Property tests of the shed-policy contract (Hypothesis).
+
+The two invariants the session relies on:
+
+* **rate zero is free**: no policy touches its RNG or drops anything at
+  an effective rate of zero, so a shedding-enabled session at rate 0
+  stays byte-identical to an unshedded one;
+* **protection is absolute**: the pattern-aware policy never selects a
+  record whose object is in the protected set, at any rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shedding import (
+    NoShedPolicy,
+    PatternAwareShedPolicy,
+    RandomShedPolicy,
+)
+
+pytestmark = pytest.mark.shedding
+
+oids_lists = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=0, max_size=60
+)
+rates = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+class TestNoShedPolicy:
+    def test_never_drops(self):
+        policy = NoShedPolicy()
+        assert policy.select_drops([1, 2, 3], 0.9, frozenset()) == []
+        assert policy.name == "none"
+        assert policy.consults_state is False
+
+    def test_state_roundtrip_is_trivial(self):
+        policy = NoShedPolicy()
+        policy.restore_state(policy.snapshot_state())
+        assert policy.state_metrics() == {}
+
+
+class TestRateZeroInvariant:
+    @given(oids=oids_lists, seed=seeds)
+    def test_random_rate_zero_never_draws(self, oids, seed):
+        policy = RandomShedPolicy(seed=seed)
+        before = policy.snapshot_state()
+        assert policy.select_drops(oids, 0.0, frozenset()) == []
+        assert policy.snapshot_state() == before
+
+    @given(oids=oids_lists, seed=seeds)
+    def test_pattern_aware_rate_zero_never_draws(self, oids, seed):
+        policy = PatternAwareShedPolicy(seed=seed)
+        before = policy.snapshot_state()
+        assert policy.select_drops(oids, 0.0, frozenset()) == []
+        assert policy.snapshot_state() == before
+
+    def test_negative_rate_is_zero(self):
+        policy = RandomShedPolicy(seed=1)
+        assert policy.select_drops([1, 2, 3], -0.5, frozenset()) == []
+
+
+class TestRandomShedPolicy:
+    @given(oids=oids_lists, rate=rates, seed=seeds)
+    def test_drops_are_valid_unique_indices(self, oids, rate, seed):
+        drops = RandomShedPolicy(seed=seed).select_drops(
+            oids, rate, frozenset()
+        )
+        assert len(set(drops)) == len(drops)
+        assert all(0 <= i < len(oids) for i in drops)
+
+    @given(oids=oids_lists, rate=rates, seed=seeds)
+    def test_deterministic_per_seed(self, oids, rate, seed):
+        first = RandomShedPolicy(seed=seed).select_drops(
+            oids, rate, frozenset()
+        )
+        second = RandomShedPolicy(seed=seed).select_drops(
+            oids, rate, frozenset()
+        )
+        assert first == second
+
+    def test_rng_state_roundtrip_replays_drops(self):
+        policy = RandomShedPolicy(seed=3)
+        policy.select_drops(list(range(40)), 0.5, frozenset())
+        snapshot = policy.snapshot_state()
+        expected = policy.select_drops(list(range(40)), 0.5, frozenset())
+        restored = RandomShedPolicy(seed=0)
+        restored.restore_state(snapshot)
+        assert (
+            restored.select_drops(list(range(40)), 0.5, frozenset())
+            == expected
+        )
+
+
+class TestPatternAwareShedPolicy:
+    @settings(max_examples=200)
+    @given(
+        oids=oids_lists,
+        rate=rates,
+        seed=seeds,
+        protected=st.frozensets(
+            st.integers(min_value=0, max_value=50), max_size=30
+        ),
+    )
+    def test_never_drops_protected(self, oids, rate, seed, protected):
+        policy = PatternAwareShedPolicy(seed=seed)
+        drops = policy.select_drops(oids, rate, protected)
+        assert len(set(drops)) == len(drops)
+        for index in drops:
+            assert oids[index] not in protected
+
+    @given(oids=oids_lists, rate=rates, seed=seeds)
+    def test_matches_random_when_nothing_protected(self, oids, rate, seed):
+        """With an empty protected set the redistribution probability
+        collapses to ``rate`` and the draw sequence is identical to the
+        blind baseline — equal configured rates shed equal volumes."""
+        aware = PatternAwareShedPolicy(seed=seed).select_drops(
+            oids, rate, frozenset()
+        )
+        blind = RandomShedPolicy(seed=seed).select_drops(
+            oids, rate, frozenset()
+        )
+        assert aware == blind
+
+    def test_fully_protected_batch_sheds_nothing(self):
+        policy = PatternAwareShedPolicy(seed=5)
+        before = policy.snapshot_state()
+        drops = policy.select_drops([1, 2, 3], 0.9, frozenset({1, 2, 3}))
+        assert drops == []
+        assert policy.snapshot_state() == before
+
+    def test_redistributes_volume_onto_cold_records(self):
+        """Half the batch protected -> cold records are dropped with
+        doubled probability, keeping the expected shed volume at the
+        configured rate."""
+        n, rate = 2000, 0.3
+        oids = [i % 2 for i in range(n)]  # half 0 (cold), half 1 (hot)
+        drops = PatternAwareShedPolicy(seed=11).select_drops(
+            oids, rate, frozenset({1})
+        )
+        assert all(oids[i] == 0 for i in drops)
+        # Expected volume ~ rate * n = 600; Bernoulli(0.6) over 1000
+        # cold records concentrates tightly around it.
+        assert 0.8 * rate * n < len(drops) < 1.2 * rate * n
+
+    def test_capabilities_marker(self):
+        policy = PatternAwareShedPolicy()
+        assert policy.consults_state is True
+        assert policy.name == "pattern_aware"

@@ -1,0 +1,135 @@
+"""Checkpoint x load-shedding interaction (shedding-enabled grid rows).
+
+Shedding adds three pieces of session state — the policy's drop RNG,
+the SLO controller's latency window/rate, and the shed counters — and
+all of them must round-trip through a checkpoint for the restart
+differential to hold: restoring mid-stream and continuing must replay
+the *same* drop decisions the uninterrupted run makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import open_session
+from repro.state import Checkpoint
+
+from tests.state.conftest import (
+    BASE_KNOBS,
+    cluster_stream,
+    run_uninterrupted,
+    run_with_restart,
+    watermark_boundaries,
+)
+
+pytestmark = [pytest.mark.checkpoint, pytest.mark.shedding]
+
+#: Shedding-enabled rows of the restart-equivalence grid.
+SHED_GRID = [
+    dict(shed_policy="random", shed_rate=0.3, shed_seed=5),
+    dict(shed_policy="pattern_aware", shed_rate=0.3, shed_seed=5),
+    dict(
+        shed_policy="pattern_aware",
+        shed_rate=0.2,
+        shed_seed=5,
+        target_p99_ms=1e9,
+    ),
+]
+
+
+class TestShedRestartEquivalence:
+    @pytest.mark.parametrize(
+        "shed_kwargs",
+        SHED_GRID,
+        ids=lambda kw: f"{kw['shed_policy']}-slo{int('target_p99_ms' in kw)}",
+    )
+    def test_restart_replays_drop_decisions(self, shed_kwargs):
+        records = cluster_stream(seed=13, n_times=12, n_objects=8)
+        oracle = run_uninterrupted(records, **shed_kwargs)
+        boundaries = watermark_boundaries(records, **shed_kwargs)
+        assert boundaries, "stream must emit watermarks to cut at"
+        for cut in boundaries[:: max(1, len(boundaries) // 3)]:
+            restarted = run_with_restart(records, cut, **shed_kwargs)
+            assert restarted == oracle, f"divergence restoring at {cut}"
+
+
+class TestShedStateRoundtrip:
+    def _session(self, **extra):
+        return open_session(
+            **BASE_KNOBS,
+            shed_policy="pattern_aware",
+            shed_rate=0.4,
+            shed_seed=9,
+            **extra,
+        )
+
+    def test_counters_and_controller_roundtrip(self):
+        records = cluster_stream(seed=13, n_times=10, n_objects=8)
+        first = self._session()
+        for record in records:
+            first.feed(record)
+        checkpoint = Checkpoint.from_bytes(first.checkpoint().to_bytes())
+        stats = first.shedding_stats()
+        first.close()
+        assert stats["records_shed"] > 0
+
+        second = self._session(restore=checkpoint)
+        try:
+            restored = second.shedding_stats()
+            assert restored == stats
+            assert (
+                second.slo_controller.snapshot_state()
+                == first.slo_controller.snapshot_state()
+            )
+            assert (
+                second.shed_policy.snapshot_state()
+                == first.shed_policy.snapshot_state()
+            )
+        finally:
+            second.close()
+
+    def test_pre_shedding_checkpoint_still_restores(self):
+        """A checkpoint without the ``shedding`` payload (taken before
+        the subsystem existed) restores cleanly with default state."""
+        records = cluster_stream(seed=13, n_times=8, n_objects=8)
+        first = self._session()
+        for record in records:
+            first.feed(record)
+        checkpoint = first.checkpoint()
+        first.close()
+        stripped = replace(
+            checkpoint,
+            master_states={
+                name: blob
+                for name, blob in checkpoint.master_states.items()
+                if name != "shedding"
+            },
+        )
+        second = self._session(restore=stripped)
+        try:
+            stats = second.shedding_stats()
+            assert stats["records_shed"] == 0
+            assert stats["shed_rate"] == pytest.approx(0.4)
+        finally:
+            second.close()
+
+    def test_shed_config_must_match_on_restore(self):
+        """Shedding knobs are detection parameters, not execution
+        surface: a restore under different shedding config is refused."""
+        from repro.state import CheckpointError
+
+        records = cluster_stream(seed=13, n_times=6, n_objects=8)
+        first = self._session()
+        for record in records:
+            first.feed(record)
+        checkpoint = first.checkpoint()
+        first.close()
+        with pytest.raises(CheckpointError):
+            open_session(
+                **BASE_KNOBS,
+                shed_policy="random",
+                shed_rate=0.4,
+                restore=checkpoint,
+            )

@@ -7,7 +7,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model.records import StreamRecord
-from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
+from repro.streaming.metrics import (
+    LatencyThroughputMeter,
+    SnapshotTiming,
+    percentile,
+)
 from repro.streaming.shuffle import bounded_shuffle
 
 
@@ -34,6 +38,51 @@ class TestMeter:
         summary = meter.summary()
         assert summary["snapshots"] == 1.0
         assert summary["patterns"] == 3.0
+
+
+class TestPercentiles:
+    def test_percentile_function_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        # Linear interpolation between closest ranks (NumPy default).
+        assert percentile([10.0, 20.0], 75.0) == pytest.approx(17.5)
+
+    def test_percentile_unsorted_input_and_single_value(self):
+        assert percentile([5.0, 1.0, 3.0], 50.0) == 3.0
+        assert percentile([42.0], 99.0) == 42.0
+
+    def test_percentile_empty_is_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_percentile_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_meter_latency_percentiles(self):
+        meter = LatencyThroughputMeter()
+        for ms in range(1, 101):
+            meter.record(SnapshotTiming(ms, latency_seconds=ms / 1000.0,
+                                        bottleneck_seconds=0.0))
+        assert meter.p50_latency_ms() == pytest.approx(50.5)
+        assert meter.p95_latency_ms() == pytest.approx(95.05)
+        assert meter.p99_latency_ms() == pytest.approx(99.01)
+        assert meter.percentile_latency_ms(0.0) == pytest.approx(1.0)
+
+    def test_meter_percentiles_empty(self):
+        meter = LatencyThroughputMeter()
+        assert meter.p50_latency_ms() == 0.0
+        assert meter.p99_latency_ms() == 0.0
+
+    def test_summary_includes_percentiles(self):
+        meter = LatencyThroughputMeter()
+        meter.record(SnapshotTiming(1, latency_seconds=0.010,
+                                    bottleneck_seconds=0.005))
+        summary = meter.summary()
+        for key in ("p50_latency_ms", "p95_latency_ms", "p99_latency_ms"):
+            assert summary[key] == pytest.approx(10.0)
 
 
 class TestBoundedShuffle:

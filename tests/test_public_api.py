@@ -55,6 +55,12 @@ EXPECTED_EXPORTS = sorted(
         "PluginRegistry",
         "PluginSpec",
         "default_registry",
+        # lazy shedding API
+        "NoShedPolicy",
+        "PatternAwareShedPolicy",
+        "RandomShedPolicy",
+        "SLOController",
+        "ShedPolicy",
     ]
 )
 
@@ -67,8 +73,8 @@ class TestSurfaceLock:
         for name in repro.__all__:
             assert getattr(repro, name) is not None, name
 
-    def test_version_is_2_3(self):
-        assert repro.__version__ == "2.3.0"
+    def test_version_is_2_4(self):
+        assert repro.__version__ == "2.4.0"
 
 
 class TestLazyMachinery:
