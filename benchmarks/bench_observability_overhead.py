@@ -1,0 +1,158 @@
+"""Measured overhead of the observability subsystem (PR 9).
+
+The same workload is detected three times on one session config:
+
+* **bare** — no telemetry at all (`observability=None`), the baseline
+  every pre-observability session ran at;
+* **registry** — the in-memory hub only (`observability=True`): span
+  recording on every operator invocation, per-stage counters, the
+  latency histograms, watermark mirroring;
+* **full export** — registry plus the JSONL metrics time series and
+  the span trace file, the heaviest supported configuration.
+
+The acceptance criterion: full telemetry (the heavier of the two
+enabled modes) must cost **under 5%** end-to-end wall clock against
+the bare run, and the instrumented runs must produce the identical
+pattern set.  Each mode runs several rounds and the per-mode median
+wall time is compared, so scheduler noise on a loaded CI box does not
+decide the verdict.
+
+Results are written to ``benchmarks/results/observability_overhead.txt``.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.report import format_table, write_report
+from repro.core.config import ICPEConfig
+from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.model.constraints import PatternConstraints
+from repro.session import Session
+
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+_results: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def overhead_workload():
+    """An object-heavy taxi workload: many spans per watermark."""
+    return generate_taxi(
+        TaxiConfig(
+            n_objects=400,
+            horizon=40,
+            seed=43,
+            group_fraction=0.25,
+            group_size=(5, 8),
+        )
+    )
+
+
+def _config(dataset):
+    return ICPEConfig(
+        epsilon=dataset.resolve_percentage(0.06),
+        cell_width=dataset.resolve_percentage(1.6),
+        min_pts=5,
+        constraints=PatternConstraints(m=5, k=10, l=2, g=2),
+        enumerator="fba",
+    )
+
+
+def _signature(patterns):
+    return {(p.objects, p.times.times) for p in patterns}
+
+
+def _run_once(dataset, observability):
+    session = Session(_config(dataset), observability=observability)
+    started = time.perf_counter()
+    for batch in dataset.batches(1024):
+        session.feed_batch(batch)
+    session.finish()
+    elapsed = time.perf_counter() - started
+    session.close()
+    return elapsed, session.patterns
+
+
+def _measure(dataset, observability):
+    """Median wall seconds over ROUNDS runs plus the final pattern set."""
+    walls = []
+    patterns = None
+    for _ in range(ROUNDS):
+        elapsed, patterns = _run_once(dataset, observability)
+        walls.append(elapsed)
+    return statistics.median(walls), patterns
+
+
+def test_observability_overhead(benchmark, overhead_workload, tmp_path):
+    """Bare vs registry-only vs full-export sessions, same workload."""
+    dataset = overhead_workload
+    records = sum(1 for _ in dataset.records)
+
+    def run():
+        bare_s, bare_patterns = _measure(dataset, None)
+        registry_s, registry_patterns = _measure(dataset, True)
+        full_s, full_patterns = _measure(
+            dataset,
+            {
+                "metrics_out": tmp_path / "metrics.jsonl",
+                "metrics_every": 1,
+                "trace_out": tmp_path / "trace.jsonl",
+            },
+        )
+        if _signature(bare_patterns) != _signature(registry_patterns):
+            raise AssertionError("registry telemetry changed the patterns")
+        if _signature(bare_patterns) != _signature(full_patterns):
+            raise AssertionError("full telemetry changed the patterns")
+        return bare_s, registry_s, full_s, len(bare_patterns)
+
+    bare_s, registry_s, full_s, patterns = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    for mode, wall in (
+        ("bare (no telemetry)", bare_s),
+        ("registry only", registry_s),
+        ("full export (jsonl + trace)", full_s),
+    ):
+        overhead = wall / bare_s - 1.0
+        _results.append(
+            {
+                "mode": mode,
+                "records": records,
+                "wall_s": wall,
+                "records_per_s": round(records / wall),
+                "overhead_pct": f"{overhead * 100:+.2f}%",
+                "patterns": patterns,
+            }
+        )
+    assert patterns > 0, "the workload must produce patterns"
+    worst = max(registry_s, full_s)
+    overhead = worst / bare_s - 1.0
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry overhead must stay under {MAX_OVERHEAD:.0%}, measured "
+        f"{overhead:.2%} (bare {bare_s:.3f}s, registry {registry_s:.3f}s, "
+        f"full {full_s:.3f}s)"
+    )
+
+
+def test_observability_overhead_report(benchmark):
+    if not _results:
+        pytest.skip(
+            "no overhead measurements collected this session; refusing to "
+            "overwrite the recorded report with an empty table"
+        )
+
+    def build():
+        return format_table(
+            _results,
+            title=(
+                "Observability overhead: bare vs registry vs full-export "
+                f"sessions (median of {ROUNDS} rounds, acceptance < "
+                f"{MAX_OVERHEAD:.0%})"
+            ),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("observability_overhead", text)
+    print("\n" + text)

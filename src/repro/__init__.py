@@ -52,7 +52,7 @@ from repro.model import (
     Trajectory,
 )
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 #: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
 #: registry machinery), mapped to their home modules.
@@ -83,6 +83,9 @@ _LAZY_EXPORTS = {
     "RandomShedPolicy": "repro.shedding",
     "SLOController": "repro.shedding",
     "ShedPolicy": "repro.shedding",
+    "MetricsRegistry": "repro.observability",
+    "ObservabilityOptions": "repro.observability",
+    "SessionTelemetry": "repro.observability",
 }
 
 __all__ = sorted(

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from dataclasses import replace
 from typing import Sequence
@@ -37,6 +36,7 @@ from repro.data.geolife import GeoLifeConfig, generate_geolife
 from repro.data.taxi import TaxiConfig, generate_taxi
 from repro.kernels import numpy_available
 from repro.model.constraints import PatternConstraints
+from repro.observability import ObservabilityOptions
 from repro.registry import PLUGIN_KINDS, PluginError, default_registry
 from repro.session import JsonlSink, Session
 from repro.state import Checkpoint, CheckpointError
@@ -171,15 +171,39 @@ def build_parser() -> argparse.ArgumentParser:
              "(checkpoint-<watermark>.ckpt, loadable via --restore-from)",
     )
     detect.add_argument(
-        "--checkpoint-every", type=int, default=1,
-        help="watermarks between periodic checkpoints "
-             "(requires --checkpoint-dir)",
+        "--checkpoint-every-records", type=int, default=None,
+        help="ingested records between automatic checkpoints "
+             "(requires --checkpoint-dir; default: every watermark)",
+    )
+    detect.add_argument(
+        "--checkpoint-every-seconds", type=float, default=None,
+        help="wall-clock seconds between automatic checkpoints "
+             "(requires --checkpoint-dir; combines with "
+             "--checkpoint-every-records, whichever fires first)",
+    )
+    detect.add_argument(
+        "--checkpoint-keep-last", type=int, default=None,
+        help="retain only the newest N checkpoints in --checkpoint-dir "
+             "(the newest valid checkpoint always survives)",
     )
     detect.add_argument(
         "--restore-from", default=None,
         help="resume from a checkpoint file; detection parameters come "
              "from the checkpoint (only --backend/--workers may differ) "
              "and already-ingested records are skipped",
+    )
+    detect.add_argument(
+        "--metrics-out", default=None,
+        help="write the telemetry registry as a JSONL time series "
+             "(one row per --metrics-every watermarks plus a final row)",
+    )
+    detect.add_argument(
+        "--metrics-every", type=int, default=1,
+        help="watermarks between --metrics-out rows",
+    )
+    detect.add_argument(
+        "--trace-out", default=None,
+        help="write per-stage operator spans as JSON lines",
     )
     return parser
 
@@ -276,8 +300,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
     if reason is not None:
         print(f"error: {reason}", file=sys.stderr)
         return 2
-    if args.checkpoint_every < 1:
-        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+    if args.metrics_every < 1:
+        print("error: --metrics-every must be >= 1", file=sys.stderr)
         return 2
     dataset = TrajectoryDataset.load_csv(args.input)
     restore = None
@@ -296,6 +320,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
             restore.config,
             backend=args.backend,
             parallel_workers=args.workers,
+            checkpoint_every_records=args.checkpoint_every_records,
+            checkpoint_every_seconds=args.checkpoint_every_seconds,
         )
     else:
         config = ICPEConfig(
@@ -314,28 +340,25 @@ def cmd_detect(args: argparse.Namespace) -> int:
             shed_policy=args.shed_policy,
             shed_rate=args.shed_rate,
             target_p99_ms=args.target_p99_ms,
+            checkpoint_every_records=args.checkpoint_every_records,
+            checkpoint_every_seconds=args.checkpoint_every_seconds,
         )
-    if args.checkpoint_dir is not None:
-        os.makedirs(args.checkpoint_dir, exist_ok=True)
-
-    def save_checkpoint(session: Session, events) -> None:
-        """Checkpoint after every ``--checkpoint-every``-th watermark."""
-        for event in events:
-            if event.kind != "watermark":
-                continue
-            pending["watermarks"] += 1
-            if pending["watermarks"] % args.checkpoint_every:
-                continue
-            path = os.path.join(
-                args.checkpoint_dir, f"checkpoint-{event.time}.ckpt"
-            )
-            session.checkpoint().save(path)
-            print(f"checkpoint saved: {path}", file=sys.stderr)
-
-    pending = {"watermarks": 0}
+    observability = None
+    if args.metrics_out or args.trace_out:
+        observability = ObservabilityOptions(
+            metrics_out=args.metrics_out,
+            metrics_every=args.metrics_every,
+            trace_out=args.trace_out,
+        )
     # Context-managed so the backend's worker pool is released even if a
     # sink or the pipeline raises mid-run.
-    with Session(config, restore=restore) as session:
+    with Session(
+        config,
+        restore=restore,
+        observability=observability,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep_last=args.checkpoint_keep_last,
+    ) as session:
         if args.output == "json":
             session.subscribe(JsonlSink(sys.stdout))
         if skip:
@@ -348,15 +371,17 @@ def cmd_detect(args: argparse.Namespace) -> int:
             # Columnar ingestion: the CSV workload streams through the
             # session in RecordBatch chunks of the configured size.
             for batch in dataset.batches(args.batch_size):
-                events = session.feed_batch(batch)
-                if args.checkpoint_dir is not None:
-                    save_checkpoint(session, events)
+                session.feed_batch(batch)
         else:
             for record in dataset.records[skip:]:
-                events = session.feed(record)
-                if args.checkpoint_dir is not None:
-                    save_checkpoint(session, events)
+                session.feed(record)
         session.finish()
+        for path in session.auto_checkpoints:
+            print(f"checkpoint saved: {path}", file=sys.stderr)
+        if args.metrics_out:
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        if args.trace_out:
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
 
     store = session.store()
     result = session.result()

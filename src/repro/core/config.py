@@ -80,6 +80,16 @@ class ICPEConfig:
             :class:`~repro.shedding.controller.SLOController` adapts the
             shed rate toward this p99 per-snapshot latency with
             hysteresis (``None`` = hold ``shed_rate`` fixed).
+        checkpoint_every_records: automatic-checkpoint cadence by record
+            count — a session with a checkpoint directory saves a new
+            checkpoint once at least this many records have been
+            ingested since the last save (and a new watermark exists).
+            ``None`` disables the record cadence.
+        checkpoint_every_seconds: automatic-checkpoint cadence by wall
+            clock — saves once this many seconds have elapsed since the
+            last save (and a new watermark exists).  ``None`` disables
+            the time cadence.  Both cadences may be set; whichever
+            fires first triggers the save.
 
     Every strategy field (``enumerator``, ``backend``,
     ``clustering_kernel``, ``enumeration_kernel``, ``shed_policy``)
@@ -117,6 +127,8 @@ class ICPEConfig:
     shed_rate: float = 0.0
     shed_seed: int = 0
     target_p99_ms: float | None = None
+    checkpoint_every_records: int | None = None
+    checkpoint_every_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -150,6 +162,22 @@ class ICPEConfig:
         if self.target_p99_ms is not None and self.target_p99_ms <= 0:
             raise ValueError(
                 f"target_p99_ms must be positive: {self.target_p99_ms}"
+            )
+        if (
+            self.checkpoint_every_records is not None
+            and self.checkpoint_every_records < 1
+        ):
+            raise ValueError(
+                "checkpoint_every_records must be >= 1: "
+                f"{self.checkpoint_every_records}"
+            )
+        if (
+            self.checkpoint_every_seconds is not None
+            and self.checkpoint_every_seconds <= 0
+        ):
+            raise ValueError(
+                "checkpoint_every_seconds must be positive: "
+                f"{self.checkpoint_every_seconds}"
             )
         # Strategy names and their cross-axis combinations are validated
         # against the plugin registry: unknown names and invalid

@@ -31,7 +31,7 @@ from repro.model.batch import SnapshotBatch
 from repro.model.pattern import CoMovementPattern
 from repro.model.snapshot import ClusterSnapshot, Snapshot
 from repro.streaming.cluster import ClusterModel
-from repro.streaming.dataflow import StageWork
+from repro.streaming.dataflow import SpanRecord, StageWork
 from repro.state.codec import decode_payload, digest_of
 from repro.streaming.environment import DataStream, Job, StreamEnvironment
 from repro.streaming.metrics import LatencyThroughputMeter, SnapshotTiming
@@ -212,6 +212,9 @@ class ICPEPipeline:
         #: Per-stage busy times of the most recent snapshot, for the
         #: SLO controller's stage sampling.
         self.last_works: list[StageWork] = []
+        #: Tracing spans of the most recent unit of work (stage order,
+        #: subtask order within each stage — identical on every backend).
+        self.last_spans: list[SpanRecord] = []
         self._cluster_final_state: dict | None = None
         # Exposed for the harness: average cluster size (Figs. 12-13).
         self._cluster_operator: ClusterOperator | KernelClusterOperator | None
@@ -284,6 +287,7 @@ class ICPEPipeline:
         else:
             elements = snapshot.points()
         outputs, works = self._job.run(elements, ctx=snapshot.time)
+        self.last_spans = self._drain_spans()
         patterns = [p for p in outputs if isinstance(p, CoMovementPattern)]
         fresh_count = self.collector.offer(snapshot.time, patterns)
         self._record_timing(snapshot, works, fresh_count)
@@ -295,6 +299,7 @@ class ICPEPipeline:
             return []
         self._finished = True
         outputs, _works = self._job.finish()
+        self.last_spans = self._drain_spans()
         if getattr(self._backend, "supports_process_isolation", False):
             # The workers are about to go away; keep their final cluster
             # aggregates readable for post-run instrumentation.
@@ -325,6 +330,22 @@ class ICPEPipeline:
         return self.collector
 
     # ------------------------------------------------------------------ stats
+
+    def _drain_spans(self) -> list[SpanRecord]:
+        """Collect the unit's spans from every stage, canonically ordered.
+
+        Stage order, then subtask index, with unit spans before finish
+        spans.  The parallel backend appends spans in thread-completion
+        order and the process backend in worker-reply order; sorting the
+        per-stage drain makes the stream identical to the serial
+        backend's by construction.
+        """
+        spans: list[SpanRecord] = []
+        for runtime in self._runtimes:
+            drained = runtime.drain_spans()
+            drained.sort(key=lambda s: (s.subtask, s.kind != "unit"))
+            spans.extend(drained)
+        return spans
 
     def _record_timing(
         self, snapshot: Snapshot, works: list[StageWork], fresh: int

@@ -1,0 +1,58 @@
+"""Unified observability: instruments, registry, spans and exporters.
+
+The telemetry subsystem of the reproduction (PR 9).  Three layers:
+
+* :mod:`repro.observability.instruments` — typed :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` primitives sharing the codebase's
+  single percentile definition;
+* :mod:`repro.observability.registry` — :class:`MetricsRegistry`,
+  named + labeled families of instruments with deterministic iteration
+  and checkpoint snapshot/restore;
+* :mod:`repro.observability.exporters` / :mod:`repro.observability.hub`
+  — Prometheus text snapshots, JSONL time series keyed by watermark, a
+  console summary, and :class:`SessionTelemetry`, the hub the session
+  feeds from every surface (spans, latency, events, watermarks).
+
+Tracing spans themselves (:class:`~repro.streaming.dataflow.SpanRecord`)
+live in the dataflow layer so all three execution backends record them
+at the operator invocation site; the process backend ships them to the
+master through its reply protocol and they end up here, in the hub.
+"""
+
+from repro.observability.exporters import (
+    JsonlMetricsExporter,
+    console_summary,
+    registry_row,
+    render_prometheus,
+    sample_name,
+)
+from repro.observability.hub import (
+    ObservabilityOptions,
+    SessionTelemetry,
+    resolve_options,
+)
+from repro.observability.instruments import (
+    DEFAULT_BUCKETS,
+    DEFAULT_HISTOGRAM_WINDOW,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.observability.registry import MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_HISTOGRAM_WINDOW",
+    "Gauge",
+    "Histogram",
+    "JsonlMetricsExporter",
+    "MetricsRegistry",
+    "ObservabilityOptions",
+    "SessionTelemetry",
+    "console_summary",
+    "registry_row",
+    "render_prometheus",
+    "resolve_options",
+    "sample_name",
+]

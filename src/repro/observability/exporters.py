@@ -1,0 +1,183 @@
+"""Exporters: Prometheus text snapshots, JSONL time series, console table.
+
+Three read-side views over one :class:`~repro.observability.registry.
+MetricsRegistry`:
+
+* :func:`render_prometheus` — the full registry as a Prometheus
+  text-format (0.0.4) snapshot, suitable for a scrape endpoint or a
+  textfile collector;
+* :class:`JsonlMetricsExporter` — periodic time-series rows keyed by
+  watermark, one JSON object per line (the ``detect --metrics-out``
+  format; every row is the full instrument state at that watermark);
+* :func:`console_summary` — a fixed-width table via the shared
+  benchmark-report renderer, for end-of-run terminal summaries.
+
+All three walk :meth:`MetricsRegistry.collect`, which iterates in
+sorted (name, labels) order — so two runs with identical telemetry
+render identical text, the property the serial ≡ process parity suite
+pins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.observability.instruments import Histogram
+from repro.observability.registry import MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_labels(labels: dict[str, str], extra: str = "") -> str:
+    """Render a ``{k="v",...}`` label block (empty string when bare)."""
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def sample_name(name: str, labels: dict[str, str]) -> str:
+    """The canonical flat key of one instrument (``name{k="v"}``)."""
+    return name + _format_labels(labels)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as a Prometheus text-format snapshot."""
+    lines: list[str] = []
+    last_family: str | None = None
+    for name, kind, labels, instrument in registry.collect():
+        if name != last_family:
+            help_text = registry.family_help(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            last_family = name
+        if isinstance(instrument, Histogram):
+            for bound, count in instrument.bucket_counts():
+                le = _format_labels(labels, f'le="{_format_value(bound)}"')
+                lines.append(f"{name}_bucket{le} {count}")
+            inf = _format_labels(labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf} {instrument.count}")
+            block = _format_labels(labels)
+            lines.append(
+                f"{name}_sum{block} {_format_value(instrument.sum)}"
+            )
+            lines.append(f"{name}_count{block} {instrument.count}")
+        else:
+            lines.append(
+                f"{name}{_format_labels(labels)} "
+                f"{_format_value(instrument.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_row(registry: MetricsRegistry, watermark: int | None) -> dict:
+    """One JSONL time-series row: full instrument state at a watermark."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for name, kind, labels, instrument in registry.collect():
+        key = sample_name(name, labels)
+        if kind == "counter":
+            counters[key] = instrument.value
+        elif kind == "gauge":
+            gauges[key] = instrument.value
+        else:
+            histograms[key] = {
+                "count": instrument.count,
+                "sum": instrument.sum,
+                "p50": instrument.percentile(50.0),
+                "p95": instrument.percentile(95.0),
+                "p99": instrument.percentile(99.0),
+            }
+    return {
+        "watermark": watermark,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+class JsonlMetricsExporter:
+    """Periodic registry dumps as JSON lines keyed by watermark.
+
+    ``every`` sets the cadence in watermarks: :meth:`export` writes one
+    row per ``every``-th call (plus any forced final row), so a long run
+    with a fine watermark granularity does not drown the series.  The
+    exporter owns its file handle; :meth:`close` flushes and releases
+    it.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str | Path,
+        *,
+        every: int = 1,
+    ) -> None:
+        """``path`` is created/truncated immediately; ``every`` >= 1."""
+        if every < 1:
+            raise ValueError(f"metrics_every must be >= 1: {every}")
+        self.registry = registry
+        self.path = Path(path)
+        self.every = every
+        self._handle: IO[str] | None = self.path.open("w")
+        self._ticks = 0
+        self.rows_written = 0
+
+    def export(self, watermark: int | None, *, force: bool = False) -> bool:
+        """Write one row if the cadence (or ``force``) says so.
+
+        Returns whether a row was written.  Ticks count even when the
+        cadence skips them, so ``every=3`` writes rows at watermark
+        ticks 3, 6, 9, ...
+        """
+        if self._handle is None:
+            return False
+        if not force:
+            self._ticks += 1
+            if self._ticks % self.every:
+                return False
+        row = registry_row(self.registry, watermark)
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.rows_written += 1
+        return True
+
+    def close(self) -> None:
+        """Flush and release the output file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def console_summary(registry: MetricsRegistry, title: str = "Telemetry") -> str:
+    """The registry as a fixed-width console table (end-of-run summary)."""
+    from repro.bench.report import format_table
+
+    rows = []
+    for name, kind, labels, instrument in registry.collect():
+        if isinstance(instrument, Histogram):
+            value = (
+                f"count={instrument.count} sum={instrument.sum:.3f} "
+                f"p50={instrument.percentile(50.0):.3f} "
+                f"p99={instrument.percentile(99.0):.3f}"
+            )
+        else:
+            value = _format_value(instrument.value)
+        rows.append(
+            {
+                "metric": sample_name(name, labels),
+                "kind": kind,
+                "value": value,
+            }
+        )
+    return format_table(rows, title=title)

@@ -1,0 +1,360 @@
+"""The session telemetry hub: one registry fed by every surface.
+
+:class:`SessionTelemetry` is the glue between the session lifecycle and
+the instrument layer.  The session calls a small set of hooks —
+:meth:`observe_spans` after each processed unit, :meth:`observe_latency`
+per snapshot, :meth:`observe_events` per emitted event batch,
+:meth:`on_watermark` per watermark advance — and the hub maintains the
+full instrument catalogue in one :class:`~repro.observability.registry.
+MetricsRegistry`:
+
+========================================  =========  ======================
+family                                    kind       labels
+========================================  =========  ======================
+``repro_records_ingested_total``          counter    —
+``repro_records_shed_total``              counter    —
+``repro_records_protected_total``         counter    —
+``repro_snapshots_total``                 counter    —
+``repro_patterns_total``                  counter    —
+``repro_events_total``                    counter    ``kind``
+``repro_stage_spans_total``               counter    ``stage``
+``repro_stage_elements_in_total``         counter    ``stage``
+``repro_stage_elements_out_total``        counter    ``stage``
+``repro_stage_busy_seconds_total``        counter    ``stage``
+``repro_snapshot_latency_ms``             histogram  —
+``repro_slo_latency_ms``                  histogram  —  (shedding active)
+``repro_watermark``                       gauge      —
+``repro_watermark_lag``                   gauge      —
+``repro_shed_rate``                       gauge      —
+``repro_state_entries``                   gauge      ``component, metric``
+========================================  =========  ======================
+
+Exporters hang off the same hub: a JSONL time series keyed by watermark
+(``metrics_out`` / ``metrics_every``), a span trace (``trace_out``), a
+Prometheus snapshot on demand, and an optional console summary at
+finish.  State gauges (``repro_state_entries``) are refreshed lazily —
+only when an export row is actually due — because reading them round-
+trips the worker protocol under the process backend.
+
+The hub snapshots/restores with the session checkpoint, so a restored
+session's counters continue their series instead of restarting at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Callable, Iterable
+
+from repro.observability.exporters import (
+    JsonlMetricsExporter,
+    console_summary,
+    render_prometheus,
+)
+from repro.observability.instruments import Histogram
+from repro.observability.registry import MetricsRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class ObservabilityOptions:
+    """How a session's telemetry is collected and exported.
+
+    Attributes:
+        metrics_out: path of the JSONL metrics time series (``None``
+            disables the file exporter; the in-memory registry always
+            collects).
+        metrics_every: watermark cadence of the JSONL rows — one row per
+            ``metrics_every``-th watermark advance, plus a final row at
+            finish.
+        trace_out: path of the span trace (JSON lines, one operator
+            invocation per row); ``None`` disables span persistence
+            (spans still feed the per-stage counters).
+        console: print the console summary table at finish.
+    """
+
+    metrics_out: str | Path | None = None
+    metrics_every: int = 1
+    trace_out: str | Path | None = None
+    console: bool = False
+
+    def __post_init__(self) -> None:
+        if self.metrics_every < 1:
+            raise ValueError(
+                f"metrics_every must be >= 1: {self.metrics_every}"
+            )
+
+
+def resolve_options(
+    value: "ObservabilityOptions | dict | bool | None",
+) -> ObservabilityOptions | None:
+    """Coerce the session-facing ``observability=`` argument.
+
+    ``None`` / ``False`` mean disabled (no hub at all); ``True`` enables
+    the in-memory registry with no file exporters; a dict is keyword
+    arguments for :class:`ObservabilityOptions`; an options instance
+    passes through.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return ObservabilityOptions()
+    if isinstance(value, ObservabilityOptions):
+        return value
+    if isinstance(value, dict):
+        return ObservabilityOptions(**value)
+    raise TypeError(
+        f"observability must be None, bool, dict or ObservabilityOptions; "
+        f"got {type(value).__name__}"
+    )
+
+
+class SessionTelemetry:
+    """Per-session telemetry: the registry, its feeders and exporters."""
+
+    def __init__(self, options: ObservabilityOptions | None = None) -> None:
+        """Build the hub (and open any configured output files)."""
+        self.options = options or ObservabilityOptions()
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._latency = reg.histogram(
+            "repro_snapshot_latency_ms",
+            help="End-to-end cost-model latency per processed snapshot.",
+        )
+        self._ingested = reg.counter(
+            "repro_records_ingested_total",
+            help="Records accepted by the session.",
+        )
+        self._shed = reg.counter(
+            "repro_records_shed_total",
+            help="Snapshot rows dropped by the load-shedding policy.",
+        )
+        self._protected = reg.counter(
+            "repro_records_protected_total",
+            help="Rows spared by pattern-aware shed protection.",
+        )
+        self._snapshots = reg.counter(
+            "repro_snapshots_total", help="Snapshots fully processed."
+        )
+        self._patterns = reg.counter(
+            "repro_patterns_total", help="Distinct confirmed patterns."
+        )
+        self._watermark = reg.gauge(
+            "repro_watermark", help="Latest processed snapshot time."
+        )
+        self._watermark_lag = reg.gauge(
+            "repro_watermark_lag",
+            help="Sync-operator lag: max event time seen minus emitted.",
+        )
+        self._shed_rate = reg.gauge(
+            "repro_shed_rate", help="Current controller shed rate."
+        )
+        self.spans_recorded = 0
+        self._exporter: JsonlMetricsExporter | None = None
+        if self.options.metrics_out is not None:
+            self._exporter = JsonlMetricsExporter(
+                reg, self.options.metrics_out, every=1
+            )
+        self._trace: IO[str] | None = None
+        if self.options.trace_out is not None:
+            self._trace = Path(self.options.trace_out).open("w")
+        self._ticks = 0
+        self._finalized = False
+
+    # ---------------------------------------------------------------- feeders
+
+    def slo_latency_histogram(self, window: int) -> Histogram:
+        """The shared SLO latency histogram (controller + registry view).
+
+        The SLO controller adopts this instrument as its observation
+        window, so controller-steered and registry-exported percentiles
+        are computed over the *same* samples by the *same* shared
+        helper — they cannot disagree.
+        """
+        return self.registry.histogram(
+            "repro_slo_latency_ms",
+            window=window,
+            help="Controller-observed snapshot latency (SLO window).",
+        )
+
+    def observe_spans(self, spans: Iterable) -> None:
+        """Fold one unit's span records into the per-stage counters.
+
+        Also appends each span to the trace file when one is configured.
+        Spans arrive already ordered (stage, then subtask) — the
+        pipeline sorts drained buffers — so the trace is byte-
+        deterministic across backends, busy timings aside.
+        """
+        reg = self.registry
+        trace = self._trace
+        for span in spans:
+            labels = {"stage": span.stage}
+            reg.counter(
+                "repro_stage_spans_total",
+                labels,
+                help="Operator invocations (spans) per stage.",
+            ).inc()
+            reg.counter(
+                "repro_stage_elements_in_total",
+                labels,
+                help="Elements routed into each stage.",
+            ).inc(span.elements_in)
+            reg.counter(
+                "repro_stage_elements_out_total",
+                labels,
+                help="Elements emitted by each stage.",
+            ).inc(span.elements_out)
+            reg.counter(
+                "repro_stage_busy_seconds_total",
+                labels,
+                help="Cumulative subtask busy time per stage.",
+            ).inc(span.busy_seconds)
+            self.spans_recorded += 1
+            if trace is not None:
+                trace.write(
+                    json.dumps(
+                        {
+                            "stage": span.stage,
+                            "subtask": span.subtask,
+                            "time": span.time,
+                            "kind": span.kind,
+                            "elements_in": span.elements_in,
+                            "elements_out": span.elements_out,
+                            "busy_ms": span.busy_seconds * 1000.0,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+
+    def observe_latency(self, latency_ms: float) -> None:
+        """Record one processed snapshot's end-to-end latency."""
+        self._latency.observe(latency_ms)
+
+    def observe_events(self, events: Iterable) -> None:
+        """Count emitted session events by kind."""
+        for event in events:
+            self.registry.counter(
+                "repro_events_total",
+                {"kind": event.kind},
+                help="Emitted session events by kind.",
+            ).inc()
+
+    def mirror_session(
+        self,
+        watermark: int,
+        *,
+        records_ingested: int,
+        records_shed: int,
+        records_protected: int,
+        snapshots: int,
+        patterns_total: int,
+        shed_rate: float,
+        watermark_lag: int,
+    ) -> None:
+        """Mirror the session's authoritative counts into the registry.
+
+        The quantities are monotone session counters (hence
+        :meth:`Counter.set_total`) plus the current gauges.
+        """
+        self._ingested.set_total(records_ingested)
+        self._shed.set_total(records_shed)
+        self._protected.set_total(records_protected)
+        self._snapshots.set_total(snapshots)
+        self._patterns.set_total(patterns_total)
+        self._watermark.set(watermark)
+        self._watermark_lag.set(watermark_lag)
+        self._shed_rate.set(shed_rate)
+
+    def on_watermark(
+        self,
+        watermark: int,
+        *,
+        refresh: Callable[[], dict] | None = None,
+        **session_counts,
+    ) -> None:
+        """Mirror the session counters and maybe write an export row.
+
+        Keyword arguments are those of :meth:`mirror_session`;
+        ``refresh`` produces the per-component state-memory map and is
+        only invoked when the JSONL cadence makes a row due — it can
+        round-trip the worker protocol under the process backend.
+        """
+        self.mirror_session(watermark, **session_counts)
+        if self._exporter is None:
+            return
+        self._ticks += 1
+        if self._ticks % self.options.metrics_every:
+            return
+        if refresh is not None:
+            self.refresh_state_gauges(refresh())
+        self._exporter.export(watermark, force=True)
+
+    def refresh_state_gauges(
+        self, state_memory: dict[str, dict[str, int]]
+    ) -> None:
+        """Set ``repro_state_entries{component,metric}`` from accounting."""
+        for component, metrics in state_memory.items():
+            for metric, value in metrics.items():
+                self.registry.gauge(
+                    "repro_state_entries",
+                    {"component": component, "metric": str(metric)},
+                    help="Retained-object counts per live component.",
+                ).set(value)
+
+    # -------------------------------------------------------------- exporters
+
+    def prometheus(self) -> str:
+        """The registry as a Prometheus text-format snapshot."""
+        return render_prometheus(self.registry)
+
+    def summary(self, title: str = "Telemetry") -> str:
+        """The registry as a console table."""
+        return console_summary(self.registry, title=title)
+
+    def finalize(
+        self,
+        watermark: int | None,
+        refresh: Callable[[], dict] | None = None,
+    ) -> None:
+        """End of stream: force the final export row, print the summary.
+
+        Idempotent.  Output files stay open until :meth:`close` so late
+        readers (tests, the CLI epilogue) can still flush through the
+        hub; the final JSONL row and the console table are written here.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if refresh is not None and (
+            self._exporter is not None or self.options.console
+        ):
+            self.refresh_state_gauges(refresh())
+        if self._exporter is not None:
+            self._exporter.export(watermark, force=True)
+        if self.options.console:
+            print(self.summary())
+
+    def close(self) -> None:
+        """Flush and close every configured output file (idempotent)."""
+        if self._exporter is not None:
+            self._exporter.close()
+        if self._trace is not None:
+            self._trace.close()
+            self._trace = None
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Serialisable hub state (the registry plus export cadence)."""
+        return {
+            "registry": self.registry.snapshot_state(),
+            "ticks": self._ticks,
+            "spans_recorded": self.spans_recorded,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.registry.restore_state(payload["registry"])
+        self._ticks = int(payload["ticks"])
+        self.spans_recorded = int(payload["spans_recorded"])

@@ -1,0 +1,244 @@
+"""Typed telemetry instruments: Counter, Gauge and windowed Histogram.
+
+The three instrument kinds every observability stack distinguishes,
+shaped after the Prometheus data model so the text exporter is a direct
+rendering:
+
+* :class:`Counter` — a monotonically increasing total (records ingested,
+  spans recorded, per-stage busy seconds);
+* :class:`Gauge` — a value that goes up and down (watermark lag, shed
+  rate, retained-state entry counts);
+* :class:`Histogram` — cumulative count / sum plus fixed ``le`` buckets,
+  *and* a bounded sliding window of recent samples so tail percentiles
+  (the quantity the SLO controller steers on) come from the shared
+  :func:`repro.streaming.metrics.percentile` helper — one percentile
+  definition across the meter, the controller and the registry.
+
+Instruments are deliberately free of registry machinery: the
+:class:`~repro.shedding.controller.SLOController` consumes a bare
+:class:`Histogram` directly, and :class:`~repro.observability.registry.
+MetricsRegistry` hands out the same classes keyed by name and labels.
+All instruments snapshot/restore as plain payloads so checkpointed
+sessions continue their series after a restart.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+
+from repro.streaming.metrics import percentile
+
+#: Default sliding-window size for histogram percentiles.
+DEFAULT_HISTOGRAM_WINDOW = 512
+
+#: Default ``le`` bucket upper bounds, tuned for millisecond latencies.
+DEFAULT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total.
+
+    Values are floats so the same class carries record counts and busy
+    seconds; decreasing the value is a programming error and raises.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        self._value += amount
+
+    def set_total(self, total: float) -> None:
+        """Advance the counter to an absolute total (mirrored counters).
+
+        Sessions keep some counts as plain attributes (records ingested,
+        shed, protected) and mirror them into the registry; the mirror
+        must never move backwards.
+        """
+        if total < self._value:
+            raise ValueError(
+                f"counter cannot decrease: {self._value} -> {total}"
+            )
+        self._value = float(total)
+
+    def snapshot_state(self) -> dict:
+        """Serialisable state for checkpoints."""
+        return {"value": self._value}
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._value = float(payload["value"])
+
+
+class Gauge:
+    """A value that can go up and down (last-write-wins)."""
+
+    kind = "gauge"
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """The most recently set value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge's value."""
+        self._value = float(value)
+
+    def snapshot_state(self) -> dict:
+        """Serialisable state for checkpoints."""
+        return {"value": self._value}
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._value = float(payload["value"])
+
+
+class Histogram:
+    """Cumulative bucket counts plus a sliding window for percentiles.
+
+    The cumulative side (``count`` / ``sum`` / ``le`` buckets) is the
+    Prometheus histogram contract and never resets; the window side is a
+    bounded deque of the most recent samples over which
+    :meth:`percentile` interpolates — the exact computation the SLO
+    controller adapts on, so controller-observed and registry-reported
+    tails agree by construction.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("_bounds", "_bins", "_count", "_sum", "_window")
+
+    def __init__(
+        self,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        window: int = DEFAULT_HISTOGRAM_WINDOW,
+    ) -> None:
+        """``buckets`` are strictly increasing ``le`` upper bounds;
+        ``window`` (>= 1) caps the percentile sample deque."""
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self._bounds = bounds
+        self._bins = [0] * len(bounds)
+        self._count = 0
+        self._sum = 0.0
+        self._window: deque[float] = deque(maxlen=window)
+
+    @property
+    def count(self) -> int:
+        """Total observations (cumulative, never resets)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value (cumulative)."""
+        return self._sum
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """The configured ``le`` bucket upper bounds."""
+        return self._bounds
+
+    @property
+    def window_size(self) -> int:
+        """Capacity of the percentile sample window."""
+        return self._window.maxlen or 0
+
+    @property
+    def window_full(self) -> bool:
+        """Whether the sample window has reached capacity."""
+        return len(self._window) == self._window.maxlen
+
+    def observe(self, value: float) -> None:
+        """Record one sample into the buckets and the window."""
+        value = float(value)
+        index = bisect_left(self._bounds, value)
+        if index < len(self._bins):
+            self._bins[index] += 1
+        self._count += 1
+        self._sum += value
+        self._window.append(value)
+
+    def samples(self) -> list[float]:
+        """The current window contents, oldest first."""
+        return list(self._window)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile over the sample window (0.0 empty).
+
+        Linear interpolation via the shared
+        :func:`repro.streaming.metrics.percentile` helper — the single
+        percentile definition of the codebase.
+        """
+        return percentile(self._window, q)
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le_bound, count)`` pairs, Prometheus-style.
+
+        The implicit ``+Inf`` bucket is :attr:`count` and is appended by
+        the exporter, not here.
+        """
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for bound, bin_count in zip(self._bounds, self._bins):
+            running += bin_count
+            pairs.append((bound, running))
+        return pairs
+
+    def replace_window(self, values: list[float]) -> None:
+        """Overwrite the percentile window (checkpoint restore path).
+
+        Only the window is touched; the cumulative side is restored
+        separately by :meth:`restore_state` when the whole instrument —
+        rather than a controller's view of it — is being rebuilt.
+        """
+        self._window.clear()
+        self._window.extend(float(v) for v in values)
+
+    def snapshot_state(self) -> dict:
+        """Serialisable state for checkpoints (cumulative + window)."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "bins": list(self._bins),
+            "window": list(self._window),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._count = int(payload["count"])
+        self._sum = float(payload["sum"])
+        bins = list(payload["bins"])
+        if len(bins) != len(self._bins):
+            raise ValueError(
+                f"histogram payload carries {len(bins)} bins, "
+                f"instrument has {len(self._bins)}"
+            )
+        self._bins = bins
+        self.replace_window(payload["window"])

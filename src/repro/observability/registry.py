@@ -1,0 +1,228 @@
+"""The metrics registry: named, labeled families of typed instruments.
+
+A :class:`MetricsRegistry` is a flat namespace of instrument *families*.
+A family has a name (``repro_records_ingested_total``), a kind
+(counter / gauge / histogram), optional help text, and one instrument
+per distinct label set (``{"stage": "allocate"}``) — the Prometheus
+data model, which keeps the text exporter a direct rendering and the
+JSONL exporter a flat dict walk.
+
+Accessors are get-or-create and idempotent: the session telemetry hub,
+the SLO controller wiring and ad-hoc user code can all ask for the same
+family without coordinating creation order.  Kind mismatches on an
+existing family raise immediately — a counter cannot silently become a
+gauge.
+
+The registry snapshots and restores as one plain payload, so a
+checkpointed session's counters continue their series after a restart
+(:class:`~repro.observability.hub.SessionTelemetry` carries it inside
+the session checkpoint).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.observability.instruments import (
+    DEFAULT_BUCKETS,
+    DEFAULT_HISTOGRAM_WINDOW,
+    Counter,
+    Gauge,
+    Histogram,
+)
+
+#: Prometheus-compatible metric / label name shape.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: A label set in canonical form: sorted ``(key, value)`` pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str] | None) -> LabelKey:
+    """Canonicalise a label dict (validates names, sorts keys)."""
+    if not labels:
+        return ()
+    for key in labels:
+        if not _NAME_RE.match(key):
+            raise ValueError(f"invalid label name: {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """One named family: kind, help, options, instruments by label set."""
+
+    __slots__ = ("name", "kind", "help", "options", "instruments")
+
+    def __init__(self, name: str, kind: str, help: str, options: dict):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.options = options
+        self.instruments: dict[LabelKey, object] = {}
+
+    def make(self):
+        """Instantiate one instrument of this family's kind."""
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(
+            buckets=tuple(self.options["buckets"]),
+            window=self.options["window"],
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled instrument families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------- accessors
+
+    def counter(
+        self, name: str, labels: dict[str, str] | None = None, *, help: str = ""
+    ) -> Counter:
+        """The counter ``name{labels}``, created on first access."""
+        return self._instrument(name, "counter", labels, help, {})
+
+    def gauge(
+        self, name: str, labels: dict[str, str] | None = None, *, help: str = ""
+    ) -> Gauge:
+        """The gauge ``name{labels}``, created on first access."""
+        return self._instrument(name, "gauge", labels, help, {})
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        window: int | None = None,
+        help: str = "",
+    ) -> Histogram:
+        """The histogram ``name{labels}``, created on first access.
+
+        ``buckets`` / ``window`` apply on family creation only; every
+        instrument of a family shares them (later calls may omit them).
+        """
+        options = {
+            "buckets": list(buckets if buckets is not None else DEFAULT_BUCKETS),
+            "window": (
+                window if window is not None else DEFAULT_HISTOGRAM_WINDOW
+            ),
+        }
+        return self._instrument(name, "histogram", labels, help, options)
+
+    def get(self, name: str, labels: dict[str, str] | None = None):
+        """The existing instrument ``name{labels}``, or ``None``."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.instruments.get(_label_key(labels))
+
+    # ------------------------------------------------------------ iteration
+
+    def collect(self) -> Iterator[tuple[str, str, dict[str, str], object]]:
+        """Yield ``(name, kind, labels, instrument)`` in sorted order.
+
+        Families sort by name, instruments by their canonical label
+        key — a deterministic walk every exporter shares, so serial and
+        process runs render byte-comparable snapshots.
+        """
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family.instruments):
+                yield name, family.kind, dict(key), family.instruments[key]
+
+    def family_help(self, name: str) -> str:
+        """The help text registered for a family (empty when unset)."""
+        family = self._families.get(name)
+        return family.help if family is not None else ""
+
+    def __len__(self) -> int:
+        """Total number of instruments across every family."""
+        return sum(len(f.instruments) for f in self._families.values())
+
+    # ------------------------------------------------------------ checkpoint
+
+    def snapshot_state(self) -> dict:
+        """Serialisable state: every family, option set and instrument."""
+        families = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            families.append(
+                {
+                    "name": name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "options": dict(family.options),
+                    "instruments": [
+                        {
+                            "labels": [list(pair) for pair in key],
+                            "state": instrument.snapshot_state(),
+                        }
+                        for key, instrument in sorted(
+                            family.instruments.items()
+                        )
+                    ],
+                }
+            )
+        return {"families": families}
+
+    def restore_state(self, payload: dict) -> None:
+        """Rebuild every family and instrument from a snapshot payload.
+
+        Families that already exist (the telemetry hub pre-creates its
+        catalogue before a restore) are reused; their instruments adopt
+        the checkpointed values so counters continue their series.
+        """
+        for entry in payload["families"]:
+            name = entry["name"]
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    name, entry["kind"], entry["help"], dict(entry["options"])
+                )
+                self._families[name] = family
+            elif family.kind != entry["kind"]:
+                raise ValueError(
+                    f"family {name!r} is a {family.kind}, checkpoint "
+                    f"carries a {entry['kind']}"
+                )
+            for item in entry["instruments"]:
+                key = tuple(tuple(pair) for pair in item["labels"])
+                instrument = family.instruments.get(key)
+                if instrument is None:
+                    instrument = family.make()
+                    family.instruments[key] = instrument
+                instrument.restore_state(item["state"])
+
+    # ------------------------------------------------------------- internals
+
+    def _instrument(
+        self,
+        name: str,
+        kind: str,
+        labels: dict[str, str] | None,
+        help: str,
+        options: dict,
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, options)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a "
+                f"{family.kind}, not a {kind}"
+            )
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.make()
+            family.instruments[key] = instrument
+        return instrument

@@ -208,6 +208,7 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         capabilities=PluginCapabilities(
             supports_batch_ingest=True,
             supports_checkpoint=True,
+            exports_telemetry=True,
         ),
         summary="sequential in-thread execution (deterministic reference)",
         source="builtin",
@@ -219,6 +220,7 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         capabilities=PluginCapabilities(
             supports_batch_ingest=True,
             supports_checkpoint=True,
+            exports_telemetry=True,
         ),
         summary="worker-pool execution with batched keyed exchanges",
         source="builtin",
@@ -231,6 +233,7 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
             supports_batch_ingest=True,
             supports_process_isolation=True,
             supports_checkpoint=True,
+            exports_telemetry=True,
         ),
         summary="shared-nothing worker processes, shared-memory exchanges",
         source="builtin",

@@ -64,6 +64,13 @@ class PluginCapabilities:
             a partial match (an open FBA window / unclosed VBA bit
             string).  Policies without it shed blindly — cheaper per
             batch, but they trade recall for latency.
+        exports_telemetry: the execution backend records per-invocation
+            :class:`~repro.streaming.dataflow.SpanRecord` spans at the
+            operator call site and surfaces them to the master through
+            ``drain_spans`` (process workers ship spans on the reply
+            protocol), so the observability hub sees an identical span
+            stream regardless of where subtasks physically run.  Every
+            built-in backend declares it.
     """
 
     requires_numpy: bool = False
@@ -76,6 +83,7 @@ class PluginCapabilities:
     supports_process_isolation: bool = False
     supports_checkpoint: bool = False
     protects_patterns: bool = False
+    exports_telemetry: bool = False
 
     def flags(self) -> dict[str, object]:
         """The capability fields as a flat name -> value mapping."""
@@ -106,4 +114,6 @@ class PluginCapabilities:
             markers.append("checkpoint")
         if self.protects_patterns:
             markers.append("protects-patterns")
+        if self.exports_telemetry:
+            markers.append("telemetry")
         return ",".join(markers) if markers else "-"

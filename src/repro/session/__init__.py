@@ -66,6 +66,9 @@ def open_session(
     sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
     batch_size: int | None = None,
     restore: Checkpoint | None = None,
+    observability: Any = None,
+    checkpoint_dir: Any = None,
+    checkpoint_keep_last: int | None = None,
     **overrides: Any,
 ) -> Session:
     """Open a streaming session — the one-call public entry point.
@@ -85,7 +88,13 @@ def open_session(
     before any record flows; ``batch_size`` sets ``feed_many``'s
     auto-packing chunk (columnar batch ingestion); ``restore`` resumes
     from a :class:`~repro.state.Checkpoint` (with no ``config`` the
-    checkpoint's own config seeds the session).  Use the session as
+    checkpoint's own config seeds the session).  ``observability``
+    enables the telemetry hub (``True``, an
+    :class:`~repro.observability.ObservabilityOptions`, or a kwargs
+    dict); ``checkpoint_dir`` / ``checkpoint_keep_last`` enable
+    automatic periodic checkpointing with bounded retention (cadence
+    from the config's ``checkpoint_every_records`` /
+    ``checkpoint_every_seconds`` fields).  Use the session as
     a context manager to flush on clean exit and always release backend
     resources.
     """
@@ -98,5 +107,9 @@ def open_session(
         builder.batch_size(batch_size)
     if restore is not None:
         builder.restore(restore)
+    if observability is not None:
+        builder.observability(observability)
+    if checkpoint_dir is not None:
+        builder.checkpoints(checkpoint_dir, keep_last=checkpoint_keep_last)
     builder.sinks(sinks)
     return builder.open()

@@ -25,10 +25,12 @@ pipeline.
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro.core.config import ICPEConfig
 from repro.model.constraints import PatternConstraints
+from repro.observability import ObservabilityOptions
 from repro.session.events import PatternEvent
 from repro.session.session import Session
 from repro.session.sinks import PatternSink
@@ -53,6 +55,9 @@ class SessionBuilder:
         self._track_convoys = False
         self._batch_size: int | None = None
         self._restore: Checkpoint | None = None
+        self._observability: ObservabilityOptions | dict | bool | None = None
+        self._checkpoint_dir: str | Path | None = None
+        self._checkpoint_keep_last: int | None = None
 
     # ------------------------------------------------------------ core knobs
 
@@ -183,6 +188,74 @@ class SessionBuilder:
         self._batch_size = size
         return self
 
+    def observability(
+        self,
+        options: ObservabilityOptions | dict | bool | None = True,
+        *,
+        metrics_out: str | Path | None = None,
+        metrics_every: int | None = None,
+        trace_out: str | Path | None = None,
+        console: bool | None = None,
+    ) -> "SessionBuilder":
+        """Enable the telemetry hub on the built session.
+
+        Either pass a prepared
+        :class:`~repro.observability.ObservabilityOptions` (or kwargs
+        dict, or ``True`` for the bare in-memory registry), or use the
+        keyword shorthands — ``metrics_out`` / ``metrics_every`` for
+        the JSONL time series, ``trace_out`` for the span trace,
+        ``console`` for the finish-time summary table::
+
+            SessionBuilder(cfg).observability(
+                metrics_out="metrics.jsonl", metrics_every=10,
+            ).open()
+        """
+        shorthands = {
+            key: value
+            for key, value in (
+                ("metrics_out", metrics_out),
+                ("metrics_every", metrics_every),
+                ("trace_out", trace_out),
+                ("console", console),
+            )
+            if value is not None
+        }
+        if shorthands:
+            if options is not True and options is not None:
+                raise ValueError(
+                    "pass either an options object/dict or keyword "
+                    "shorthands, not both"
+                )
+            self._observability = ObservabilityOptions(**shorthands)
+        else:
+            self._observability = options
+        return self
+
+    def checkpoints(
+        self,
+        directory: str | Path,
+        *,
+        every_records: int | None = None,
+        every_seconds: float | None = None,
+        keep_last: int | None = None,
+    ) -> "SessionBuilder":
+        """Enable automatic periodic checkpointing on the built session.
+
+        ``directory`` receives ``checkpoint-<watermark>.ckpt`` files at
+        the cadence of ``every_records`` / ``every_seconds`` (both may
+        be set; whichever fires first triggers a save; neither means
+        every watermark-advancing batch).  ``keep_last`` bounds
+        retention via :func:`~repro.state.sweep_checkpoints` — the
+        newest valid checkpoint always survives.
+        """
+        self._checkpoint_dir = directory
+        self._checkpoint_keep_last = keep_last
+        if every_records is not None:
+            self._set(checkpoint_every_records=every_records)
+        if every_seconds is not None:
+            self._set(checkpoint_every_seconds=every_seconds)
+        return self
+
     def restore(self, checkpoint: Checkpoint) -> "SessionBuilder":
         """Resume the built session from a checkpoint.
 
@@ -229,6 +302,9 @@ class SessionBuilder:
             sinks=self._sinks,
             batch_size=self._batch_size,
             restore=self._restore,
+            observability=self._observability,
+            checkpoint_dir=self._checkpoint_dir,
+            checkpoint_keep_last=self._checkpoint_keep_last,
         )
 
     # Alias: ``builder.build()`` reads naturally in non-streaming call sites.

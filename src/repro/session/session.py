@@ -18,7 +18,9 @@ resources.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
 from repro.core.config import ICPEConfig
@@ -40,10 +42,18 @@ from repro.state import (
     CHECKPOINT_VERSION,
     Checkpoint,
     CheckpointError,
+    checkpoint_path,
     decode_payload,
     encode_payload,
+    sweep_checkpoints,
+)
+from repro.observability import (
+    ObservabilityOptions,
+    SessionTelemetry,
+    resolve_options,
 )
 from repro.shedding import ShedPolicy, SLOController
+from repro.shedding.controller import DEFAULT_WINDOW as _SLO_WINDOW
 from repro.streaming.metrics import LatencyThroughputMeter
 from repro.streaming.sync import TimeSyncOperator
 
@@ -126,6 +136,9 @@ class Session:
         sinks: Iterable[PatternSink | Callable[[PatternEvent], None]] = (),
         batch_size: int | None = None,
         restore: Checkpoint | None = None,
+        observability: ObservabilityOptions | dict | bool | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_keep_last: int | None = None,
     ):
         """``track_convoys`` enables live convoy tracking (CMC scheme of
         ``core/live.py``) with M and K taken from ``config.constraints``;
@@ -134,11 +147,28 @@ class Session:
         (``None`` means :data:`DEFAULT_BATCH_SIZE`); ``restore`` resumes
         from a :class:`~repro.state.Checkpoint` taken by
         :meth:`checkpoint` (the configs must match on every field except
-        the execution surface — backend, pool size, cluster model)."""
+        the execution surface — backend, pool size, cluster model);
+        ``observability`` enables the telemetry hub (``True`` for the
+        in-memory registry, an
+        :class:`~repro.observability.ObservabilityOptions` or kwargs
+        dict to add exporters); ``checkpoint_dir`` enables automatic
+        periodic checkpointing at the cadence of the config's
+        ``checkpoint_every_records`` / ``checkpoint_every_seconds``
+        (defaulting to every record batch when neither is set), with
+        ``checkpoint_keep_last`` bounding retention via
+        :func:`~repro.state.sweep_checkpoints`."""
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if checkpoint_keep_last is not None and checkpoint_keep_last < 1:
+            raise ValueError(
+                f"checkpoint_keep_last must be >= 1, got {checkpoint_keep_last}"
+            )
         self.config = config
         self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        options = resolve_options(observability)
+        self._telemetry = (
+            SessionTelemetry(options) if options is not None else None
+        )
         self.pipeline = ICPEPipeline(config)
         self._sync = TimeSyncOperator(
             max_delay=config.max_delay,
@@ -161,11 +191,35 @@ class Session:
         self._controller = SLOController(
             target_p99_ms=config.target_p99_ms,
             initial_rate=config.shed_rate,
+            histogram=(
+                self._telemetry.slo_latency_histogram(_SLO_WINDOW)
+                if self._telemetry is not None
+                else None
+            ),
         )
         # The default "none" policy keeps the ingest path byte-identical
         # to a shedding-unaware session: no drop selection, no controller
         # observation, no protected-set fetches.
         self._shedding_active = config.shed_policy != "none"
+        self._checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._checkpoint_keep_last = checkpoint_keep_last
+        self._ckpt_every_records = config.checkpoint_every_records
+        self._ckpt_every_seconds = config.checkpoint_every_seconds
+        if (
+            self._checkpoint_dir is not None
+            and self._ckpt_every_records is None
+            and self._ckpt_every_seconds is None
+        ):
+            # A checkpoint directory with no cadence means "as often as
+            # possible": one checkpoint per batch that advanced the
+            # watermark.
+            self._ckpt_every_records = 1
+        self._auto_checkpoints: list[Path] = []
+        self._last_ckpt_watermark: int | None = None
+        self._last_ckpt_records = 0
+        self._last_ckpt_clock = _time.monotonic()
         self._finished = False
         self._closed = False
         if restore is not None:
@@ -174,6 +228,10 @@ class Session:
             except Exception:
                 self.pipeline.close()
                 raise
+            self._last_ckpt_watermark = restore.watermark
+            self._last_ckpt_records = self._records_ingested
+        if self._checkpoint_dir is not None:
+            self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
         for sink in sinks:
             self.subscribe(sink)
 
@@ -195,6 +253,8 @@ class Session:
         counts = self._event_counts
         for event in events:
             counts[event.kind] = counts.get(event.kind, 0) + 1
+        if self._telemetry is not None and events:
+            self._telemetry.observe_events(events)
         # Dispatch is skipped wholesale when nothing is subscribed — a
         # zero-sink session pays only the count bookkeeping per event,
         # not a per-event empty dispatch loop.
@@ -241,7 +301,9 @@ class Session:
         events: list[PatternEvent] = []
         for snapshot in self._sync.feed_batch(batch):
             events.extend(self._process(snapshot))
-        return self._emit(events)
+        emitted = self._emit(events)
+        self._maybe_auto_checkpoint()
+        return emitted
 
     def feed_many(
         self,
@@ -320,7 +382,10 @@ class Session:
         # error mid-flush (backend failure) leaves the session
         # retryable instead of silently swallowing the tail patterns.
         self._finished = True
-        return self._emit(events)
+        emitted = self._emit(events)
+        if self._telemetry is not None:
+            self._finalize_telemetry()
+        return emitted
 
     def close(self) -> None:
         """Release backend resources and close owned sinks (idempotent)."""
@@ -328,6 +393,8 @@ class Session:
             return
         self._closed = True
         self.pipeline.close()
+        if self._telemetry is not None:
+            self._telemetry.close()
         for sink in self._sinks:
             sink.close()
 
@@ -396,6 +463,8 @@ class Session:
         ]
         if self._tracker is not None:
             payloads.append(("tracker", self._tracker.snapshot_state()))
+        if self._telemetry is not None:
+            payloads.append(("telemetry", self._telemetry.snapshot_state()))
         for name, payload in payloads:
             master[name] = encode_payload(payload)[1]
         timings = self.pipeline.meter.timings
@@ -420,12 +489,14 @@ class Session:
             backend=self.config.backend,
             parallel_workers=self.config.parallel_workers,
             cluster=self.config.cluster,
+            checkpoint_every_records=self.config.checkpoint_every_records,
+            checkpoint_every_seconds=self.config.checkpoint_every_seconds,
         )
         if compatible != self.config:
             raise CheckpointError(
                 "checkpoint was taken under an incompatible configuration; "
                 "only the execution surface (backend, parallel_workers, "
-                "cluster model) may differ on restore"
+                "cluster model, checkpoint cadence) may differ on restore"
             )
         self.pipeline.restore_operator_states(checkpoint.operator_states)
         master = checkpoint.master_states
@@ -456,11 +527,58 @@ class Session:
                     "session to restore one"
                 )
             self._tracker.restore_state(decode_payload(master["tracker"]))
+        # Telemetry continues its series when both sides have a hub;
+        # a checkpoint from a telemetry-less session (or vice versa)
+        # simply starts the registry fresh.
+        telemetry_blob = master.get("telemetry")
+        if self._telemetry is not None and telemetry_blob is not None:
+            self._telemetry.restore_state(decode_payload(telemetry_blob))
 
     @property
     def records_ingested(self) -> int:
         """Records accepted so far (for source skipping on restore)."""
         return self._records_ingested
+
+    @property
+    def auto_checkpoints(self) -> list[Path]:
+        """Paths of the checkpoints automatic checkpointing has saved."""
+        return list(self._auto_checkpoints)
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Save a periodic checkpoint when the configured cadence is due.
+
+        A save needs a *new* watermark — checkpoints are keyed by
+        watermark on disk, and a batch that advanced nothing has
+        nothing new to persist — so an overdue cadence simply waits for
+        the next watermark advance.  After each save, retention sweeps
+        the directory when ``checkpoint_keep_last`` bounds it.
+        """
+        if self._checkpoint_dir is None or self._finished:
+            return
+        due = self._ckpt_every_records is not None and (
+            self._records_ingested - self._last_ckpt_records
+            >= self._ckpt_every_records
+        )
+        if not due:
+            due = self._ckpt_every_seconds is not None and (
+                _time.monotonic() - self._last_ckpt_clock
+                >= self._ckpt_every_seconds
+            )
+        if not due:
+            return
+        timings = self.pipeline.meter.timings
+        watermark = timings[-1].time if timings else None
+        if watermark is None or watermark == self._last_ckpt_watermark:
+            return
+        checkpoint = self.checkpoint()
+        path = checkpoint_path(self._checkpoint_dir, watermark)
+        checkpoint.save(path)
+        self._auto_checkpoints.append(path)
+        self._last_ckpt_watermark = watermark
+        self._last_ckpt_records = self._records_ingested
+        self._last_ckpt_clock = _time.monotonic()
+        if self._checkpoint_keep_last is not None:
+            sweep_checkpoints(self._checkpoint_dir, self._checkpoint_keep_last)
 
     # ------------------------------------------------------------------ state
 
@@ -554,6 +672,11 @@ class Session:
         return self._controller
 
     @property
+    def telemetry(self) -> SessionTelemetry | None:
+        """The observability hub, or ``None`` when telemetry is off."""
+        return self._telemetry
+
+    @property
     def active_convoys(self):
         """Live convoy candidates (requires ``track_convoys``).
 
@@ -636,6 +759,50 @@ class Session:
             snapshot.time, [points[i] for i in keep]
         )
 
+    def _observe_telemetry(self, time: int) -> None:
+        """Feed one processed snapshot's facts into the telemetry hub.
+
+        Spans and latency first, then the counter mirror + export tick.
+        The state-memory refresh callable is only invoked when a JSONL
+        row is actually due (it round-trips the worker protocol under
+        the process backend).
+        """
+        telemetry = self._telemetry
+        assert telemetry is not None
+        telemetry.observe_spans(self.pipeline.last_spans)
+        timings = self.pipeline.meter.timings
+        if timings:
+            telemetry.observe_latency(timings[-1].latency_seconds * 1000.0)
+        telemetry.on_watermark(
+            time,
+            records_ingested=self._records_ingested,
+            records_shed=self._records_shed,
+            records_protected=self._records_protected,
+            snapshots=self.pipeline.meter.snapshots,
+            patterns_total=len(self.pipeline.collector),
+            shed_rate=self._controller.rate,
+            watermark_lag=self._sync.watermark_lag(),
+            refresh=self.state_memory,
+        )
+
+    def _finalize_telemetry(self) -> None:
+        """End of stream: fold the flush spans in, write the final row."""
+        telemetry = self._telemetry
+        assert telemetry is not None
+        telemetry.observe_spans(self.pipeline.last_spans)
+        watermark = self._last_time()
+        telemetry.mirror_session(
+            watermark,
+            records_ingested=self._records_ingested,
+            records_shed=self._records_shed,
+            records_protected=self._records_protected,
+            snapshots=self.pipeline.meter.snapshots,
+            patterns_total=len(self.pipeline.collector),
+            shed_rate=self._controller.rate,
+            watermark_lag=self._sync.watermark_lag(),
+        )
+        telemetry.finalize(watermark, refresh=self.state_memory)
+
     def _observe_latency(self) -> None:
         """Feed the last snapshot's timing to the SLO controller."""
         timings = self.pipeline.meter.timings
@@ -694,4 +861,6 @@ class Session:
                 patterns_total=len(self.pipeline.collector),
             )
         )
+        if self._telemetry is not None:
+            self._observe_telemetry(snapshot.time)
         return events

@@ -12,9 +12,7 @@ controller is inert and simply holds the statically configured rate
 
 from __future__ import annotations
 
-from collections import deque
-
-from repro.streaming.metrics import percentile
+from repro.observability.instruments import Histogram
 
 #: Defaults, tuned for snapshot-granularity observations.
 DEFAULT_WINDOW = 32
@@ -38,6 +36,15 @@ class SLOController:
         hysteresis: relative deadband around the target — the rate only
             moves when the windowed p99 leaves
             ``[target * (1 - h), target * (1 + h)]``.
+        histogram: the latency :class:`~repro.observability.instruments.
+            Histogram` the controller observes into and computes its
+            windowed percentiles over.  ``None`` builds a private one of
+            ``window`` samples; a session with telemetry enabled passes
+            its registry's ``repro_slo_latency_ms`` instrument instead,
+            so controller-steered and registry-exported percentiles are
+            computed over the same samples by the same shared helper.
+            When given, its window capacity *is* the controller window
+            (``window`` is ignored).
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class SLOController:
         step: float = DEFAULT_STEP,
         max_rate: float = DEFAULT_MAX_RATE,
         hysteresis: float = DEFAULT_HYSTERESIS,
+        histogram: Histogram | None = None,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1: {window}")
@@ -57,7 +65,9 @@ class SLOController:
         self.target_p99_ms = target_p99_ms
         self._rate = initial_rate
         self._floor = 0.0 if target_p99_ms is not None else initial_rate
-        self._window = deque(maxlen=window)
+        self._hist = (
+            histogram if histogram is not None else Histogram(window=window)
+        )
         self._step = step
         self._max_rate = max_rate
         self._hysteresis = hysteresis
@@ -79,6 +89,11 @@ class SLOController:
         """Hard ceiling on the adapted shed rate."""
         return self._max_rate
 
+    @property
+    def latency_histogram(self) -> Histogram:
+        """The latency instrument the controller observes into."""
+        return self._hist
+
     def observe(
         self,
         latency_ms: float,
@@ -90,13 +105,13 @@ class SLOController:
         does not chase the first noisy observations.
         """
         self._observed += 1
-        self._window.append(latency_ms)
+        self._hist.observe(latency_ms)
         for stage, busy in (stage_busy_seconds or {}).items():
             self._stage_busy[stage] = self._stage_busy.get(stage, 0.0) + busy
         target = self.target_p99_ms
-        if target is None or len(self._window) < self._window.maxlen:
+        if target is None or not self._hist.window_full:
             return
-        p99 = percentile(self._window, 99.0)
+        p99 = self._hist.percentile(99.0)
         if p99 > target * (1.0 + self._hysteresis):
             self._rate = min(self._max_rate, self._rate + self._step)
         elif p99 < target * (1.0 - self._hysteresis):
@@ -104,11 +119,11 @@ class SLOController:
 
     def windowed_p99_ms(self) -> float:
         """p99 over the current latency window (0.0 when empty)."""
-        return percentile(self._window, 99.0)
+        return self._hist.percentile(99.0)
 
     def windowed_p50_ms(self) -> float:
         """p50 over the current latency window (0.0 when empty)."""
-        return percentile(self._window, 50.0)
+        return self._hist.percentile(50.0)
 
     def stage_busy_seconds(self) -> dict[str, float]:
         """Cumulative busy seconds per stage, as sampled from StageWork."""
@@ -119,21 +134,26 @@ class SLOController:
         return {
             "rate": self._rate,
             "observed": self._observed,
-            "window": list(self._window),
+            "window": self._hist.samples(),
             "stage_busy": dict(self._stage_busy),
         }
 
     def restore_state(self, payload: dict) -> None:
-        """Adopt a payload produced by :meth:`snapshot_state`."""
+        """Adopt a payload produced by :meth:`snapshot_state`.
+
+        Only the controller's view — the percentile window — is
+        restored into the histogram; its cumulative bucket side belongs
+        to the telemetry hub and is restored with the registry when one
+        is attached.
+        """
         self._rate = payload["rate"]
         self._observed = payload["observed"]
-        self._window.clear()
-        self._window.extend(payload["window"])
+        self._hist.replace_window(payload["window"])
         self._stage_busy = dict(payload["stage_busy"])
 
     def state_metrics(self) -> dict[str, int]:
         """Memory accounting: latency window and stage map sizes."""
         return {
-            "latency_window": len(self._window),
+            "latency_window": len(self._hist.samples()),
             "stages_tracked": len(self._stage_busy),
         }

@@ -7,12 +7,16 @@ without pulling in the full pipeline.
 
 from repro.state.checkpoint import CHECKPOINT_VERSION, Checkpoint, CheckpointError
 from repro.state.codec import decode_payload, digest_of, encode_payload
+from repro.state.gc import checkpoint_path, list_checkpoints, sweep_checkpoints
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointError",
+    "checkpoint_path",
     "decode_payload",
     "digest_of",
     "encode_payload",
+    "list_checkpoints",
+    "sweep_checkpoints",
 ]

@@ -1,0 +1,86 @@
+"""Checkpoint garbage collection: bounded retention for checkpoint dirs.
+
+A session (or the CLI loop) saving periodic checkpoints into one
+directory accumulates one ``checkpoint-<watermark>.ckpt`` file per save.
+:func:`sweep_checkpoints` prunes that directory down to the newest
+``keep_last`` *valid* checkpoints.
+
+Safety rules, in order of precedence:
+
+* the newest valid checkpoint is never deleted — whatever ``keep_last``
+  says, a sweep always leaves at least the file a restart would load;
+* validity is judged by actually loading the file
+  (:meth:`~repro.state.checkpoint.Checkpoint.load`); a corrupt or
+  truncated file neither counts against the retention budget nor gets
+  deleted — it is left in place for a human to inspect;
+* only files matching the ``checkpoint-<watermark>.ckpt`` naming scheme
+  are considered at all, so foreign files sharing the directory are
+  never touched.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.state.checkpoint import Checkpoint, CheckpointError
+
+#: The auto-checkpoint naming scheme: ``checkpoint-<watermark>.ckpt``.
+CHECKPOINT_FILE_RE = re.compile(r"^checkpoint-(-?\d+)\.ckpt$")
+
+
+def checkpoint_path(directory: str | Path, watermark: int) -> Path:
+    """The canonical file path of a checkpoint at one watermark."""
+    return Path(directory) / f"checkpoint-{watermark}.ckpt"
+
+
+def list_checkpoints(directory: str | Path) -> list[Path]:
+    """Checkpoint files in a directory, newest watermark first.
+
+    Only names matching :data:`CHECKPOINT_FILE_RE` are listed; ordering
+    is by the watermark embedded in the name (numeric, descending), not
+    by filesystem timestamps.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found: list[tuple[int, Path]] = []
+    for path in directory.iterdir():
+        match = CHECKPOINT_FILE_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort(key=lambda pair: pair[0], reverse=True)
+    return [path for _watermark, path in found]
+
+
+def sweep_checkpoints(directory: str | Path, keep_last: int) -> list[Path]:
+    """Delete superseded checkpoints, keeping the ``keep_last`` newest.
+
+    Walks the directory's checkpoint files newest-first, verifies each
+    by loading it, keeps the first ``keep_last`` valid ones, and deletes
+    every *older valid* checkpoint.  Invalid files are skipped entirely
+    (not counted, not deleted).  Returns the deleted paths, newest
+    first.
+
+    Raises:
+        ValueError: for ``keep_last`` below 1 — a sweep that could
+            delete every checkpoint is never what retention means.
+    """
+    if keep_last < 1:
+        raise ValueError(f"keep_last must be >= 1: {keep_last}")
+    kept = 0
+    deleted: list[Path] = []
+    for path in list_checkpoints(directory):
+        try:
+            Checkpoint.load(path)
+        except (CheckpointError, OSError):
+            continue
+        if kept < keep_last:
+            kept += 1
+            continue
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent external removal
+            continue
+        deleted.append(path)
+    return deleted

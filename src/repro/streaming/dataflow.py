@@ -223,6 +223,40 @@ class KeyedStage:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One traced operator invocation: a subtask run over one unit.
+
+    The telemetry span of the observability subsystem.  Recorded at the
+    invocation site (:meth:`StageRuntime.run_subtask` /
+    :meth:`StageRuntime.finish_subtask`), so every execution backend —
+    including process workers, which ship their spans back through the
+    reply protocol — produces the identical span stream for the same
+    work.  ``busy_seconds`` is wall-clock and therefore the only
+    non-deterministic field; everything else is event-for-event
+    reproducible across backends.
+
+    Attributes:
+        stage: stage name.
+        subtask: subtask index within the stage.
+        time: the unit-of-work context (ICPE: snapshot time; ``None``
+            for finish spans and context-free drivers).
+        kind: ``"unit"`` for a batch run, ``"finish"`` for the
+            end-of-stream flush.
+        elements_in: logical elements routed to the subtask.
+        elements_out: elements the subtask emitted.
+        busy_seconds: wall time the invocation took.
+    """
+
+    stage: str
+    subtask: int
+    time: Any
+    kind: str
+    elements_in: int
+    elements_out: int
+    busy_seconds: float
+
+
 @dataclass(slots=True)
 class StageWork:
     """Busy time of one stage during one unit of work, per subtask.
@@ -265,9 +299,57 @@ class StageRuntime:
         # unbounded on a live stream, so the cache stops admitting new
         # entries at a fixed cap — past it, misses just recompute.
         self._route_cache: dict[Any, int] = {}
+        #: Span buffer: every subtask invocation appends one record here
+        #: (appends under the GIL, so concurrent subtask threads are
+        #: safe).  Drivers drain it per unit of work; a driver that never
+        #: drains hits the admission cap and only ``spans_dropped`` grows.
+        self.spans: list[SpanRecord] = []
+        self.spans_dropped = 0
 
     #: Route-cache admission cap (entries are a key plus a small int).
     _ROUTE_CACHE_LIMIT = 1 << 16
+
+    #: Span-buffer admission cap for drivers that never drain.
+    _SPAN_BUFFER_LIMIT = 1 << 16
+
+    def _record_span(
+        self,
+        subtask: int,
+        time: Any,
+        kind: str,
+        elements_in: int,
+        elements_out: int,
+        busy_seconds: float,
+    ) -> None:
+        if len(self.spans) >= self._SPAN_BUFFER_LIMIT:
+            self.spans_dropped += 1
+            return
+        self.spans.append(
+            SpanRecord(
+                stage=self.stage.name,
+                subtask=subtask,
+                time=time,
+                kind=kind,
+                elements_in=elements_in,
+                elements_out=elements_out,
+                busy_seconds=busy_seconds,
+            )
+        )
+
+    def drain_spans(self) -> list[SpanRecord]:
+        """Take (and clear) the buffered spans of this runtime."""
+        spans, self.spans = self.spans, []
+        return spans
+
+    def adopt_spans(self, spans: Sequence[SpanRecord]) -> None:
+        """Append spans recorded elsewhere (a process worker's runtime).
+
+        The master-side runtime of a process backend never executes
+        subtasks itself; the workers' drained spans are adopted here so
+        every driver reads spans from the same place regardless of
+        backend.
+        """
+        self.spans.extend(spans)
 
     def route(self, element: Any) -> int:
         """Subtask index an element is routed to (stable across runs)."""
@@ -340,14 +422,20 @@ class StageRuntime:
             else:
                 outputs.extend(subtask.process(element))
         outputs.extend(subtask.end_batch(ctx))
-        return outputs, _time.perf_counter() - started
+        busy = _time.perf_counter() - started
+        self._record_span(
+            index, ctx, "unit", count_elements(bucket), len(outputs), busy
+        )
+        return outputs, busy
 
     def finish_subtask(self, index: int) -> tuple[list[Any], float]:
         """Flush one subtask's state; returns outputs and busy seconds."""
         outputs: list[Any] = []
         started = _time.perf_counter()
         outputs.extend(self.subtasks[index].finish())
-        return outputs, _time.perf_counter() - started
+        busy = _time.perf_counter() - started
+        self._record_span(index, None, "finish", 0, len(outputs), busy)
+        return outputs, busy
 
     def run(
         self, elements: Sequence[Any], ctx: Any = None

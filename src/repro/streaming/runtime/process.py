@@ -100,20 +100,26 @@ class _WorkerState:
 
     def run(self, stage_index: int, ctx, tasks) -> list[tuple]:
         results = []
+        runtime = self.runtimes[stage_index]
         for subtask_index, bucket in tasks:
             decoded = decode_exchange_elements(bucket, self.attach)
-            outputs, busy = self.runtimes[stage_index].run_subtask(
-                subtask_index, decoded, ctx
-            )
+            outputs, busy = runtime.run_subtask(subtask_index, decoded, ctx)
             del decoded
-            results.append((subtask_index, outputs, busy))
+            # The spans this invocation recorded ride the reply as the
+            # 4th entry, so master-side telemetry is complete under
+            # process isolation.
+            results.append(
+                (subtask_index, outputs, busy, runtime.drain_spans())
+            )
         return results
 
     def finish(self, stage_index: int, indices) -> list[tuple]:
         runtime = self.runtimes[stage_index]
-        return [
-            (index, *runtime.finish_subtask(index)) for index in indices
-        ]
+        results = []
+        for index in indices:
+            outputs, busy = runtime.finish_subtask(index)
+            results.append((index, outputs, busy, runtime.drain_spans()))
+        return results
 
     def collect_states(self, stage_index: int, tasks) -> list[tuple]:
         """Serve a ``state`` command: capture this worker's subtask state.
@@ -436,6 +442,7 @@ class ProcessBackend(ExecutionBackend):
         parallelism = len(runtime.subtasks)
         by_subtask: list[list[Any] | None] = [None] * parallelism
         busy = [0.0] * parallelism
+        spans_by_subtask: list[list | None] = [None] * parallelism
         released: set[str] = set()
         failure: str | None = None
         for worker in involved:
@@ -443,9 +450,10 @@ class ProcessBackend(ExecutionBackend):
             if reply[0] == "error":
                 failure = failure or reply[1]
                 continue
-            for subtask_index, outputs, seconds in reply[1]:
+            for subtask_index, outputs, seconds, spans in reply[1]:
                 by_subtask[subtask_index] = outputs
                 busy[subtask_index] = seconds
+                spans_by_subtask[subtask_index] = spans
             released.update(reply[2])
         self._settle_segments(released)
         if failure is not None:
@@ -457,6 +465,11 @@ class ProcessBackend(ExecutionBackend):
         for out in by_subtask:
             if out:
                 outputs.extend(out)
+        # Adopt worker-recorded spans into the master-side runtime in
+        # subtask order — the order the serial backend records them in.
+        for spans in spans_by_subtask:
+            if spans:
+                runtime.adopt_spans(spans)
         work = StageWork(
             name=runtime.stage.name,
             busy_seconds=busy,

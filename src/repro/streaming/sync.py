@@ -386,6 +386,22 @@ class TimeSyncOperator:
             self._emitted_up_to = out[-1].time
         return out
 
+    def watermark_lag(self) -> int:
+        """Event-time distance between ingest frontier and emission.
+
+        ``max_seen - emitted_up_to``: how far the newest record seen is
+        ahead of the newest snapshot emitted — the sync-operator lag the
+        observability gauge ``repro_watermark_lag`` reports.  Zero until
+        anything has been seen; ``max_seen`` itself until the first
+        emission (relative to an implicit emitted time of ``-1``, so a
+        stream that emits immediately reports a small, honest lag rather
+        than its absolute timestamp).
+        """
+        if self._max_seen is None:
+            return 0
+        emitted = self._emitted_up_to if self._emitted_up_to is not None else -1
+        return self._max_seen - emitted
+
     # ------------------------------------------------------------------ state
 
     def snapshot_state(self) -> dict:

@@ -1,0 +1,54 @@
+"""Shared harness for the observability suite.
+
+One deterministic cluster-churn workload (borrowed shape from the
+checkpoint harness) drives every session-level telemetry test, so
+serial and process runs see byte-identical record streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import PatternConstraints, open_session
+from repro.model.records import StreamRecord
+
+CONSTRAINTS = PatternConstraints(m=2, k=3, l=2, g=2)
+
+BASE_KNOBS = dict(
+    epsilon=2.0,
+    cell_width=4.0,
+    min_pts=2,
+    constraints=CONSTRAINTS,
+)
+
+
+def cluster_stream(
+    seed: int, n_times: int = 10, n_objects: int = 8
+) -> list[StreamRecord]:
+    """A deterministic stream forming and breaking small clusters."""
+    rng = random.Random(seed)
+    records: list[StreamRecord] = []
+    for t in range(n_times):
+        for oid in range(n_objects):
+            site = oid % 3 if rng.random() > 0.2 else rng.randrange(3)
+            records.append(
+                StreamRecord(
+                    oid=oid,
+                    time=t,
+                    x=float(site) * 4.0 + rng.random(),
+                    y=float(oid // 3) * 0.5,
+                    last_time=t - 1 if t else None,
+                )
+            )
+    return records
+
+
+def run_session(records: list[StreamRecord], **session_kwargs):
+    """Feed the whole stream through one session and return it (closed)."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    session = open_session(**kwargs)
+    for record in records:
+        session.feed(record)
+    session.finish()
+    session.close()
+    return session

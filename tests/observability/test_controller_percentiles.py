@@ -1,0 +1,86 @@
+"""Property test: controller-steered and registry-exported tails agree.
+
+PR 8's SLO controller kept its own latency deque and percentile math;
+the observability subsystem dedupes both onto one shared
+:class:`~repro.observability.instruments.Histogram` (and the single
+:func:`repro.streaming.metrics.percentile` helper).  The property
+pinned here: for any latency sequence, the p99 the controller adapts on
+equals the p99 the registry exports — they are the same computation
+over the same samples, by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import MetricsRegistry
+from repro.shedding.controller import SLOController
+from repro.streaming.metrics import percentile
+
+pytestmark = pytest.mark.observability
+
+latencies = st.lists(
+    st.floats(min_value=0.01, max_value=10_000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(samples=latencies, window=st.integers(min_value=2, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_controller_p99_equals_registry_p99(samples, window):
+    registry = MetricsRegistry()
+    hist = registry.histogram("repro_slo_latency_ms", window=window)
+    controller = SLOController(
+        target_p99_ms=50.0, initial_rate=0.0, histogram=hist
+    )
+    for value in samples:
+        controller.observe(value)
+    registry_view = registry.get("repro_slo_latency_ms")
+    assert registry_view is hist
+    expected = percentile(samples[-window:], 99.0)
+    assert hist.percentile(99.0) == expected
+    assert controller.state_metrics()["latency_window"] == min(
+        len(samples), window
+    )
+
+
+@given(samples=latencies)
+@settings(max_examples=30, deadline=None)
+def test_standalone_controller_matches_shared_helper(samples):
+    """Without a registry the controller still uses the shared helper."""
+    controller = SLOController(target_p99_ms=50.0, initial_rate=0.0)
+    for value in samples:
+        controller.observe(value)
+    window = controller.latency_histogram.samples()
+    assert controller.latency_histogram.percentile(99.0) == percentile(
+        window, 99.0
+    )
+
+
+def test_controller_snapshot_registry_snapshot_consistency():
+    """Checkpoint both sides; the restored window stays shared."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("repro_slo_latency_ms", window=8)
+    controller = SLOController(
+        target_p99_ms=50.0, initial_rate=0.0, histogram=hist
+    )
+    for value in (5.0, 10.0, 20.0, 40.0, 80.0):
+        controller.observe(value)
+    registry_payload = registry.snapshot_state()
+    controller_payload = controller.snapshot_state()
+
+    fresh_registry = MetricsRegistry()
+    fresh_hist = fresh_registry.histogram("repro_slo_latency_ms", window=8)
+    fresh_controller = SLOController(
+        target_p99_ms=50.0, initial_rate=0.0, histogram=fresh_hist
+    )
+    fresh_registry.restore_state(registry_payload)
+    fresh_controller.restore_state(controller_payload)
+    assert fresh_hist.samples() == hist.samples()
+    assert fresh_hist.count == hist.count
+    assert fresh_controller.latency_histogram is fresh_hist
+    assert fresh_hist.percentile(99.0) == hist.percentile(99.0)

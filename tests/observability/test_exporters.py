@@ -1,0 +1,156 @@
+"""Exporter tests: Prometheus text format, JSONL time series, console.
+
+The Prometheus rendering is pinned against a committed golden file —
+the text format is an external contract (scrape endpoints, textfile
+collectors), so any change to it must show up as a readable diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability import (
+    JsonlMetricsExporter,
+    MetricsRegistry,
+    console_summary,
+    registry_row,
+    render_prometheus,
+    sample_name,
+)
+
+pytestmark = pytest.mark.observability
+
+GOLDEN = Path(__file__).parent / "golden" / "prometheus_snapshot.txt"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A small fixed registry covering every rendering shape."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_records_ingested_total", help="Records accepted."
+    ).inc(1234)
+    registry.counter(
+        "repro_stage_spans_total", {"stage": "allocate"},
+        help="Operator invocations per stage.",
+    ).inc(8)
+    registry.counter(
+        "repro_stage_spans_total", {"stage": "query"}
+    ).inc(16)
+    registry.gauge("repro_shed_rate").set(0.25)
+    registry.gauge("repro_watermark").set(42)
+    hist = registry.histogram(
+        "repro_snapshot_latency_ms",
+        buckets=(1.0, 10.0, 100.0),
+        window=8,
+        help="Per-snapshot latency.",
+    )
+    for value in (0.5, 2.0, 3.0, 50.0, 500.0):
+        hist.observe(value)
+    return registry
+
+
+class TestSampleName:
+    def test_bare_and_labeled(self):
+        assert sample_name("repro_x_total", {}) == "repro_x_total"
+        assert (
+            sample_name("repro_x_total", {"b": "2", "a": "1"})
+            == 'repro_x_total{a="1",b="2"}'
+        )
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        rendered = render_prometheus(golden_registry())
+        assert rendered == GOLDEN.read_text()
+
+    def test_help_and_type_lines_once_per_family(self):
+        rendered = render_prometheus(golden_registry())
+        assert rendered.count("# TYPE repro_stage_spans_total counter") == 1
+        assert (
+            "# HELP repro_records_ingested_total Records accepted."
+            in rendered
+        )
+
+    def test_histogram_carries_inf_sum_and_count(self):
+        rendered = render_prometheus(golden_registry())
+        assert 'repro_snapshot_latency_ms_bucket{le="+Inf"} 5' in rendered
+        assert "repro_snapshot_latency_ms_sum 555.5" in rendered
+        assert "repro_snapshot_latency_ms_count 5" in rendered
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_rendering_is_deterministic_across_creation_order(self):
+        a = MetricsRegistry()
+        a.counter("z_total").inc(1)
+        a.counter("a_total").inc(2)
+        b = MetricsRegistry()
+        b.counter("a_total").inc(2)
+        b.counter("z_total").inc(1)
+        assert render_prometheus(a) == render_prometheus(b)
+
+
+class TestRegistryRow:
+    def test_row_carries_full_instrument_state(self):
+        row = registry_row(golden_registry(), watermark=7)
+        assert row["watermark"] == 7
+        assert row["counters"]["repro_records_ingested_total"] == 1234
+        assert row["counters"]['repro_stage_spans_total{stage="query"}'] == 16
+        assert row["gauges"]["repro_shed_rate"] == 0.25
+        hist = row["histograms"]["repro_snapshot_latency_ms"]
+        assert hist["count"] == 5
+        assert hist["sum"] == pytest.approx(555.5)
+        assert set(hist) == {"count", "sum", "p50", "p95", "p99"}
+
+    def test_row_is_json_serialisable(self):
+        row = registry_row(golden_registry(), watermark=None)
+        assert json.loads(json.dumps(row)) == row
+
+
+class TestJsonlExporter:
+    def test_cadence_writes_every_nth_tick(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_ticks_total")
+        path = tmp_path / "metrics.jsonl"
+        exporter = JsonlMetricsExporter(registry, path, every=3)
+        written = []
+        for tick in range(1, 8):
+            counter.inc()
+            written.append(exporter.export(tick))
+        exporter.close()
+        assert written == [False, False, True, False, False, True, False]
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["watermark"] for row in rows] == [3, 6]
+        assert rows[0]["counters"]["repro_ticks_total"] == 3
+
+    def test_force_writes_regardless_of_cadence(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "metrics.jsonl"
+        exporter = JsonlMetricsExporter(registry, path, every=10)
+        assert exporter.export(1, force=True)
+        assert exporter.rows_written == 1
+        exporter.close()
+
+    def test_close_is_idempotent_and_disables_export(self, tmp_path):
+        exporter = JsonlMetricsExporter(
+            MetricsRegistry(), tmp_path / "m.jsonl"
+        )
+        exporter.close()
+        exporter.close()
+        assert exporter.export(1, force=True) is False
+
+    def test_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            JsonlMetricsExporter(MetricsRegistry(), tmp_path / "m", every=0)
+
+
+class TestConsoleSummary:
+    def test_lists_every_instrument(self):
+        table = console_summary(golden_registry(), title="Telemetry")
+        assert "Telemetry" in table
+        assert "repro_records_ingested_total" in table
+        assert 'repro_stage_spans_total{stage="query"}' in table
+        assert "count=5" in table

@@ -1,0 +1,135 @@
+"""Unit tests of the three instrument kinds.
+
+The instrument layer is deliberately registry-free, so these tests pin
+its contract in isolation: counter monotonicity, gauge last-write-wins,
+and the histogram's double bookkeeping — cumulative Prometheus buckets
+that never reset next to a bounded percentile window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    DEFAULT_HISTOGRAM_WINDOW,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.streaming.metrics import percentile
+
+pytestmark = pytest.mark.observability
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter().inc(-1.0)
+
+    def test_set_total_advances_but_never_decreases(self):
+        counter = Counter()
+        counter.set_total(10)
+        assert counter.value == 10.0
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.set_total(9)
+
+    def test_state_roundtrip(self):
+        counter = Counter()
+        counter.inc(7)
+        fresh = Counter()
+        fresh.restore_state(counter.snapshot_state())
+        assert fresh.value == 7.0
+
+
+class TestGauge:
+    def test_last_write_wins_both_directions(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2.0
+        gauge.set(-1.5)
+        assert gauge.value == -1.5
+
+    def test_state_roundtrip(self):
+        gauge = Gauge()
+        gauge.set(3.25)
+        fresh = Gauge()
+        fresh.restore_state(gauge.snapshot_state())
+        assert fresh.value == 3.25
+
+
+class TestHistogram:
+    def test_defaults(self):
+        hist = Histogram()
+        assert hist.bounds == DEFAULT_BUCKETS
+        assert hist.window_size == DEFAULT_HISTOGRAM_WINDOW
+        assert hist.count == 0
+        assert hist.sum == 0.0
+
+    def test_bucket_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+        with pytest.raises(ValueError, match="window"):
+            Histogram(window=0)
+
+    def test_observations_fill_cumulative_buckets(self):
+        hist = Histogram(buckets=(1.0, 10.0, 100.0), window=8)
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        # le=1.0 catches 0.5 and the boundary value 1.0 itself.
+        assert hist.bucket_counts() == [(1.0, 2), (10.0, 3), (100.0, 4)]
+        assert hist.count == 5  # the +Inf bucket
+        assert hist.sum == pytest.approx(556.5)
+
+    def test_window_is_bounded_but_cumulative_side_is_not(self):
+        hist = Histogram(buckets=(100.0,), window=4)
+        for value in range(10):
+            hist.observe(float(value))
+        assert hist.samples() == [6.0, 7.0, 8.0, 9.0]
+        assert hist.window_full
+        assert hist.count == 10
+
+    def test_percentile_uses_shared_helper(self):
+        hist = Histogram(window=16)
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for value in values:
+            hist.observe(value)
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert hist.percentile(q) == percentile(values, q)
+
+    def test_percentile_of_empty_window_is_zero(self):
+        assert Histogram().percentile(99.0) == 0.0
+
+    def test_replace_window_leaves_cumulative_side_alone(self):
+        hist = Histogram(window=4)
+        hist.observe(10.0)
+        hist.replace_window([1.0, 2.0])
+        assert hist.samples() == [1.0, 2.0]
+        assert hist.count == 1
+        assert hist.sum == 10.0
+
+    def test_state_roundtrip(self):
+        hist = Histogram(buckets=(1.0, 10.0), window=4)
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        fresh = Histogram(buckets=(1.0, 10.0), window=4)
+        fresh.restore_state(hist.snapshot_state())
+        assert fresh.bucket_counts() == hist.bucket_counts()
+        assert fresh.count == hist.count
+        assert fresh.sum == hist.sum
+        assert fresh.samples() == hist.samples()
+
+    def test_restore_rejects_mismatched_bins(self):
+        payload = Histogram(buckets=(1.0, 10.0)).snapshot_state()
+        with pytest.raises(ValueError, match="bins"):
+            Histogram(buckets=(1.0,)).restore_state(payload)

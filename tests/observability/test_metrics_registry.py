@@ -1,0 +1,132 @@
+"""Unit tests of the metrics registry's family/label model.
+
+Pins the registry contract the exporters and the telemetry hub build
+on: idempotent get-or-create access, kind-mismatch rejection, sorted
+deterministic collection, and the snapshot/restore path that lets a
+restored session continue its counter series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+pytestmark = pytest.mark.observability
+
+
+class TestAccessors:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_things_total")
+        second = registry.counter("repro_things_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_label_sets_get_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_stage_total", {"stage": "allocate"})
+        b = registry.counter("repro_stage_total", {"stage": "query"})
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("repro_state", {"component": "c", "metric": "m"})
+        b = registry.gauge("repro_state", {"metric": "m", "component": "c"})
+        assert a is b
+
+    def test_kinds_map_to_instrument_classes(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c_total"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h_ms"), Histogram)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_things_total")
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", {"bad label": "x"})
+
+    def test_histogram_options_apply_on_creation_only(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_ms", buckets=(1.0, 2.0), window=4)
+        again = registry.histogram("h_ms")
+        assert again is hist
+        assert again.bounds == (1.0, 2.0)
+        assert again.window_size == 4
+
+    def test_get_returns_none_for_unknown(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        registry.counter("yes_total")
+        assert registry.get("yes_total") is not None
+        assert registry.get("yes_total", {"stage": "x"}) is None
+
+    def test_family_help_is_kept_from_first_registration(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="Things counted.")
+        assert registry.family_help("c_total") == "Things counted."
+        assert registry.family_help("unknown") == ""
+
+
+class TestCollect:
+    def test_sorted_by_name_then_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", {"stage": "query"})
+        registry.counter("b_total", {"stage": "allocate"})
+        registry.gauge("a_gauge")
+        keys = [
+            (name, labels) for name, _, labels, _ in registry.collect()
+        ]
+        assert keys == [
+            ("a_gauge", {}),
+            ("b_total", {"stage": "allocate"}),
+            ("b_total", {"stage": "query"}),
+        ]
+
+
+class TestStateRoundtrip:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="help").inc(5)
+        registry.gauge("g", {"k": "v"}).set(-2.5)
+        hist = registry.histogram("h_ms", buckets=(1.0, 10.0), window=4)
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        return registry
+
+    def test_roundtrip_into_empty_registry(self):
+        source = self.build()
+        fresh = MetricsRegistry()
+        fresh.restore_state(source.snapshot_state())
+        assert len(fresh) == len(source)
+        assert fresh.get("c_total").value == 5.0
+        assert fresh.get("g", {"k": "v"}).value == -2.5
+        restored = fresh.get("h_ms")
+        assert restored.bucket_counts() == source.get("h_ms").bucket_counts()
+        assert restored.samples() == source.get("h_ms").samples()
+        assert fresh.family_help("c_total") == "help"
+
+    def test_roundtrip_reuses_precreated_families(self):
+        source = self.build()
+        target = MetricsRegistry()
+        existing = target.counter("c_total")
+        target.restore_state(source.snapshot_state())
+        assert target.get("c_total") is existing
+        assert existing.value == 5.0
+
+    def test_restore_kind_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.counter("x")
+        target = MetricsRegistry()
+        target.gauge("x")
+        with pytest.raises(ValueError, match="checkpoint carries"):
+            target.restore_state(source.snapshot_state())

@@ -1,0 +1,225 @@
+"""Session-level telemetry: the hub wired into the full lifecycle.
+
+Drives real sessions with ``observability=`` enabled and checks the
+registry against the session's own authoritative counts, the JSONL /
+trace files against their schemas, and the checkpoint path that lets a
+restored session continue its series.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ObservabilityOptions, open_session
+from repro.observability import resolve_options
+from repro.state import Checkpoint
+
+from tests.observability.conftest import (
+    BASE_KNOBS,
+    cluster_stream,
+    run_session,
+)
+
+pytestmark = pytest.mark.observability
+
+STAGES = ("allocate", "query", "cluster", "enumerate")
+
+
+class TestOptions:
+    def test_resolve_disabled(self):
+        assert resolve_options(None) is None
+        assert resolve_options(False) is None
+
+    def test_resolve_shorthands(self):
+        assert resolve_options(True) == ObservabilityOptions()
+        options = resolve_options({"metrics_every": 3})
+        assert options.metrics_every == 3
+        passthrough = ObservabilityOptions(console=True)
+        assert resolve_options(passthrough) is passthrough
+
+    def test_resolve_rejects_junk(self):
+        with pytest.raises(TypeError, match="observability"):
+            resolve_options(42)
+
+    def test_cadence_must_be_positive(self):
+        with pytest.raises(ValueError, match="metrics_every"):
+            ObservabilityOptions(metrics_every=0)
+
+
+class TestRegistryAgainstSession:
+    def test_disabled_by_default(self):
+        session = run_session(cluster_stream(3, n_times=3))
+        assert session.telemetry is None
+
+    def test_counters_mirror_session_counts(self):
+        session = run_session(cluster_stream(3), observability=True)
+        registry = session.telemetry.registry
+        assert (
+            registry.get("repro_records_ingested_total").value
+            == session.records_ingested
+        )
+        assert (
+            registry.get("repro_snapshots_total").value
+            == session.meter.snapshots
+        )
+        assert registry.get("repro_patterns_total").value == len(
+            session.patterns
+        )
+        assert registry.get("repro_watermark").value == 9
+
+    def test_event_counts_by_kind(self):
+        records = cluster_stream(3)
+        session = run_session(records, observability=True)
+        registry = session.telemetry.registry
+        event_counts = session.result().events
+        for kind, counted in event_counts.items():
+            instrument = registry.get("repro_events_total", {"kind": kind})
+            assert instrument is not None and instrument.value == counted
+
+    def test_stage_span_counters_cover_all_four_stages(self):
+        session = run_session(cluster_stream(3), observability=True)
+        registry = session.telemetry.registry
+        for stage in STAGES:
+            labels = {"stage": stage}
+            spans = registry.get("repro_stage_spans_total", labels)
+            assert spans is not None and spans.value > 0
+        # allocate sees every snapshot row that survived shedding
+        allocated = registry.get(
+            "repro_stage_elements_in_total", {"stage": "allocate"}
+        )
+        assert allocated.value == session.records_ingested
+
+    def test_latency_histogram_counts_snapshots(self):
+        session = run_session(cluster_stream(3), observability=True)
+        hist = session.telemetry.registry.get("repro_snapshot_latency_ms")
+        assert hist.count == session.meter.snapshots
+        assert hist.sum > 0.0
+
+    def test_state_gauges_present_after_finalize(self):
+        session = run_session(
+            cluster_stream(3), observability={"console": False}
+        )
+        registry = session.telemetry.registry
+        # finalize() refreshes the gauges only when an exporter or the
+        # console needs them; with neither configured they stay unset.
+        assert registry.get(
+            "repro_state_entries",
+            {"component": "pattern_store", "metric": "patterns"},
+        ) is None
+
+    def test_slo_histogram_is_shared_with_controller(self):
+        session = run_session(
+            cluster_stream(3),
+            observability=True,
+            shed_policy="random",
+            shed_rate=0.1,
+            shed_seed=7,
+            target_p99_ms=1e6,
+        )
+        hist = session.telemetry.registry.get("repro_slo_latency_ms")
+        assert hist is session.slo_controller.latency_histogram
+        assert hist.count == session.meter.snapshots
+
+
+class TestFileExporters:
+    def test_jsonl_rows_and_trace(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        session = run_session(
+            cluster_stream(5),
+            observability={
+                "metrics_out": metrics,
+                "metrics_every": 2,
+                "trace_out": trace,
+            },
+        )
+        rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+        # 10 watermarks at every=2 -> 5 periodic rows, plus the final
+        # forced row at finish.
+        assert len(rows) == 6
+        assert rows[-1]["watermark"] == 9
+        final = rows[-1]
+        assert (
+            final["counters"]["repro_records_ingested_total"]
+            == session.records_ingested
+        )
+        # state gauges are refreshed for export rows
+        assert any(
+            key.startswith("repro_state_entries") for key in final["gauges"]
+        )
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert len(spans) == session.telemetry.spans_recorded
+        assert set(spans[0]) == {
+            "stage", "subtask", "time", "kind",
+            "elements_in", "elements_out", "busy_ms",
+        }
+
+    def test_close_releases_files(self, tmp_path):
+        session = run_session(
+            cluster_stream(3, n_times=3),
+            observability={"metrics_out": tmp_path / "m.jsonl"},
+        )
+        assert session.closed
+        # double close is fine
+        session.telemetry.close()
+
+
+class TestCheckpointContinuity:
+    def test_restored_session_continues_series(self, tmp_path):
+        records = cluster_stream(11)
+        cut = len(records) // 2
+
+        first = open_session(**BASE_KNOBS, observability=True)
+        for record in records[:cut]:
+            first.feed(record)
+        checkpoint = Checkpoint.from_bytes(first.checkpoint().to_bytes())
+        # The registry mirrors session counts at each watermark, so the
+        # checkpointed value is the count as of the last watermark.
+        mid_mirrored = first.telemetry.registry.get(
+            "repro_records_ingested_total"
+        ).value
+        first.close()
+
+        second = open_session(restore=checkpoint, observability=True)
+        assert (
+            second.telemetry.registry.get(
+                "repro_records_ingested_total"
+            ).value
+            == mid_mirrored
+        )
+        for record in records[cut:]:
+            second.feed(record)
+        second.finish()
+        second.close()
+
+        oracle = run_session(records, observability=True)
+        restored = second.telemetry.registry
+        reference = oracle.telemetry.registry
+        assert (
+            restored.get("repro_records_ingested_total").value
+            == reference.get("repro_records_ingested_total").value
+        )
+        for stage in STAGES:
+            labels = {"stage": stage}
+            assert (
+                restored.get("repro_stage_spans_total", labels).value
+                == reference.get("repro_stage_spans_total", labels).value
+            )
+
+    def test_checkpoint_without_telemetry_restores_fine(self):
+        records = cluster_stream(11, n_times=4)
+        first = open_session(**BASE_KNOBS)
+        for record in records[: len(records) // 2]:
+            first.feed(record)
+        checkpoint = first.checkpoint()
+        first.close()
+        second = open_session(restore=checkpoint, observability=True)
+        for record in records[len(records) // 2:]:
+            second.feed(record)
+        second.finish()
+        second.close()
+        assert second.telemetry.registry.get(
+            "repro_records_ingested_total"
+        ).value == len(records)

@@ -1,0 +1,230 @@
+"""Checkpoint GC and automatic periodic checkpointing.
+
+Two layers under test: the :mod:`repro.state.gc` sweep primitives
+(naming scheme, newest-first listing, the never-delete-the-newest-valid
+safety rule) and the session's auto-checkpoint loop built on them
+(record/time cadences, restore from an auto-saved file, retention).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import open_session
+from repro.state import (
+    Checkpoint,
+    checkpoint_path,
+    list_checkpoints,
+    sweep_checkpoints,
+)
+
+from tests.state.conftest import (
+    BASE_KNOBS,
+    cluster_stream,
+    run_uninterrupted,
+)
+
+pytestmark = pytest.mark.checkpoint
+
+
+def make_checkpoint(**knobs) -> Checkpoint:
+    """A small real checkpoint (the GC validates by loading files)."""
+    session = open_session(**{**BASE_KNOBS, **knobs})
+    for record in cluster_stream(3, n_times=3):
+        session.feed(record)
+    checkpoint = session.checkpoint()
+    session.close()
+    return checkpoint
+
+
+class TestListing:
+    def test_naming_scheme(self, tmp_path):
+        assert (
+            checkpoint_path(tmp_path, 17) == tmp_path / "checkpoint-17.ckpt"
+        )
+
+    def test_lists_newest_watermark_first_numerically(self, tmp_path):
+        for watermark in (2, 10, 1):
+            checkpoint_path(tmp_path, watermark).write_bytes(b"x")
+        names = [path.name for path in list_checkpoints(tmp_path)]
+        # numeric ordering: 10 > 2 > 1 (lexicographic would say 2 > 10)
+        assert names == [
+            "checkpoint-10.ckpt",
+            "checkpoint-2.ckpt",
+            "checkpoint-1.ckpt",
+        ]
+
+    def test_ignores_foreign_files_and_missing_dirs(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("keep me")
+        (tmp_path / "checkpoint-x.ckpt").write_bytes(b"x")
+        checkpoint_path(tmp_path, 3).write_bytes(b"x")
+        assert [p.name for p in list_checkpoints(tmp_path)] == [
+            "checkpoint-3.ckpt"
+        ]
+        assert list_checkpoints(tmp_path / "nope") == []
+
+
+class TestSweep:
+    def test_keeps_newest_n_valid(self, tmp_path):
+        checkpoint = make_checkpoint()
+        for watermark in range(5):
+            checkpoint.save(checkpoint_path(tmp_path, watermark))
+        deleted = sweep_checkpoints(tmp_path, keep_last=2)
+        assert sorted(path.name for path in deleted) == [
+            "checkpoint-0.ckpt",
+            "checkpoint-1.ckpt",
+            "checkpoint-2.ckpt",
+        ]
+        assert [p.name for p in list_checkpoints(tmp_path)] == [
+            "checkpoint-4.ckpt",
+            "checkpoint-3.ckpt",
+        ]
+
+    def test_never_removes_newest_valid_checkpoint(self, tmp_path):
+        """The invariant: after any sweep, a restart can still load."""
+        checkpoint = make_checkpoint()
+        for watermark in range(4):
+            checkpoint.save(checkpoint_path(tmp_path, watermark))
+        # corrupt the newest files so the newest *valid* one is older
+        checkpoint_path(tmp_path, 3).write_bytes(b"garbage")
+        checkpoint_path(tmp_path, 2).write_bytes(b"garbage")
+        sweep_checkpoints(tmp_path, keep_last=1)
+        survivors = {path.name for path in list_checkpoints(tmp_path)}
+        # checkpoint-1 is the newest valid: it must survive keep_last=1
+        assert "checkpoint-1.ckpt" in survivors
+        assert Checkpoint.load(checkpoint_path(tmp_path, 1)) is not None
+
+    def test_corrupt_files_neither_counted_nor_deleted(self, tmp_path):
+        checkpoint = make_checkpoint()
+        checkpoint.save(checkpoint_path(tmp_path, 1))
+        checkpoint.save(checkpoint_path(tmp_path, 2))
+        checkpoint_path(tmp_path, 5).write_bytes(b"truncated")
+        deleted = sweep_checkpoints(tmp_path, keep_last=1)
+        # the corrupt file does not use up the retention budget ...
+        assert [path.name for path in deleted] == ["checkpoint-1.ckpt"]
+        # ... and is left in place for inspection
+        assert checkpoint_path(tmp_path, 5).exists()
+
+    def test_keep_last_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            sweep_checkpoints(tmp_path, keep_last=0)
+
+    def test_sweep_below_budget_deletes_nothing(self, tmp_path):
+        make_checkpoint().save(checkpoint_path(tmp_path, 1))
+        assert sweep_checkpoints(tmp_path, keep_last=3) == []
+
+
+class TestAutoCheckpoint:
+    def test_record_cadence_saves_periodically(self, tmp_path):
+        records = cluster_stream(7)  # 10 times x 8 objects
+        session = open_session(
+            **BASE_KNOBS,
+            checkpoint_dir=tmp_path,
+            checkpoint_every_records=16,
+        )
+        for record in records:
+            session.feed(record)
+        session.finish()
+        session.close()
+        saved = session.auto_checkpoints
+        assert len(saved) >= 3
+        assert all(path.exists() for path in saved)
+        assert [p.name for p in saved] == sorted(
+            (p.name for p in saved),
+            key=lambda name: int(name.split("-")[1].split(".")[0]),
+        )
+
+    def test_default_cadence_is_every_watermark(self, tmp_path):
+        records = cluster_stream(7, n_times=4)
+        session = open_session(**BASE_KNOBS, checkpoint_dir=tmp_path)
+        for record in records:
+            session.feed(record)
+        session.finish()
+        session.close()
+        # watermarks advance at times 1..3 during feeding (time 3's
+        # close happens at finish, after which no save runs)
+        assert len(session.auto_checkpoints) == 3
+
+    def test_keep_last_bounds_the_directory(self, tmp_path):
+        records = cluster_stream(7)
+        session = open_session(
+            **BASE_KNOBS,
+            checkpoint_dir=tmp_path,
+            checkpoint_keep_last=2,
+        )
+        for record in records:
+            session.feed(record)
+        session.finish()
+        session.close()
+        assert len(session.auto_checkpoints) >= 3
+        remaining = list_checkpoints(tmp_path)
+        assert len(remaining) == 2
+        # the newest saved checkpoint survived
+        assert remaining[0] == session.auto_checkpoints[-1]
+
+    def test_restore_from_auto_checkpoint_matches_oracle(self, tmp_path):
+        records = cluster_stream(7)
+        oracle = run_uninterrupted(records)
+
+        session = open_session(
+            **BASE_KNOBS,
+            checkpoint_dir=tmp_path,
+            checkpoint_every_records=24,
+        )
+        fed = 0
+        for record in records:
+            session.feed(record)
+            fed += 1
+            if session.auto_checkpoints:
+                break
+        session.close()
+        newest = list_checkpoints(tmp_path)[0]
+        checkpoint = Checkpoint.load(newest)
+
+        resumed = open_session(restore=checkpoint)
+        from repro.session import event_to_dict
+
+        events = []
+        for record in records[checkpoint.records_ingested:]:
+            events.extend(resumed.feed(record))
+        events.extend(resumed.finish())
+        resumed.close()
+        tail = [event_to_dict(event) for event in events]
+        assert tail == oracle[len(oracle) - len(tail):]
+
+    def test_seconds_cadence(self, tmp_path, monkeypatch):
+        import repro.session.session as session_module
+
+        clock = {"now": 100.0}
+        monkeypatch.setattr(
+            session_module._time, "monotonic", lambda: clock["now"]
+        )
+        records = cluster_stream(7, n_times=6)
+        session = open_session(
+            **BASE_KNOBS,
+            checkpoint_dir=tmp_path,
+            checkpoint_every_seconds=60.0,
+        )
+        per_time = 8
+        for index, record in enumerate(records):
+            session.feed(record)
+            if index == 3 * per_time:  # jump the clock mid-stream
+                clock["now"] += 120.0
+        saved_mid = list(session.auto_checkpoints)
+        session.finish()
+        session.close()
+        assert len(saved_mid) == 1
+
+    def test_invalid_keep_last_rejected_at_open(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            open_session(
+                **BASE_KNOBS,
+                checkpoint_dir=tmp_path,
+                checkpoint_keep_last=0,
+            )
+
+    def test_config_validates_cadence(self):
+        with pytest.raises(ValueError, match="checkpoint_every_records"):
+            open_session(**BASE_KNOBS, checkpoint_every_records=0)
+        with pytest.raises(ValueError, match="checkpoint_every_seconds"):
+            open_session(**BASE_KNOBS, checkpoint_every_seconds=0.0)

@@ -61,6 +61,10 @@ EXPECTED_EXPORTS = sorted(
         "RandomShedPolicy",
         "SLOController",
         "ShedPolicy",
+        # lazy observability API
+        "MetricsRegistry",
+        "ObservabilityOptions",
+        "SessionTelemetry",
     ]
 )
 
@@ -73,8 +77,8 @@ class TestSurfaceLock:
         for name in repro.__all__:
             assert getattr(repro, name) is not None, name
 
-    def test_version_is_2_4(self):
-        assert repro.__version__ == "2.4.0"
+    def test_version_is_2_5(self):
+        assert repro.__version__ == "2.5.0"
 
 
 class TestLazyMachinery:
