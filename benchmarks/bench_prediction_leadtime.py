@@ -1,0 +1,170 @@
+"""Online prediction: lead time and precision of ``PatternForming``.
+
+The acceptance benchmark of the pattern-family subsystem (PR 10).  The
+workload is the Fig. 12 detection shape (the scaled taxi generator,
+Table-3 default constraints): grouped taxis whose co-movement the
+``predictive`` family must flag while the FBA windows are still
+forming.  For each emission threshold the sweep records
+
+* **coverage** — the fraction of eventually-confirmed patterns that
+  were predicted at least one snapshot *before* their confirmation (a
+  ``PatternForming`` event strictly earlier whose pair is a subset of
+  the confirmed membership).  The PR's acceptance criterion: coverage
+  **>= 0.80** at the default threshold.
+* **precision** — the fraction of predicted pairs that end up inside
+  some confirmed pattern (online, the telemetry counters
+  ``repro_patterns_predicted_total`` / ``..._unpredicted_total``
+  account the same quantity per confirmation; the bench cross-checks
+  the offline measurement against them).
+* **lead** — mean/max snapshots of advance notice between a pattern's
+  first covering prediction and its confirmation.
+
+Results are written to ``benchmarks/results/prediction_leadtime.txt``.
+"""
+
+import pytest
+
+from repro import open_session
+from repro.data.taxi import TaxiConfig, generate_taxi
+from repro.model.constraints import PatternConstraints
+from repro.session import event_to_dict
+
+CONSTRAINTS = PatternConstraints(m=3, k=5, l=2, g=2)
+THRESHOLDS = (0.0, 0.3, 0.6, 0.9)
+OBJECTS = 60
+HORIZON = 24
+SEED = 17
+
+_rows: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The Fig. 12 taxi shape plus its resolved detection knobs."""
+    dataset = generate_taxi(
+        TaxiConfig(n_objects=OBJECTS, horizon=HORIZON, seed=SEED)
+    )
+    knobs = dict(
+        epsilon=dataset.resolve_percentage(0.08),
+        cell_width=dataset.resolve_percentage(1.6),
+        min_pts=3,
+        constraints=CONSTRAINTS,
+    )
+    return dataset, knobs
+
+
+def _measure(dataset, knobs, threshold):
+    """One predictive run; offline lead/precision plus the hub counters."""
+    with open_session(
+        **knobs,
+        pattern_family="predictive",
+        prediction_min_probability=threshold,
+    ) as session:
+        events = [
+            event_to_dict(e)
+            for e in session.feed_many(dataset.records) + session.finish()
+        ]
+        counters = session.pattern_family.metrics()
+
+    forming = [e for e in events if e["kind"] == "forming"]
+    confirmed = [e for e in events if e["kind"] == "pattern"]
+
+    leads = []
+    early = 0
+    for pattern in confirmed:
+        objects = set(pattern["objects"])
+        covering = [
+            f["time"]
+            for f in forming
+            if f["time"] < pattern["time"] and set(f["oids"]) <= objects
+        ]
+        if covering:
+            early += 1
+            leads.append(pattern["time"] - min(covering))
+
+    predicted_pairs = {tuple(sorted(f["oids"])) for f in forming}
+    useful_pairs = sum(
+        1
+        for pair in predicted_pairs
+        if any(set(pair) <= set(p["objects"]) for p in confirmed)
+    )
+    return {
+        "threshold": threshold,
+        "forming_events": len(forming),
+        "pairs": len(predicted_pairs),
+        "confirmed": len(confirmed),
+        "predicted_early": early,
+        "coverage": early / len(confirmed) if confirmed else 1.0,
+        "pair_precision": (
+            useful_pairs / len(predicted_pairs) if predicted_pairs else 1.0
+        ),
+        "mean_lead": (
+            round(sum(leads) / len(leads), 2) if leads else 0.0
+        ),
+        "max_lead": max(leads, default=0),
+    }, counters, confirmed
+
+
+def test_prediction_leadtime_sweep(benchmark, workload):
+    """Coverage/precision/lead across emission thresholds."""
+    dataset, knobs = workload
+
+    def run():
+        out = []
+        for threshold in THRESHOLDS:
+            row, counters, confirmed = _measure(dataset, knobs, threshold)
+            out.append((row, counters, len(confirmed)))
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row, counters, n_confirmed in measured:
+        _rows.append(row)
+        # The offline early-prediction count must agree with the hub's
+        # online accounting of the same quantity.
+        assert counters["repro_patterns_predicted_total"] == (
+            row["predicted_early"]
+        )
+        assert (
+            counters["repro_patterns_predicted_total"]
+            + counters["repro_patterns_unpredicted_total"]
+            == n_confirmed
+        )
+        assert counters["repro_patterns_forming_total"] == (
+            row["forming_events"]
+        )
+
+    baseline = next(r for r, _, _ in measured if r["threshold"] == 0.0)
+    assert baseline["confirmed"] > 0, "the workload must confirm patterns"
+    # Acceptance: at the default threshold at least 80% of eventually-
+    # confirmed patterns are flagged >= 1 snapshot before confirmation.
+    assert baseline["coverage"] >= 0.80, (
+        f"coverage {baseline['coverage']:.2f} below the 0.80 criterion"
+    )
+    # Raising the threshold can only remove forming events.
+    ordered = [r for r, _, _ in measured]
+    for tighter, looser in zip(ordered[1:], ordered):
+        assert tighter["forming_events"] <= looser["forming_events"]
+
+
+def test_prediction_leadtime_report(benchmark):
+    if not _rows:
+        pytest.skip(
+            "no prediction measurements collected this session; refusing "
+            "to overwrite the recorded report with an empty table"
+        )
+    from repro.bench.report import format_table, write_report
+
+    def build():
+        return format_table(
+            _rows,
+            title=(
+                "PatternForming lead time and precision vs emission "
+                f"threshold (taxi: objects={OBJECTS}, horizon={HORIZON}, "
+                f"seed={SEED}, CP(m={CONSTRAINTS.m}, k={CONSTRAINTS.k}, "
+                f"l={CONSTRAINTS.l}, g={CONSTRAINTS.g}))"
+            ),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_report("prediction_leadtime", text)
+    print("\n" + text)

@@ -1,0 +1,106 @@
+"""Real taxi corpora through the schema adapters (ROADMAP item 5a).
+
+The paper evaluates on a proprietary Hangzhou taxi dataset; the closest
+public stand-ins are **T-Drive** (Beijing taxi GPS logs,
+``taxi_id,datetime,longitude,latitude`` lines) and the **Porto taxi**
+trips (ECML/PKDD 2015, one CSV row per trip with a 15 s-sampled
+``POLYLINE``).  :mod:`repro.data.loaders` adapts both schemas to the
+native stream shape; this example drives the committed fixture slices
+(``tests/data/fixtures/``) through the full stack twice:
+
+1. **bounded** — :func:`~repro.data.load_real_dataset` materialises a
+   sorted :class:`~repro.data.TrajectoryDataset`, Table-3 percentages
+   resolve epsilon / grid width, and a session detects the co-moving
+   taxis implanted in each slice;
+2. **streaming** — :func:`~repro.data.iter_real_batches` feeds the same
+   file as columnar :class:`~repro.model.batch.RecordBatch` chunks
+   without ever materialising it, paired here with the ``evolving``
+   pattern family so group churn surfaces as ``GroupEvolved`` events.
+
+Point the ``--tdrive`` / ``--porto`` flags at full downloads of the
+real corpora to run the identical code at scale.
+
+Run:  python examples/real_datasets.py
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import PatternConstraints, open_session
+from repro.data import iter_real_batches, load_real_dataset
+
+FIXTURES = Path(__file__).resolve().parent.parent / "tests/data/fixtures"
+
+CONSTRAINTS = PatternConstraints(m=3, k=4, l=2, g=2)
+
+
+def bounded_run(path: Path, schema: str) -> None:
+    """Load one real-schema file and detect its co-moving taxis."""
+    dataset = load_real_dataset(path, schema)
+    stats = dataset.statistics()
+    print(
+        f"[{schema}] {stats.trajectories} taxis, {stats.locations} fixes, "
+        f"{stats.snapshots} snapshots from {path.name}"
+    )
+    with open_session(
+        epsilon=dataset.resolve_percentage(1.5),
+        cell_width=dataset.resolve_percentage(5.0),
+        min_pts=CONSTRAINTS.m,
+        constraints=CONSTRAINTS,
+    ) as session:
+        session.feed_many(dataset.records)
+        session.finish()
+    for pattern in session.patterns:
+        print(f"  co-moving taxis: {sorted(pattern.objects)}")
+
+
+def streaming_run(path: Path, schema: str) -> None:
+    """Stream the same file as columnar batches, tracking group churn."""
+    probe = load_real_dataset(path, schema)  # fixture-sized: knobs only
+    # File order is per-object sorted but not globally time-sorted
+    # (Porto explodes whole trips row by row), so the bounded-delay
+    # guarantee must cover the file's cross-object time skew.
+    max_delay = probe.times[-1] if probe.times else 0
+    with open_session(
+        epsilon=probe.resolve_percentage(1.5),
+        cell_width=probe.resolve_percentage(5.0),
+        min_pts=CONSTRAINTS.m,
+        constraints=CONSTRAINTS,
+        max_delay=max_delay,
+        pattern_family="evolving",
+        evolving_theta=0.5,
+    ) as session:
+        evolved = 0
+        for batch in iter_real_batches(path, schema, batch_size=16):
+            for event in session.feed_batch(batch):
+                if event.kind == "evolved":
+                    evolved += 1
+        session.finish()
+    print(
+        f"[{schema}] streamed {session.records_ingested} records in "
+        f"batches; {len(session.patterns)} patterns, "
+        f"{evolved} GroupEvolved events"
+    )
+
+
+def main() -> None:
+    """Run both adapters over the committed fixture slices (or full data)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tdrive", type=Path, default=FIXTURES / "tdrive_slice.txt",
+        help="T-Drive format CSV (default: the committed fixture slice)",
+    )
+    parser.add_argument(
+        "--porto", type=Path, default=FIXTURES / "porto_slice.csv",
+        help="Porto taxi format CSV (default: the committed fixture slice)",
+    )
+    args = parser.parse_args()
+    for path, schema in ((args.tdrive, "tdrive"), (args.porto, "porto")):
+        bounded_run(path, schema)
+        streaming_run(path, schema)
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,8 @@ pack records into a :class:`~repro.model.batch.RecordBatch` (or let
                 print(event)
 
 Every strategy axis — execution backend, clustering kernel, enumeration
-kernel, enumerator, shed policy — is a plugin on :func:`repro.registry.
+kernel, enumerator, shed policy, pattern family — is a plugin on
+:func:`repro.registry.
 default_registry`; third-party packages register via the
 ``repro.plugins`` entry-point group.  The pre-2.0
 ``CoMovementDetector`` remains available as a deprecation shim.
@@ -52,7 +53,7 @@ from repro.model import (
     Trajectory,
 )
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 #: Names resolved lazily by ``__getattr__`` (heavyweight core / session /
 #: registry machinery), mapped to their home modules.
@@ -64,10 +65,12 @@ _LAZY_EXPORTS = {
     "CheckpointError": "repro.state",
     "CallbackSink": "repro.session",
     "ConvoyDelta": "repro.session",
+    "GroupEvolved": "repro.session",
     "JsonlSink": "repro.session",
     "ListSink": "repro.session",
     "PatternConfirmed": "repro.session",
     "PatternEvent": "repro.session",
+    "PatternForming": "repro.session",
     "PatternSink": "repro.session",
     "Session": "repro.session",
     "SessionBuilder": "repro.session",
@@ -86,6 +89,10 @@ _LAZY_EXPORTS = {
     "MetricsRegistry": "repro.observability",
     "ObservabilityOptions": "repro.observability",
     "SessionTelemetry": "repro.observability",
+    "EvolvingGroupTracker": "repro.patterns",
+    "PatternFamily": "repro.patterns",
+    "PersistenceModel": "repro.patterns",
+    "PredictiveFamily": "repro.patterns",
 }
 
 __all__ = sorted(

@@ -11,7 +11,8 @@ Usage::
     python -m repro.cli plugins
 
 Strategy flags (``--enumerator`` / ``--backend`` / ``--kernel`` /
-``--enum-kernel`` / ``--shed-policy``) take their choice lists from the
+``--enum-kernel`` / ``--shed-policy`` / ``--pattern-family``) take
+their choice lists from the
 plugin registry, so
 third-party plugins registered via the ``repro.plugins`` entry-point
 group appear automatically; ``plugins`` lists every registered strategy
@@ -54,6 +55,7 @@ AXIS_FLAGS = {
     "clustering_kernel": "--kernel",
     "enumeration_kernel": "--enum-kernel",
     "shed_policy": "--shed-policy",
+    "pattern_family": "--pattern-family",
 }
 
 
@@ -141,6 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--target-p99-ms", type=float, default=None,
         help="latency SLO: adapt the shed rate toward this p99 "
              "per-snapshot latency (requires --shed-policy != none)",
+    )
+    detect.add_argument(
+        "--pattern-family", choices=registry.names("pattern_family"),
+        default="strict",
+        help="pattern family: strict (the paper's exact semantics), "
+             "evolving (θ-continuous groups, GroupEvolved events) or "
+             "predictive (online confirmation-probability scoring, "
+             "PatternForming events; requires --enumerator fba or vba)",
+    )
+    detect.add_argument(
+        "--evolving-theta", type=float, default=0.5,
+        help="Jaccard-continuity threshold of --pattern-family evolving, "
+             "in (0, 1]",
+    )
+    detect.add_argument(
+        "--prediction-min-probability", type=float, default=0.0,
+        help="emission threshold of --pattern-family predictive, in "
+             "[0, 1]; forming candidates scoring below it are dropped",
     )
     detect.add_argument("--max-delay", type=int, default=0)
     detect.add_argument(
@@ -272,6 +292,7 @@ def _selection_error(args: argparse.Namespace) -> str | None:
             clustering_kernel=args.kernel,
             enumeration_kernel=args.enum_kernel,
             shed_policy=args.shed_policy,
+            pattern_family=args.pattern_family,
         )
     except PluginError as error:
         return str(error)
@@ -342,6 +363,9 @@ def cmd_detect(args: argparse.Namespace) -> int:
             target_p99_ms=args.target_p99_ms,
             checkpoint_every_records=args.checkpoint_every_records,
             checkpoint_every_seconds=args.checkpoint_every_seconds,
+            pattern_family=args.pattern_family,
+            evolving_theta=args.evolving_theta,
+            prediction_min_probability=args.prediction_min_probability,
         )
     observability = None
     if args.metrics_out or args.trace_out:
@@ -407,6 +431,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print(f"backend: {result.backend}")
         print(f"kernel: {result.clustering_kernel}")
         print(f"enumeration kernel: {result.enumeration_kernel}")
+        if config.pattern_family != "strict":
+            counts = result.events
+            print(
+                f"pattern family: {config.pattern_family} "
+                f"(evolved {counts.get('evolved', 0)}, "
+                f"forming {counts.get('forming', 0)})"
+            )
         patterns = store.maximal() if args.maximal_only else list(store)
         patterns.sort(key=lambda p: (-p.size, p.objects))
         label = "maximal patterns" if args.maximal_only else "patterns"

@@ -90,9 +90,25 @@ class ICPEConfig:
             last save (and a new watermark exists).  ``None`` disables
             the time cadence.  Both cadences may be set; whichever
             fires first triggers the save.
+        pattern_family: the pattern-family axis — ``"strict"`` (default,
+            the paper's exact semantics, zero overhead), ``"evolving"``
+            (θ-continuous groups with drifting membership, emitting
+            ``GroupEvolved`` events; see :mod:`repro.patterns.evolving`)
+            or ``"predictive"`` (online confirmation-probability scoring
+            of live partial matches, emitting ``PatternForming`` events;
+            requires a forming-state enumerator, i.e. ``fba`` / ``vba``;
+            see :mod:`repro.patterns.prediction`).
+        evolving_theta: Jaccard-continuity threshold θ of the evolving
+            family, in ``(0, 1]`` — a live group continues into a
+            cluster only when their member Jaccard similarity reaches θ
+            (1.0 degenerates to fixed membership).
+        prediction_min_probability: emission threshold of the predictive
+            family, in ``[0, 1]`` — forming candidates scoring below it
+            are not emitted (0.0 emits every reachable candidate).
 
     Every strategy field (``enumerator``, ``backend``,
-    ``clustering_kernel``, ``enumeration_kernel``, ``shed_policy``)
+    ``clustering_kernel``, ``enumeration_kernel``, ``shed_policy``,
+    ``pattern_family``)
     accepts any name
     registered on the plugin registry — built-ins or third-party plugins
     discovered via the ``repro.plugins`` entry-point group — and invalid
@@ -129,6 +145,9 @@ class ICPEConfig:
     target_p99_ms: float | None = None
     checkpoint_every_records: int | None = None
     checkpoint_every_seconds: float | None = None
+    pattern_family: str = "strict"
+    evolving_theta: float = 0.5
+    prediction_min_probability: float = 0.0
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -179,6 +198,15 @@ class ICPEConfig:
                 "checkpoint_every_seconds must be positive: "
                 f"{self.checkpoint_every_seconds}"
             )
+        if not 0.0 < self.evolving_theta <= 1.0:
+            raise ValueError(
+                f"evolving_theta must be in (0, 1]: {self.evolving_theta}"
+            )
+        if not 0.0 <= self.prediction_min_probability <= 1.0:
+            raise ValueError(
+                "prediction_min_probability must be in [0, 1]: "
+                f"{self.prediction_min_probability}"
+            )
         # Strategy names and their cross-axis combinations are validated
         # against the plugin registry: unknown names and invalid
         # capability pairs (e.g. a bitmap-batching enumeration kernel
@@ -189,6 +217,7 @@ class ICPEConfig:
             enumeration_kernel=self.enumeration_kernel,
             enumerator=self.enumerator,
             shed_policy=self.shed_policy,
+            pattern_family=self.pattern_family,
         )
 
     def clustering_config(self) -> ClusteringConfig:
@@ -244,4 +273,18 @@ class ICPEConfig:
             shed_policy=shed_policy,
             shed_rate=shed_rate,
             target_p99_ms=target_p99_ms,
+        )
+
+    def with_patterns(
+        self,
+        pattern_family: str,
+        evolving_theta: float = 0.5,
+        prediction_min_probability: float = 0.0,
+    ) -> "ICPEConfig":
+        """Copy with a different pattern-family configuration."""
+        return replace(
+            self,
+            pattern_family=pattern_family,
+            evolving_theta=evolving_theta,
+            prediction_min_probability=prediction_min_probability,
         )

@@ -209,6 +209,8 @@ class ICPEPipeline:
         self._cluster_state_cache: tuple[int, dict] | None = None
         #: Protected-set fetch cache (load shedding), same keying.
         self._protected_cache: tuple[int, frozenset[int]] | None = None
+        #: Forming-candidate fetch cache (pattern prediction), same keying.
+        self._forming_cache: tuple[int, tuple] | None = None
         #: Per-stage busy times of the most recent snapshot, for the
         #: SLO controller's stage sampling.
         self.last_works: list[StageWork] = []
@@ -514,6 +516,41 @@ class ICPEPipeline:
         self._protected_cache = (marker, protected)
         return protected
 
+    # ------------------------------------------------------------- prediction
+
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Forming-candidate descriptors across the enumeration stage.
+
+        The sorted concatenation over every enumerate subtask of its
+        ``(anchor, oid, start, ones, remaining)`` descriptors (see
+        :data:`repro.patterns.base.FormingCandidate`) — the prediction
+        scorer's input.  Works under every backend: in-process backends
+        walk the live operator instances, the process backend
+        round-trips a ``forming`` command through the worker reply
+        protocol.  Cached per processed snapshot; empty once the
+        pipeline has finished.  Anchors never collide across subtasks,
+        so the sorted merge is backend-invariant.
+        """
+        if self._finished:
+            return ()
+        marker = self.meter.snapshots
+        if (
+            self._forming_cache is not None
+            and self._forming_cache[0] == marker
+        ):
+            return self._forming_cache[1]
+        runtime = next(
+            (r for r in self._runtimes if r.stage.name == "enumerate"), None
+        )
+        forming: tuple[tuple[int, int, int, int, int], ...] = ()
+        if runtime is not None:
+            merged: list[tuple[int, int, int, int, int]] = []
+            for _index, descriptors in self._backend.collect_forming(runtime):
+                merged.extend(descriptors)
+            forming = tuple(sorted(merged))
+        self._forming_cache = (marker, forming)
+        return forming
+
     # ------------------------------------------------------------- checkpoints
 
     @property
@@ -596,6 +633,7 @@ class ICPEPipeline:
             self._state_payloads[key] = data
         self._cluster_state_cache = None
         self._protected_cache = None
+        self._forming_cache = None
 
     def state_metrics(self) -> dict[str, dict[str, int]]:
         """Per-component memory accounting across the whole pipeline.

@@ -338,6 +338,13 @@ class EnumerateOperator(Operator):
             protected.update(enumerator.protected_oids())
         return frozenset(protected)
 
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Sorted concatenation of every hosted enumerator's descriptors."""
+        out: list[tuple[int, int, int, int, int]] = []
+        for anchor in sorted(self._enumerators):
+            out.extend(self._enumerators[anchor].forming_candidates())
+        return tuple(sorted(out))
+
     def snapshot_state(self) -> dict:
         """Per-anchor enumerator payloads, keyed by anchor id."""
         return {
@@ -412,6 +419,10 @@ class BatchedEnumerateOperator(Operator):
     def protected_oids(self) -> frozenset[int]:
         """Shed-protected oids, delegated to the enumeration kernel."""
         return self.kernel.protected_oids()
+
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Forming descriptors, delegated to the enumeration kernel."""
+        return self.kernel.forming_candidates()
 
     def snapshot_state(self) -> dict:
         """The kernel's payload plus any records buffered pre-trigger."""

@@ -11,6 +11,11 @@ and background traffic (so clustering has pruning work to do).
 
 All generators return a :class:`~repro.data.dataset.TrajectoryDataset`
 and are deterministic given their seed.
+
+For *real* public corpora, :mod:`repro.data.loaders` adapts the T-Drive
+(Beijing taxi) and Porto taxi CSV schemas to the native stream shape —
+bounded loading via :func:`load_real_dataset`, streaming columnar
+ingestion via :func:`iter_real_batches`.
 """
 
 from repro.data.brinkhoff import BrinkhoffConfig, generate_brinkhoff
@@ -22,6 +27,11 @@ from repro.data.corruption import (
 )
 from repro.data.dataset import DatasetStats, TrajectoryDataset, iter_csv_batches
 from repro.data.geolife import GeoLifeConfig, generate_geolife
+from repro.data.loaders import (
+    REAL_SCHEMAS,
+    iter_real_batches,
+    load_real_dataset,
+)
 from repro.data.groups import GroupPlan, plan_groups
 from repro.data.roadnet import RoadNetwork, build_road_network
 from repro.data.taxi import TaxiConfig, generate_taxi
@@ -31,6 +41,7 @@ __all__ = [
     "DatasetStats",
     "GeoLifeConfig",
     "GroupPlan",
+    "REAL_SCHEMAS",
     "RoadNetwork",
     "TaxiConfig",
     "TrajectoryDataset",
@@ -42,6 +53,8 @@ __all__ = [
     "generate_geolife",
     "generate_taxi",
     "iter_csv_batches",
+    "iter_real_batches",
     "jitter_positions",
+    "load_real_dataset",
     "plan_groups",
 ]

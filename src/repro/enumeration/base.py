@@ -56,6 +56,22 @@ class AnchorEnumerator(ABC):
         """
         return frozenset()
 
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Live partial matches as ``(anchor, oid, start, ones, remaining)``.
+
+        The prediction scorer's input (see
+        :data:`repro.patterns.base.FormingCandidate`): one descriptor
+        per object with an open partial match against this anchor —
+        ``start`` is when its container opened, ``ones`` its current
+        trailing run of consecutive present-snapshots, ``remaining`` how
+        many further snapshots the container can still absorb (``-1``
+        when unbounded).  Machines without forming state (the baseline's
+        materialised subsets carry no per-candidate bit strings) report
+        nothing; the registry's ``provides_forming_state`` capability
+        tells the predictive family which enumerators do.
+        """
+        return ()
+
     def snapshot_state(self) -> dict:
         """Serializable payload capturing the anchor machine's state.
 

@@ -162,6 +162,38 @@ class FBAEnumerator(AnchorEnumerator):
             members.update(partition)
         return frozenset(members)
 
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Descriptors for every member of a still-open eta-window.
+
+        For each pending window start ``s`` and each member of the base
+        partition ``P_s``, reports the member's trailing run of
+        consecutive co-clustered snapshots ending at the last processed
+        time, and how many snapshots the window can still absorb
+        (``s + eta - 1 - now``).  Side-effect free: bit probes here do
+        not touch the ``bitstrings_built`` work counter.
+        """
+        if not self._pending_starts or self._last_time is None:
+            return ()
+        eta = self.constraints.eta
+        now = self._last_time
+        out: list[tuple[int, int, int, int, int]] = []
+        for start in self._pending_starts:
+            base = self._window.get(start)
+            if not base:
+                continue
+            observed = min(now, start + eta - 1)
+            remaining = max(0, start + eta - 1 - now)
+            for oid in sorted(base):
+                ones = 0
+                for t in range(observed, start - 1, -1):
+                    partition = self._window.get(t)
+                    if partition is not None and oid in partition:
+                        ones += 1
+                    else:
+                        break
+                out.append((self.anchor, oid, start, ones, remaining))
+        return tuple(out)
+
     def snapshot_state(self) -> dict:
         """Window contents, pending starts and work counters as plain data."""
         return {

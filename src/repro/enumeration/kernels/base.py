@@ -85,6 +85,18 @@ class EnumerationKernel(ABC):
         """
         return frozenset()
 
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Forming-candidate descriptors of every hosted partial match.
+
+        The concatenation, sorted by ``(anchor, oid, start)``, of each
+        hosted anchor's ``(anchor, oid, start, ones, remaining)``
+        descriptors (see
+        :meth:`repro.enumeration.base.AnchorEnumerator.forming_candidates`)
+        — the prediction scorer's input.  Kernels without forming state
+        report nothing.
+        """
+        return ()
+
     def snapshot_state(self) -> dict:
         """Serializable payload capturing the kernel's bit-string state.
 

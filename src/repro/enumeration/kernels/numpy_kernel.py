@@ -224,6 +224,36 @@ class _FBAWindows:
             )
         return frozenset(protected)
 
+    def forming_candidates(
+        self, now: int
+    ) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Descriptors of every member of a still-pending window.
+
+        Mirrors :meth:`FBAEnumerator.forming_candidates` over the
+        batched state: per pending start and opening-partition member,
+        the trailing run of co-clustered snapshots ending at ``now``
+        (probed against the retained packed key arrays) and the window
+        slots still to come.
+        """
+        out: list[tuple[int, int, int, int, int]] = []
+        for start in sorted(self._pending):
+            observed = min(now, start + self.eta - 1)
+            remaining = max(0, start + self.eta - 1 - now)
+            for anchor, members in self._pending[start]:
+                for oid in members:
+                    row_key = np.array([(anchor << 32) | oid], dtype=np.int64)
+                    ones = 0
+                    for t in range(observed, start - 1, -1):
+                        keys = self._time_keys.get(t)
+                        if keys is not None and bool(
+                            _isin_sorted(keys, row_key)[0]
+                        ):
+                            ones += 1
+                        else:
+                            break
+                    out.append((anchor, oid, start, ones, remaining))
+        return tuple(sorted(out))
+
     def snapshot_state(self) -> dict:
         """Key arrays as raw bytes plus pending windows and counters."""
         return {
@@ -468,6 +498,36 @@ class _VBAStrings:
         )
         return frozenset(protected)
 
+    def forming_candidates(
+        self, now: int
+    ) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Descriptors of every unclosed row (``now`` is unused here).
+
+        Mirrors :meth:`VBAEnumerator.forming_candidates` over the
+        batched row arrays: the trailing-ones run is read from each
+        row's bitmap (zero as soon as trailing zeros accumulate) and
+        ``remaining`` is ``-1`` — variable strings have no horizon.
+        """
+        out: list[tuple[int, int, int, int, int]] = []
+        for row in range(self._keys.size):
+            key = int(self._keys[row])
+            tz = int(self._tz[row])
+            length = int(self._length[row])
+            if tz or not length:
+                ones = 0
+            else:
+                value = _words_to_int(self._bits[row])
+                ones = 0
+                for position in range(length - 1, -1, -1):
+                    if value >> position & 1:
+                        ones += 1
+                    else:
+                        break
+            out.append(
+                (key >> 32, key & 0xFFFFFFFF, int(self._start[row]), ones, -1)
+            )
+        return tuple(sorted(out))
+
     def snapshot_state(self) -> dict:
         """Parallel arrays as raw bytes plus per-anchor shell payloads.
 
@@ -687,6 +747,12 @@ class NumpyEnumerationKernel(EnumerationKernel):
     def protected_oids(self) -> frozenset[int]:
         """Shed-protected oids, delegated to the batch state."""
         return self._state.protected_oids()
+
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Forming descriptors, delegated to the batch state."""
+        if self._last_time is None:
+            return ()
+        return self._state.forming_candidates(self._last_time)
 
     def snapshot_state(self) -> dict:
         """The batch state's payload plus the kernel clock.

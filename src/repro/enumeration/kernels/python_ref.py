@@ -88,6 +88,13 @@ class PythonEnumerationKernel(EnumerationKernel):
             protected.update(enumerator.protected_oids())
         return frozenset(protected)
 
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Sorted concatenation of every hosted enumerator's descriptors."""
+        out: list[tuple[int, int, int, int, int]] = []
+        for anchor in sorted(self._enumerators):
+            out.extend(self._enumerators[anchor].forming_candidates())
+        return tuple(sorted(out))
+
     def snapshot_state(self) -> dict:
         """Per-anchor enumerator payloads, keyed by anchor id."""
         return {

@@ -187,6 +187,29 @@ class VBAEnumerator(AnchorEnumerator):
             return frozenset()
         return frozenset({self.anchor, *self._open})
 
+    def forming_candidates(self) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Descriptors for every unclosed variable-length bit string.
+
+        ``ones`` is the string's trailing run of consecutive
+        co-clustered snapshots (zero the moment a gap opens);
+        ``remaining`` is ``-1`` — a variable-length string has no
+        horizon until Lemma 7 closes it.
+        """
+        out: list[tuple[int, int, int, int, int]] = []
+        for oid in sorted(self._open):
+            string = self._open[oid]
+            if string.trailing_zeros or not string.length:
+                ones = 0
+            else:
+                ones = 0
+                for position in range(string.length - 1, -1, -1):
+                    if string.bits >> position & 1:
+                        ones += 1
+                    else:
+                        break
+            out.append((self.anchor, oid, string.start, ones, -1))
+        return tuple(out)
+
     def snapshot_state(self) -> dict:
         """Open strings, closed candidates and counters as plain data.
 

@@ -266,6 +266,20 @@ class SessionTelemetry:
         self._watermark_lag.set(watermark_lag)
         self._shed_rate.set(shed_rate)
 
+    def mirror_pattern_family(self, metrics: dict[str, int]) -> None:
+        """Mirror a pattern family's monotone counters into the registry.
+
+        The family names its own metric families (e.g.
+        ``repro_patterns_forming_total``,
+        ``repro_patterns_predicted_total``); values are authoritative
+        session-side totals, hence :meth:`Counter.set_total`.
+        """
+        for name, value in metrics.items():
+            self.registry.counter(
+                name,
+                help="Pattern-family counter (see repro.patterns).",
+            ).set_total(int(value))
+
     def on_watermark(
         self,
         watermark: int,

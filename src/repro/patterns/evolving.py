@@ -1,0 +1,244 @@
+"""Evolving-group detection: θ-continuous groups with drifting members.
+
+Strict co-movement fixes the member set for the whole pattern lifetime;
+real fleets exhibit *evolving* groups — vehicles join and leave while
+the group itself persists (PAPERS.md, "Online Discovery of Evolving
+Groups over Massive-Scale Trajectory Streams").  This module relaxes
+membership with a **Jaccard-continuity threshold θ**: a group alive with
+members :math:`O_{t-1}` continues into snapshot :math:`t` as cluster
+:math:`C` when
+
+.. math:: J(O_{t-1}, C) = |O_{t-1} \\cap C| / |O_{t-1} \\cup C| \\ge θ
+
+and :math:`|C| \\ge M`.  Matching is one-to-one and greedy by descending
+Jaccard (deterministic tie-break on member sets), so each group follows
+the cluster most similar to it and each cluster extends at most one
+group.  A matched group whose membership changed emits
+:class:`~repro.session.events.GroupEvolved` with the join/leave deltas;
+a group surviving K consecutive snapshots is confirmed once per lifetime
+as a :class:`~repro.session.events.PatternConfirmed` (its membership at
+confirmation time over its full interval); formations and dissolutions
+reuse the existing :class:`~repro.session.events.ConvoyDelta` shape.
+
+θ = 1 degenerates to fixed membership (the strict/convoy case); lower θ
+admits proportionally more drift per snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar, Sequence
+
+from repro.model.pattern import CoMovementPattern
+from repro.model.timeseq import TimeSequence
+from repro.patterns.base import PatternFamily
+from repro.session.events import (
+    ConvoyDelta,
+    GroupEvolved,
+    PatternConfirmed,
+    PatternEvent,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EvolvingGroup:
+    """One live evolving group: current members and its interval so far."""
+
+    members: frozenset[int]
+    start: int
+    last: int
+    confirmed: bool = False
+
+    @property
+    def duration(self) -> int:
+        """Consecutive snapshots survived, drift included."""
+        return self.last - self.start + 1
+
+    def to_pattern(self) -> CoMovementPattern:
+        """The group as a pattern: current members over its interval."""
+        return CoMovementPattern.of(
+            self.members, TimeSequence(range(self.start, self.last + 1))
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (oldest first, then members)."""
+        return (self.start, tuple(sorted(self.members)))
+
+
+def jaccard(a: frozenset[int], b: frozenset[int]) -> float:
+    """Jaccard similarity of two member sets (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+class EvolvingGroupTracker(PatternFamily):
+    """Online θ-continuity tracking over the cluster stream.
+
+    Args:
+        constraints: the CP constraint tuple; ``m`` gates cluster
+            significance and ``k`` the confirmation duration (``l`` and
+            ``g`` do not apply — continuity is strictly consecutive).
+        theta: the Jaccard-continuity threshold in ``(0, 1]``.
+    """
+
+    name: ClassVar[str] = "evolving"
+
+    def __init__(self, constraints, *, theta: float = 0.5):
+        if not 0.0 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        self.m = constraints.m
+        self.k = constraints.k
+        self.theta = theta
+        self._groups: list[EvolvingGroup] = []
+        self._last_time: int | None = None
+
+    def on_snapshot(self, time, snapshot, forming, fresh) -> list[PatternEvent]:
+        """Match live groups to ``snapshot``'s clusters; emit the deltas."""
+        dissolved: list[EvolvingGroup] = []
+        if self._last_time is not None and time != self._last_time + 1:
+            # A time jump breaks continuity for every open group.
+            dissolved.extend(self._groups)
+            self._groups = []
+        self._last_time = time
+
+        clusters = sorted(
+            {
+                frozenset(members)
+                for members in (snapshot.clusters.values() if snapshot else ())
+                if len(members) >= self.m
+            },
+            key=lambda c: tuple(sorted(c)),
+        )
+
+        pairs = [
+            (jaccard(group.members, cluster), gi, ci)
+            for gi, group in enumerate(self._groups)
+            for ci, cluster in enumerate(clusters)
+            if jaccard(group.members, cluster) >= self.theta
+        ]
+        pairs.sort(
+            key=lambda p: (
+                -p[0],
+                self._groups[p[1]].sort_key(),
+                tuple(sorted(clusters[p[2]])),
+            )
+        )
+        matched_groups: dict[int, int] = {}
+        matched_clusters: set[int] = set()
+        for _, gi, ci in pairs:
+            if gi in matched_groups or ci in matched_clusters:
+                continue
+            matched_groups[gi] = ci
+            matched_clusters.add(ci)
+
+        confirmed: list[PatternConfirmed] = []
+        evolved: list[GroupEvolved] = []
+        survivors: list[EvolvingGroup] = []
+        for gi, group in enumerate(self._groups):
+            ci = matched_groups.get(gi)
+            if ci is None:
+                dissolved.append(group)
+                continue
+            members = clusters[ci]
+            joined = frozenset(members - group.members)
+            left = frozenset(group.members - members)
+            group = replace(group, members=members, last=time)
+            if joined or left:
+                evolved.append(
+                    GroupEvolved(
+                        time=time,
+                        members=members,
+                        joined=joined,
+                        left=left,
+                        duration=group.duration,
+                    )
+                )
+            if not group.confirmed and group.duration >= self.k:
+                group = replace(group, confirmed=True)
+                confirmed.append(
+                    PatternConfirmed(time=time, pattern=group.to_pattern())
+                )
+            survivors.append(group)
+
+        formed: list[frozenset[int]] = []
+        for ci, cluster in enumerate(clusters):
+            if ci in matched_clusters:
+                continue
+            formed.append(cluster)
+            group = EvolvingGroup(cluster, time, time)
+            if not group.confirmed and group.duration >= self.k:
+                group = replace(group, confirmed=True)
+                confirmed.append(
+                    PatternConfirmed(time=time, pattern=group.to_pattern())
+                )
+            survivors.append(group)
+        self._groups = sorted(survivors, key=EvolvingGroup.sort_key)
+
+        events: list[PatternEvent] = []
+        events.extend(
+            sorted(confirmed, key=lambda e: sorted(e.pattern.objects))
+        )
+        events.extend(sorted(evolved, key=lambda e: sorted(e.members)))
+        events.extend(self._delta(time, formed, dissolved))
+        return events
+
+    def finish(self, time: int) -> list[PatternEvent]:
+        """End of stream: every open group dissolves at ``time``."""
+        dissolved, self._groups = self._groups, []
+        return list(self._delta(time, [], dissolved))
+
+    def _delta(
+        self,
+        time: int,
+        formed: list[frozenset[int]],
+        dissolved: list[EvolvingGroup],
+    ) -> tuple[ConvoyDelta, ...]:
+        """One ``ConvoyDelta`` describing the membership churn, if any."""
+        ended = [
+            group.to_pattern()
+            for group in sorted(dissolved, key=EvolvingGroup.sort_key)
+            if group.duration >= self.k
+        ]
+        if not formed and not dissolved:
+            return ()
+        return (
+            ConvoyDelta(
+                time=time,
+                formed=tuple(sorted(formed, key=sorted)),
+                dissolved=tuple(
+                    sorted(
+                        (group.members for group in dissolved), key=sorted
+                    )
+                ),
+                ended=tuple(ended),
+                active=len(self._groups),
+            ),
+        )
+
+    def snapshot_state(self) -> dict:
+        """Open groups and the tracker clock as plain data."""
+        return {
+            "groups": [
+                (
+                    tuple(sorted(g.members)),
+                    g.start,
+                    g.last,
+                    g.confirmed,
+                )
+                for g in self._groups
+            ],
+            "last_time": self._last_time,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._groups = [
+            EvolvingGroup(frozenset(members), start, last, bool(confirmed))
+            for members, start, last, confirmed in payload["groups"]
+        ]
+        self._last_time = payload["last_time"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: open evolving groups."""
+        return {"evolving_groups": len(self._groups)}

@@ -1,0 +1,220 @@
+"""Online co-movement prediction: scoring forming candidates before K.
+
+FBA windows and VBA bit strings confirm a pattern only once K snapshots
+accumulate — monitors that want to *act early* (dispatch, pre-position,
+alert) need the candidates scored while still forming (PAPERS.md,
+"Online Co-movement Pattern Prediction in Mobility Data").  The scorer
+has two parts:
+
+* :class:`PersistenceModel` — a per-object Bernoulli persistence
+  estimate learnt online from the cluster stream: :math:`p_o` is the
+  observed fraction of snapshots where object *o*, clustered at
+  :math:`t`, is clustered again at :math:`t+1`.  Counts are exact (no
+  smoothing), so a population that always persists reaches
+  :math:`p_o = 1` — the property the probability-1 invariant tests.
+* :class:`PredictiveFamily` — consumes the forming-candidate
+  descriptors the enumeration stage exports (``(anchor, oid, start,
+  ones, remaining)``; shipped through the process backend's reply
+  protocol when isolated) and scores each candidate pair's probability
+  of reaching K:
+
+  .. math:: P(\\text{confirm}) = \\Big(\\prod_{o \\in \\{a, o'\\}}
+            p_o\\Big)^{\\,\\max(0,\\,K - \\text{ones})}
+
+  i.e. every member must persist independently for each of the
+  remaining snapshots.  Candidates whose container cannot absorb the
+  remaining snapshots (``remaining`` < needed) are unreachable and
+  skipped.  Each reachable candidate clearing ``min_probability`` emits
+  one :class:`~repro.session.events.PatternForming` event per snapshot
+  with its length, probability and lead time.
+
+Prediction precision is accounted online: a freshly confirmed pattern
+counts as *predicted* when some earlier ``PatternForming`` event named
+a subset of its objects; the counters surface through the telemetry
+hub (``repro_patterns_predicted_total`` / ``..._unpredicted_total``).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Sequence
+
+from repro.patterns.base import FormingCandidate, PatternFamily
+from repro.session.events import PatternEvent, PatternForming
+
+
+class PersistenceModel:
+    """Exact online per-object persistence counts over cluster snapshots."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, list[int]] = {}
+        self._previous: frozenset[int] = frozenset()
+
+    def observe(self, clustered: frozenset[int]) -> None:
+        """Advance one snapshot: ``clustered`` is the clustered oid set."""
+        for oid in self._previous:
+            entry = self._counts.setdefault(oid, [0, 0])
+            entry[1] += 1
+            if oid in clustered:
+                entry[0] += 1
+        self._previous = clustered
+
+    def probability(self, oid: int) -> float:
+        """``p_o``: observed one-step persistence (0.5 when unobserved)."""
+        entry = self._counts.get(oid)
+        if entry is None or entry[1] == 0:
+            return 0.5
+        return entry[0] / entry[1]
+
+    def snapshot_state(self) -> dict:
+        """Counts and the previous clustered set as plain data."""
+        return {
+            "counts": sorted(
+                (oid, persisted, total)
+                for oid, (persisted, total) in self._counts.items()
+            ),
+            "previous": sorted(self._previous),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self._counts = {
+            oid: [persisted, total]
+            for oid, persisted, total in payload["counts"]
+        }
+        self._previous = frozenset(payload["previous"])
+
+    def tracked_objects(self) -> int:
+        """Number of objects with at least one observed transition."""
+        return len(self._counts)
+
+
+class PredictiveFamily(PatternFamily):
+    """Score live partial matches by probability of reaching K snapshots.
+
+    Args:
+        constraints: the CP constraint tuple (``k`` is the horizon).
+        min_probability: emission threshold — candidates scoring below
+            it are tracked by the model but not emitted (0.0 emits every
+            reachable candidate).
+    """
+
+    name: ClassVar[str] = "predictive"
+    needs_forming_state: ClassVar[bool] = True
+
+    def __init__(self, constraints, *, min_probability: float = 0.0):
+        if not 0.0 <= min_probability <= 1.0:
+            raise ValueError(
+                f"min_probability must be in [0, 1], got {min_probability}"
+            )
+        self.k = constraints.k
+        self.min_probability = min_probability
+        self.model = PersistenceModel()
+        self._predicted: dict[tuple[int, ...], int] = {}
+        self._forming_total = 0
+        self._predicted_total = 0
+        self._unpredicted_total = 0
+
+    def on_snapshot(
+        self,
+        time: int,
+        snapshot,
+        forming: Sequence[FormingCandidate],
+        fresh,
+    ) -> list[PatternEvent]:
+        """Update the model, settle fresh confirmations, score candidates."""
+        clustered = frozenset(
+            oid
+            for members in (snapshot.clusters.values() if snapshot else ())
+            for oid in members
+        )
+        self.model.observe(clustered)
+
+        for pattern in fresh:
+            objects = frozenset(pattern.objects)
+            hit = any(
+                frozenset(pair) <= objects and predicted_at < time
+                for pair, predicted_at in self._predicted.items()
+            )
+            if hit:
+                self._predicted_total += 1
+            else:
+                self._unpredicted_total += 1
+
+        best: dict[tuple[int, ...], tuple[float, int, int]] = {}
+        for anchor, oid, start, ones, remaining in forming:
+            needed = max(0, self.k - ones)
+            if 0 <= remaining < needed:
+                continue  # the container closes before K is reachable
+            probability = 1.0 if needed == 0 else (
+                (self.model.probability(anchor) * self.model.probability(oid))
+                ** needed
+            )
+            if probability < self.min_probability:
+                continue
+            key = tuple(sorted((anchor, oid)))
+            candidate = (probability, ones, needed)
+            current = best.get(key)
+            if (
+                current is None
+                or candidate[0] > current[0]
+                or (candidate[0] == current[0] and candidate[1] > current[1])
+            ):
+                best[key] = candidate
+
+        events: list[PatternEvent] = []
+        for key in sorted(best):
+            probability, ones, needed = best[key]
+            self._forming_total += 1
+            self._predicted.setdefault(key, time)
+            events.append(
+                PatternForming(
+                    time=time,
+                    oids=frozenset(key),
+                    length=ones,
+                    probability=probability,
+                    lead=needed,
+                )
+            )
+        return events
+
+    def snapshot_state(self) -> dict:
+        """Model counts, predicted pairs and precision counters."""
+        return {
+            "model": self.model.snapshot_state(),
+            "predicted": sorted(
+                (list(pair), predicted_at)
+                for pair, predicted_at in self._predicted.items()
+            ),
+            "counters": {
+                "forming_total": self._forming_total,
+                "predicted_total": self._predicted_total,
+                "unpredicted_total": self._unpredicted_total,
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Adopt a payload produced by :meth:`snapshot_state`."""
+        self.model.restore_state(payload["model"])
+        self._predicted = {
+            tuple(pair): predicted_at
+            for pair, predicted_at in payload["predicted"]
+        }
+        counters = payload["counters"]
+        self._forming_total = counters["forming_total"]
+        self._predicted_total = counters["predicted_total"]
+        self._unpredicted_total = counters["unpredicted_total"]
+
+    def state_metrics(self) -> dict[str, int]:
+        """Memory accounting: tracked objects and remembered predictions."""
+        return {
+            "persistence_objects": self.model.tracked_objects(),
+            "predicted_pairs": len(self._predicted),
+        }
+
+    def metrics(self) -> dict[str, int]:
+        """Monotonic counters for the telemetry hub."""
+        return {
+            "repro_patterns_forming_total": self._forming_total,
+            "repro_patterns_predicted_total": self._predicted_total,
+            "repro_patterns_unpredicted_total": self._unpredicted_total,
+        }

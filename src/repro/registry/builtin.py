@@ -3,8 +3,9 @@
 Every strategy PRs 1-3 introduced ad hoc is re-registered here through
 the one typed extension point: the three execution backends
 (``streaming/runtime/``), both clustering kernels (``kernels/``), both
-enumeration kernels (``enumeration/kernels/``) and the three
-enumerators (baseline / FBA / VBA).  Factories import their modules
+enumeration kernels (``enumeration/kernels/``), the three enumerators
+(baseline / FBA / VBA), the shed policies (``shedding/``) and the
+pattern families (``patterns/``).  Factories import their modules
 lazily so loading the registry stays cheap and free of import cycles —
 the heavy strategy code is only touched when a plugin is constructed.
 
@@ -23,7 +24,13 @@ Factory signatures per axis (third-party plugins must match):
   :class:`~repro.enumeration.base.AnchorEnumerator`;
 * ``shed_policy``: ``factory(seed: int | None = 0)`` returning a
   :class:`~repro.shedding.policy.ShedPolicy` (the seed drives the
-  policy's drop RNG; stateless policies ignore it).
+  policy's drop RNG; stateless policies ignore it);
+* ``pattern_family``: ``factory(constraints, *, theta: float = 0.5,
+  min_probability: float = 0.0)`` returning a
+  :class:`~repro.patterns.base.PatternFamily` (``theta`` is the
+  Jaccard-continuity threshold of the evolving family,
+  ``min_probability`` the emission threshold of the predictive family;
+  families ignore knobs they do not use).
 """
 
 from __future__ import annotations
@@ -200,6 +207,33 @@ def _pattern_aware_shed_policy(seed: int | None = 0):
     return PatternAwareShedPolicy(seed=seed)
 
 
+# ------------------------------------------------------------- pattern families
+
+
+def _strict_pattern_family(constraints, *, theta: float = 0.5,
+                           min_probability: float = 0.0):
+    """The paper's exact CP(M, K, L, G) semantics (no extra machinery)."""
+    from repro.patterns.base import StrictFamily
+
+    return StrictFamily()
+
+
+def _evolving_pattern_family(constraints, *, theta: float = 0.5,
+                             min_probability: float = 0.0):
+    """Relaxed co-movement with θ-bounded membership drift."""
+    from repro.patterns.evolving import EvolvingGroupTracker
+
+    return EvolvingGroupTracker(constraints, theta=theta)
+
+
+def _predictive_pattern_family(constraints, *, theta: float = 0.5,
+                               min_probability: float = 0.0):
+    """Online confirmation-probability scoring of forming candidates."""
+    from repro.patterns.prediction import PredictiveFamily
+
+    return PredictiveFamily(constraints, min_probability=min_probability)
+
+
 BUILTIN_SPECS: tuple[PluginSpec, ...] = (
     PluginSpec(
         kind="backend",
@@ -289,7 +323,10 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         kind="enumerator",
         name="fba",
         factory=_fba_enumerator,
-        capabilities=PluginCapabilities(provides_bitmap_enumeration=True),
+        capabilities=PluginCapabilities(
+            provides_bitmap_enumeration=True,
+            provides_forming_state=True,
+        ),
         summary="forward bit-compression enumeration (Definition 13)",
         source="builtin",
     ),
@@ -297,7 +334,10 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         kind="enumerator",
         name="vba",
         factory=_vba_enumerator,
-        capabilities=PluginCapabilities(provides_bitmap_enumeration=True),
+        capabilities=PluginCapabilities(
+            provides_bitmap_enumeration=True,
+            provides_forming_state=True,
+        ),
         summary="verification bit-compression enumeration (Definition 14)",
         source="builtin",
     ),
@@ -323,6 +363,30 @@ BUILTIN_SPECS: tuple[PluginSpec, ...] = (
         factory=_pattern_aware_shed_policy,
         capabilities=PluginCapabilities(protects_patterns=True),
         summary="drops only cold records; partial matches are protected",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="pattern_family",
+        name="strict",
+        factory=_strict_pattern_family,
+        capabilities=PluginCapabilities(),
+        summary="exact CP(M, K, L, G) detection only (default; no overhead)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="pattern_family",
+        name="evolving",
+        factory=_evolving_pattern_family,
+        capabilities=PluginCapabilities(detects_evolving_groups=True),
+        summary="θ-continuous groups with drifting membership (GroupEvolved)",
+        source="builtin",
+    ),
+    PluginSpec(
+        kind="pattern_family",
+        name="predictive",
+        factory=_predictive_pattern_family,
+        capabilities=PluginCapabilities(predicts_patterns=True),
+        summary="online confirmation-probability scoring (PatternForming)",
         source="builtin",
     ),
 )

@@ -64,6 +64,20 @@ class PluginCapabilities:
             a partial match (an open FBA window / unclosed VBA bit
             string).  Policies without it shed blindly — cheaper per
             batch, but they trade recall for latency.
+        provides_forming_state: the enumerator can describe its live
+            partial matches (open FBA windows / unclosed VBA bit
+            strings) as forming-candidate descriptors, the input of the
+            prediction scorer.  FBA and VBA provide it; the baseline's
+            materialised subsets have no per-candidate bit strings.
+        detects_evolving_groups: the pattern family tracks groups whose
+            membership may drift between consecutive snapshots under a
+            Jaccard-continuity threshold θ, emitting ``GroupEvolved``
+            events alongside the strict pattern stream.
+        predicts_patterns: the pattern family scores live partial
+            matches by their probability of reaching K snapshots and
+            emits ``PatternForming`` events before confirmation.  It
+            can only be combined with enumerators that declare
+            ``provides_forming_state``.
         exports_telemetry: the execution backend records per-invocation
             :class:`~repro.streaming.dataflow.SpanRecord` spans at the
             operator call site and surfaces them to the master through
@@ -83,6 +97,9 @@ class PluginCapabilities:
     supports_process_isolation: bool = False
     supports_checkpoint: bool = False
     protects_patterns: bool = False
+    provides_forming_state: bool = False
+    detects_evolving_groups: bool = False
+    predicts_patterns: bool = False
     exports_telemetry: bool = False
 
     def flags(self) -> dict[str, object]:
@@ -114,6 +131,12 @@ class PluginCapabilities:
             markers.append("checkpoint")
         if self.protects_patterns:
             markers.append("protects-patterns")
+        if self.provides_forming_state:
+            markers.append("forming-state")
+        if self.detects_evolving_groups:
+            markers.append("evolving-groups")
+        if self.predicts_patterns:
+            markers.append("predicts-patterns")
         if self.exports_telemetry:
             markers.append("telemetry")
         return ",".join(markers) if markers else "-"

@@ -24,7 +24,7 @@ from typing import Any, Callable, Iterable
 
 from repro.registry.capabilities import PluginCapabilities
 
-#: The five built-in strategy axes.  Registration is not limited to these
+#: The six built-in strategy axes.  Registration is not limited to these
 #: — a future axis (e.g. pattern sinks, state backends) is just a new
 #: ``kind`` string — but these are the axes ``ICPEConfig`` validates.
 PLUGIN_KINDS = (
@@ -33,6 +33,7 @@ PLUGIN_KINDS = (
     "enumeration_kernel",
     "enumerator",
     "shed_policy",
+    "pattern_family",
 )
 
 
@@ -153,6 +154,19 @@ def check_selection(selection: dict[str, PluginSpec]) -> None:
                 f"enumeration_kernel {enum_kernel.name!r} supports "
                 f"enumerators {allowed}; got {enumerator.name!r}"
             )
+    family = selection.get("pattern_family")
+    if (
+        family is not None
+        and enumerator is not None
+        and family.capabilities.predicts_patterns
+        and not enumerator.capabilities.provides_forming_state
+    ):
+        raise PluginCompatibilityError(
+            f"pattern_family {family.name!r} scores live partial matches "
+            f"and requires a forming-state enumerator; enumerator "
+            f"{enumerator.name!r} exposes none — use enumerator='fba' or "
+            f"'vba'"
+        )
 
 
 class PluginRegistry:
@@ -245,8 +259,9 @@ class PluginRegistry:
         """Resolve one name per axis and check cross-axis compatibility.
 
         Keyword names are kinds (``backend=``, ``clustering_kernel=``,
-        ``enumeration_kernel=``, ``enumerator=``); ``None`` skips an
-        axis.  Returns the resolved kind -> spec mapping.
+        ``enumeration_kernel=``, ``enumerator=``, ``shed_policy=``,
+        ``pattern_family=``); ``None`` skips an axis.  Returns the
+        resolved kind -> spec mapping.
 
         Raises:
             UnknownPluginError: for a name no plugin is registered under.

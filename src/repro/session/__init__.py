@@ -9,6 +9,7 @@ an event-driven surface:
   context-manager lifecycle) and :class:`SessionResult`;
 * :mod:`repro.session.events` — the typed event stream
   (:class:`PatternConfirmed`, :class:`ConvoyDelta`,
+  :class:`GroupEvolved`, :class:`PatternForming`,
   :class:`WatermarkAdvanced`);
 * :mod:`repro.session.sinks` — the :class:`PatternSink` protocol and the
   callback / list / JSON-lines sinks;
@@ -26,8 +27,10 @@ from repro.core.config import ICPEConfig
 from repro.session.builder import SessionBuilder
 from repro.session.events import (
     ConvoyDelta,
+    GroupEvolved,
     PatternConfirmed,
     PatternEvent,
+    PatternForming,
     WatermarkAdvanced,
     event_to_dict,
 )
@@ -44,10 +47,12 @@ from repro.state import Checkpoint
 __all__ = [
     "CallbackSink",
     "ConvoyDelta",
+    "GroupEvolved",
     "JsonlSink",
     "ListSink",
     "PatternConfirmed",
     "PatternEvent",
+    "PatternForming",
     "PatternSink",
     "Session",
     "SessionBuilder",

@@ -150,6 +150,32 @@ class SessionBuilder:
             fields["shed_seed"] = seed
         return self._set(**fields)
 
+    def patterns(
+        self,
+        family: str,
+        *,
+        theta: float | None = None,
+        min_probability: float | None = None,
+    ) -> "SessionBuilder":
+        """Select the pattern-family plugin and its knobs.
+
+        Built-in names: ``strict`` (default, the paper's exact
+        semantics) / ``evolving`` (θ-continuous groups emitting
+        :class:`~repro.session.events.GroupEvolved`) / ``predictive``
+        (online confirmation-probability scoring emitting
+        :class:`~repro.session.events.PatternForming`; requires a
+        forming-state enumerator, i.e. ``fba`` / ``vba``).  ``theta``
+        sets the Jaccard-continuity threshold of the evolving family;
+        ``min_probability`` the emission threshold of the predictive
+        family.  Omitted knobs keep their current values.
+        """
+        fields: dict[str, Any] = {"pattern_family": family}
+        if theta is not None:
+            fields["evolving_theta"] = theta
+        if min_probability is not None:
+            fields["prediction_min_probability"] = min_probability
+        return self._set(**fields)
+
     def option(self, **fields: Any) -> "SessionBuilder":
         """Set any remaining :class:`ICPEConfig` field by name
         (escape hatch for knobs without a dedicated setter)."""

@@ -9,9 +9,9 @@ those as a typed :class:`PatternEvent` subclass, both returned from
 ``feed()`` and dispatched to subscribed sinks.
 
 Every event carries the stream time it describes and a stable ``kind``
-string (``"pattern"`` / ``"convoy"`` / ``"watermark"``) used by sinks
-and the CLI's JSON output; :func:`event_to_dict` is the canonical
-JSON-ready flattening.
+string (``"pattern"`` / ``"convoy"`` / ``"watermark"`` / ``"evolved"``
+/ ``"forming"``) used by sinks and the CLI's JSON output;
+:func:`event_to_dict` is the canonical JSON-ready flattening.
 """
 
 from __future__ import annotations
@@ -66,6 +66,52 @@ class ConvoyDelta(PatternEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class GroupEvolved(PatternEvent):
+    """An evolving group's membership drifted while staying continuous.
+
+    Emitted by the ``evolving`` pattern family
+    (``SessionBuilder.patterns("evolving")``) when a live group matched
+    a cluster of snapshot ``time`` with Jaccard similarity at least the
+    configured θ but a *different* member set.  ``members`` is the
+    membership after the drift, ``joined`` / ``left`` are the deltas
+    against the previous snapshot, ``duration`` the number of
+    consecutive snapshots the group has survived so far (drift
+    included).
+    """
+
+    kind: ClassVar[str] = "evolved"
+
+    members: frozenset[int]
+    joined: frozenset[int]
+    left: frozenset[int]
+    duration: int
+
+
+@dataclass(frozen=True, slots=True)
+class PatternForming(PatternEvent):
+    """A partial match was scored as likely to reach confirmation.
+
+    Emitted by the ``predictive`` pattern family
+    (``SessionBuilder.patterns("predictive")``) for each open FBA
+    window / unclosed VBA candidate bit string whose predicted
+    probability of reaching K snapshots clears the configured
+    threshold.  ``oids`` is the candidate object set (anchor included),
+    ``length`` the current consecutive-snapshot streak, ``probability``
+    the predicted confirmation probability under the online per-object
+    persistence model, and ``lead`` the minimum number of further
+    snapshots needed before the candidate can confirm (the prediction's
+    lead time).
+    """
+
+    kind: ClassVar[str] = "forming"
+
+    oids: frozenset[int]
+    length: int
+    probability: float
+    lead: int
+
+
+@dataclass(frozen=True, slots=True)
 class WatermarkAdvanced(PatternEvent):
     """Snapshot ``time`` was fully processed through the pipeline.
 
@@ -99,6 +145,16 @@ def event_to_dict(event: PatternEvent) -> dict:
             for pattern in event.ended
         ]
         payload["active"] = event.active
+    elif isinstance(event, GroupEvolved):
+        payload["members"] = sorted(event.members)
+        payload["joined"] = sorted(event.joined)
+        payload["left"] = sorted(event.left)
+        payload["duration"] = event.duration
+    elif isinstance(event, PatternForming):
+        payload["oids"] = sorted(event.oids)
+        payload["length"] = event.length
+        payload["probability"] = event.probability
+        payload["lead"] = event.lead
     elif isinstance(event, WatermarkAdvanced):
         payload["snapshots_processed"] = event.snapshots_processed
         payload["patterns_total"] = event.patterns_total

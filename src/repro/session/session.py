@@ -4,9 +4,11 @@
 the "last time" synchronisation operator and the ICPE pipeline (built
 from an :class:`~repro.core.config.ICPEConfig`, so every registered
 plugin axis — backend, clustering kernel, enumeration kernel,
-enumerator — is selectable), optionally a live
-:class:`~repro.core.live.ConvoyTracker`, and a set of subscribed
-sinks.  ``feed_batch()`` accepts columnar
+enumerator, pattern family — is selectable), optionally a live
+:class:`~repro.core.live.ConvoyTracker` and a
+:class:`~repro.patterns.PatternFamily` (evolving-group detection or
+online co-movement prediction; see :mod:`repro.patterns`), and a set
+of subscribed sinks.  ``feed_batch()`` accepts columnar
 :class:`~repro.model.batch.RecordBatch` input (``feed()`` is the
 one-row compatibility form, ``feed_many()`` packs iterables
 automatically) and returns the typed
@@ -180,6 +182,20 @@ class Session:
             self._tracker = ConvoyTracker(
                 m=config.constraints.m, k=config.constraints.k
             )
+        # The default "strict" family is the paper's exact semantics and
+        # needs no extra machinery at all — the session hosts a family
+        # component only for the relaxed/predictive axes.
+        self._patterns = (
+            default_registry().create(
+                "pattern_family",
+                config.pattern_family,
+                config.constraints,
+                theta=config.evolving_theta,
+                min_probability=config.prediction_min_probability,
+            )
+            if config.pattern_family != "strict"
+            else None
+        )
         self._sinks: list[PatternSink] = []
         self._event_counts: dict[str, int] = {}
         self._records_ingested = 0
@@ -378,6 +394,8 @@ class Session:
                     )
                 )
                 self._tracked_members = frozenset()
+        if self._patterns is not None:
+            events.extend(self._patterns.finish(flush_time))
         # Mark finished only once the flush itself succeeded, so an
         # error mid-flush (backend failure) leaves the session
         # retryable instead of silently swallowing the tail patterns.
@@ -463,6 +481,8 @@ class Session:
         ]
         if self._tracker is not None:
             payloads.append(("tracker", self._tracker.snapshot_state()))
+        if self._patterns is not None:
+            payloads.append(("patterns", self._patterns.snapshot_state()))
         if self._telemetry is not None:
             payloads.append(("telemetry", self._telemetry.snapshot_state()))
         for name, payload in payloads:
@@ -527,6 +547,13 @@ class Session:
                     "session to restore one"
                 )
             self._tracker.restore_state(decode_payload(master["tracker"]))
+        # Checkpoints taken before the pattern-family subsystem existed
+        # carry no "patterns" payload; the freshly built family stands.
+        # (The config equality check above already guarantees both sides
+        # run the same family whenever the payload is present.)
+        patterns_blob = master.get("patterns")
+        if self._patterns is not None and patterns_blob is not None:
+            self._patterns.restore_state(decode_payload(patterns_blob))
         # Telemetry continues its series when both sides have a hub;
         # a checkpoint from a telemetry-less session (or vice versa)
         # simply starts the registry fresh.
@@ -631,6 +658,10 @@ class Session:
         metrics["sync"] = self._sync.state_metrics()
         if self._tracker is not None:
             metrics["tracker"] = self._tracker.state_metrics()
+        if self._patterns is not None:
+            family_metrics = self._patterns.state_metrics()
+            if family_metrics:
+                metrics["patterns"] = family_metrics
         if self._shedding_active:
             shed_metrics = {
                 "records_shed": self._records_shed,
@@ -675,6 +706,13 @@ class Session:
     def telemetry(self) -> SessionTelemetry | None:
         """The observability hub, or ``None`` when telemetry is off."""
         return self._telemetry
+
+    @property
+    def pattern_family(self):
+        """The live :class:`~repro.patterns.PatternFamily` component, or
+        ``None`` under the default ``"strict"`` family (the paper's
+        exact semantics need no extra machinery)."""
+        return self._patterns
 
     @property
     def active_convoys(self):
@@ -773,6 +811,8 @@ class Session:
         timings = self.pipeline.meter.timings
         if timings:
             telemetry.observe_latency(timings[-1].latency_seconds * 1000.0)
+        if self._patterns is not None:
+            telemetry.mirror_pattern_family(self._patterns.metrics())
         telemetry.on_watermark(
             time,
             records_ingested=self._records_ingested,
@@ -790,6 +830,8 @@ class Session:
         telemetry = self._telemetry
         assert telemetry is not None
         telemetry.observe_spans(self.pipeline.last_spans)
+        if self._patterns is not None:
+            telemetry.mirror_pattern_family(self._patterns.metrics())
         watermark = self._last_time()
         telemetry.mirror_session(
             watermark,
@@ -854,6 +896,19 @@ class Session:
                             active=len(members),
                         )
                     )
+        if self._patterns is not None:
+            family_snapshot = self.pipeline.last_cluster_snapshot
+            if family_snapshot is not None:
+                forming = (
+                    self.pipeline.forming_candidates()
+                    if self._patterns.needs_forming_state
+                    else ()
+                )
+                events.extend(
+                    self._patterns.on_snapshot(
+                        snapshot.time, family_snapshot, forming, fresh
+                    )
+                )
         events.append(
             WatermarkAdvanced(
                 time=snapshot.time,

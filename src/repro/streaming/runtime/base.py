@@ -213,6 +213,27 @@ class ExecutionBackend(ABC):
                 entries.append((index, protected))
         return entries
 
+    def collect_forming(
+        self, runtime: StageRuntime
+    ) -> list[tuple[int, tuple[tuple[int, int, int, int, int], ...]]]:
+        """Gather per-subtask forming-candidate descriptors for one stage.
+
+        Walks the in-process operator instances; subtasks without a
+        ``forming_candidates`` method (non-enumeration operators) are
+        skipped, as are empty results.  Process-isolated backends route
+        this through their worker protocol instead, exactly like
+        :meth:`collect_protected`.
+        """
+        entries: list[tuple[int, tuple]] = []
+        for index, subtask in enumerate(runtime.subtasks):
+            query = getattr(subtask, "forming_candidates", None)
+            if query is None:
+                continue
+            forming = query()
+            if forming:
+                entries.append((index, forming))
+        return entries
+
     def close(self) -> None:
         """Release any resources the backend holds (idempotent)."""
 

@@ -173,6 +173,21 @@ class _WorkerState:
                 results.append((subtask_index, protected))
         return results
 
+    def collect_forming(self, stage_index: int, indices) -> list[tuple]:
+        """Serve a ``forming`` command: per-subtask forming descriptors."""
+        runtime = self.runtimes[stage_index]
+        results = []
+        for subtask_index in indices:
+            query = getattr(
+                runtime.subtasks[subtask_index], "forming_candidates", None
+            )
+            if query is None:
+                continue
+            forming = query()
+            if forming:
+                results.append((subtask_index, forming))
+        return results
+
     def sweep_attached(self) -> list[str]:
         """Detach every segment no live view still aliases.
 
@@ -207,7 +222,7 @@ def _worker_main(conn, spec: GraphSpec, worker_index: int) -> None:
 
     Replies ``("ready", stage_names)`` after a successful build, then
     answers ``run`` / ``finish`` / ``state`` / ``restore`` / ``metrics``
-    / ``protected`` commands with ``("ok", results, released_segments)`` until a
+    / ``protected`` / ``forming`` commands with ``("ok", results, released_segments)`` until a
     ``close`` command (or a dropped pipe) ends the loop.  Any exception travels back as ``("error",
     traceback)`` instead of killing the worker.
     """
@@ -247,6 +262,9 @@ def _worker_main(conn, spec: GraphSpec, worker_index: int) -> None:
             elif op == "protected":
                 _, stage_index, indices = message
                 results = state.collect_protected(stage_index, indices)
+            elif op == "forming":
+                _, stage_index, indices = message
+                results = state.collect_forming(stage_index, indices)
             else:
                 raise ValueError(f"unknown worker command {op!r}")
         except BaseException:
@@ -638,3 +656,10 @@ class ProcessBackend(ExecutionBackend):
         """Gather shed-protected oid sets through the worker protocol."""
         args = list(range(len(runtime.subtasks)))
         return self._control(runtime, "protected", args)
+
+    def collect_forming(
+        self, runtime: StageRuntime
+    ) -> list[tuple[int, tuple[tuple[int, int, int, int, int], ...]]]:
+        """Gather forming-candidate descriptors through the worker protocol."""
+        args = list(range(len(runtime.subtasks)))
+        return self._control(runtime, "forming", args)

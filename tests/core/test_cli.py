@@ -88,6 +88,19 @@ class TestPlugins:
         output = capsys.readouterr().out
         assert "needs-bitmap" in output
 
+    def test_pattern_family_axis_listed(self, capsys):
+        assert main(["plugins", "--kind", "pattern_family"]) == 0
+        output = capsys.readouterr().out
+        for name in ("strict", "evolving", "predictive"):
+            assert name in output
+        assert "evolving-groups" in output
+        assert "predicts-patterns" in output
+
+    def test_forming_state_marker_on_enumerators(self, capsys):
+        main(["plugins", "--kind", "enumerator"])
+        output = capsys.readouterr().out
+        assert "forming-state" in output
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plugins", "--kind", "sink"])
@@ -255,6 +268,38 @@ class TestDetect:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["detect", "--input", "x.csv", "--enum-kernel", "fortran"]
+            )
+
+    def test_pattern_family_runs(self, workload_csv, capsys):
+        for family in ("evolving", "predictive"):
+            code = main(
+                [
+                    "detect", "--input", str(workload_csv),
+                    "--m", "3", "--k", "5", "--min-pts", "3",
+                    "--pattern-family", family, "--limit", "3",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"pattern family: {family}" in out
+
+    def test_predictive_rejects_baseline(self, capsys):
+        """Scoring needs forming state; the BA enumerator has none."""
+        code = main(
+            [
+                "detect", "--input", "does-not-matter.csv",
+                "--pattern-family", "predictive",
+                "--enumerator", "baseline",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "forming-state enumerator" in err
+
+    def test_unknown_pattern_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--input", "x.csv", "--pattern-family", "fuzzy"]
             )
 
     def test_numpy_kernel_without_numpy_is_clean_error(

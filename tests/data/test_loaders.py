@@ -1,0 +1,154 @@
+"""Real-dataset schema adapter tests (T-Drive / Porto, ROADMAP 5a)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import PatternConstraints, open_session
+from repro.data.loaders import (
+    REAL_SCHEMAS,
+    iter_real_batches,
+    load_real_dataset,
+)
+
+pytestmark = pytest.mark.patterns
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TDRIVE = FIXTURES / "tdrive_slice.txt"
+PORTO = FIXTURES / "porto_slice.csv"
+
+
+class TestTDrive:
+    def test_loads_fixture_slice(self):
+        dataset = load_real_dataset(TDRIVE, "tdrive")
+        assert dataset.trajectory_ids == [1, 2, 3, 4]
+        assert dataset.times == list(range(10))
+        assert len(dataset) == 40
+
+    def test_times_rebased_to_zero(self):
+        dataset = load_real_dataset(TDRIVE, "tdrive")
+        assert min(r.time for r in dataset.records) == 0
+
+    def test_last_time_chains_linked(self):
+        dataset = load_real_dataset(TDRIVE, "tdrive")
+        by_oid = {}
+        for record in dataset.records:
+            assert record.last_time == by_oid.get(record.oid)
+            by_oid[record.oid] = record.time
+
+    def test_coordinates_are_planar_metres(self):
+        dataset = load_real_dataset(TDRIVE, "tdrive")
+        # Taxis 1 and 2 sit 0.0004 deg of longitude apart (~34 m at
+        # Beijing's latitude); the projection must keep them metric.
+        first = {r.oid: r for r in dataset.records if r.time == 0}
+        gap = abs(first[1].x - first[2].x)
+        assert 25.0 < gap < 45.0
+
+    def test_wider_interval_coarsens_snapshots(self):
+        fine = load_real_dataset(TDRIVE, "tdrive", interval_seconds=300)
+        coarse = load_real_dataset(TDRIVE, "tdrive", interval_seconds=600)
+        assert len(coarse.times) < len(fine.times)
+
+    def test_detects_implanted_comovers(self):
+        dataset = load_real_dataset(TDRIVE, "tdrive")
+        with open_session(
+            epsilon=dataset.resolve_percentage(1.5),
+            cell_width=dataset.resolve_percentage(5.0),
+            min_pts=3,
+            constraints=PatternConstraints(m=3, k=4, l=2, g=2),
+        ) as session:
+            session.feed_many(dataset.records)
+            session.finish()
+        assert {frozenset(p.objects) for p in session.patterns} == {
+            frozenset({1, 2, 3})
+        }
+
+
+class TestPorto:
+    def test_loads_fixture_slice(self):
+        dataset = load_real_dataset(PORTO, "porto")
+        # Trip T4 is flagged MISSING_DATA and T5's polyline is empty.
+        assert dataset.trajectory_ids == [20000001, 20000002, 20000003]
+        assert dataset.times == list(range(12))
+
+    def test_polyline_points_are_15s_apart(self):
+        # At the default 15 s interval every polyline entry lands in its
+        # own snapshot: 12 entries -> 12 distinct times per taxi.
+        dataset = load_real_dataset(PORTO, "porto")
+        times = sorted(
+            r.time for r in dataset.records if r.oid == 20000001
+        )
+        assert times == list(range(12))
+
+    def test_detects_implanted_comovers(self):
+        dataset = load_real_dataset(PORTO, "porto")
+        with open_session(
+            epsilon=dataset.resolve_percentage(1.5),
+            cell_width=dataset.resolve_percentage(5.0),
+            min_pts=3,
+            constraints=PatternConstraints(m=3, k=4, l=2, g=2),
+        ) as session:
+            session.feed_many(dataset.records)
+            session.finish()
+        assert {frozenset(p.objects) for p in session.patterns} == {
+            frozenset({20000001, 20000002, 20000003})
+        }
+
+
+class TestStreaming:
+    def test_batches_match_loaded_records(self):
+        dataset = load_real_dataset(TDRIVE, "tdrive")
+        streamed = [
+            record
+            for batch in iter_real_batches(TDRIVE, "tdrive", 16)
+            for record in batch.to_records()
+        ]
+        assert sorted(
+            (r.oid, r.time, r.x, r.y, r.last_time) for r in streamed
+        ) == sorted(
+            (r.oid, r.time, r.x, r.y, r.last_time) for r in dataset.records
+        )
+
+    def test_batch_size_respected(self):
+        sizes = [
+            len(batch) for batch in iter_real_batches(TDRIVE, "tdrive", 16)
+        ]
+        assert sizes == [16, 16, 8]
+
+    def test_streaming_session_equivalent_to_bounded(self):
+        dataset = load_real_dataset(PORTO, "porto")
+        knobs = dict(
+            epsilon=dataset.resolve_percentage(1.5),
+            cell_width=dataset.resolve_percentage(5.0),
+            min_pts=3,
+            constraints=PatternConstraints(m=3, k=4, l=2, g=2),
+        )
+        with open_session(**knobs) as bounded:
+            bounded.feed_many(dataset.records)
+            bounded.finish()
+        # Porto explodes whole trips row by row, so the streaming path
+        # needs the bounded-delay guarantee to cover the file's skew.
+        with open_session(**knobs, max_delay=dataset.times[-1]) as streaming:
+            for batch in iter_real_batches(PORTO, "porto", 16):
+                streaming.feed_batch(batch)
+            streaming.finish()
+        assert {frozenset(p.objects) for p in streaming.patterns} == {
+            frozenset(p.objects) for p in bounded.patterns
+        }
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unknown real-dataset schema"):
+            load_real_dataset(TDRIVE, "nyc")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_seconds"):
+            load_real_dataset(TDRIVE, "tdrive", interval_seconds=0)
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            next(iter_real_batches(TDRIVE, "tdrive", 0))
+
+    def test_schema_names_exported(self):
+        assert REAL_SCHEMAS == ("tdrive", "porto")

@@ -1,0 +1,55 @@
+"""Shared workloads for the pattern-family differential tests.
+
+The drift stream is the subsystem's canonical scenario: two well
+separated clusters of five objects each, then at ``t = 7`` object 4
+leaves the left cluster while object 9 crosses over and joins it — so
+the evolving tracker must emit one ``GroupEvolved`` with exactly that
+join/leave delta, and the predictive scorer sees candidate pairs both
+persist and break.
+"""
+
+from __future__ import annotations
+
+from repro import PatternConstraints, open_session
+from repro.model.records import StreamRecord
+from repro.session import event_to_dict
+
+CONSTRAINTS = PatternConstraints(m=3, k=4, l=2, g=2)
+
+BASE_KNOBS = dict(
+    epsilon=5.0,
+    cell_width=10.0,
+    min_pts=2,
+    constraints=CONSTRAINTS,
+)
+
+
+def drift_stream(n_times: int = 14) -> list[StreamRecord]:
+    """Two clusters with one membership swap at ``t = 7``."""
+    records: list[StreamRecord] = []
+    for t in range(n_times):
+        for oid in range(10):
+            if oid < 5:
+                x = 10.0 + oid * 0.5 + (50.0 if t >= 7 and oid == 4 else 0.0)
+            else:
+                x = 100.0 + (oid - 5) * 0.5
+                if oid == 9 and t >= 7:
+                    x = 12.0
+            records.append(
+                StreamRecord(
+                    oid=oid,
+                    time=t,
+                    x=x,
+                    y=0.0,
+                    last_time=t - 1 if t else None,
+                )
+            )
+    return records
+
+
+def run_session(records, **session_kwargs) -> list[dict]:
+    """One full session over ``records``; events as comparable dicts."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    with open_session(**kwargs) as session:
+        events = session.feed_many(records) + session.finish()
+    return [event_to_dict(event) for event in events]

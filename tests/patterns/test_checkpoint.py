@@ -1,0 +1,162 @@
+"""Checkpoint -> restore -> continue equivalence for the pattern families.
+
+The families implement the OperatorState contract, so their state —
+open evolving groups, persistence counts, remembered predictions,
+precision counters — rides session checkpoints, and a restored session
+must continue the family event stream exactly where the original
+stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import open_session
+from repro.session import event_to_dict
+from repro.state import Checkpoint, CheckpointError
+
+from tests.patterns.conftest import BASE_KNOBS, drift_stream, run_session
+
+pytestmark = [pytest.mark.patterns, pytest.mark.checkpoint]
+
+
+def run_with_restart(records, cut, **session_kwargs):
+    """Stop at ``cut`` records, round-trip through bytes, continue."""
+    kwargs = {**BASE_KNOBS, **session_kwargs}
+    first = open_session(**kwargs)
+    head = first.feed_many(records[:cut])
+    blob = first.checkpoint().to_bytes()
+    first.close()
+    second = open_session(**kwargs, restore=Checkpoint.from_bytes(blob))
+    tail = second.feed_many(records[cut:]) + second.finish()
+    second.close()
+    return [event_to_dict(event) for event in head + tail], second
+
+
+class TestRestartEquivalence:
+    @pytest.mark.parametrize("family", ["evolving", "predictive"])
+    def test_every_seventh_cut_matches_oracle(self, family):
+        records = drift_stream()
+        oracle = run_session(records, pattern_family=family)
+        for cut in range(1, len(records), 7):
+            restarted, _ = run_with_restart(
+                records, cut, pattern_family=family
+            )
+            assert restarted == oracle, f"{family} diverged at cut {cut}"
+
+    def test_cut_right_at_the_membership_swap(self):
+        """Restore exactly between the swap's two regimes (t=7 boundary):
+        the GroupEvolved delta must still come out once, unchanged."""
+        records = drift_stream()
+        cut = sum(1 for r in records if r.time < 7)
+        oracle = run_session(records, pattern_family="evolving")
+        restarted, _ = run_with_restart(
+            records, cut, pattern_family="evolving"
+        )
+        assert restarted == oracle
+        swaps = [e for e in restarted if e["kind"] == "evolved"]
+        assert len(swaps) == len(
+            [e for e in oracle if e["kind"] == "evolved"]
+        )
+
+    def test_scorer_counters_survive_restore(self):
+        records = drift_stream()
+        with open_session(
+            **BASE_KNOBS, pattern_family="predictive"
+        ) as oracle:
+            oracle.feed_many(records)
+            oracle.finish()
+        _, restored = run_with_restart(
+            records, len(records) // 2, pattern_family="predictive"
+        )
+        assert (
+            restored.pattern_family.metrics()
+            == oracle.pattern_family.metrics()
+        )
+        assert restored.pattern_family.metrics()[
+            "repro_patterns_forming_total"
+        ] > 0
+
+    def test_restore_into_different_backend(self):
+        """Family state is master-side: a serial checkpoint restores
+        into a process-backed session and stays equivalent."""
+        records = drift_stream()
+        oracle = run_session(records, pattern_family="evolving")
+        cut = len(records) // 2
+        first = open_session(**BASE_KNOBS, pattern_family="evolving")
+        head = first.feed_many(records[:cut])
+        checkpoint = first.checkpoint()
+        first.close()
+        second = open_session(
+            **BASE_KNOBS,
+            pattern_family="evolving",
+            backend="process",
+            parallel_workers=2,
+            restore=checkpoint,
+        )
+        tail = second.feed_many(records[cut:]) + second.finish()
+        second.close()
+        assert [event_to_dict(e) for e in head + tail] == oracle
+
+
+class TestCompatibility:
+    def test_family_mismatch_rejected(self):
+        records = drift_stream()
+        session = open_session(**BASE_KNOBS, pattern_family="evolving")
+        session.feed_many(records[:20])
+        checkpoint = session.checkpoint()
+        session.close()
+        with pytest.raises(CheckpointError, match="incompatible"):
+            open_session(
+                **BASE_KNOBS, pattern_family="predictive", restore=checkpoint
+            )
+
+    def test_pre_subsystem_checkpoint_starts_family_fresh(self):
+        """A checkpoint without a ``patterns`` payload (taken before the
+        subsystem existed) restores with default family state."""
+        records = drift_stream()
+        session = open_session(**BASE_KNOBS, pattern_family="evolving")
+        session.feed_many(records[:20])
+        checkpoint = session.checkpoint()
+        session.close()
+        stripped = replace(
+            checkpoint,
+            master_states={
+                key: value
+                for key, value in checkpoint.master_states.items()
+                if key != "patterns"
+            },
+        )
+        restored = open_session(
+            **BASE_KNOBS, pattern_family="evolving", restore=stripped
+        )
+        assert restored.pattern_family.state_metrics() == {
+            "evolving_groups": 0
+        }
+        restored.feed_many(records[20:])
+        restored.finish()
+        restored.close()
+
+    def test_strict_session_checkpoint_has_no_patterns_payload(self):
+        session = open_session(**BASE_KNOBS)
+        session.feed_many(drift_stream()[:20])
+        checkpoint = session.checkpoint()
+        session.close()
+        assert "patterns" not in checkpoint.master_states
+
+    def test_family_payload_present_in_checkpoint(self):
+        session = open_session(**BASE_KNOBS, pattern_family="predictive")
+        session.feed_many(drift_stream()[:20])
+        checkpoint = session.checkpoint()
+        session.close()
+        assert "patterns" in checkpoint.master_states
+
+    def test_state_memory_reports_family_entries(self):
+        with open_session(**BASE_KNOBS, pattern_family="evolving") as session:
+            session.feed_many(drift_stream())
+            session.finish()
+        memory = session.state_memory()
+        assert "patterns" in memory
+        assert "evolving_groups" in memory["patterns"]

@@ -1,0 +1,337 @@
+"""Unit tests of the pattern-family components (no pipeline involved).
+
+Feeds hand-built :class:`~repro.model.snapshot.ClusterSnapshot` views
+and forming-candidate tuples straight into the families, so every rule
+— θ matching, join/leave deltas, confirmation, dissolution, persistence
+counting, reachability, thresholding — is pinned in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PatternConstraints
+from repro.model.snapshot import ClusterSnapshot
+from repro.patterns import (
+    EvolvingGroupTracker,
+    PersistenceModel,
+    PredictiveFamily,
+)
+from repro.patterns.evolving import jaccard
+
+pytestmark = pytest.mark.patterns
+
+CONSTRAINTS = PatternConstraints(m=3, k=3, l=2, g=2)
+
+
+def snap(time, *groups):
+    return ClusterSnapshot.from_groups(time, groups)
+
+
+def feed(tracker, time, *groups):
+    return tracker.on_snapshot(time, snap(time, *groups), (), ())
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_partial_overlap(self):
+        a, b = frozenset({0, 1, 2, 3}), frozenset({0, 1, 2, 4})
+        assert jaccard(a, b) == pytest.approx(3 / 5)
+
+    def test_two_empty_sets(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+
+class TestEvolvingGroupTracker:
+    def test_theta_validated(self):
+        with pytest.raises(ValueError, match="theta"):
+            EvolvingGroupTracker(CONSTRAINTS, theta=0.0)
+        with pytest.raises(ValueError, match="theta"):
+            EvolvingGroupTracker(CONSTRAINTS, theta=1.5)
+
+    def test_formation_emits_convoy_delta(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        events = feed(tracker, 0, {0, 1, 2})
+        assert [e.kind for e in events] == ["convoy"]
+        assert events[0].formed == (frozenset({0, 1, 2}),)
+
+    def test_small_clusters_ignored(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        assert feed(tracker, 0, {0, 1}) == []  # |C| < m
+
+    def test_drift_within_theta_evolves(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(tracker, 0, {0, 1, 2, 3})
+        events = feed(tracker, 1, {0, 1, 2, 4})  # J = 3/5 >= 0.5
+        evolved = [e for e in events if e.kind == "evolved"]
+        assert len(evolved) == 1
+        assert evolved[0].members == frozenset({0, 1, 2, 4})
+        assert evolved[0].joined == frozenset({4})
+        assert evolved[0].left == frozenset({3})
+        assert evolved[0].duration == 2
+
+    def test_unchanged_membership_is_silent(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(tracker, 0, {0, 1, 2})
+        events = feed(tracker, 1, {0, 1, 2})
+        assert [e.kind for e in events] == []
+
+    def test_drift_below_theta_dissolves_and_reforms(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.75)
+        feed(tracker, 0, {0, 1, 2, 3})
+        events = feed(tracker, 1, {0, 1, 2, 4})  # J = 0.6 < 0.75
+        assert [e.kind for e in events] == ["convoy"]
+        assert events[0].formed == (frozenset({0, 1, 2, 4}),)
+        assert events[0].dissolved == (frozenset({0, 1, 2, 3}),)
+
+    def test_theta_one_degenerates_to_fixed_membership(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=1.0)
+        feed(tracker, 0, {0, 1, 2})
+        stable = feed(tracker, 1, {0, 1, 2})
+        assert [e.kind for e in stable] == []
+        churn = feed(tracker, 2, {0, 1, 2, 3})
+        assert all(e.kind != "evolved" for e in churn)
+
+    def test_confirmed_once_after_k_snapshots(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(tracker, 0, {0, 1, 2})
+        assert feed(tracker, 1, {0, 1, 2}) == []
+        events = feed(tracker, 2, {0, 1, 2})  # duration reaches k = 3
+        assert [e.kind for e in events] == ["pattern"]
+        assert set(events[0].pattern.objects) == {0, 1, 2}
+        assert list(events[0].pattern.times.times) == [0, 1, 2]
+        # once per lifetime: snapshot 4 of the same group is silent
+        assert feed(tracker, 3, {0, 1, 2}) == []
+
+    def test_confirmation_survives_drift(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(tracker, 0, {0, 1, 2, 3})
+        feed(tracker, 1, {0, 1, 2, 4})
+        events = feed(tracker, 2, {0, 1, 2, 5})
+        confirmed = [e for e in events if e.kind == "pattern"]
+        assert len(confirmed) == 1
+        assert set(confirmed[0].pattern.objects) == {0, 1, 2, 5}
+
+    def test_dissolution_marks_long_groups_ended(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        for t in range(3):
+            feed(tracker, t, {0, 1, 2})
+        events = feed(tracker, 3)  # empty snapshot: the group vanishes
+        assert [e.kind for e in events] == ["convoy"]
+        assert events[0].dissolved == (frozenset({0, 1, 2}),)
+        assert len(events[0].ended) == 1
+        assert set(events[0].ended[0].objects) == {0, 1, 2}
+
+    def test_short_lived_group_not_ended(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(tracker, 0, {0, 1, 2})
+        events = feed(tracker, 1)
+        assert events[0].dissolved == (frozenset({0, 1, 2}),)
+        assert events[0].ended == ()  # duration 1 < k
+
+    def test_time_jump_breaks_continuity(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(tracker, 0, {0, 1, 2})
+        events = feed(tracker, 5, {0, 1, 2})  # gap: t=1..4 missing
+        assert [e.kind for e in events] == ["convoy"]
+        assert events[0].dissolved == (frozenset({0, 1, 2}),)
+        assert events[0].formed == (frozenset({0, 1, 2}),)
+
+    def test_each_cluster_extends_at_most_one_group(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.25)
+        feed(tracker, 0, {0, 1, 2}, {3, 4, 5})
+        # One merged cluster: only the better-matching group survives.
+        events = feed(tracker, 1, {0, 1, 2, 3, 4, 5})
+        dissolved = [e for e in events if e.kind == "convoy"]
+        assert len(dissolved) == 1
+        assert len(dissolved[0].dissolved) == 1
+        assert tracker.state_metrics() == {"evolving_groups": 1}
+
+    def test_finish_dissolves_every_open_group(self):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        for t in range(4):
+            feed(tracker, t, {0, 1, 2})
+        events = tracker.finish(4)
+        assert [e.kind for e in events] == ["convoy"]
+        assert events[0].dissolved == (frozenset({0, 1, 2}),)
+        assert tracker.state_metrics() == {"evolving_groups": 0}
+
+    def test_state_roundtrip_mid_lifetime(self):
+        a = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        b = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        feed(a, 0, {0, 1, 2, 3})
+        feed(a, 1, {0, 1, 2, 4})
+        b.restore_state(a.snapshot_state())
+        left = feed(a, 2, {0, 1, 2, 4})
+        right = feed(b, 2, {0, 1, 2, 4})
+        assert [repr(e) for e in left] == [repr(e) for e in right]
+        assert a.snapshot_state() == b.snapshot_state()
+
+
+class TestPersistenceModel:
+    def test_unobserved_defaults_to_half(self):
+        assert PersistenceModel().probability(7) == 0.5
+
+    def test_always_persisting_object_reaches_one(self):
+        model = PersistenceModel()
+        for _ in range(4):
+            model.observe(frozenset({1}))
+        assert model.probability(1) == 1.0
+
+    def test_never_persisting_object_reaches_zero(self):
+        model = PersistenceModel()
+        model.observe(frozenset({1}))
+        model.observe(frozenset({2}))
+        assert model.probability(1) == 0.0
+
+    def test_fractional_persistence(self):
+        model = PersistenceModel()
+        model.observe(frozenset({1}))
+        model.observe(frozenset({1}))  # persisted
+        model.observe(frozenset())     # dropped out
+        assert model.probability(1) == pytest.approx(0.5)
+        assert model.tracked_objects() == 1
+
+    def test_state_roundtrip(self):
+        model = PersistenceModel()
+        model.observe(frozenset({1, 2}))
+        model.observe(frozenset({1}))
+        clone = PersistenceModel()
+        clone.restore_state(model.snapshot_state())
+        assert clone.probability(1) == model.probability(1)
+        assert clone.probability(2) == model.probability(2)
+        clone.observe(frozenset({1}))
+        model.observe(frozenset({1}))
+        assert clone.snapshot_state() == model.snapshot_state()
+
+
+class TestPredictiveFamily:
+    def make(self, min_probability=0.0, k=3):
+        constraints = PatternConstraints(m=3, k=k, l=2, g=2)
+        return PredictiveFamily(constraints, min_probability=min_probability)
+
+    def warm(self, family, times=3, oids=(0, 1)):
+        """Drive ``times`` snapshots so every oid persists with p = 1."""
+        for t in range(times):
+            family.on_snapshot(t, snap(t, set(oids)), (), ())
+
+    def test_min_probability_validated(self):
+        with pytest.raises(ValueError, match="min_probability"):
+            self.make(min_probability=1.5)
+
+    def test_scores_reachable_candidate(self):
+        family = self.make()
+        self.warm(family, times=3)
+        events = family.on_snapshot(
+            3, snap(3, {0, 1}), [(0, 1, 1, 2, -1)], ()
+        )
+        assert [e.kind for e in events] == ["forming"]
+        event = events[0]
+        assert event.oids == frozenset({0, 1})
+        assert event.length == 2
+        assert event.lead == 1  # k - ones snapshots still needed
+        assert event.probability == pytest.approx(1.0)
+
+    def test_probability_compounds_over_needed_snapshots(self):
+        family = self.make(k=4)
+        # 0 persists every step, 1 persists every other step (p = 0.5).
+        family.on_snapshot(0, snap(0, {0, 1}), (), ())
+        family.on_snapshot(1, snap(1, {0, 1}), (), ())
+        family.on_snapshot(2, snap(2, {0}), (), ())
+        family.on_snapshot(3, snap(3, {0, 1}), (), ())
+        [event] = family.on_snapshot(
+            4, snap(4, {0, 1}), [(0, 1, 3, 2, -1)], ()
+        )
+        # p_0 = 1, p_1 = 2/3 (clustered at t1/t3/t4, persisted from
+        # t1 no, t3 yes; of 3 clustered-at-t observations 2 persisted),
+        # needed = 2 -> (1 * 2/3) ** 2
+        assert event.probability == pytest.approx(4 / 9)
+
+    def test_full_length_candidate_scores_one(self):
+        family = self.make()
+        [event] = family.on_snapshot(
+            0, snap(0, {0, 1}), [(0, 1, 0, 3, -1)], ()
+        )
+        assert event.probability == 1.0
+        assert event.lead == 0
+
+    def test_unreachable_candidate_skipped(self):
+        family = self.make()
+        self.warm(family)
+        # ones = 1, needed = 2, but the window closes in 1 snapshot.
+        events = family.on_snapshot(
+            3, snap(3, {0, 1}), [(0, 1, 2, 1, 1)], ()
+        )
+        assert events == []
+
+    def test_unbounded_remaining_is_reachable(self):
+        family = self.make()
+        self.warm(family)
+        events = family.on_snapshot(
+            3, snap(3, {0, 1}), [(0, 1, 2, 1, -1)], ()
+        )
+        assert len(events) == 1
+
+    def test_threshold_filters_low_scores(self):
+        family = self.make(min_probability=0.9)
+        # Unwarmed model: p = 0.5 each -> (0.25) ** needed < 0.9.
+        events = family.on_snapshot(
+            0, snap(0, {0, 1}), [(0, 1, 0, 1, -1)], ()
+        )
+        assert events == []
+        assert family.metrics()["repro_patterns_forming_total"] == 0
+
+    def test_best_descriptor_kept_per_pair(self):
+        family = self.make()
+        self.warm(family)
+        events = family.on_snapshot(
+            3,
+            snap(3, {0, 1}),
+            [(0, 1, 2, 1, -1), (0, 1, 0, 2, -1)],  # same pair, two windows
+            (),
+        )
+        assert len(events) == 1
+        assert events[0].length == 2  # the longer run wins
+
+    def test_confirmation_counted_as_predicted(self):
+        from repro.model.pattern import CoMovementPattern
+        from repro.model.timeseq import TimeSequence
+
+        family = self.make()
+        self.warm(family)
+        family.on_snapshot(3, snap(3, {0, 1}), [(0, 1, 1, 2, -1)], ())
+        pattern = CoMovementPattern.of({0, 1}, TimeSequence([1, 2, 3, 4]))
+        family.on_snapshot(4, snap(4, {0, 1}), (), [pattern])
+        metrics = family.metrics()
+        assert metrics["repro_patterns_predicted_total"] == 1
+        assert metrics["repro_patterns_unpredicted_total"] == 0
+
+    def test_same_snapshot_prediction_does_not_count(self):
+        from repro.model.pattern import CoMovementPattern
+        from repro.model.timeseq import TimeSequence
+
+        family = self.make()
+        self.warm(family)
+        pattern = CoMovementPattern.of({0, 1}, TimeSequence([0, 1, 2]))
+        # The forming event and the confirmation land on the same
+        # snapshot: no lead time, so it counts as unpredicted.
+        family.on_snapshot(3, snap(3, {0, 1}), [(0, 1, 1, 2, -1)], [pattern])
+        assert family.metrics()["repro_patterns_unpredicted_total"] == 1
+
+    def test_state_roundtrip_preserves_model_and_counters(self):
+        family = self.make()
+        self.warm(family)
+        family.on_snapshot(3, snap(3, {0, 1}), [(0, 1, 1, 2, -1)], ())
+        clone = self.make()
+        clone.restore_state(family.snapshot_state())
+        assert clone.metrics() == family.metrics()
+        assert clone.state_metrics() == family.state_metrics()
+        left = family.on_snapshot(4, snap(4, {0, 1}), [(0, 1, 1, 3, -1)], ())
+        right = clone.on_snapshot(4, snap(4, {0, 1}), [(0, 1, 1, 3, -1)], ())
+        assert [repr(e) for e in left] == [repr(e) for e in right]
+        assert clone.snapshot_state() == family.snapshot_state()

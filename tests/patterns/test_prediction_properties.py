@@ -1,0 +1,196 @@
+"""Property tests for the prediction invariants (hypothesis).
+
+The headline invariant: a ``PatternForming`` event scored at
+**probability 1.0** whose objects then stay co-clustered for its
+``lead`` snapshots is always followed by a ``PatternConfirmed`` that
+contains the predicted pair — probability-1 predictions cannot be
+false positives when the world cooperates.  Streams are randomised:
+hypothesis drives every non-anchor object between two sites and a
+noise position, while objects 0 and 1 sit faithfully at site 0 so the
+non-vacuous case always occurs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PatternConstraints, open_session
+from repro.model.records import StreamRecord
+from repro.model.snapshot import ClusterSnapshot
+from repro.patterns import EvolvingGroupTracker
+from repro.session import event_to_dict
+
+pytestmark = pytest.mark.patterns
+
+K = 3
+CONSTRAINTS = PatternConstraints(m=2, k=K, l=2, g=2)
+
+NOISE = 2  # site index meaning "isolated, never clustered"
+
+
+def site_x(oid: int, site: int) -> float:
+    """Planar x for ``oid`` at ``site`` (noise points are far apart)."""
+    if site == NOISE:
+        return 1000.0 + oid * 50.0
+    return site * 100.0 + oid * 0.1
+
+
+def build_records(assignment: list[list[int]]) -> list[StreamRecord]:
+    """``assignment[t][oid]`` is the site of ``oid`` at time ``t``."""
+    records = []
+    for t, sites in enumerate(assignment):
+        for oid, site in enumerate(sites):
+            records.append(
+                StreamRecord(
+                    oid=oid,
+                    time=t,
+                    x=site_x(oid, site),
+                    y=0.0,
+                    last_time=t - 1 if t else None,
+                )
+            )
+    return records
+
+
+def drifting_assignment(n_objects, n_times):
+    """Objects 0-1 pinned to site 0; the rest drift site0/site1/noise."""
+    return st.lists(
+        st.tuples(
+            *(
+                [st.just(0), st.just(0)]
+                + [st.integers(0, 2) for _ in range(n_objects - 2)]
+            )
+        ).map(list),
+        min_size=n_times,
+        max_size=n_times,
+    )
+
+
+class TestProbabilityOneInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        assignment=st.integers(4, 6).flatmap(
+            lambda n: drifting_assignment(n, 8)
+        )
+    )
+    def test_certain_predictions_confirm_when_objects_persist(
+        self, assignment
+    ):
+        records = build_records(assignment)
+        max_time = len(assignment) - 1
+        with open_session(
+            epsilon=2.0,
+            cell_width=5.0,
+            min_pts=2,
+            constraints=CONSTRAINTS,
+            pattern_family="predictive",
+        ) as session:
+            events = [
+                event_to_dict(e)
+                for e in session.feed_many(records) + session.finish()
+            ]
+
+        confirmed_pairs = [
+            (set(e["objects"]), e["time"])
+            for e in events
+            if e["kind"] == "pattern"
+        ]
+
+        def co_clustered(a, b, t):
+            return (
+                assignment[t][a] == assignment[t][b]
+                and assignment[t][a] != NOISE
+            )
+
+        checked = 0
+        for event in events:
+            if event["kind"] != "forming" or event["probability"] != 1.0:
+                continue
+            t, lead = event["time"], event["lead"]
+            a, b = sorted(event["oids"])
+            if t + lead > max_time:
+                continue  # the stream ends before K is reachable
+            if not all(
+                co_clustered(a, b, tau) for tau in range(t + 1, t + lead + 1)
+            ):
+                continue  # the world broke the pair; no promise made
+            checked += 1
+            assert any(
+                {a, b} <= objects for objects, _ in confirmed_pairs
+            ), f"certain pair ({a}, {b}) predicted at t={t} never confirmed"
+        # Objects 0-1 are pinned co-movers, so the invariant must have
+        # been exercised non-vacuously on every generated stream.
+        assert checked > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        assignment=st.integers(4, 6).flatmap(
+            lambda n: drifting_assignment(n, 8)
+        )
+    )
+    def test_forming_events_are_well_formed(self, assignment):
+        records = build_records(assignment)
+        with open_session(
+            epsilon=2.0,
+            cell_width=5.0,
+            min_pts=2,
+            constraints=CONSTRAINTS,
+            pattern_family="predictive",
+        ) as session:
+            events = [
+                event_to_dict(e)
+                for e in session.feed_many(records) + session.finish()
+            ]
+        for event in events:
+            if event["kind"] != "forming":
+                continue
+            assert 0.0 <= event["probability"] <= 1.0
+            assert 0 <= event["length"]
+            assert event["lead"] == max(0, K - event["length"])
+
+
+def cluster_streams():
+    """Random per-snapshot groupings over at most eight objects."""
+    group = st.sets(st.integers(0, 7), min_size=0, max_size=8).map(frozenset)
+    return st.lists(
+        st.lists(group, min_size=0, max_size=2), min_size=1, max_size=10
+    )
+
+
+class TestEvolvingDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(stream=cluster_streams(), cut=st.integers(0, 9))
+    def test_restored_tracker_continues_identically(self, stream, cut):
+        """From any mid-stream state capture, a restored clone replays
+        the remaining snapshots event-for-event."""
+        cut = min(cut, len(stream))
+        a = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        for t, groups in enumerate(stream[:cut]):
+            a.on_snapshot(t, ClusterSnapshot.from_groups(t, groups), (), ())
+        b = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        b.restore_state(a.snapshot_state())
+        for t, groups in enumerate(stream[cut:], start=cut):
+            snapshot = ClusterSnapshot.from_groups(t, groups)
+            left = a.on_snapshot(t, snapshot, (), ())
+            right = b.on_snapshot(t, snapshot, (), ())
+            assert [repr(e) for e in left] == [repr(e) for e in right]
+        assert a.snapshot_state() == b.snapshot_state()
+        assert [repr(e) for e in a.finish(len(stream))] == [
+            repr(e) for e in b.finish(len(stream))
+        ]
+
+    @settings(max_examples=50, deadline=None)
+    @given(stream=cluster_streams())
+    def test_evolved_events_always_carry_a_delta(self, stream):
+        tracker = EvolvingGroupTracker(CONSTRAINTS, theta=0.5)
+        for t, groups in enumerate(stream):
+            events = tracker.on_snapshot(
+                t, ClusterSnapshot.from_groups(t, groups), (), ()
+            )
+            for event in events:
+                if event.kind == "evolved":
+                    assert event.joined or event.left
+                    assert event.joined <= event.members
+                    assert not (event.left & event.members)

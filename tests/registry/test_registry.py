@@ -193,8 +193,91 @@ class TestBuiltins:
             enumeration_kernel="python",
             enumerator="fba",
             shed_policy="none",
+            pattern_family="strict",
         )
         assert set(selection) == set(PLUGIN_KINDS)
+
+
+class TestPatternFamilyAxis:
+    def test_builtin_family_names(self):
+        assert default_registry().names("pattern_family") == (
+            "strict", "evolving", "predictive"
+        )
+
+    def test_capability_markers(self):
+        registry = default_registry()
+        evolving = registry.get("pattern_family", "evolving")
+        predictive = registry.get("pattern_family", "predictive")
+        assert "evolving-groups" in evolving.capabilities.summary_markers()
+        assert "predicts-patterns" in predictive.capabilities.summary_markers()
+
+    def test_forming_state_markers_on_enumerators(self):
+        registry = default_registry()
+        caps = {
+            name: registry.get("enumerator", name).capabilities
+            for name in registry.names("enumerator")
+        }
+        assert not caps["baseline"].provides_forming_state
+        assert caps["fba"].provides_forming_state
+        assert caps["vba"].provides_forming_state
+        assert "forming-state" in caps["fba"].summary_markers()
+
+    def test_predictive_requires_forming_state_enumerator(self):
+        with pytest.raises(
+            PluginCompatibilityError, match="forming-state enumerator"
+        ):
+            default_registry().validate_selection(
+                enumerator="baseline", pattern_family="predictive"
+            )
+
+    def test_rejection_error_is_one_line(self):
+        with pytest.raises(PluginCompatibilityError) as excinfo:
+            default_registry().validate_selection(
+                enumerator="baseline", pattern_family="predictive"
+            )
+        assert "\n" not in str(excinfo.value)
+
+    def test_predictive_pairs_with_forming_state_enumerators(self):
+        registry = default_registry()
+        for enumerator in ("fba", "vba"):
+            registry.validate_selection(
+                enumerator=enumerator, pattern_family="predictive"
+            )
+
+    def test_evolving_pairs_with_any_enumerator(self):
+        registry = default_registry()
+        for enumerator in ("baseline", "fba", "vba"):
+            registry.validate_selection(
+                enumerator=enumerator, pattern_family="evolving"
+            )
+
+    def test_factories_construct_families(self):
+        from repro.model.constraints import PatternConstraints
+        from repro.patterns import (
+            EvolvingGroupTracker,
+            PredictiveFamily,
+            StrictFamily,
+        )
+
+        registry = default_registry()
+        constraints = PatternConstraints(m=2, k=3, l=2, g=2)
+        strict = registry.create("pattern_family", "strict", constraints)
+        evolving = registry.create(
+            "pattern_family", "evolving", constraints, theta=0.7
+        )
+        predictive = registry.create(
+            "pattern_family", "predictive", constraints, min_probability=0.4
+        )
+        assert isinstance(strict, StrictFamily)
+        assert isinstance(evolving, EvolvingGroupTracker)
+        assert isinstance(predictive, PredictiveFamily)
+
+    def test_axis_joins_bench_sweeps(self):
+        from repro.bench.harness import registered_strategy_names
+
+        names = registered_strategy_names("pattern_family", reference="strict")
+        assert names[0] == "strict"
+        assert {"evolving", "predictive"} <= set(names)
 
 
 class _EchoBackend(SerialBackend):

@@ -40,10 +40,12 @@ EXPECTED_EXPORTS = sorted(
         # lazy session API
         "CallbackSink",
         "ConvoyDelta",
+        "GroupEvolved",
         "JsonlSink",
         "ListSink",
         "PatternConfirmed",
         "PatternEvent",
+        "PatternForming",
         "PatternSink",
         "Session",
         "SessionBuilder",
@@ -65,6 +67,11 @@ EXPECTED_EXPORTS = sorted(
         "MetricsRegistry",
         "ObservabilityOptions",
         "SessionTelemetry",
+        # lazy pattern-family API
+        "EvolvingGroupTracker",
+        "PatternFamily",
+        "PersistenceModel",
+        "PredictiveFamily",
     ]
 )
 
@@ -77,8 +84,8 @@ class TestSurfaceLock:
         for name in repro.__all__:
             assert getattr(repro, name) is not None, name
 
-    def test_version_is_2_5(self):
-        assert repro.__version__ == "2.5.0"
+    def test_version_is_2_6(self):
+        assert repro.__version__ == "2.6.0"
 
 
 class TestLazyMachinery:
